@@ -1,0 +1,45 @@
+// Ablation: GRA initialization — the paper's SRA-seeded population (half
+// perturbed) versus a purely random valid population. Section 4 argues the
+// seeded start gives homogeneous, high-fitness building blocks.
+#include "common/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drep;
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  const std::size_t instances = options.networks(2);
+
+  util::Table table({"update%", "GRA seeded", "GRA random",
+                     "seeded init best f", "random init best f"});
+  for (const double u : {2.0, 5.0, 10.0}) {
+    workload::GeneratorConfig config;
+    config.sites = options.paper ? 50 : 30;
+    config.objects = options.paper ? 150 : 80;
+    config.update_ratio_percent = u;
+    algo::GraConfig seeded = options.gra();
+    algo::GraConfig random_init = seeded;
+    random_init.init = drep::algo::GraConfig::Init::kRandom;
+
+    util::RunningStats seeded_savings, random_savings, seeded_f0, random_f0;
+    const util::Rng root(options.seed + static_cast<std::uint64_t>(u));
+    for (std::size_t inst = 0; inst < instances; ++inst) {
+      util::Rng gen_rng = root.fork(inst);
+      const drep::core::Problem problem = drep::workload::generate(config, gen_rng);
+      util::Rng ra = root.fork(100 + inst), rb = root.fork(200 + inst);
+      const auto a = drep::algo::solve_gra(problem, seeded, ra);
+      const auto b = drep::algo::solve_gra(problem, random_init, rb);
+      seeded_savings.add(a.best.savings_percent);
+      random_savings.add(b.best.savings_percent);
+      seeded_f0.add(a.best_fitness_history.front());
+      random_f0.add(b.best_fitness_history.front());
+    }
+    table.row(2)
+        .cell(u)
+        .cell(seeded_savings.mean())
+        .cell(random_savings.mean())
+        .cell(seeded_f0.mean())
+        .cell(random_f0.mean());
+  }
+  emit("Ablation: GRA initialization (SRA-seeded vs random)", table, options);
+  return 0;
+}

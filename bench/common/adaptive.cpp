@@ -1,0 +1,162 @@
+#include "common/adaptive.hpp"
+
+#include "algo/agra.hpp"
+#include "core/cost_model.hpp"
+#include "util/timer.hpp"
+#include "workload/pattern_change.hpp"
+
+namespace drep::bench {
+
+namespace {
+
+struct Scales {
+  std::size_t sites;
+  std::size_t objects;
+  std::size_t static_generations;  // nightly static optimization
+  std::size_t mid_generations;     // the paper's "80"
+  std::size_t long_generations;    // the paper's "150"
+};
+
+Scales scales(const Options& options) {
+  if (options.paper) return {50, 200, 80, 80, 150};
+  return {30, 80, 40, 40, 75};
+}
+
+PolicyOutcome measure_scheme(const core::Problem& problem,
+                             const ga::Chromosome& genes, double seconds) {
+  core::ReplicationScheme scheme(problem, genes);
+  return {core::savings_percent(problem, scheme), seconds};
+}
+
+}  // namespace
+
+std::vector<PolicyOutcome> run_adaptive_instance(const Options& options,
+                                                 double och_percent,
+                                                 double read_share_percent,
+                                                 std::uint64_t seed) {
+  const Scales s = scales(options);
+  const util::Rng root(seed);
+
+  workload::GeneratorConfig gen;
+  gen.sites = s.sites;
+  gen.objects = s.objects;
+  gen.update_ratio_percent = 5.0;
+  gen.capacity_percent = 15.0;
+  util::Rng gen_rng = root.fork(1);
+  core::Problem problem = workload::generate(gen, gen_rng);
+
+  // Night-time static optimization on the old patterns.
+  algo::GraConfig static_config = options.gra(s.static_generations);
+  static_config.generations = s.static_generations;
+  util::Rng static_rng = root.fork(2);
+  algo::GraResult static_run =
+      algo::solve_gra(problem, static_config, static_rng);
+  const ga::Chromosome current = static_run.best.scheme.matrix();
+  std::vector<ga::Chromosome> retained;
+  retained.reserve(static_run.population.size());
+  for (auto& ind : static_run.population) retained.push_back(std::move(ind.genes));
+
+  // Daytime pattern shift.
+  workload::PatternChangeConfig change;
+  change.change_percent = 600.0;
+  change.objects_percent = och_percent;
+  change.read_share_percent = read_share_percent;
+  util::Rng change_rng = root.fork(3);
+  const workload::PatternChangeReport report =
+      workload::apply_pattern_change(problem, change, change_rng);
+  const std::vector<core::ObjectId> changed = report.all_changed();
+
+  std::vector<PolicyOutcome> outcomes(kPolicyCount);
+
+  // Current: the stale scheme under the new patterns (no work, no time).
+  outcomes[0] = measure_scheme(problem, current, 0.0);
+
+  // AGRA variants.
+  const auto run_agra = [&](std::size_t mini_gens, std::uint64_t stream) {
+    algo::AgraConfig agra;  // paper: Ap=10, Ag=50, 0.8/0.01
+    agra.mini_gra_generations = mini_gens;
+    agra.mini_gra = static_config;
+    util::Rng rng = root.fork(stream);
+    const algo::AgraResult result =
+        algo::solve_agra(problem, current, retained, changed, agra, rng);
+    return PolicyOutcome{result.best.savings_percent,
+                         result.best.elapsed_seconds};
+  };
+  outcomes[1] = run_agra(0, 4);
+  outcomes[2] = run_agra(5, 5);
+  outcomes[3] = run_agra(10, 6);
+
+  // Current + N·GRA: evolve the retained population on the new patterns.
+  const auto run_evolve = [&](std::size_t generations, std::uint64_t stream) {
+    algo::GraConfig config = static_config;
+    config.generations = generations;
+    config.population = retained.size();
+    util::Rng rng = root.fork(stream);
+    const algo::GraResult result =
+        algo::evolve_population(problem, retained, config, rng);
+    return PolicyOutcome{result.best.savings_percent,
+                         result.best.elapsed_seconds};
+  };
+  outcomes[4] = run_evolve(s.mid_generations, 7);
+  outcomes[5] = run_evolve(s.long_generations, 8);
+
+  // From-scratch GRA with the long budget.
+  {
+    algo::GraConfig config = static_config;
+    config.generations = s.long_generations;
+    util::Rng rng = root.fork(9);
+    const algo::GraResult result = algo::solve_gra(problem, config, rng);
+    outcomes[6] = PolicyOutcome{result.best.savings_percent,
+                                result.best.elapsed_seconds};
+  }
+  return outcomes;
+}
+
+std::vector<PolicyOutcome> run_adaptive_point(const Options& options,
+                                              double och_percent,
+                                              double read_share_percent,
+                                              std::uint64_t seed) {
+  const std::size_t instances = options.networks(1, 15);
+  std::vector<util::RunningStats> savings(kPolicyCount), seconds(kPolicyCount);
+  for (std::size_t instance = 0; instance < instances; ++instance) {
+    const auto outcomes = run_adaptive_instance(
+        options, och_percent, read_share_percent, seed + instance * 1013);
+    for (std::size_t p = 0; p < kPolicyCount; ++p) {
+      savings[p].add(outcomes[p].savings_percent);
+      seconds[p].add(outcomes[p].seconds);
+    }
+  }
+  std::vector<PolicyOutcome> averaged(kPolicyCount);
+  for (std::size_t p = 0; p < kPolicyCount; ++p) {
+    averaged[p] = {savings[p].mean(), seconds[p].mean()};
+  }
+  return averaged;
+}
+
+void run_adaptive_figure(const Options& options, const std::string& title,
+                         bool axis_is_och, double fixed_value,
+                         bool report_time) {
+  const std::vector<double> axis =
+      axis_is_och ? options.sweep_real({10.0, 20.0, 30.0, 40.0, 50.0}, 3)
+                  : options.sweep_real({0.0, 20.0, 40.0, 60.0, 80.0, 100.0}, 4);
+
+  std::vector<std::string> headers{axis_is_och ? "OCh%" : "R%"};
+  for (const char* policy : kPolicyNames) headers.emplace_back(policy);
+  util::Table table(std::move(headers));
+
+  for (const double value : axis) {
+    const double och = axis_is_och ? value : fixed_value;
+    const double read_share = axis_is_och ? fixed_value : value;
+    const auto outcomes = run_adaptive_point(
+        options, och, read_share,
+        options.seed + static_cast<std::uint64_t>(value * 31.0));
+    auto row = table.row(report_time ? 4 : 1);
+    row.cell(value);
+    for (const PolicyOutcome& outcome : outcomes) {
+      row.cell(report_time ? outcome.seconds : outcome.savings_percent);
+    }
+  }
+  emit(title, table, options);
+}
+
+}  // namespace drep::bench

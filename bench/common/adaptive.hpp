@@ -1,0 +1,50 @@
+#pragma once
+// Driver for the adaptive experiments (Fig. 4): the Section 6.3 test case
+// (M=50, N=200, U=5%, C=15%, Ch=600% at paper scale) evaluated under the
+// seven policies the paper plots:
+//
+//   Current          — keep the stale static scheme
+//   Current+AGRA     — AGRA stand-alone (transcription only)
+//   AGRA+5GRA        — AGRA followed by 5 generations of mini-GRA
+//   AGRA+10GRA       — AGRA followed by 10 generations of mini-GRA
+//   Current+80GRA    — evolve the retained population for 80 generations
+//   Current+150GRA   — evolve the retained population for 150 generations
+//   150GRA           — full GRA from scratch on the new patterns
+//
+// Fast mode shrinks the network (M=30, N=80) and halves the generation
+// budgets; the policy labels keep the paper's names.
+
+#include "common/harness.hpp"
+
+namespace drep::bench {
+
+inline constexpr const char* kPolicyNames[] = {
+    "Current",       "Current+AGRA",   "AGRA+5GRA", "AGRA+10GRA",
+    "Current+80GRA", "Current+150GRA", "150GRA"};
+inline constexpr std::size_t kPolicyCount = 7;
+
+struct PolicyOutcome {
+  double savings_percent = 0.0;
+  double seconds = 0.0;
+};
+
+/// One adaptive scenario instance: generate, statically optimize, mutate the
+/// patterns (och% of objects, read_share% of them toward reads, Ch=600%),
+/// then apply every policy. Returns one outcome per kPolicyNames entry.
+[[nodiscard]] std::vector<PolicyOutcome> run_adaptive_instance(
+    const Options& options, double och_percent, double read_share_percent,
+    std::uint64_t seed);
+
+/// Averages run_adaptive_instance over the configured number of networks.
+[[nodiscard]] std::vector<PolicyOutcome> run_adaptive_point(
+    const Options& options, double och_percent, double read_share_percent,
+    std::uint64_t seed);
+
+/// Emits one figure: rows = sweep values, columns = policies.
+/// axis_is_och: sweep OCh at fixed read share; otherwise sweep the R/U mix
+/// at fixed OCh. report_time selects Fig. 4(d)'s metric.
+void run_adaptive_figure(const Options& options, const std::string& title,
+                         bool axis_is_och, double fixed_value,
+                         bool report_time);
+
+}  // namespace drep::bench

@@ -1,0 +1,149 @@
+#include "common/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+#include "algo/sra.hpp"
+
+namespace drep::bench {
+
+namespace {
+bool parse_size_flag(const std::string& arg, const std::string& name,
+                     std::size_t& out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = static_cast<std::size_t>(std::stoull(arg.substr(prefix.size())));
+  return true;
+}
+}  // namespace
+
+Options Options::parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t value = 0;
+    if (arg == "--paper") {
+      options.paper = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (parse_size_flag(arg, "networks", value)) {
+      options.networks_override = value;
+    } else if (parse_size_flag(arg, "generations", value)) {
+      options.generations_override = value;
+    } else if (parse_size_flag(arg, "population", value)) {
+      options.population_override = value;
+    } else if (parse_size_flag(arg, "seed", value)) {
+      options.seed = value;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--paper] [--networks=N] [--generations=N] "
+          "[--population=N] [--seed=N] [--csv]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+std::size_t Options::networks(std::size_t fast_default,
+                              std::size_t paper_default) const {
+  if (networks_override != 0) return networks_override;
+  return paper ? paper_default : fast_default;
+}
+
+algo::GraConfig Options::gra(std::size_t fast_generations,
+                             std::size_t fast_population) const {
+  algo::GraConfig config;  // paper defaults: Np=50, Ng=80, 0.9/0.01
+  if (!paper) {
+    config.generations = fast_generations;
+    config.population = fast_population;
+  }
+  if (generations_override != 0) config.generations = generations_override;
+  if (population_override != 0) config.population = population_override;
+  return config;
+}
+
+std::vector<std::size_t> Options::sweep(std::vector<std::size_t> paper_values,
+                                        std::size_t fast_count) const {
+  if (paper || fast_count >= paper_values.size()) return paper_values;
+  std::vector<std::size_t> reduced;
+  reduced.reserve(fast_count);
+  // Evenly spaced picks that always include the endpoints.
+  for (std::size_t i = 0; i < fast_count; ++i) {
+    const std::size_t idx =
+        fast_count == 1 ? 0
+                        : i * (paper_values.size() - 1) / (fast_count - 1);
+    reduced.push_back(paper_values[idx]);
+  }
+  return reduced;
+}
+
+std::vector<double> Options::sweep_real(std::vector<double> paper_values,
+                                        std::size_t fast_count) const {
+  if (paper || fast_count >= paper_values.size()) return paper_values;
+  std::vector<double> reduced;
+  reduced.reserve(fast_count);
+  for (std::size_t i = 0; i < fast_count; ++i) {
+    const std::size_t idx =
+        fast_count == 1 ? 0
+                        : i * (paper_values.size() - 1) / (fast_count - 1);
+    reduced.push_back(paper_values[idx]);
+  }
+  return reduced;
+}
+
+void sweep_point(const workload::GeneratorConfig& config,
+                 std::uint64_t base_seed, std::size_t instances,
+                 const std::vector<Runner>& runners, std::vector<Cell>& cells) {
+  if (cells.size() != runners.size())
+    throw std::invalid_argument("sweep_point: cells/runners size mismatch");
+  const util::Rng root(base_seed);
+  for (std::size_t instance = 0; instance < instances; ++instance) {
+    util::Rng gen_rng = root.fork(instance);
+    const core::Problem problem = workload::generate(config, gen_rng);
+    for (std::size_t r = 0; r < runners.size(); ++r) {
+      util::Rng run_rng = root.fork(1000 + instance * 97 + r);
+      const RunMetrics metrics = runners[r](problem, run_rng);
+      cells[r].savings.add(metrics.savings);
+      cells[r].replicas.add(metrics.replicas);
+      cells[r].seconds.add(metrics.seconds);
+    }
+  }
+}
+
+Runner sra_runner() {
+  return [](const core::Problem& problem, util::Rng& rng) {
+    const algo::AlgorithmResult result =
+        algo::solve_sra(problem, algo::SraConfig{}, rng);
+    return RunMetrics{result.savings_percent,
+                      static_cast<double>(result.extra_replicas),
+                      result.elapsed_seconds};
+  };
+}
+
+Runner gra_runner(algo::GraConfig config) {
+  return [config](const core::Problem& problem, util::Rng& rng) {
+    const algo::GraResult result = algo::solve_gra(problem, config, rng);
+    return RunMetrics{result.best.savings_percent,
+                      static_cast<double>(result.best.extra_replicas),
+                      result.best.elapsed_seconds};
+  };
+}
+
+void emit(const std::string& title, const util::Table& table,
+          const Options& options) {
+  std::cout << "== " << title << " ==\n";
+  if (!options.paper) {
+    std::cout << "(fast scale; pass --paper for the full Section 6.1 setup)\n";
+  }
+  table.print(std::cout);
+  if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  std::cout << "\n";
+}
+
+}  // namespace drep::bench

@@ -1,0 +1,86 @@
+#pragma once
+// Shared experiment harness for the figure-reproduction benches.
+//
+// Every bench binary runs at a reduced "fast" scale by default (so that
+// `for b in build/bench/*; do $b; done` completes in minutes on one core)
+// and at the paper's full scale with --paper. Each sweep point averages
+// over several randomly generated networks, exactly as Section 6.1
+// prescribes (15 networks at paper scale).
+//
+// Flags: --paper           full paper scale (15 networks, Np=50, Ng=80)
+//        --networks=N      override the instance count per point
+//        --generations=N   override GRA generations
+//        --population=N    override GRA population
+//        --seed=N          base RNG seed
+//        --csv             also emit CSV after the table
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/gra.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace drep::bench {
+
+struct Options {
+  bool paper = false;
+  std::size_t networks_override = 0;
+  std::size_t generations_override = 0;
+  std::size_t population_override = 0;
+  std::uint64_t seed = 2000;
+  bool csv = false;
+
+  /// Parses argv; prints usage and exits(0) on --help, exits(2) on unknown
+  /// flags.
+  static Options parse(int argc, char** argv);
+
+  /// Instances per sweep point.
+  [[nodiscard]] std::size_t networks(std::size_t fast_default,
+                                     std::size_t paper_default = 15) const;
+  /// GRA configuration (paper: Np=50, Ng=80, µc=0.9, µm=0.01).
+  [[nodiscard]] algo::GraConfig gra(std::size_t fast_generations = 40,
+                                    std::size_t fast_population = 20) const;
+  /// Scales a sweep list: full list under --paper, `fast_count` evenly
+  /// spaced entries otherwise.
+  [[nodiscard]] std::vector<std::size_t> sweep(
+      std::vector<std::size_t> paper_values, std::size_t fast_count) const;
+  [[nodiscard]] std::vector<double> sweep_real(std::vector<double> paper_values,
+                                               std::size_t fast_count) const;
+};
+
+/// Per-(algorithm, sweep-point) aggregates.
+struct Cell {
+  util::RunningStats savings;   // % NTC saving vs primary-only
+  util::RunningStats replicas;  // replicas beyond primaries
+  util::RunningStats seconds;   // solver wall time
+};
+
+/// One measured run.
+struct RunMetrics {
+  double savings = 0.0;
+  double replicas = 0.0;
+  double seconds = 0.0;
+};
+
+using Runner = std::function<RunMetrics(const core::Problem&, util::Rng&)>;
+
+/// Generates `instances` networks from `config` (instance i uses
+/// rng = Rng(base_seed).fork(i)) and accumulates each runner's metrics.
+/// Runners see the same instances in the same order.
+void sweep_point(const workload::GeneratorConfig& config,
+                 std::uint64_t base_seed, std::size_t instances,
+                 const std::vector<Runner>& runners, std::vector<Cell>& cells);
+
+/// Standard runners.
+[[nodiscard]] Runner sra_runner();
+[[nodiscard]] Runner gra_runner(algo::GraConfig config);
+
+/// Prints the table (and CSV when requested) with a titled header.
+void emit(const std::string& title, const util::Table& table,
+          const Options& options);
+
+}  // namespace drep::bench

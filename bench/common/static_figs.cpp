@@ -1,0 +1,151 @@
+#include "common/static_figs.hpp"
+
+namespace drep::bench {
+
+namespace {
+
+constexpr double kUpdateRatios[] = {2.0, 5.0, 10.0};
+
+double cell_value(const Cell& cell, Metric metric) {
+  switch (metric) {
+    case Metric::kSavings: return cell.savings.mean();
+    case Metric::kReplicas: return cell.replicas.mean();
+    case Metric::kSeconds: return cell.seconds.mean();
+  }
+  return 0.0;
+}
+
+workload::GeneratorConfig base_config(std::size_t sites, std::size_t objects,
+                                      double update, double capacity) {
+  workload::GeneratorConfig config;
+  config.sites = sites;
+  config.objects = objects;
+  config.update_ratio_percent = update;
+  config.capacity_percent = capacity;
+  return config;
+}
+
+/// SRA and GRA over U ∈ {2,5,10}% for one sweep axis.
+void run_u_series_sweep(const Options& options, Metric metric,
+                        const std::string& title,
+                        const std::vector<std::size_t>& axis_values,
+                        const std::string& axis_name, bool axis_is_sites,
+                        std::size_t fixed_other, std::size_t fast_networks) {
+  const std::size_t instances = options.networks(fast_networks);
+  const algo::GraConfig gra_config = options.gra();
+
+  std::vector<std::string> headers{axis_name};
+  for (double u : kUpdateRatios) {
+    headers.push_back("SRA(U=" + util::format_double(u, 0) + "%)");
+    headers.push_back("GRA(U=" + util::format_double(u, 0) + "%)");
+  }
+  util::Table table(std::move(headers));
+
+  for (const std::size_t axis : axis_values) {
+    auto row = table.row(metric == Metric::kSeconds ? 4 : 1);
+    row.cell(axis);
+    for (double u : kUpdateRatios) {
+      const std::size_t sites = axis_is_sites ? axis : fixed_other;
+      const std::size_t objects = axis_is_sites ? fixed_other : axis;
+      const workload::GeneratorConfig config =
+          base_config(sites, objects, u, 15.0);
+      std::vector<Cell> cells(2);
+      sweep_point(config, options.seed + axis * 13 + static_cast<std::uint64_t>(u),
+                  instances, {sra_runner(), gra_runner(gra_config)}, cells);
+      row.cell(cell_value(cells[0], metric));
+      row.cell(cell_value(cells[1], metric));
+    }
+  }
+  emit(title, table, options);
+}
+
+}  // namespace
+
+void run_sites_sweep(const Options& options, Metric metric,
+                     const std::string& title) {
+  const auto sites = options.sweep({20, 40, 60, 80, 100, 120, 140}, 3);
+  run_u_series_sweep(options, metric, title, sites, "sites", true,
+                     /*objects=*/150, /*fast_networks=*/2);
+}
+
+void run_objects_sweep(const Options& options, Metric metric,
+                       const std::string& title) {
+  const auto objects = options.sweep({100, 200, 400, 600, 800, 1000}, 3);
+  run_u_series_sweep(options, metric, title, objects, "objects", false,
+                     /*sites=*/100, /*fast_networks=*/1);
+}
+
+void run_time_sweep(const Options& options, bool use_gra,
+                    const std::string& title) {
+  const auto sites = use_gra ? options.sweep({20, 40, 60, 80, 100, 120, 140}, 4)
+                             : options.sweep({20, 40, 60, 80, 100, 120, 140}, 7);
+  const std::size_t instances =
+      options.networks(use_gra ? 1 : 5, use_gra ? 15 : 15);
+  const algo::GraConfig gra_config = options.gra();
+
+  util::Table table({"sites", "U=2% (s)", "U=5% (s)", "U=10% (s)"});
+  for (const std::size_t m : sites) {
+    auto row = table.row(5);
+    row.cell(m);
+    for (double u : kUpdateRatios) {
+      const workload::GeneratorConfig config = base_config(m, 150, u, 15.0);
+      std::vector<Cell> cells(1);
+      sweep_point(config, options.seed + m * 7 + static_cast<std::uint64_t>(u),
+                  instances,
+                  {use_gra ? gra_runner(gra_config) : sra_runner()}, cells);
+      row.cell(cells[0].seconds.mean());
+    }
+  }
+  emit(title, table, options);
+}
+
+void run_update_ratio_sweep(const Options& options, const std::string& title) {
+  const auto ratios =
+      options.sweep_real({0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0}, 6);
+  const std::size_t instances = options.networks(2);
+  const algo::GraConfig gra_config = options.gra();
+
+  util::Table table({"update%", "SRA savings%", "GRA savings%",
+                     "SRA replicas", "GRA replicas"});
+  for (const double u : ratios) {
+    const workload::GeneratorConfig config = base_config(50, 150, u, 15.0);
+    std::vector<Cell> cells(2);
+    sweep_point(config, options.seed + static_cast<std::uint64_t>(u * 10.0),
+                instances, {sra_runner(), gra_runner(gra_config)}, cells);
+    table.row(1)
+        .cell(u)
+        .cell(cells[0].savings.mean())
+        .cell(cells[1].savings.mean())
+        .cell(cells[0].replicas.mean())
+        .cell(cells[1].replicas.mean());
+  }
+  emit(title, table, options);
+}
+
+void run_capacity_sweep(const Options& options, const std::string& title) {
+  const auto capacities =
+      options.sweep_real({10.0, 15.0, 20.0, 25.0, 30.0}, 4);
+  const std::size_t instances = options.networks(2);
+  const algo::GraConfig gra_config = options.gra();
+
+  util::Table table({"capacity%", "SRA(U=5%)", "GRA(U=5%)", "SRA(U=1%)",
+                     "GRA replicas"});
+  for (const double c : capacities) {
+    std::vector<Cell> at5(2), at1(1);
+    sweep_point(base_config(50, 150, 5.0, c),
+                options.seed + static_cast<std::uint64_t>(c), instances,
+                {sra_runner(), gra_runner(gra_config)}, at5);
+    sweep_point(base_config(50, 150, 1.0, c),
+                options.seed + 77 + static_cast<std::uint64_t>(c), instances,
+                {sra_runner()}, at1);
+    table.row(1)
+        .cell(c)
+        .cell(at5[0].savings.mean())
+        .cell(at5[1].savings.mean())
+        .cell(at1[0].savings.mean())
+        .cell(at5[1].replicas.mean());
+  }
+  emit(title, table, options);
+}
+
+}  // namespace drep::bench

@@ -1,0 +1,33 @@
+#pragma once
+// Drivers for the static-algorithm figures (Fig. 1-3): SRA vs GRA sweeps
+// over network size, object count, update ratio, and site capacity.
+
+#include "common/harness.hpp"
+
+namespace drep::bench {
+
+enum class Metric { kSavings, kReplicas, kSeconds };
+
+/// Fig. 1(a)/(b): sweep the number of sites at N=150, C=15%,
+/// U ∈ {2,5,10}%, reporting `metric` for SRA and GRA.
+void run_sites_sweep(const Options& options, Metric metric,
+                     const std::string& title);
+
+/// Fig. 1(c)/(d): sweep the number of objects at M=100, C=15%,
+/// U ∈ {2,5,10}%.
+void run_objects_sweep(const Options& options, Metric metric,
+                       const std::string& title);
+
+/// Fig. 2(a)/(b): execution time versus the number of sites for one
+/// algorithm (SRA or GRA), N=150.
+void run_time_sweep(const Options& options, bool use_gra,
+                    const std::string& title);
+
+/// Fig. 3(a): savings versus update ratio, M=50, N=150, C=15%.
+void run_update_ratio_sweep(const Options& options, const std::string& title);
+
+/// Fig. 3(b): savings versus capacity, U=5% (plus an SRA U=1% series
+/// showing the paper's "SRA follows GRA's trend at low update ratios").
+void run_capacity_sweep(const Options& options, const std::string& title);
+
+}  // namespace drep::bench

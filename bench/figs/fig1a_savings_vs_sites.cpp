@@ -1,0 +1,10 @@
+// Fig. 1(a): % NTC savings of SRA and GRA versus the number of sites
+// (N=150, C=15%, U in {2,5,10}%, averaged over random networks).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_sites_sweep(options, Metric::kSavings,
+                  "Fig 1(a): savings in network cost vs number of sites");
+  return 0;
+}

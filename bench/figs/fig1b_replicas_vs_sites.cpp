@@ -1,0 +1,9 @@
+// Fig. 1(b): replicas created (beyond primaries) versus the number of sites.
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_sites_sweep(options, Metric::kReplicas,
+                  "Fig 1(b): replicas generated vs number of sites");
+  return 0;
+}

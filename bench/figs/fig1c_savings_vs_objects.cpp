@@ -1,0 +1,9 @@
+// Fig. 1(c): % NTC savings versus the number of objects (M=100, C=15%).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_objects_sweep(options, Metric::kSavings,
+                    "Fig 1(c): savings in network cost vs number of objects");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig. 1(d): replicas created versus the number of objects (M=100).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_objects_sweep(options, Metric::kReplicas,
+                    "Fig 1(d): replicas generated vs number of objects");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig. 2(a): SRA execution time versus the number of sites (quadratic shape).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_time_sweep(options, /*use_gra=*/false,
+                 "Fig 2(a): execution time of SRA vs number of sites");
+  return 0;
+}

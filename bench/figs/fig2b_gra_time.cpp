@@ -1,0 +1,10 @@
+// Fig. 2(b): GRA execution time versus the number of sites (quadratic,
+// 3-4 orders of magnitude above SRA).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_time_sweep(options, /*use_gra=*/true,
+                 "Fig 2(b): execution time of GRA vs number of sites");
+  return 0;
+}

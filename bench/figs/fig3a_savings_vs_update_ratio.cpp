@@ -1,0 +1,9 @@
+// Fig. 3(a): % NTC savings versus the update ratio (exponential decay).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_update_ratio_sweep(options,
+                         "Fig 3(a): savings in network cost vs update ratio");
+  return 0;
+}

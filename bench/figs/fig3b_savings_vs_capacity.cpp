@@ -1,0 +1,10 @@
+// Fig. 3(b): % NTC savings versus site capacity (growth then saturation;
+// SRA flat at U=5%, GRA-like at U=1%).
+#include "common/static_figs.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_capacity_sweep(options,
+                     "Fig 3(b): savings in network cost vs capacity of sites");
+  return 0;
+}

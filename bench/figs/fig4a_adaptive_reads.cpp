@@ -1,0 +1,12 @@
+// Fig. 4(a): savings versus the number of objects having their reads
+// increased (Ch=600%, R=100%), across all seven adaptive policies.
+#include "common/adaptive.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_adaptive_figure(options,
+                      "Fig 4(a): savings vs objects with reads increased",
+                      /*axis_is_och=*/true, /*read_share=*/100.0,
+                      /*report_time=*/false);
+  return 0;
+}

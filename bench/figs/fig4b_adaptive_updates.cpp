@@ -1,0 +1,12 @@
+// Fig. 4(b): savings versus the number of objects having their updates
+// increased (Ch=600%, U=100%).
+#include "common/adaptive.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_adaptive_figure(options,
+                      "Fig 4(b): savings vs objects with updates increased",
+                      /*axis_is_och=*/true, /*read_share=*/0.0,
+                      /*report_time=*/false);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 4(c): savings versus the kind of pattern change, shifting from 100%
+// update increases (R=0) to 100% read increases (R=100) at OCh=30%.
+#include "common/adaptive.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_adaptive_figure(options,
+                      "Fig 4(c): savings vs kind of pattern change (R%)",
+                      /*axis_is_och=*/false, /*och=*/30.0,
+                      /*report_time=*/false);
+  return 0;
+}

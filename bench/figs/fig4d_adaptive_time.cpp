@@ -1,0 +1,12 @@
+// Fig. 4(d): execution time of the AGRA versions versus the static GRA
+// policies (AGRA is 1.5-2 orders of magnitude faster than 150-gen GRA at
+// paper scale).
+#include "common/adaptive.hpp"
+int main(int argc, char** argv) {
+  using namespace drep::bench;
+  const Options options = Options::parse(argc, argv);
+  run_adaptive_figure(options, "Fig 4(d): execution time of AGRA versions (s)",
+                      /*axis_is_och=*/true, /*read_share=*/80.0,
+                      /*report_time=*/true);
+  return 0;
+}

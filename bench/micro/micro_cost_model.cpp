@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) for the cost-model hot paths: these
+// dominate every algorithm's runtime, so their throughput sets the scale of
+// Fig. 2's execution-time curves.
+#include <benchmark/benchmark.h>
+
+#include "algo/gra.hpp"
+#include "core/benefit.hpp"
+#include "core/cost_model.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace drep;
+
+core::Problem make_problem(std::size_t sites, std::size_t objects) {
+  workload::GeneratorConfig config;
+  config.sites = sites;
+  config.objects = objects;
+  config.update_ratio_percent = 5.0;
+  config.capacity_percent = 15.0;
+  util::Rng rng(42);
+  return workload::generate(config, rng);
+}
+
+ga::Chromosome dense_chromosome(const core::Problem& problem) {
+  util::Rng rng(7);
+  return algo::random_population(problem, 1, rng).front();
+}
+
+void BM_EvaluatorTotalCost(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  core::CostEvaluator evaluator(problem);
+  const ga::Chromosome genes = dense_chromosome(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.total_cost(genes));
+  }
+  state.SetLabel("one GA fitness evaluation");
+}
+BENCHMARK(BM_EvaluatorTotalCost)
+    ->Args({20, 100})
+    ->Args({50, 150})
+    ->Args({100, 150})
+    ->Args({50, 400});
+
+void BM_SchemeBasedTotalCost(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)), 150);
+  core::ReplicationScheme scheme(problem, dense_chromosome(problem));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::total_cost(scheme));
+  }
+}
+BENCHMARK(BM_SchemeBasedTotalCost)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_SchemeAddRemove(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)), 150);
+  core::ReplicationScheme scheme(problem);
+  core::SiteId site = problem.primary(0) == 0 ? 1 : 0;
+  for (auto _ : state) {
+    scheme.add(site, 0);
+    scheme.remove(site, 0);
+  }
+  state.SetLabel("incremental nearest-index maintenance");
+}
+BENCHMARK(BM_SchemeAddRemove)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_LocalBenefit(benchmark::State& state) {
+  const auto problem = make_problem(50, 150);
+  const core::ReplicationScheme scheme(problem);
+  core::SiteId site = problem.primary(0) == 0 ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::local_benefit(scheme, site, 0));
+  }
+}
+BENCHMARK(BM_LocalBenefit);
+
+void BM_InsertionDelta(benchmark::State& state) {
+  const auto problem = make_problem(50, 150);
+  const core::ReplicationScheme scheme(problem);
+  core::SiteId site = problem.primary(0) == 0 ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::insertion_delta(scheme, site, 0));
+  }
+}
+BENCHMARK(BM_InsertionDelta);
+
+void BM_MigrationCost(benchmark::State& state) {
+  const auto problem = make_problem(50, 200);
+  const core::ReplicationScheme from(problem);
+  core::ReplicationScheme to(problem, dense_chromosome(problem));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::migration_cost(from, to));
+  }
+}
+BENCHMARK(BM_MigrationCost);
+
+void BM_ObjectCostMask(benchmark::State& state) {
+  const auto problem = make_problem(50, 200);
+  core::CostEvaluator evaluator(problem);
+  std::vector<std::uint8_t> mask(problem.sites(), 0);
+  for (core::SiteId i = 0; i < problem.sites(); i += 3) mask[i] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.object_cost(0, mask));
+  }
+  state.SetLabel("AGRA micro-GA fitness evaluation");
+}
+BENCHMARK(BM_ObjectCostMask);
+
+}  // namespace
+
+BENCHMARK_MAIN();

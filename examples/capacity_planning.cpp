@@ -1,0 +1,59 @@
+// Capacity planning: how much storage should each site buy?
+//
+//   $ ./capacity_planning
+//
+// Fig. 3(b)'s engineering question, asked the way an operator would: sweep
+// the per-site storage budget (C% of the catalogue), optimize placement at
+// each budget, and report the marginal traffic saving per extra unit of
+// storage — the knee where buying more disks stops paying for itself. Also
+// reports the availability bonus the same replicas buy (fault-tolerance
+// extension).
+
+#include <iostream>
+
+#include "algo/sra.hpp"
+#include "sim/failures.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace drep;
+
+int main() {
+  util::Table table({"capacity C%", "savings %", "replicas", "marginal %/C",
+                     "read avail% (3 down)"});
+  double previous_savings = 0.0;
+  double previous_c = 0.0;
+  for (const double c : {5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0}) {
+    workload::GeneratorConfig gen;
+    gen.sites = 30;
+    gen.objects = 80;
+    gen.update_ratio_percent = 2.0;
+    gen.capacity_percent = c;
+    // Same seed per sweep point: identical patterns, only capacities move.
+    util::Rng gen_rng(99);
+    const core::Problem problem = workload::generate(gen, gen_rng);
+
+    const algo::AlgorithmResult placed = algo::solve_sra(problem);
+    util::Rng mc_rng(3);
+    const double availability =
+        100.0 * sim::expected_read_availability(placed.scheme, 3, 100, mc_rng);
+
+    const double marginal =
+        previous_c == 0.0
+            ? 0.0
+            : (placed.savings_percent - previous_savings) / (c - previous_c);
+    table.row(2)
+        .cell(c)
+        .cell(placed.savings_percent)
+        .cell(placed.extra_replicas)
+        .cell(marginal)
+        .cell(availability);
+    previous_savings = placed.savings_percent;
+    previous_c = c;
+  }
+  table.print(std::cout);
+  std::cout << "\nPast the knee, extra storage buys almost no traffic — but "
+               "note the availability column keeps improving: fault "
+               "tolerance is the remaining reason to over-provision.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Distributed SRA over the discrete-event network: the token protocol of
+// paper Section 3 running as real message passing — a leader site holds the
+// active list, candidate lists live at their sites, replication decisions
+// are broadcast and acknowledged, and objects migrate from their nearest
+// replicator. The demo shows the protocol's message/traffic bill and checks
+// the result against the centralized algorithm.
+//
+//   $ ./distributed_sra_demo [sites] [objects]
+
+#include <iostream>
+#include <string>
+
+#include "algo/sra.hpp"
+#include "sim/distributed_sra.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace drep;
+
+int main(int argc, char** argv) {
+  workload::GeneratorConfig gen;
+  gen.sites = argc > 1 ? std::stoul(argv[1]) : 20;
+  gen.objects = argc > 2 ? std::stoul(argv[2]) : 50;
+  gen.update_ratio_percent = 2.0;
+  gen.capacity_percent = 15.0;
+  util::Rng gen_rng(11);
+  const core::Problem problem = workload::generate(gen, gen_rng);
+
+  std::cout << "Running distributed SRA on " << problem.sites() << " sites / "
+            << problem.objects() << " objects (leader = site 0)\n\n";
+
+  const sim::DistributedSraResult distributed =
+      sim::run_distributed_sra(problem);
+  const algo::AlgorithmResult centralized = algo::solve_sra(problem);
+
+  util::Table table({"metric", "value"});
+  table.row(0).cell("replicas created").cell(distributed.replications);
+  table.row(0).cell("token passes").cell(distributed.traffic.control_messages > 0
+                                              ? distributed.token_passes
+                                              : distributed.token_passes);
+  table.row(0).cell("control messages").cell(distributed.traffic.control_messages);
+  table.row(0).cell("object migrations (data msgs)")
+      .cell(distributed.traffic.data_messages);
+  table.row(1).cell("migration traffic (units x cost)")
+      .cell(distributed.traffic.data_traffic);
+  table.row(1).cell("protocol completion time (sim units)")
+      .cell(distributed.duration);
+  table.print(std::cout);
+
+  const bool identical =
+      distributed.scheme.matrix() == centralized.scheme.matrix();
+  std::cout << "\nScheme identical to centralized SRA: "
+            << (identical ? "yes" : "NO (bug!)") << '\n';
+  std::cout << "Savings vs unreplicated: "
+            << util::format_double(
+                   core::savings_percent(problem, distributed.scheme), 1)
+            << "% (centralized: "
+            << util::format_double(centralized.savings_percent, 1) << "%)\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a small distributed system, describe its read/write
+// workload, and let each replication algorithm place replicas.
+//
+//   $ ./quickstart
+//
+// Walks through the full public API surface: topology -> problem ->
+// algorithms -> cost model, printing what each step produced.
+
+#include <iostream>
+
+#include "algo/baselines.hpp"
+#include "algo/gra.hpp"
+#include "algo/sra.hpp"
+#include "core/cost_model.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "util/table.hpp"
+
+using namespace drep;
+
+int main() {
+  // 1. Topology: five sites on a ring (cost 1 per hop); C(i,j) becomes the
+  //    shortest-path metric the DRP cost model expects.
+  const net::Graph ring = net::ring_graph(5, 1.0);
+  net::CostMatrix costs = net::floyd_warshall(ring);
+
+  // 2. Problem: three objects. Object 0 is a hot read-mostly page, object 1
+  //    a write-heavy log, object 2 lukewarm. Primaries on sites 0/1/2;
+  //    every site can store 25 data units.
+  core::Problem problem(std::move(costs),
+                        /*object_sizes=*/{10.0, 10.0, 5.0},
+                        /*primaries=*/{0, 1, 2},
+                        /*capacities=*/{25.0, 25.0, 25.0, 25.0, 25.0});
+  for (core::SiteId site = 0; site < problem.sites(); ++site) {
+    problem.set_reads(site, 0, 40.0);   // everyone reads the hot page
+    problem.set_writes(site, 1, 15.0);  // everyone appends to the log
+    problem.set_reads(site, 2, 5.0);
+  }
+  problem.set_reads(3, 1, 10.0);  // one site also tails the log
+  problem.validate();
+
+  const double d_prime = core::primary_only_cost(problem);
+  std::cout << "Primary-copies-only transfer cost D' = " << d_prime << "\n\n";
+
+  // 3. Algorithms.
+  const algo::AlgorithmResult sra = algo::solve_sra(problem);
+  util::Rng rng(1);
+  algo::GraConfig gra_config;
+  gra_config.population = 16;
+  gra_config.generations = 30;
+  const algo::GraResult gra = algo::solve_gra(problem, gra_config, rng);
+  util::Rng hc_rng(2);
+  const algo::AlgorithmResult hc = algo::hill_climb(problem);
+
+  util::Table table({"algorithm", "cost D", "savings %", "replicas added"});
+  const auto add = [&table](const char* name, const algo::AlgorithmResult& r) {
+    table.row(1).cell(name).cell(r.cost).cell(r.savings_percent).cell(
+        r.extra_replicas);
+  };
+  add("SRA (greedy)", sra);
+  add("GRA (genetic)", gra.best);
+  add("hill-climb (exact-delta baseline)", hc);
+  table.print(std::cout);
+
+  // 4. Inspect the genetic algorithm's placement decisions.
+  std::cout << "\nGRA replica placement (object -> sites):\n";
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    std::cout << "  object " << k << " (primary site "
+              << problem.primary(k) << "): ";
+    for (core::SiteId site : gra.best.scheme.replicas(k))
+      std::cout << site << ' ';
+    std::cout << '\n';
+  }
+  std::cout << "\nThe read-hot object should be replicated widely; the "
+               "write-heavy log should stay at (or near) its primary.\n";
+  return 0;
+}

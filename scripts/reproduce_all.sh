@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every table quoted in EXPERIMENTS.md into bench_results/.
+# Takes ~15-20 minutes on one modern core; scale --networks up toward the
+# paper's 15 if you have the cores/time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BENCH=build/bench
+OUT=bench_results
+mkdir -p "$OUT"
+
+run() { name=$1; shift; echo ">> $name $*"; "$BENCH/$name" "$@" > "$OUT/$name.txt"; }
+
+run fig1a_savings_vs_sites --paper --networks=5
+run fig1b_replicas_vs_sites --paper --networks=5
+run fig2a_sra_time --paper
+run fig2b_gra_time --paper --networks=3
+run fig3a_savings_vs_update_ratio --paper --networks=5
+run fig3b_savings_vs_capacity --paper --networks=5
+run fig1c_savings_vs_objects --networks=2
+run fig1d_replicas_vs_objects --networks=2
+run fig4a_adaptive_reads --paper --networks=3
+run fig4b_adaptive_updates --paper --networks=3
+run fig4c_adaptive_mix --paper --networks=3
+run fig4d_adaptive_time --paper --networks=3
+run abl_gra_init --paper --networks=3
+run abl_gra_selection --paper --networks=3
+run abl_gra_crossover --paper --networks=3
+run abl_gra_elitism --paper --networks=3
+run abl_gra_params --paper --networks=3
+run abl_agra_repair --paper --networks=3
+run abl_write_model --paper --networks=3
+run cmp_caching_vs_replication --paper --networks=3
+run cmp_adr --paper --networks=3
+run abl_fault_tolerance --paper --networks=3
+run abl_adaptation_cadence --paper --networks=2
+echo "done: $(ls "$OUT" | wc -l) result files in $OUT/"

@@ -1,0 +1,53 @@
+#pragma once
+// ADR — the tree-network adaptive replication baseline of Wolfson, Jajodia
+// and Huang (TODS 1997), discussed in the paper's related-work section:
+// optimal for a single object on a *tree* network, with unclear behaviour
+// elsewhere. Implemented here so the benches can quantify that remark
+// against SRA/GRA on general graphs.
+//
+// Per object, the replication scheme is kept a connected subtree containing
+// the primary. Border edges are repeatedly tested:
+//   * expansion  — a replicator u adds its tree-neighbour j when the reads
+//     arriving from j's side outnumber the writes originating everywhere
+//     else (each such read stops crossing the edge; each such write starts);
+//   * contraction — a fringe replicator u (one replicated neighbour, never
+//     the primary) is dropped when the writes from elsewhere outnumber the
+//     reads on u's side.
+// Tests repeat until a fixpoint (or max_rounds). The returned scheme is
+// evaluated under THIS paper's cost model (Eq. 4), which unicasts updates —
+// so ADR optimizes a neighbouring objective, exactly the mismatch the
+// related-work discussion points at.
+
+#include "algo/result.hpp"
+#include "net/topology.hpp"
+
+namespace drep::algo {
+
+struct AdrConfig {
+  std::size_t max_rounds = 64;
+  /// Skip expansions that would overflow a site (Wolfson's model has no
+  /// capacities; ours does).
+  bool respect_capacity = true;
+};
+
+struct AdrStats {
+  std::size_t expansions = 0;
+  std::size_t contractions = 0;
+  std::size_t rounds = 0;
+};
+
+/// Runs ADR over `tree`, which must span exactly the problem's sites and be
+/// connected with M-1 edges (throws std::invalid_argument otherwise). Edge
+/// weights are ignored — costs come from the problem's matrix.
+[[nodiscard]] AlgorithmResult solve_adr(const core::Problem& problem,
+                                        const net::Graph& tree,
+                                        const AdrConfig& config = {},
+                                        AdrStats* stats = nullptr);
+
+/// Lifts ADR onto a general network by running it over the minimum spanning
+/// tree of the problem's cost matrix.
+[[nodiscard]] AlgorithmResult solve_adr_mst(const core::Problem& problem,
+                                            const AdrConfig& config = {},
+                                            AdrStats* stats = nullptr);
+
+}  // namespace drep::algo

@@ -1,0 +1,85 @@
+#include "algo/baselines.hpp"
+
+#include <numeric>
+
+#include "core/benefit.hpp"
+#include "util/timer.hpp"
+
+namespace drep::algo {
+
+AlgorithmResult primary_only(const core::Problem& problem) {
+  util::Stopwatch watch;
+  return make_result(core::ReplicationScheme(problem), watch.seconds());
+}
+
+AlgorithmResult random_valid(const core::Problem& problem, util::Rng& rng,
+                             double fill_probability) {
+  util::Stopwatch watch;
+  core::ReplicationScheme scheme(problem);
+  std::vector<std::size_t> cells(problem.sites() * problem.objects());
+  std::iota(cells.begin(), cells.end(), 0);
+  rng.shuffle(cells);
+  for (const std::size_t cell : cells) {
+    const auto site = static_cast<core::SiteId>(cell / problem.objects());
+    const auto object = static_cast<core::ObjectId>(cell % problem.objects());
+    if (scheme.has_replica(site, object)) continue;
+    if (!scheme.fits(site, object)) continue;
+    if (rng.bernoulli(fill_probability)) scheme.add(site, object);
+  }
+  return make_result(std::move(scheme), watch.seconds());
+}
+
+AlgorithmResult hill_climb(const core::Problem& problem,
+                           const core::ReplicationScheme* start,
+                           std::size_t max_moves, HillClimbStats* stats) {
+  util::Stopwatch watch;
+  core::ReplicationScheme scheme =
+      start != nullptr ? *start : core::ReplicationScheme(problem);
+  HillClimbStats local;
+
+  for (std::size_t move = 0; move < max_moves; ++move) {
+    double best_delta = -1e-9;  // strict improvement, with float slack
+    core::SiteId best_site = 0;
+    core::ObjectId best_object = 0;
+    bool best_is_insert = true;
+    bool found = false;
+    for (core::SiteId i = 0; i < problem.sites(); ++i) {
+      for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+        if (!scheme.has_replica(i, k)) {
+          if (!scheme.fits(i, k)) continue;
+          ++local.delta_evaluations;
+          const double delta = core::insertion_delta(scheme, i, k);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_site = i;
+            best_object = k;
+            best_is_insert = true;
+            found = true;
+          }
+        } else if (problem.primary(k) != i) {
+          ++local.delta_evaluations;
+          const double delta = core::removal_delta(scheme, i, k);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_site = i;
+            best_object = k;
+            best_is_insert = false;
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;
+    if (best_is_insert) {
+      scheme.add(best_site, best_object);
+      ++local.insertions;
+    } else {
+      scheme.remove(best_site, best_object);
+      ++local.removals;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return make_result(std::move(scheme), watch.seconds());
+}
+
+}  // namespace drep::algo

@@ -1,0 +1,100 @@
+#include "algo/exhaustive.hpp"
+
+#include <limits>
+
+#include "util/timer.hpp"
+
+namespace drep::algo {
+
+namespace {
+
+struct FreeCell {
+  core::SiteId site;
+  core::ObjectId object;
+};
+
+class Search {
+ public:
+  Search(const core::Problem& problem, std::vector<FreeCell> cells)
+      : problem_(problem),
+        cells_(std::move(cells)),
+        evaluator_(problem),
+        matrix_(problem.sites() * problem.objects(), 0),
+        loads_(problem.sites(), 0.0) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      matrix_[static_cast<std::size_t>(problem.primary(k)) *
+                  problem.objects() + k] = 1;
+      loads_[problem.primary(k)] += problem.object_size(k);
+    }
+  }
+
+  void run() {
+    descend(0);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& best_matrix() const {
+    return best_matrix_;
+  }
+  [[nodiscard]] ExhaustiveStats stats() const { return stats_; }
+
+ private:
+  void descend(std::size_t depth) {
+    ++stats_.nodes_visited;
+    if (depth == cells_.size()) {
+      const double cost = evaluator_.total_cost(matrix_);
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_matrix_ = matrix_;
+      }
+      return;
+    }
+    const FreeCell cell = cells_[depth];
+    // Branch 0: leave the cell empty.
+    descend(depth + 1);
+    // Branch 1: place a replica, if capacity allows.
+    const double size = problem_.object_size(cell.object);
+    if (loads_[cell.site] + size <= problem_.capacity(cell.site)) {
+      matrix_[static_cast<std::size_t>(cell.site) * problem_.objects() +
+              cell.object] = 1;
+      loads_[cell.site] += size;
+      descend(depth + 1);
+      matrix_[static_cast<std::size_t>(cell.site) * problem_.objects() +
+              cell.object] = 0;
+      loads_[cell.site] -= size;
+    } else {
+      ++stats_.pruned;
+    }
+  }
+
+  const core::Problem& problem_;
+  std::vector<FreeCell> cells_;
+  core::CostEvaluator evaluator_;
+  std::vector<std::uint8_t> matrix_;
+  std::vector<double> loads_;
+  std::vector<std::uint8_t> best_matrix_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  ExhaustiveStats stats_;
+};
+
+}  // namespace
+
+std::optional<AlgorithmResult> solve_exhaustive(const core::Problem& problem,
+                                                std::size_t max_free_cells,
+                                                ExhaustiveStats* stats) {
+  util::Stopwatch watch;
+  std::vector<FreeCell> cells;
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      if (problem.primary(k) != i) cells.push_back({i, k});
+    }
+  }
+  if (cells.size() > max_free_cells) return std::nullopt;
+
+  Search search(problem, std::move(cells));
+  search.run();
+  if (stats != nullptr) *stats = search.stats();
+  core::ReplicationScheme scheme(problem, search.best_matrix());
+  return make_result(std::move(scheme), watch.seconds());
+}
+
+}  // namespace drep::algo

@@ -1,0 +1,28 @@
+#pragma once
+// Exhaustive (provably optimal) DRP solver for tiny instances.
+//
+// DRP is NP-complete, so this only exists to measure the optimality gap of
+// the heuristics in tests and in the abl_* benches: it enumerates every
+// assignment of the free (non-primary) cells of X with capacity-based
+// pruning. The number of free cells is capped; beyond the cap the solver
+// refuses rather than silently burning CPU.
+
+#include <optional>
+
+#include "algo/result.hpp"
+
+namespace drep::algo {
+
+struct ExhaustiveStats {
+  std::size_t nodes_visited = 0;
+  std::size_t pruned = 0;
+};
+
+/// Returns the optimal scheme, or std::nullopt when the instance has more
+/// than `max_free_cells` free cells (default 24 → at most 2^24 leaves before
+/// pruning).
+[[nodiscard]] std::optional<AlgorithmResult> solve_exhaustive(
+    const core::Problem& problem, std::size_t max_free_cells = 24,
+    ExhaustiveStats* stats = nullptr);
+
+}  // namespace drep::algo

@@ -1,0 +1,440 @@
+#include "algo/gra.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/sra.hpp"
+#include "ga/crossover.hpp"
+#include "ga/mutation.hpp"
+#include "ga/selection.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace drep::algo {
+
+void GraConfig::validate() const {
+  if (population < 2)
+    throw std::invalid_argument("GraConfig: population must be >= 2");
+  if (crossover_rate < 0.0 || crossover_rate > 1.0)
+    throw std::invalid_argument("GraConfig: crossover_rate outside [0,1]");
+  if (mutation_rate < 0.0 || mutation_rate > 1.0)
+    throw std::invalid_argument("GraConfig: mutation_rate outside [0,1]");
+  if (elite_interval == 0)
+    throw std::invalid_argument("GraConfig: elite_interval must be >= 1");
+  if (perturb_fraction < 0.0 || perturb_fraction > 1.0)
+    throw std::invalid_argument("GraConfig: perturb_fraction outside [0,1]");
+  if (tournament_arity == 0)
+    throw std::invalid_argument("GraConfig: tournament_arity must be >= 1");
+}
+
+ga::Chromosome primary_chromosome(const core::Problem& problem) {
+  ga::Chromosome genes(problem.sites() * problem.objects(), 0);
+  for (core::ObjectId k = 0; k < problem.objects(); ++k)
+    genes[static_cast<std::size_t>(problem.primary(k)) * problem.objects() + k] = 1;
+  return genes;
+}
+
+std::vector<double> chromosome_loads(const core::Problem& problem,
+                                     std::span<const std::uint8_t> genes) {
+  const std::size_t n = problem.objects();
+  if (genes.size() != problem.sites() * n)
+    throw std::invalid_argument("chromosome_loads: length mismatch");
+  std::vector<double> loads(problem.sites(), 0.0);
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    double load = 0.0;
+    const std::uint8_t* gene = genes.data() + static_cast<std::size_t>(i) * n;
+    for (core::ObjectId k = 0; k < n; ++k) {
+      if (gene[k] != 0) load += problem.object_size(k);
+    }
+    loads[i] = load;
+  }
+  return loads;
+}
+
+bool chromosome_valid(const core::Problem& problem,
+                      std::span<const std::uint8_t> genes) {
+  const auto loads = chromosome_loads(problem, genes);
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    if (loads[i] > problem.capacity(i)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Perturbs `fraction` of the positions, keeping validity: an on-flip must
+/// fit the site's remaining capacity, an off-flip must not hit a primary.
+void perturb_chromosome(const core::Problem& problem, ga::Chromosome& genes,
+                        double fraction, util::Rng& rng) {
+  const std::size_t n = problem.objects();
+  auto loads = chromosome_loads(problem, genes);
+  const auto flips =
+      static_cast<std::size_t>(fraction * static_cast<double>(genes.size()));
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t position = rng.index(genes.size());
+    const auto site = static_cast<core::SiteId>(position / n);
+    const auto object = static_cast<core::ObjectId>(position % n);
+    if (genes[position] == 0) {
+      const double size = problem.object_size(object);
+      if (loads[site] + size <= problem.capacity(site)) {
+        genes[position] = 1;
+        loads[site] += size;
+      }
+    } else if (problem.primary(object) != site) {
+      genes[position] = 0;
+      loads[site] -= problem.object_size(object);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ga::Chromosome> sra_seeded_population(const core::Problem& problem,
+                                                  std::size_t count,
+                                                  double perturb_fraction,
+                                                  util::Rng& rng) {
+  std::vector<ga::Chromosome> population;
+  population.reserve(count);
+  SraConfig seed_config;
+  seed_config.site_order = SraConfig::SiteOrder::kRandom;
+  for (std::size_t p = 0; p < count; ++p) {
+    AlgorithmResult seeded = solve_sra(problem, seed_config, rng);
+    population.push_back(seeded.scheme.matrix());
+  }
+  // Half of the population is randomly perturbed to diversify the building
+  // blocks (paper Section 4, "Generation of the initial Population").
+  for (std::size_t p = count / 2; p < count; ++p)
+    perturb_chromosome(problem, population[p], perturb_fraction, rng);
+  return population;
+}
+
+std::vector<ga::Chromosome> random_population(const core::Problem& problem,
+                                              std::size_t count,
+                                              util::Rng& rng) {
+  const std::size_t n = problem.objects();
+  std::vector<std::size_t> order(problem.sites() * n);
+  std::vector<ga::Chromosome> population;
+  population.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    ga::Chromosome genes = primary_chromosome(problem);
+    auto loads = chromosome_loads(problem, genes);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) order[pos] = pos;
+    rng.shuffle(order);
+    for (const std::size_t position : order) {
+      if (genes[position] != 0 || !rng.bernoulli(0.5)) continue;
+      const auto site = static_cast<core::SiteId>(position / n);
+      const auto object = static_cast<core::ObjectId>(position % n);
+      const double size = problem.object_size(object);
+      if (loads[site] + size <= problem.capacity(site)) {
+        genes[position] = 1;
+        loads[site] += size;
+      }
+    }
+    population.push_back(std::move(genes));
+  }
+  return population;
+}
+
+namespace {
+
+/// Shared machinery for one GRA evolution run.
+class GraEngine {
+ public:
+  GraEngine(const core::Problem& problem, const GraConfig& config,
+            util::Rng& rng)
+      : problem_(problem),
+        config_(config),
+        rng_(rng),
+        primary_(primary_chromosome(problem)) {
+    const std::size_t workers =
+        config.parallel_evaluation ? util::ThreadPool::shared().size() : 1;
+    evaluators_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      evaluators_.emplace_back(problem);
+  }
+
+  GraResult run(std::vector<ga::Chromosome> initial) {
+    util::Stopwatch watch;
+    std::vector<Individual> population = adopt(std::move(initial));
+    evaluate(population);
+
+    Individual best_ever = population[ga::best_index(fitness_of(population))];
+    std::vector<double> history;
+    history.reserve(config_.generations + 1);
+    history.push_back(best_ever.fitness);
+
+    for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
+      if (config_.selection == GraConfig::SelectionScheme::kSgaRoulette) {
+        population = sga_generation(population);
+      } else {
+        population = mu_plus_lambda_generation(population);
+      }
+      const auto fit = fitness_of(population);
+      const std::size_t best_now = ga::best_index(fit);
+      if (population[best_now].fitness > best_ever.fitness)
+        best_ever = population[best_now];
+      // Elitism: the best-found-so-far chromosome replaces the current
+      // worst, once every elite_interval generations (paper: 5, to avoid
+      // premature convergence).
+      if (gen % config_.elite_interval == 0)
+        population[ga::worst_index(fit)] = best_ever;
+      history.push_back(best_ever.fitness);
+    }
+
+    core::ReplicationScheme scheme(problem_, best_ever.genes);
+    return GraResult{make_result(std::move(scheme), watch.seconds()),
+                     std::move(population), std::move(history), evaluations_};
+  }
+
+ private:
+  std::vector<Individual> adopt(std::vector<ga::Chromosome> initial) {
+    const std::size_t length = problem_.sites() * problem_.objects();
+    std::vector<Individual> population;
+    population.reserve(initial.size());
+    for (auto& genes : initial) {
+      if (genes.size() != length)
+        throw std::invalid_argument("GRA: chromosome length mismatch");
+      // Force the immovable primary copies.
+      for (core::ObjectId k = 0; k < problem_.objects(); ++k) {
+        genes[static_cast<std::size_t>(problem_.primary(k)) *
+                  problem_.objects() + k] = 1;
+      }
+      if (!chromosome_valid(problem_, genes))
+        throw std::invalid_argument("GRA: initial chromosome violates capacity");
+      population.push_back({std::move(genes), 0.0});
+    }
+    return population;
+  }
+
+  static std::vector<double> fitness_of(const std::vector<Individual>& pop) {
+    std::vector<double> fit(pop.size());
+    for (std::size_t p = 0; p < pop.size(); ++p) fit[p] = pop[p].fitness;
+    return fit;
+  }
+
+  /// Computes fitness for every individual; f < 0 resets the chromosome to
+  /// the primary-only allocation with f = 0 (paper Section 4).
+  void evaluate(std::vector<Individual>& population) {
+    evaluations_ += population.size();
+    const auto body = [this, &population](std::size_t block, std::size_t p) {
+      Individual& ind = population[p];
+      ind.fitness = evaluators_[block].fitness(ind.genes);
+      if (ind.fitness < 0.0) {
+        ind.genes = primary_;
+        ind.fitness = 0.0;
+      }
+    };
+    if (config_.parallel_evaluation && population.size() > 1) {
+      util::ThreadPool::shared().parallel_for_blocked(0, population.size(),
+                                                      body);
+    } else {
+      for (std::size_t p = 0; p < population.size(); ++p) body(0, p);
+    }
+  }
+
+  /// Exchanges, within gene [gene_begin, gene_end), the portion that the
+  /// crossover did NOT already exchange — after which the gene in each child
+  /// comes wholly from one (valid) parent.
+  void exchange_uncrossed_portion(ga::Chromosome& a, ga::Chromosome& b,
+                                  std::size_t gene_begin, std::size_t gene_end,
+                                  const ga::CrossoverCut& cut) const {
+    const std::size_t lo = std::clamp(cut.lo, gene_begin, gene_end);
+    const std::size_t hi = std::clamp(cut.hi, gene_begin, gene_end);
+    if (cut.middle) {
+      ga::swap_range(a, b, gene_begin, lo);
+      ga::swap_range(a, b, hi, gene_end);
+    } else {
+      ga::swap_range(a, b, lo, hi);
+    }
+  }
+
+  void repair_gene(ga::Chromosome& a, ga::Chromosome& b,
+                   const Individual& parent_a, const Individual& parent_b,
+                   std::size_t gene, const ga::CrossoverCut& cut) const {
+    const std::size_t n = problem_.objects();
+    const std::size_t gene_begin = gene * n;
+    const std::size_t gene_end = gene_begin + n;
+    const auto site = static_cast<core::SiteId>(gene);
+    const auto gene_load = [&](const ga::Chromosome& genes) {
+      double load = 0.0;
+      for (std::size_t pos = gene_begin; pos < gene_end; ++pos) {
+        if (genes[pos] != 0)
+          load += problem_.object_size(
+              static_cast<core::ObjectId>(pos - gene_begin));
+      }
+      return load;
+    };
+    const double capacity = problem_.capacity(site);
+    const bool invalid =
+        gene_load(a) > capacity || gene_load(b) > capacity;
+    if (!invalid) return;
+    if (config_.crossover == GraConfig::CrossoverKind::kUniform) {
+      // Scattered exchange: restore the gene from the parents.
+      std::copy(parent_a.genes.begin() + static_cast<std::ptrdiff_t>(gene_begin),
+                parent_a.genes.begin() + static_cast<std::ptrdiff_t>(gene_end),
+                a.begin() + static_cast<std::ptrdiff_t>(gene_begin));
+      std::copy(parent_b.genes.begin() + static_cast<std::ptrdiff_t>(gene_begin),
+                parent_b.genes.begin() + static_cast<std::ptrdiff_t>(gene_end),
+                b.begin() + static_cast<std::ptrdiff_t>(gene_begin));
+      return;
+    }
+    exchange_uncrossed_portion(a, b, gene_begin, gene_end, cut);
+  }
+
+  /// Applies the configured crossover to copies of the two parents and
+  /// repairs the boundary genes; appends both children.
+  void crossed_children(const Individual& parent_a, const Individual& parent_b,
+                        std::vector<Individual>& out) {
+    ga::Chromosome a = parent_a.genes;
+    ga::Chromosome b = parent_b.genes;
+    ga::CrossoverCut cut;
+    switch (config_.crossover) {
+      case GraConfig::CrossoverKind::kTwoPointRepair:
+        cut = ga::two_point_crossover(a, b, rng_);
+        break;
+      case GraConfig::CrossoverKind::kOnePoint:
+        cut = ga::one_point_crossover(a, b, rng_);
+        break;
+      case GraConfig::CrossoverKind::kUniform:
+        cut = ga::uniform_crossover(a, b, rng_);
+        break;
+    }
+    const std::size_t n = problem_.objects();
+    const std::size_t genes_total = problem_.sites();
+    if (config_.crossover == GraConfig::CrossoverKind::kUniform) {
+      for (std::size_t gene = 0; gene < genes_total; ++gene)
+        repair_gene(a, b, parent_a, parent_b, gene, cut);
+    } else {
+      // Only the (at most two) genes containing the cut points can break.
+      const std::size_t first = std::min(cut.lo / n, genes_total - 1);
+      const std::size_t second =
+          std::min(cut.hi == 0 ? 0 : (cut.hi - 1) / n, genes_total - 1);
+      repair_gene(a, b, parent_a, parent_b, first, cut);
+      if (second != first) repair_gene(a, b, parent_a, parent_b, second, cut);
+    }
+    out.push_back({std::move(a), 0.0});
+    out.push_back({std::move(b), 0.0});
+  }
+
+  /// Mutated copy of a parent, with the storage / primary-copy veto.
+  Individual mutated(const Individual& parent) {
+    Individual child{parent.genes, 0.0};
+    const std::size_t n = problem_.objects();
+    auto loads = chromosome_loads(problem_, child.genes);
+    ga::mutate_bits(child.genes, config_.mutation_rate, rng_,
+                    [&](std::size_t position, bool now_set) {
+                      const auto site = static_cast<core::SiteId>(position / n);
+                      const auto object =
+                          static_cast<core::ObjectId>(position % n);
+                      const double size = problem_.object_size(object);
+                      if (now_set) {
+                        if (loads[site] + size > problem_.capacity(site))
+                          return false;
+                        loads[site] += size;
+                        return true;
+                      }
+                      if (problem_.primary(object) == site) return false;
+                      loads[site] -= size;
+                      return true;
+                    });
+    return child;
+  }
+
+  /// The paper's (µ+λ) generation: parents plus crossover and mutation
+  /// subpopulations compete for the Np slots via stochastic remainder.
+  std::vector<Individual> mu_plus_lambda_generation(
+      std::vector<Individual>& parents) {
+    std::vector<Individual> pool = std::move(parents);
+    const std::size_t mu = pool.size();
+
+    std::vector<Individual> offspring;
+    offspring.reserve(2 * mu);
+    const auto pairing = ga::crossover_pairing(mu, rng_);
+    for (std::size_t t = 0; t + 1 < pairing.size(); t += 2) {
+      if (rng_.bernoulli(config_.crossover_rate))
+        crossed_children(pool[pairing[t]], pool[pairing[t + 1]], offspring);
+    }
+    for (std::size_t p = 0; p < mu; ++p) offspring.push_back(mutated(pool[p]));
+    evaluate(offspring);
+
+    pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
+                std::make_move_iterator(offspring.end()));
+    const auto pool_fitness = fitness_of(pool);
+    std::vector<std::size_t> picks;
+    switch (config_.selection) {
+      case GraConfig::SelectionScheme::kMuPlusLambdaTournament:
+        picks = ga::tournament_selection(pool_fitness, config_.population,
+                                         config_.tournament_arity, rng_);
+        break;
+      case GraConfig::SelectionScheme::kMuPlusLambdaRank:
+        picks = ga::rank_selection(pool_fitness, config_.population, rng_);
+        break;
+      default:
+        picks = ga::stochastic_remainder_selection(pool_fitness,
+                                                   config_.population, rng_);
+        break;
+    }
+    std::vector<Individual> next;
+    next.reserve(picks.size());
+    for (const std::size_t pick : picks) next.push_back(pool[pick]);
+    return next;
+  }
+
+  /// Holland's SGA generation (ablation): roulette-select Np parents, pair,
+  /// crossover with µc, mutate everything, and that IS the next generation.
+  std::vector<Individual> sga_generation(std::vector<Individual>& parents) {
+    const auto picks = ga::roulette_selection(fitness_of(parents),
+                                              config_.population, rng_);
+    std::vector<Individual> mating;
+    mating.reserve(picks.size());
+    for (const std::size_t pick : picks) mating.push_back(parents[pick]);
+
+    std::vector<Individual> next;
+    next.reserve(mating.size() + 1);
+    for (std::size_t t = 0; t + 1 < mating.size(); t += 2) {
+      if (rng_.bernoulli(config_.crossover_rate)) {
+        crossed_children(mating[t], mating[t + 1], next);
+      } else {
+        next.push_back(mating[t]);
+        next.push_back(mating[t + 1]);
+      }
+    }
+    if (mating.size() % 2 != 0) next.push_back(mating.back());
+    for (auto& ind : next) ind = mutated(ind);
+    evaluate(next);
+    return next;
+  }
+
+  const core::Problem& problem_;
+  const GraConfig& config_;
+  util::Rng& rng_;
+  ga::Chromosome primary_;
+  std::vector<core::CostEvaluator> evaluators_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace
+
+GraResult solve_gra(const core::Problem& problem, const GraConfig& config,
+                    util::Rng& rng) {
+  config.validate();
+  std::vector<ga::Chromosome> initial =
+      config.init == GraConfig::Init::kSraSeeded
+          ? sra_seeded_population(problem, config.population,
+                                  config.perturb_fraction, rng)
+          : random_population(problem, config.population, rng);
+  GraEngine engine(problem, config, rng);
+  return engine.run(std::move(initial));
+}
+
+GraResult evolve_population(const core::Problem& problem,
+                            std::vector<ga::Chromosome> initial,
+                            const GraConfig& config, util::Rng& rng) {
+  config.validate();
+  if (initial.size() < 2)
+    throw std::invalid_argument("evolve_population: need at least 2 chromosomes");
+  GraEngine engine(problem, config, rng);
+  return engine.run(std::move(initial));
+}
+
+}  // namespace drep::algo

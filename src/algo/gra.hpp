@@ -1,0 +1,114 @@
+#pragma once
+// GRA — the Genetic Replication Algorithm (paper Section 4).
+//
+// Chromosomes are site-major M·N bit strings (gene i = the N object bits of
+// site i, exactly the paper's encoding; the layout coincides with
+// ReplicationScheme::matrix()). The paper's design, all reproduced here:
+//
+//  * initialization: Np runs of SRA with randomized start-up sites; half of
+//    the population is additionally perturbed in 1/4 of its values with
+//    validity preserved;
+//  * fitness: f = (D_prime - D)/D_prime, with f < 0 chromosomes reset to
+//    the primary-only allocation;
+//  * crossover: two-point with probability µc; an invalid boundary gene is
+//    repaired by also exchanging the non-crossed portion of that gene
+//    (making the whole gene come from one valid parent);
+//  * mutation: per-bit flips with rate µm, re-flipped when the storage or
+//    primary-copy constraint would break;
+//  * selection: (µ+λ) enlarged sampling space — parents plus the crossover
+//    and mutation subpopulations compete for the Np slots — sampled with
+//    the stochastic remainder technique; elitism copies the best-ever
+//    chromosome over the current worst once every `elite_interval`
+//    generations.
+//
+// Ablation knobs (init/selection/crossover kind) cover the design choices
+// benchmarked in bench/abl_gra_*.
+
+#include <optional>
+
+#include "algo/result.hpp"
+#include "util/rng.hpp"
+
+namespace drep::algo {
+
+struct GraConfig {
+  std::size_t population = 50;   // Np
+  std::size_t generations = 80;  // Ng
+  double crossover_rate = 0.9;   // µc
+  double mutation_rate = 0.01;   // µm
+  /// Elite copy-back cadence in generations (paper: 5).
+  std::size_t elite_interval = 5;
+  /// Fraction of gene positions perturbed in half of the seeded population.
+  double perturb_fraction = 0.25;
+
+  enum class Init { kSraSeeded, kRandom };
+  Init init = Init::kSraSeeded;
+
+  enum class SelectionScheme {
+    kMuPlusLambdaRemainder,   // the paper's GRA selection
+    kSgaRoulette,             // Holland's SGA (ablation)
+    kMuPlusLambdaTournament,  // scaling-invariant alternative (ablation)
+    kMuPlusLambdaRank,        // linear-rank alternative (ablation)
+  };
+  SelectionScheme selection = SelectionScheme::kMuPlusLambdaRemainder;
+  /// Tournament arity for kMuPlusLambdaTournament.
+  std::size_t tournament_arity = 3;
+
+  enum class CrossoverKind { kTwoPointRepair, kOnePoint, kUniform };
+  CrossoverKind crossover = CrossoverKind::kTwoPointRepair;
+
+  /// Evaluate populations on the shared thread pool.
+  bool parallel_evaluation = true;
+
+  void validate() const;
+};
+
+struct GraResult {
+  AlgorithmResult best;
+  /// Final population (schemes + fitness), retained because AGRA's
+  /// transcription and the Current+GRA adaptive policies evolve it further.
+  std::vector<Individual> population;
+  /// Best-ever fitness after initialization and after each generation
+  /// (length generations+1); non-decreasing.
+  std::vector<double> best_fitness_history;
+  /// Number of chromosome evaluations performed.
+  std::size_t evaluations = 0;
+};
+
+/// Full GRA run: build the initial population, evolve, return the best.
+[[nodiscard]] GraResult solve_gra(const core::Problem& problem,
+                                  const GraConfig& config, util::Rng& rng);
+
+/// Evolves a caller-supplied initial population (AGRA's transcription and
+/// the Current+N·GRA policies of Section 6.3). Primary bits are forced on;
+/// throws std::invalid_argument when a chromosome has the wrong length or
+/// violates a capacity constraint.
+[[nodiscard]] GraResult evolve_population(const core::Problem& problem,
+                                          std::vector<ga::Chromosome> initial,
+                                          const GraConfig& config,
+                                          util::Rng& rng);
+
+/// The paper's GRA seed: `count` SRA runs with random start-up sites, the
+/// second half perturbed in `perturb_fraction` of their positions (validity
+/// preserved).
+[[nodiscard]] std::vector<ga::Chromosome> sra_seeded_population(
+    const core::Problem& problem, std::size_t count, double perturb_fraction,
+    util::Rng& rng);
+
+/// Random valid population (each free position turned on with probability
+/// 1/2 where capacity allows, in shuffled order).
+[[nodiscard]] std::vector<ga::Chromosome> random_population(
+    const core::Problem& problem, std::size_t count, util::Rng& rng);
+
+/// The primary-copies-only chromosome.
+[[nodiscard]] ga::Chromosome primary_chromosome(const core::Problem& problem);
+
+/// Per-site storage loads of a chromosome (including primaries).
+[[nodiscard]] std::vector<double> chromosome_loads(
+    const core::Problem& problem, std::span<const std::uint8_t> genes);
+
+/// True when every gene (site) of the chromosome fits its capacity.
+[[nodiscard]] bool chromosome_valid(const core::Problem& problem,
+                                    std::span<const std::uint8_t> genes);
+
+}  // namespace drep::algo

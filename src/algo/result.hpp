@@ -1,0 +1,35 @@
+#pragma once
+// Result types shared by the replication algorithms.
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/replication.hpp"
+#include "ga/chromosome.hpp"
+
+namespace drep::algo {
+
+/// Outcome of a replication algorithm on one problem instance.
+struct AlgorithmResult {
+  core::ReplicationScheme scheme;
+  /// D of `scheme` under the problem it was solved for.
+  double cost = 0.0;
+  /// 100·(D_prime - D)/D_prime — the paper's quality metric.
+  double savings_percent = 0.0;
+  /// Replicas created beyond the N primaries (Fig. 1b/1d metric).
+  std::size_t extra_replicas = 0;
+  /// Wall-clock seconds spent inside the solver.
+  double elapsed_seconds = 0.0;
+};
+
+/// Builds the common result fields from a finished scheme.
+[[nodiscard]] AlgorithmResult make_result(core::ReplicationScheme scheme,
+                                          double elapsed_seconds);
+
+/// A chromosome with its cached fitness f = (D_prime - D)/D_prime.
+struct Individual {
+  ga::Chromosome genes;
+  double fitness = 0.0;
+};
+
+}  // namespace drep::algo

@@ -1,0 +1,104 @@
+#include "algo/sra.hpp"
+
+#include <algorithm>
+
+#include "core/benefit.hpp"
+#include "util/timer.hpp"
+
+namespace drep::algo {
+
+AlgorithmResult make_result(core::ReplicationScheme scheme,
+                            double elapsed_seconds) {
+  const core::Problem& problem = scheme.problem();
+  AlgorithmResult result{std::move(scheme), 0.0, 0.0, 0, elapsed_seconds};
+  result.cost = core::total_cost(result.scheme);
+  result.savings_percent =
+      100.0 * core::savings_fraction(problem, result.cost);
+  result.extra_replicas = result.scheme.extra_replicas();
+  return result;
+}
+
+AlgorithmResult solve_sra(const core::Problem& problem,
+                          const SraConfig& config, util::Rng& rng,
+                          SraStats* stats) {
+  util::Stopwatch watch;
+  core::ReplicationScheme scheme(problem);
+  const std::size_t m = problem.sites();
+  const std::size_t n = problem.objects();
+
+  // L(i): candidate objects per site. An object is a candidate while the
+  // site is not already a replicator, it fits, and its benefit is positive.
+  std::vector<std::vector<core::ObjectId>> candidates(m);
+  for (core::SiteId i = 0; i < m; ++i) {
+    candidates[i].reserve(n);
+    for (core::ObjectId k = 0; k < n; ++k) {
+      if (!scheme.has_replica(i, k) && scheme.fits(i, k))
+        candidates[i].push_back(k);
+    }
+  }
+  // LS: sites with a non-empty candidate list.
+  std::vector<core::SiteId> active;
+  active.reserve(m);
+  for (core::SiteId i = 0; i < m; ++i) {
+    if (!candidates[i].empty()) active.push_back(i);
+  }
+
+  SraStats local_stats;
+  std::size_t cursor = 0;  // round-robin position in `active`
+  while (!active.empty()) {
+    ++local_stats.site_visits;
+    std::size_t slot;
+    if (config.site_order == SraConfig::SiteOrder::kRandom) {
+      slot = rng.index(active.size());
+    } else {
+      slot = cursor % active.size();
+    }
+    const core::SiteId site = active[slot];
+
+    // One pass over L(site): find the best strictly-positive benefit and
+    // prune candidates that became unprofitable or no longer fit. Benefits
+    // are non-increasing over the run, so pruning is permanent.
+    double best_benefit = 0.0;
+    core::ObjectId best_object = 0;
+    bool found = false;
+    auto& list = candidates[site];
+    std::size_t write_pos = 0;
+    for (const core::ObjectId k : list) {
+      ++local_stats.benefit_evaluations;
+      if (!scheme.fits(site, k)) continue;  // prune: b(i) < o_k
+      const double benefit = core::local_benefit(scheme, site, k);
+      if (benefit <= 0.0) continue;         // prune: non-positive benefit
+      if (!found || benefit >= best_benefit) {
+        best_benefit = benefit;
+        best_object = k;
+        found = true;
+      }
+      list[write_pos++] = k;
+    }
+    list.resize(write_pos);
+
+    if (found) {
+      scheme.add(site, best_object);
+      ++local_stats.replicas_created;
+      list.erase(std::find(list.begin(), list.end(), best_object));
+    }
+    if (list.empty()) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(slot));
+      // Keep the round-robin cursor pointing at the element that shifted
+      // into the vacated slot.
+      cursor = slot;
+    } else {
+      cursor = slot + 1;
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return make_result(std::move(scheme), watch.seconds());
+}
+
+AlgorithmResult solve_sra(const core::Problem& problem) {
+  util::Rng rng(0);
+  return solve_sra(problem, SraConfig{}, rng);
+}
+
+}  // namespace drep::algo

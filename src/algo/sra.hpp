@@ -1,0 +1,45 @@
+#pragma once
+// SRA — the Simple (greedy) Replication Algorithm (paper Section 3).
+//
+// Starting from the primary-copies-only allocation, SRA repeatedly picks a
+// site from the active list LS (round-robin in the paper; randomly when
+// seeding GRA's initial population), computes the per-storage-unit benefit
+// B_k(i) (Eq. 5) of every candidate object in the site's list L(i),
+// replicates the best strictly-positive one, and prunes candidates that no
+// longer fit or whose benefit has gone non-positive. Benefits only decrease
+// as replicas appear (nearest-replica distances shrink; update costs are
+// constant), so pruning is safe and the loop terminates.
+
+#include "algo/result.hpp"
+#include "util/rng.hpp"
+
+namespace drep::algo {
+
+struct SraConfig {
+  enum class SiteOrder {
+    kRoundRobin,  // the paper's deterministic order (step 4)
+    kRandom,      // randomized start-up sites, used to diversify GRA seeds
+  };
+  SiteOrder site_order = SiteOrder::kRoundRobin;
+};
+
+struct SraStats {
+  /// Number of while-loop iterations (site visits).
+  std::size_t site_visits = 0;
+  /// Number of replicas created.
+  std::size_t replicas_created = 0;
+  /// Number of benefit evaluations performed.
+  std::size_t benefit_evaluations = 0;
+};
+
+/// Runs SRA on `problem`. `rng` is only consulted for kRandom site order.
+/// The returned scheme always satisfies the capacity and primary-copy
+/// constraints.
+[[nodiscard]] AlgorithmResult solve_sra(const core::Problem& problem,
+                                        const SraConfig& config, util::Rng& rng,
+                                        SraStats* stats = nullptr);
+
+/// Convenience overload with default (paper) configuration.
+[[nodiscard]] AlgorithmResult solve_sra(const core::Problem& problem);
+
+}  // namespace drep::algo

@@ -1,0 +1,225 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace drep::core {
+
+namespace {
+/// Write-side NTC of object k under receiver-pays bookkeeping, divided into
+/// the common Σ_i w_k(i)·C(i,SP_k) base plus the per-replica surcharge
+/// Σ_{j∈R_k} (TW_k - w_k(j))·C(j,SP_k). See cost_model.hpp.
+double write_cost_of_object(const Problem& p, ObjectId k,
+                            std::span<const SiteId> replicas) {
+  const SiteId sp = p.primary(k);
+  const double total_writes = p.total_writes(k);
+  double base = 0.0;
+  for (SiteId i = 0; i < p.sites(); ++i) base += p.writes(i, k) * p.cost(i, sp);
+  double surcharge = 0.0;
+  for (SiteId rep : replicas)
+    surcharge += (total_writes - p.writes(rep, k)) * p.cost(rep, sp);
+  return p.object_size(k) * (base + surcharge);
+}
+}  // namespace
+
+double total_cost(const ReplicationScheme& scheme) {
+  const CostBreakdown parts = cost_breakdown(scheme);
+  return parts.total();
+}
+
+CostBreakdown cost_breakdown(const ReplicationScheme& scheme) {
+  const Problem& p = scheme.problem();
+  CostBreakdown parts;
+  for (ObjectId k = 0; k < p.objects(); ++k) {
+    const double o = p.object_size(k);
+    double read = 0.0;
+    for (SiteId i = 0; i < p.sites(); ++i)
+      read += p.reads(i, k) * scheme.nearest_cost(i, k);
+    parts.read_cost += o * read;
+    parts.write_cost += write_cost_of_object(p, k, scheme.replicas(k));
+  }
+  return parts;
+}
+
+double object_cost(const ReplicationScheme& scheme, ObjectId k) {
+  const Problem& p = scheme.problem();
+  const double o = p.object_size(k);
+  double read = 0.0;
+  for (SiteId i = 0; i < p.sites(); ++i)
+    read += p.reads(i, k) * scheme.nearest_cost(i, k);
+  return o * read + write_cost_of_object(p, k, scheme.replicas(k));
+}
+
+double total_cost_writer_view(const ReplicationScheme& scheme) {
+  const Problem& p = scheme.problem();
+  double total = 0.0;
+  for (ObjectId k = 0; k < p.objects(); ++k) {
+    const double o = p.object_size(k);
+    const SiteId sp = p.primary(k);
+    for (SiteId i = 0; i < p.sites(); ++i) {
+      // Reads served by the nearest replica (Eq. 1).
+      total += p.reads(i, k) * o * scheme.nearest_cost(i, k);
+      // Writes: ship to the primary, which broadcasts to every replicator
+      // except the writer itself (Eq. 2).
+      const double w = p.writes(i, k);
+      if (w == 0.0) continue;
+      double per_write = p.cost(i, sp);
+      for (SiteId rep : scheme.replicas(k)) {
+        if (rep != i) per_write += p.cost(sp, rep);
+      }
+      total += w * o * per_write;
+    }
+  }
+  return total;
+}
+
+double primary_only_cost(const Problem& problem) {
+  double total = 0.0;
+  for (ObjectId k = 0; k < problem.objects(); ++k)
+    total += object_primary_only_cost(problem, k);
+  return total;
+}
+
+double object_primary_only_cost(const Problem& problem, ObjectId k) {
+  const SiteId sp = problem.primary(k);
+  double requests = 0.0;
+  for (SiteId i = 0; i < problem.sites(); ++i) {
+    requests += (problem.reads(i, k) + problem.writes(i, k)) * problem.cost(i, sp);
+  }
+  return problem.object_size(k) * requests;
+}
+
+double savings_fraction(const Problem& problem, double cost) {
+  const double d_prime = primary_only_cost(problem);
+  if (d_prime <= 0.0) return 0.0;
+  return (d_prime - cost) / d_prime;
+}
+
+double savings_percent(const Problem& problem, const ReplicationScheme& scheme) {
+  return 100.0 * savings_fraction(problem, total_cost(scheme));
+}
+
+double migration_cost(const ReplicationScheme& from,
+                      const ReplicationScheme& to) {
+  if (&from.problem() != &to.problem())
+    throw std::invalid_argument("migration_cost: schemes bound to different problems");
+  const Problem& p = from.problem();
+  double total = 0.0;
+  for (ObjectId k = 0; k < p.objects(); ++k) {
+    for (SiteId i = 0; i < p.sites(); ++i) {
+      if (!to.has_replica(i, k) || from.has_replica(i, k)) continue;
+      // New replica at i: fetched from the nearest previous holder.
+      total += p.object_size(k) * from.nearest_cost(i, k);
+    }
+  }
+  return total;
+}
+
+CostEvaluator::CostEvaluator(const Problem& problem) : problem_(&problem) {
+  refresh();
+}
+
+void CostEvaluator::refresh() {
+  const Problem& p = *problem_;
+  const std::size_t m = p.sites();
+  const std::size_t n = p.objects();
+  reads_t_.assign(n * m, 0.0);
+  writes_t_.assign(n * m, 0.0);
+  base_write_.assign(n, 0.0);
+  v_prime_.assign(n, 0.0);
+  d_prime_ = 0.0;
+  for (ObjectId k = 0; k < n; ++k) {
+    const auto sp_row = p.costs().row(p.primary(k));
+    double base = 0.0;
+    double prime_requests = 0.0;
+    for (SiteId i = 0; i < m; ++i) {
+      const double r = p.reads(i, k);
+      const double w = p.writes(i, k);
+      reads_t_[static_cast<std::size_t>(k) * m + i] = r;
+      writes_t_[static_cast<std::size_t>(k) * m + i] = w;
+      base += w * sp_row[i];
+      prime_requests += (r + w) * sp_row[i];
+    }
+    base_write_[k] = base;
+    v_prime_[k] = p.object_size(k) * prime_requests;
+    d_prime_ += v_prime_[k];
+  }
+  min_cost_.assign(m, 0.0);
+  replica_buf_.clear();
+  replica_buf_.reserve(m);
+}
+
+double CostEvaluator::total_cost(std::span<const std::uint8_t> matrix) {
+  const Problem& p = *problem_;
+  const std::size_t m = p.sites();
+  const std::size_t n = p.objects();
+  if (matrix.size() != m * n)
+    throw std::invalid_argument("CostEvaluator::total_cost: matrix size mismatch");
+  double total = 0.0;
+  for (ObjectId k = 0; k < n; ++k) {
+    replica_buf_.clear();
+    const SiteId sp = p.primary(k);
+    for (SiteId i = 0; i < m; ++i) {
+      if (i == sp || matrix[static_cast<std::size_t>(i) * n + k] != 0)
+        replica_buf_.push_back(i);
+    }
+    total += object_cost_with_replicas(k, replica_buf_);
+  }
+  return total;
+}
+
+double CostEvaluator::object_cost(ObjectId k,
+                                  std::span<const std::uint8_t> site_mask) {
+  const Problem& p = *problem_;
+  const std::size_t m = p.sites();
+  if (site_mask.size() != m)
+    throw std::invalid_argument("CostEvaluator::object_cost: mask size mismatch");
+  if (k >= p.objects())
+    throw std::out_of_range("CostEvaluator::object_cost: object out of range");
+  replica_buf_.clear();
+  const SiteId sp = p.primary(k);
+  for (SiteId i = 0; i < m; ++i) {
+    if (i == sp || site_mask[i] != 0) replica_buf_.push_back(i);
+  }
+  return object_cost_with_replicas(k, replica_buf_);
+}
+
+double CostEvaluator::object_cost_with_replicas(
+    ObjectId k, std::span<const SiteId> replicas) {
+  const Problem& p = *problem_;
+  const std::size_t m = p.sites();
+  const SiteId sp = p.primary(k);
+  const auto sp_row = p.costs().row(sp);
+  const double* reads = reads_t_.data() + static_cast<std::size_t>(k) * m;
+  const double* writes = writes_t_.data() + static_cast<std::size_t>(k) * m;
+  const double total_writes = p.total_writes(k);
+
+  double read_sum = 0.0;
+  if (replicas.size() == 1) {
+    // Primary only: the nearest replica of every site is SP_k.
+    for (std::size_t i = 0; i < m; ++i) read_sum += reads[i] * sp_row[i];
+  } else {
+    // Element-wise min over the replicas' cost rows, then dot with reads.
+    std::fill(min_cost_.begin(), min_cost_.end(),
+              std::numeric_limits<double>::infinity());
+    for (SiteId rep : replicas) {
+      const auto rep_row = p.costs().row(rep);
+      for (std::size_t i = 0; i < m; ++i)
+        min_cost_[i] = std::min(min_cost_[i], rep_row[i]);
+    }
+    for (std::size_t i = 0; i < m; ++i) read_sum += reads[i] * min_cost_[i];
+  }
+
+  double surcharge = 0.0;
+  for (SiteId rep : replicas)
+    surcharge += (total_writes - writes[rep]) * sp_row[rep];
+  return p.object_size(k) * (read_sum + base_write_[k] + surcharge);
+}
+
+double CostEvaluator::fitness(std::span<const std::uint8_t> matrix) {
+  if (d_prime_ <= 0.0) return 0.0;
+  return (d_prime_ - total_cost(matrix)) / d_prime_;
+}
+
+}  // namespace drep::core

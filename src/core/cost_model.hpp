@@ -1,0 +1,106 @@
+#pragma once
+// The object transfer cost model (paper Section 2.2).
+//
+// Total network transfer cost (NTC) of a replication matrix X:
+//
+//   D = Σ_i Σ_k (1-X_ik)·[ r_k(i)·o_k·C(i,SN_k(i)) + w_k(i)·o_k·C(i,SP_k) ]
+//              + X_ik·[ Σ_x w_k(x)·o_k·C(i,SP_k) ]                   (Eq. 4)
+//
+// Eq. 4 charges update traffic to the *receiving* replica; Eqs. 2+3 charge
+// the writer for the primary's broadcast. Both bookkeepings yield the same
+// total (the broadcast SP->j of one update costs C(SP,j) no matter whose
+// ledger it lands on); total_cost_writer_view exists so tests can assert the
+// equality. Every quantity is reported in (data units × cost units).
+
+#include <span>
+
+#include "core/replication.hpp"
+
+namespace drep::core {
+
+/// NTC split into its read and write components.
+struct CostBreakdown {
+  double read_cost = 0.0;
+  double write_cost = 0.0;
+  [[nodiscard]] double total() const noexcept { return read_cost + write_cost; }
+};
+
+/// D for a scheme, using its nearest-replica index; O(M·N + Σ_k |R_k|).
+[[nodiscard]] double total_cost(const ReplicationScheme& scheme);
+[[nodiscard]] CostBreakdown cost_breakdown(const ReplicationScheme& scheme);
+
+/// V_k — the NTC attributable to object k alone (paper Section 5).
+[[nodiscard]] double object_cost(const ReplicationScheme& scheme, ObjectId k);
+
+/// D computed with the writer-pays bookkeeping of Eqs. 2+3. Equals
+/// total_cost up to floating-point rounding; kept for model validation.
+[[nodiscard]] double total_cost_writer_view(const ReplicationScheme& scheme);
+
+/// D_prime — NTC of the primary-copies-only allocation.
+[[nodiscard]] double primary_only_cost(const Problem& problem);
+/// V_prime for object k — its NTC when only the primary copy exists.
+[[nodiscard]] double object_primary_only_cost(const Problem& problem, ObjectId k);
+
+/// (D_prime - D) / D_prime: the paper's solution-quality metric. Returns 0
+/// when D_prime is 0 (degenerate no-traffic instance).
+[[nodiscard]] double savings_fraction(const Problem& problem, double cost);
+[[nodiscard]] double savings_percent(const Problem& problem,
+                                     const ReplicationScheme& scheme);
+
+/// One-shot NTC of realizing scheme `to` starting from scheme `from`
+/// (Section 5's night-hour "object migration and deallocation"): every
+/// newly added replica fetches the object from the nearest site that held
+/// it under `from`; deallocations are free. Throws std::invalid_argument
+/// when the schemes belong to different Problem instances.
+[[nodiscard]] double migration_cost(const ReplicationScheme& from,
+                                    const ReplicationScheme& to);
+
+/// Allocation-free NTC evaluation of raw replication matrices — the genetic
+/// algorithms evaluate thousands of chromosomes per run and cannot afford to
+/// build a ReplicationScheme (nearest-index and all) for each.
+///
+/// The evaluator snapshots transposed request tables and per-object
+/// invariants at construction; call refresh() after mutating the problem's
+/// read/write patterns. Methods reuse internal scratch, so an instance is
+/// NOT thread-safe: create one evaluator per thread.
+class CostEvaluator {
+ public:
+  explicit CostEvaluator(const Problem& problem);
+
+  [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+
+  /// Re-snapshots request patterns after the problem changed.
+  void refresh();
+
+  /// D of a row-major M×N boolean matrix (primary bits are assumed set; a
+  /// zero primary bit is treated as set, matching ReplicationScheme).
+  [[nodiscard]] double total_cost(std::span<const std::uint8_t> matrix);
+
+  /// V_k given the replica *site mask* (length M) for object k alone.
+  [[nodiscard]] double object_cost(ObjectId k,
+                                   std::span<const std::uint8_t> site_mask);
+
+  /// D_prime / V_prime from the snapshot (O(1)).
+  [[nodiscard]] double primary_only_cost() const noexcept { return d_prime_; }
+  [[nodiscard]] double object_primary_only_cost(ObjectId k) const {
+    return v_prime_.at(k);
+  }
+
+  /// Fitness f = (D_prime - D)/D_prime of a matrix, not clamped.
+  [[nodiscard]] double fitness(std::span<const std::uint8_t> matrix);
+
+ private:
+  [[nodiscard]] double object_cost_with_replicas(
+      ObjectId k, std::span<const SiteId> replicas);
+
+  const Problem* problem_;
+  std::vector<double> reads_t_;   // [object][site]
+  std::vector<double> writes_t_;  // [object][site]
+  std::vector<double> base_write_;  // Σ_i w_k(i)·C(i,SP_k), per object
+  std::vector<double> v_prime_;
+  double d_prime_ = 0.0;
+  std::vector<double> min_cost_;    // scratch, size M
+  std::vector<SiteId> replica_buf_; // scratch
+};
+
+}  // namespace drep::core

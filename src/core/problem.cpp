@@ -1,0 +1,96 @@
+#include "core/problem.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drep::core {
+
+Problem::Problem(net::CostMatrix costs, std::vector<double> object_sizes,
+                 std::vector<SiteId> primaries,
+                 std::vector<double> capacities)
+    : costs_(std::move(costs)),
+      sizes_(std::move(object_sizes)),
+      primaries_(std::move(primaries)),
+      capacities_(std::move(capacities)) {
+  if (costs_.sites() != capacities_.size())
+    throw std::invalid_argument("Problem: cost matrix / capacity size mismatch");
+  if (sizes_.size() != primaries_.size())
+    throw std::invalid_argument("Problem: sizes / primaries size mismatch");
+  for (double size : sizes_) {
+    if (!(size > 0.0) || !std::isfinite(size))
+      throw std::invalid_argument("Problem: object sizes must be positive");
+  }
+  for (SiteId site : primaries_) {
+    if (site >= sites())
+      throw std::invalid_argument("Problem: primary site out of range");
+  }
+  for (double cap : capacities_) {
+    if (cap < 0.0 || !std::isfinite(cap))
+      throw std::invalid_argument("Problem: capacities must be non-negative");
+  }
+  reads_.assign(sites() * objects(), 0.0);
+  writes_.assign(sites() * objects(), 0.0);
+  total_reads_.assign(objects(), 0.0);
+  total_writes_.assign(objects(), 0.0);
+  total_size_ = std::accumulate(sizes_.begin(), sizes_.end(), 0.0);
+}
+
+std::size_t Problem::cell(SiteId i, ObjectId k) const {
+  if (i >= sites() || k >= objects())
+    throw std::out_of_range("Problem: site/object index out of range");
+  return static_cast<std::size_t>(i) * objects() + k;
+}
+
+namespace {
+void require_count(double count, const char* what) {
+  if (count < 0.0 || !std::isfinite(count))
+    throw std::invalid_argument(std::string("Problem::") + what +
+                                ": counts must be finite and non-negative");
+}
+}  // namespace
+
+void Problem::set_reads(SiteId i, ObjectId k, double count) {
+  require_count(count, "set_reads");
+  const std::size_t c = cell(i, k);
+  total_reads_[k] += count - reads_[c];
+  reads_[c] = count;
+}
+
+void Problem::set_writes(SiteId i, ObjectId k, double count) {
+  require_count(count, "set_writes");
+  const std::size_t c = cell(i, k);
+  total_writes_[k] += count - writes_[c];
+  writes_[c] = count;
+}
+
+void Problem::add_reads(SiteId i, ObjectId k, double delta) {
+  set_reads(i, k, reads(i, k) + delta);
+}
+
+void Problem::add_writes(SiteId i, ObjectId k, double delta) {
+  set_writes(i, k, writes(i, k) + delta);
+}
+
+double Problem::total_requests() const {
+  double total = 0.0;
+  for (ObjectId k = 0; k < objects(); ++k)
+    total += total_reads_[k] + total_writes_[k];
+  return total;
+}
+
+void Problem::validate() const {
+  if (!costs_.is_metric())
+    throw std::invalid_argument("Problem: cost matrix is not a metric");
+  // Every site must be able to hold the primary copies pinned to it; the
+  // primary-copy constraint X[SP_k][k] = 1 is otherwise unsatisfiable.
+  std::vector<double> pinned(sites(), 0.0);
+  for (ObjectId k = 0; k < objects(); ++k) pinned[primaries_[k]] += sizes_[k];
+  for (SiteId i = 0; i < sites(); ++i) {
+    if (pinned[i] > capacities_[i])
+      throw std::invalid_argument(
+          "Problem: site cannot store its primary copies");
+  }
+}
+
+}  // namespace drep::core

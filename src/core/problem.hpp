@@ -1,0 +1,88 @@
+#pragma once
+// The Data Replication Problem (DRP) instance (paper Section 2).
+//
+// An instance bundles the shortest-path cost matrix C(i,j), the object sizes
+// o_k, the primary sites SP_k, the per-site storage capacities s(i), and the
+// read/write request matrices r_k(i), w_k(i). Per-object request totals are
+// maintained incrementally because the cost model and the greedy benefit
+// (Eq. 5) consume them in hot loops.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace drep::core {
+
+using net::SiteId;
+using ObjectId = std::uint32_t;
+
+/// A single DRP instance. Immutable topology/sizes/primaries/capacities;
+/// mutable request patterns (the adaptive experiments rewrite them).
+class Problem {
+ public:
+  /// Takes ownership of all components. Request matrices start at zero.
+  /// Throws std::invalid_argument when shapes disagree, a size is not
+  /// positive, a primary is out of range, or a capacity is negative.
+  Problem(net::CostMatrix costs, std::vector<double> object_sizes,
+          std::vector<SiteId> primaries, std::vector<double> capacities);
+
+  [[nodiscard]] std::size_t sites() const noexcept { return capacities_.size(); }
+  [[nodiscard]] std::size_t objects() const noexcept { return sizes_.size(); }
+
+  [[nodiscard]] const net::CostMatrix& costs() const noexcept { return costs_; }
+  /// Per-unit transfer cost C(i,j).
+  [[nodiscard]] double cost(SiteId i, SiteId j) const { return costs_.at(i, j); }
+
+  /// Object size o_k in data units.
+  [[nodiscard]] double object_size(ObjectId k) const { return sizes_.at(k); }
+  /// Primary site SP_k.
+  [[nodiscard]] SiteId primary(ObjectId k) const { return primaries_.at(k); }
+  /// Storage capacity s(i) in data units.
+  [[nodiscard]] double capacity(SiteId i) const { return capacities_.at(i); }
+  /// Σ_k o_k.
+  [[nodiscard]] double total_object_size() const noexcept { return total_size_; }
+
+  /// Read count r_k(i) for the measurement period.
+  [[nodiscard]] double reads(SiteId i, ObjectId k) const {
+    return reads_[cell(i, k)];
+  }
+  /// Write count w_k(i).
+  [[nodiscard]] double writes(SiteId i, ObjectId k) const {
+    return writes_[cell(i, k)];
+  }
+  /// Σ_i r_k(i), maintained incrementally; O(1).
+  [[nodiscard]] double total_reads(ObjectId k) const { return total_reads_.at(k); }
+  /// Σ_i w_k(i), maintained incrementally; O(1).
+  [[nodiscard]] double total_writes(ObjectId k) const { return total_writes_.at(k); }
+
+  /// Setters keep the per-object totals consistent. Counts must be finite
+  /// and non-negative.
+  void set_reads(SiteId i, ObjectId k, double count);
+  void set_writes(SiteId i, ObjectId k, double count);
+  void add_reads(SiteId i, ObjectId k, double delta);
+  void add_writes(SiteId i, ObjectId k, double delta);
+
+  /// Sum over all objects of reads+writes; used for sanity reporting.
+  [[nodiscard]] double total_requests() const;
+
+  /// Throws std::invalid_argument when any structural invariant is broken,
+  /// including "every site can store the primaries assigned to it" — without
+  /// that, no feasible replication matrix exists.
+  void validate() const;
+
+ private:
+  [[nodiscard]] std::size_t cell(SiteId i, ObjectId k) const;
+
+  net::CostMatrix costs_;
+  std::vector<double> sizes_;
+  std::vector<SiteId> primaries_;
+  std::vector<double> capacities_;
+  std::vector<double> reads_;    // row-major [site][object]
+  std::vector<double> writes_;   // row-major [site][object]
+  std::vector<double> total_reads_;
+  std::vector<double> total_writes_;
+  double total_size_ = 0.0;
+};
+
+}  // namespace drep::core

@@ -1,0 +1,101 @@
+#include "core/replication.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace drep::core {
+
+ReplicationScheme::ReplicationScheme(const Problem& problem)
+    : problem_(&problem) {
+  const std::size_t m = problem.sites();
+  const std::size_t n = problem.objects();
+  matrix_.assign(m * n, 0);
+  replicas_.assign(n, {});
+  nearest_site_.assign(m * n, 0);
+  nearest_cost_.assign(m * n, std::numeric_limits<double>::infinity());
+  used_.assign(m, 0.0);
+  for (ObjectId k = 0; k < n; ++k) {
+    const SiteId sp = problem.primary(k);
+    matrix_[cell(sp, k)] = 1;
+    replicas_[k].push_back(sp);
+    used_[sp] += problem.object_size(k);
+    ++total_replicas_;
+    for (SiteId i = 0; i < m; ++i) {
+      nearest_site_[cell(i, k)] = sp;
+      nearest_cost_[cell(i, k)] = problem.cost(i, sp);
+    }
+  }
+}
+
+ReplicationScheme::ReplicationScheme(const Problem& problem,
+                                     std::span<const std::uint8_t> matrix)
+    : ReplicationScheme(problem) {
+  if (matrix.size() != problem.sites() * problem.objects())
+    throw std::invalid_argument("ReplicationScheme: matrix size mismatch");
+  for (SiteId i = 0; i < problem.sites(); ++i) {
+    for (ObjectId k = 0; k < problem.objects(); ++k) {
+      if (matrix[cell(i, k)] != 0) add(i, k);
+    }
+  }
+}
+
+bool ReplicationScheme::is_valid() const {
+  for (SiteId i = 0; i < problem_->sites(); ++i) {
+    if (used_[i] > problem_->capacity(i)) return false;
+  }
+  return true;
+}
+
+void ReplicationScheme::add(SiteId i, ObjectId k) {
+  const std::size_t c = cell(i, k);
+  if (matrix_[c] != 0) return;
+  matrix_[c] = 1;
+  replicas_[k].push_back(i);
+  used_[i] += problem_->object_size(k);
+  ++total_replicas_;
+  const std::size_t m = problem_->sites();
+  for (SiteId j = 0; j < m; ++j) {
+    const double via_new = problem_->cost(j, i);
+    const std::size_t jc = cell(j, k);
+    if (via_new < nearest_cost_[jc]) {
+      nearest_cost_[jc] = via_new;
+      nearest_site_[jc] = i;
+    }
+  }
+}
+
+void ReplicationScheme::remove(SiteId i, ObjectId k) {
+  if (i == problem_->primary(k))
+    throw std::invalid_argument(
+        "ReplicationScheme::remove: primary copies cannot be deallocated");
+  const std::size_t c = cell(i, k);
+  if (matrix_[c] == 0) return;
+  matrix_[c] = 0;
+  auto& list = replicas_[k];
+  list.erase(std::find(list.begin(), list.end(), i));
+  used_[i] -= problem_->object_size(k);
+  --total_replicas_;
+  rebuild_nearest_column(k);
+}
+
+void ReplicationScheme::rebuild_nearest_column(ObjectId k) {
+  const std::size_t m = problem_->sites();
+  const auto& list = replicas_[k];
+  for (SiteId j = 0; j < m; ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    SiteId best_site = problem_->primary(k);
+    for (SiteId rep : list) {
+      const double c = problem_->cost(j, rep);
+      if (c < best) {
+        best = c;
+        best_site = rep;
+      }
+    }
+    const std::size_t jc = cell(j, k);
+    nearest_cost_[jc] = best;
+    nearest_site_[jc] = best_site;
+  }
+}
+
+}  // namespace drep::core

@@ -1,0 +1,101 @@
+#pragma once
+// Replication scheme: the boolean M×N matrix X plus the derived state the
+// algorithms need in their inner loops — per-object replicator lists R_k,
+// the nearest-replica index SN_k(i) (paper Section 2.1), and per-site used
+// storage. All derived state is maintained incrementally.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace drep::core {
+
+/// A (mutable) replication scheme bound to a Problem instance. The scheme
+/// holds a reference to the problem; it must not outlive it.
+///
+/// Invariants (enforced by every mutator):
+///   * X[SP_k][k] == 1 for every object (primary copies are immovable);
+///   * replica lists, nearest-replica index, and used-capacity accounting
+///     always agree with X.
+/// Capacity is *checked* via fits()/is_valid() but not enforced on add(), so
+/// that the GA repair operators can inspect transiently invalid states.
+class ReplicationScheme {
+ public:
+  /// Primary-copies-only scheme (the paper's initial allocation, D_prime).
+  explicit ReplicationScheme(const Problem& problem);
+
+  /// Builds a scheme from a row-major M×N boolean matrix. Primary bits are
+  /// forced to 1. Throws std::invalid_argument on a size mismatch.
+  ReplicationScheme(const Problem& problem,
+                    std::span<const std::uint8_t> matrix);
+
+  [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+
+  /// X_ik: true when site i holds a replica of object k.
+  [[nodiscard]] bool has_replica(SiteId i, ObjectId k) const {
+    return matrix_[cell(i, k)] != 0;
+  }
+  /// Replicators of object k (always contains SP_k), in insertion order.
+  [[nodiscard]] const std::vector<SiteId>& replicas(ObjectId k) const {
+    return replicas_.at(k);
+  }
+  /// Row-major M×N copy of X (0/1 cells).
+  [[nodiscard]] const std::vector<std::uint8_t>& matrix() const noexcept {
+    return matrix_;
+  }
+
+  /// SN_k(i): the replicator of k closest to site i (possibly i itself).
+  [[nodiscard]] SiteId nearest(SiteId i, ObjectId k) const {
+    return nearest_site_[cell(i, k)];
+  }
+  /// C(i, SN_k(i)); zero when i is itself a replicator.
+  [[nodiscard]] double nearest_cost(SiteId i, ObjectId k) const {
+    return nearest_cost_[cell(i, k)];
+  }
+
+  /// Data units of storage consumed at site i by this scheme.
+  [[nodiscard]] double used(SiteId i) const { return used_.at(i); }
+  /// s(i) minus used(i) (the paper's b(i)); may be negative if over-full.
+  [[nodiscard]] double free_capacity(SiteId i) const {
+    return problem_->capacity(i) - used_.at(i);
+  }
+  /// True when object k currently fits in site i's remaining capacity.
+  [[nodiscard]] bool fits(SiteId i, ObjectId k) const {
+    return free_capacity(i) >= problem_->object_size(k);
+  }
+  /// True when no site exceeds its capacity.
+  [[nodiscard]] bool is_valid() const;
+
+  /// Adds a replica of k at i and updates the nearest index in O(M).
+  /// No-op when the replica already exists. Does not check capacity.
+  void add(SiteId i, ObjectId k);
+  /// Removes the replica of k at i; O(M·|R_k|) nearest-index repair.
+  /// Throws std::invalid_argument when i is SP_k; no-op when absent.
+  void remove(SiteId i, ObjectId k);
+
+  /// Total replica count Σ_k |R_k| (primaries included).
+  [[nodiscard]] std::size_t total_replicas() const noexcept { return total_replicas_; }
+  /// Replicas created beyond the N primaries — the quantity Fig. 1(b)/(d)
+  /// plot.
+  [[nodiscard]] std::size_t extra_replicas() const noexcept {
+    return total_replicas_ - problem_->objects();
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(SiteId i, ObjectId k) const {
+    return static_cast<std::size_t>(i) * problem_->objects() + k;
+  }
+  void rebuild_nearest_column(ObjectId k);
+
+  const Problem* problem_;
+  std::vector<std::uint8_t> matrix_;      // row-major [site][object]
+  std::vector<std::vector<SiteId>> replicas_;
+  std::vector<SiteId> nearest_site_;      // row-major [site][object]
+  std::vector<double> nearest_cost_;      // row-major [site][object]
+  std::vector<double> used_;
+  std::size_t total_replicas_ = 0;
+};
+
+}  // namespace drep::core

@@ -1,0 +1,57 @@
+#include "ga/crossover.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace drep::ga {
+
+namespace {
+void require_compatible(const Chromosome& a, const Chromosome& b,
+                        const char* what) {
+  if (a.size() != b.size())
+    throw std::invalid_argument(std::string(what) + ": length mismatch");
+  if (a.empty())
+    throw std::invalid_argument(std::string(what) + ": empty chromosomes");
+}
+}  // namespace
+
+CrossoverCut two_point_crossover(Chromosome& a, Chromosome& b,
+                                 util::Rng& rng) {
+  require_compatible(a, b, "two_point_crossover");
+  const std::size_t size = a.size();
+  std::size_t lo = rng.index(size + 1);
+  std::size_t hi = rng.index(size + 1);
+  if (lo > hi) std::swap(lo, hi);
+  CrossoverCut cut{lo, hi, rng.bernoulli(0.5)};
+  if (cut.middle) {
+    swap_range(a, b, cut.lo, cut.hi);
+  } else {
+    swap_range(a, b, 0, cut.lo);
+    swap_range(a, b, cut.hi, size);
+  }
+  return cut;
+}
+
+CrossoverCut one_point_crossover(Chromosome& a, Chromosome& b,
+                                 util::Rng& rng) {
+  require_compatible(a, b, "one_point_crossover");
+  const std::size_t size = a.size();
+  const std::size_t point = rng.index(size + 1);
+  const bool left = rng.bernoulli(0.5);
+  if (left) {
+    swap_range(a, b, 0, point);
+    return CrossoverCut{0, point, true};
+  }
+  swap_range(a, b, point, size);
+  return CrossoverCut{point, size, true};
+}
+
+CrossoverCut uniform_crossover(Chromosome& a, Chromosome& b, util::Rng& rng) {
+  require_compatible(a, b, "uniform_crossover");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (rng.bernoulli(0.5)) std::swap(a[i], b[i]);
+  }
+  return CrossoverCut{0, a.size(), true};
+}
+
+}  // namespace drep::ga

@@ -1,0 +1,38 @@
+#pragma once
+// Crossover operators. GRA uses the two-point variant (paper Section 4):
+// two random cut points are chosen and, with equal probability, either the
+// window between them or the two outer fractions are swapped. The returned
+// cut descriptor lets the caller repair the (at most two) boundary genes
+// that can become invalid. One-point (used by AGRA) and uniform (ablation)
+// variants are included.
+
+#include <cstddef>
+
+#include "ga/chromosome.hpp"
+
+namespace drep::ga {
+
+/// Which window of the string was exchanged by a crossover.
+struct CrossoverCut {
+  /// Half-open exchanged window [lo, hi); for "outer" two-point swaps the
+  /// exchanged region is [0, lo) ∪ [hi, size).
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  /// True when the middle window was swapped, false when the outer parts
+  /// were.
+  bool middle = true;
+};
+
+/// Two-point crossover in place. Requires equal, non-zero lengths.
+CrossoverCut two_point_crossover(Chromosome& a, Chromosome& b, util::Rng& rng);
+
+/// One-point crossover in place: swaps either the prefix [0, cut) or the
+/// suffix [cut, size) with equal probability (paper Section 5: "equal
+/// probabilities of crossing the left and the right part").
+CrossoverCut one_point_crossover(Chromosome& a, Chromosome& b, util::Rng& rng);
+
+/// Uniform crossover in place: each position swaps independently with
+/// probability 0.5. Returns a full-string cut descriptor.
+CrossoverCut uniform_crossover(Chromosome& a, Chromosome& b, util::Rng& rng);
+
+}  // namespace drep::ga

@@ -1,0 +1,20 @@
+#include "ga/mutation.hpp"
+
+namespace drep::ga {
+
+std::size_t mutate_bits(Chromosome& genes, double rate, util::Rng& rng,
+                        const std::function<bool(std::size_t, bool)>& accept) {
+  std::size_t kept = 0;
+  for_each_mutation_site(genes.size(), rate, rng, [&](std::size_t position) {
+    const bool new_value = genes[position] == 0;
+    genes[position] = new_value ? 1 : 0;
+    if (accept && !accept(position, new_value)) {
+      genes[position] = new_value ? 0 : 1;  // veto: flip back
+    } else {
+      ++kept;
+    }
+  });
+  return kept;
+}
+
+}  // namespace drep::ga

@@ -1,0 +1,22 @@
+#pragma once
+// Bit-flip mutation with constraint veto.
+//
+// The paper's mutation flips each gene with rate µm and, when a flip
+// violates the storage or primary-copy constraint, flips it back (Section
+// 4). The domain knowledge lives in the caller-supplied `accept` predicate:
+// mutate_bits flips gene p, asks accept(p, new_value), and reverts on false.
+
+#include <functional>
+
+#include "ga/chromosome.hpp"
+
+namespace drep::ga {
+
+/// Flips each gene independently with probability `rate`; a flip is kept
+/// only when accept(position, new_value) returns true. Returns the number of
+/// kept flips. `accept` may be nullptr (all flips kept).
+std::size_t mutate_bits(
+    Chromosome& genes, double rate, util::Rng& rng,
+    const std::function<bool(std::size_t, bool)>& accept = nullptr);
+
+}  // namespace drep::ga

@@ -1,0 +1,132 @@
+#include "ga/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drep::ga {
+
+namespace {
+double positive_total(std::span<const double> fitness) {
+  double total = 0.0;
+  for (double f : fitness) total += (f > 0.0 ? f : 0.0);
+  return total;
+}
+
+std::vector<std::size_t> uniform_draw(std::size_t pool, std::size_t slots,
+                                      util::Rng& rng) {
+  std::vector<std::size_t> picks(slots);
+  for (auto& pick : picks) pick = rng.index(pool);
+  return picks;
+}
+}  // namespace
+
+std::vector<std::size_t> roulette_selection(std::span<const double> fitness,
+                                            std::size_t slots,
+                                            util::Rng& rng) {
+  if (fitness.empty())
+    throw std::invalid_argument("roulette_selection: empty pool");
+  const double total = positive_total(fitness);
+  if (total <= 0.0) return uniform_draw(fitness.size(), slots, rng);
+  std::vector<std::size_t> picks;
+  picks.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s)
+    picks.push_back(util::weighted_index(rng, fitness));
+  return picks;
+}
+
+std::vector<std::size_t> stochastic_remainder_selection(
+    std::span<const double> fitness, std::size_t slots, util::Rng& rng) {
+  if (fitness.empty())
+    throw std::invalid_argument("stochastic_remainder_selection: empty pool");
+  const double total = positive_total(fitness);
+  if (total <= 0.0) return uniform_draw(fitness.size(), slots, rng);
+
+  std::vector<std::size_t> picks;
+  picks.reserve(slots);
+  std::vector<double> fractions(fitness.size(), 0.0);
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    const double f = fitness[i] > 0.0 ? fitness[i] : 0.0;
+    const double expected = static_cast<double>(slots) * f / total;
+    const double integral = std::floor(expected);
+    for (std::size_t c = 0; c < static_cast<std::size_t>(integral) &&
+                            picks.size() < slots;
+         ++c) {
+      picks.push_back(i);
+    }
+    fractions[i] = expected - integral;
+  }
+  while (picks.size() < slots) {
+    const double frac_total =
+        std::accumulate(fractions.begin(), fractions.end(), 0.0);
+    if (frac_total <= 0.0) {
+      picks.push_back(rng.index(fitness.size()));
+      continue;
+    }
+    picks.push_back(util::weighted_index(rng, fractions));
+  }
+  return picks;
+}
+
+std::vector<std::size_t> tournament_selection(std::span<const double> fitness,
+                                              std::size_t slots,
+                                              std::size_t arity,
+                                              util::Rng& rng) {
+  if (fitness.empty())
+    throw std::invalid_argument("tournament_selection: empty pool");
+  if (arity == 0)
+    throw std::invalid_argument("tournament_selection: zero arity");
+  std::vector<std::size_t> picks;
+  picks.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::size_t winner = rng.index(fitness.size());
+    for (std::size_t round = 1; round < arity; ++round) {
+      const std::size_t challenger = rng.index(fitness.size());
+      if (fitness[challenger] > fitness[winner]) winner = challenger;
+    }
+    picks.push_back(winner);
+  }
+  return picks;
+}
+
+std::vector<std::size_t> rank_selection(std::span<const double> fitness,
+                                        std::size_t slots, util::Rng& rng) {
+  if (fitness.empty()) throw std::invalid_argument("rank_selection: empty pool");
+  // Ascending fitness order; weight of rank r (0-based) is r+1, so the best
+  // candidate is |pool| times likelier than the worst and ~2x the average.
+  std::vector<std::size_t> order(fitness.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&fitness](std::size_t a, std::size_t b) {
+    return fitness[a] < fitness[b];
+  });
+  std::vector<double> weight(fitness.size());
+  for (std::size_t r = 0; r < order.size(); ++r)
+    weight[order[r]] = static_cast<double>(r + 1);
+  std::vector<std::size_t> picks;
+  picks.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s)
+    picks.push_back(util::weighted_index(rng, weight));
+  return picks;
+}
+
+std::vector<std::size_t> crossover_pairing(std::size_t count, util::Rng& rng) {
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  return order;
+}
+
+std::size_t best_index(std::span<const double> fitness) {
+  if (fitness.empty()) throw std::invalid_argument("best_index: empty pool");
+  return static_cast<std::size_t>(
+      std::max_element(fitness.begin(), fitness.end()) - fitness.begin());
+}
+
+std::size_t worst_index(std::span<const double> fitness) {
+  if (fitness.empty()) throw std::invalid_argument("worst_index: empty pool");
+  return static_cast<std::size_t>(
+      std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+}
+
+}  // namespace drep::ga

@@ -1,0 +1,57 @@
+#pragma once
+// Selection operators.
+//
+// GRA uses stochastic remainder selection over an enlarged (μ+λ) sampling
+// space (paper Section 4): each candidate receives ⌊slots·f_i/Σf⌋ offspring
+// deterministically and the remaining slots are raffled on the fractional
+// parts — far lower sampling error than Holland's pure roulette wheel, which
+// is also provided (for the SGA ablation and for AGRA's fractional raffle).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drep::ga {
+
+/// Roulette-wheel selection: draws `slots` indices with probability
+/// proportional to fitness. Non-positive fitness behaves as zero; when every
+/// fitness is non-positive the draw is uniform. Throws std::invalid_argument
+/// on an empty pool.
+[[nodiscard]] std::vector<std::size_t> roulette_selection(
+    std::span<const double> fitness, std::size_t slots, util::Rng& rng);
+
+/// Stochastic remainder selection [Goldberg 1989]: deterministic integer
+/// expected counts, roulette over fractional remainders. Returns exactly
+/// `slots` indices. Same degenerate-fitness behaviour as roulette_selection.
+[[nodiscard]] std::vector<std::size_t> stochastic_remainder_selection(
+    std::span<const double> fitness, std::size_t slots, util::Rng& rng);
+
+/// Tournament selection: each slot picks the fittest of `arity` uniformly
+/// drawn candidates (with replacement). Selection pressure grows with the
+/// arity and — unlike the proportionate schemes — is invariant to fitness
+/// scaling, which matters when all fitness values sit in a narrow band.
+/// Throws std::invalid_argument on an empty pool or zero arity.
+[[nodiscard]] std::vector<std::size_t> tournament_selection(
+    std::span<const double> fitness, std::size_t slots, std::size_t arity,
+    util::Rng& rng);
+
+/// Linear-rank selection: candidates are ranked by fitness and slot
+/// probabilities follow rank rather than magnitude (best gets ~2x the
+/// average). Another scaling-invariant alternative for the ablation.
+[[nodiscard]] std::vector<std::size_t> rank_selection(
+    std::span<const double> fitness, std::size_t slots, util::Rng& rng);
+
+/// Random disjoint pairing of {0..count-1} for crossover: returns a shuffled
+/// index permutation; consume consecutive pairs (the last index of an odd
+/// count stays unpaired).
+[[nodiscard]] std::vector<std::size_t> crossover_pairing(std::size_t count,
+                                                         util::Rng& rng);
+
+/// Index of the best (maximal) fitness; throws on empty.
+[[nodiscard]] std::size_t best_index(std::span<const double> fitness);
+/// Index of the worst (minimal) fitness; throws on empty.
+[[nodiscard]] std::size_t worst_index(std::span<const double> fitness);
+
+}  // namespace drep::ga

@@ -1,0 +1,247 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace drep::io {
+
+namespace {
+
+/// Line-oriented tokenizer that tracks position for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(&in) {}
+
+  /// Next non-empty, non-comment line; throws at end of input.
+  std::string next(const char* expectation) {
+    std::string line;
+    while (std::getline(*in_, line)) {
+      ++number_;
+      const auto start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos) continue;
+      if (line[start] == '#') continue;
+      return line.substr(start);
+    }
+    throw std::invalid_argument(std::string("drep::io: unexpected end of input, expected ") +
+                                expectation);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("drep::io: line " + std::to_string(number_) +
+                                ": " + message);
+  }
+
+  /// Expects `keyword <value>` and returns the value.
+  std::size_t keyword_size(const std::string& keyword) {
+    const std::string line = next(keyword.c_str());
+    std::istringstream parts(line);
+    std::string word;
+    long long value = -1;
+    if (!(parts >> word >> value) || word != keyword || value < 0)
+      fail("expected '" + keyword + " <count>', got '" + line + "'");
+    return static_cast<std::size_t>(value);
+  }
+
+  /// Expects a bare keyword line.
+  void keyword(const std::string& word) {
+    const std::string line = next(word.c_str());
+    if (line != word) fail("expected '" + word + "', got '" + line + "'");
+  }
+
+  /// Parses exactly `count` doubles from the next line.
+  std::vector<double> numbers(std::size_t count, const char* what) {
+    const std::string line = next(what);
+    std::istringstream parts(line);
+    std::vector<double> values(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(parts >> values[i]))
+        fail(std::string("expected ") + std::to_string(count) + " values for " + what);
+    }
+    double extra = 0.0;
+    if (parts >> extra) fail(std::string("trailing values after ") + what);
+    return values;
+  }
+
+ private:
+  std::istream* in_;
+  std::size_t number_ = 0;
+};
+
+void write_matrix_rows(std::ostream& out, const core::Problem& problem,
+                       bool writes) {
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      if (k != 0) out << ' ';
+      out << (writes ? problem.writes(i, k) : problem.reads(i, k));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+void write_problem(std::ostream& out, const core::Problem& problem) {
+  out << std::setprecision(17);
+  out << "drep-problem v1\n";
+  out << "sites " << problem.sites() << "\n";
+  out << "objects " << problem.objects() << "\n";
+  out << "costs\n";
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::SiteId j = 0; j < problem.sites(); ++j) {
+      if (j != 0) out << ' ';
+      out << problem.cost(i, j);
+    }
+    out << '\n';
+  }
+  out << "sizes\n";
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    if (k != 0) out << ' ';
+    out << problem.object_size(k);
+  }
+  out << "\nprimaries\n";
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    if (k != 0) out << ' ';
+    out << problem.primary(k);
+  }
+  out << "\ncapacities\n";
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    if (i != 0) out << ' ';
+    out << problem.capacity(i);
+  }
+  out << "\nreads\n";
+  write_matrix_rows(out, problem, /*writes=*/false);
+  out << "writes\n";
+  write_matrix_rows(out, problem, /*writes=*/true);
+}
+
+core::Problem read_problem(std::istream& in) {
+  LineReader reader(in);
+  reader.keyword("drep-problem v1");
+  const std::size_t m = reader.keyword_size("sites");
+  const std::size_t n = reader.keyword_size("objects");
+  if (m == 0 || n == 0) reader.fail("sites/objects must be positive");
+  // Format-level sanity cap: reject counts that would make the dense
+  // matrices absurd before allocating them (guards corrupt/hostile input).
+  constexpr std::size_t kMaxDimension = 1'000'000;
+  if (m > kMaxDimension || n > kMaxDimension || m * n > 100'000'000)
+    reader.fail("sites/objects exceed the format's sanity limits");
+
+  reader.keyword("costs");
+  net::CostMatrix costs(m);
+  for (core::SiteId i = 0; i < m; ++i) {
+    const auto row = reader.numbers(m, "a cost row");
+    for (core::SiteId j = 0; j < m; ++j) {
+      if (i == j) {
+        if (row[j] != 0.0) reader.fail("non-zero cost diagonal");
+      } else if (i < j) {
+        costs.set(i, j, row[j]);
+      } else if (costs.at(i, j) != row[j]) {
+        reader.fail("asymmetric cost matrix");
+      }
+    }
+  }
+
+  reader.keyword("sizes");
+  std::vector<double> sizes = reader.numbers(n, "object sizes");
+  reader.keyword("primaries");
+  const std::vector<double> primary_values = reader.numbers(n, "primaries");
+  std::vector<core::SiteId> primaries(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (primary_values[k] < 0.0 || primary_values[k] >= static_cast<double>(m))
+      reader.fail("primary site out of range");
+    primaries[k] = static_cast<core::SiteId>(primary_values[k]);
+  }
+  reader.keyword("capacities");
+  std::vector<double> capacities = reader.numbers(m, "capacities");
+
+  core::Problem problem(std::move(costs), std::move(sizes),
+                        std::move(primaries), std::move(capacities));
+
+  reader.keyword("reads");
+  for (core::SiteId i = 0; i < m; ++i) {
+    const auto row = reader.numbers(n, "a reads row");
+    for (core::ObjectId k = 0; k < n; ++k) problem.set_reads(i, k, row[k]);
+  }
+  reader.keyword("writes");
+  for (core::SiteId i = 0; i < m; ++i) {
+    const auto row = reader.numbers(n, "a writes row");
+    for (core::ObjectId k = 0; k < n; ++k) problem.set_writes(i, k, row[k]);
+  }
+  return problem;
+}
+
+void write_scheme(std::ostream& out, const core::ReplicationScheme& scheme) {
+  const core::Problem& problem = scheme.problem();
+  out << "drep-scheme v1\n";
+  out << "sites " << problem.sites() << "\n";
+  out << "objects " << problem.objects() << "\n";
+  out << "matrix\n";
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      out << (scheme.has_replica(i, k) ? '1' : '0');
+    }
+    out << '\n';
+  }
+}
+
+core::ReplicationScheme read_scheme(std::istream& in,
+                                    const core::Problem& problem) {
+  LineReader reader(in);
+  reader.keyword("drep-scheme v1");
+  const std::size_t m = reader.keyword_size("sites");
+  const std::size_t n = reader.keyword_size("objects");
+  if (m != problem.sites() || n != problem.objects())
+    reader.fail("scheme dimensions do not match the problem");
+  reader.keyword("matrix");
+  std::vector<std::uint8_t> matrix(m * n, 0);
+  for (core::SiteId i = 0; i < m; ++i) {
+    const std::string row = reader.next("a matrix row");
+    if (row.size() != n) reader.fail("matrix row has wrong length");
+    for (core::ObjectId k = 0; k < n; ++k) {
+      if (row[k] != '0' && row[k] != '1')
+        reader.fail("matrix cells must be 0 or 1");
+      matrix[static_cast<std::size_t>(i) * n + k] = row[k] == '1' ? 1 : 0;
+    }
+  }
+  return core::ReplicationScheme(problem, matrix);
+}
+
+namespace {
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("drep::io: cannot open " + path);
+  return in;
+}
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("drep::io: cannot create " + path);
+  return out;
+}
+}  // namespace
+
+void save_problem(const std::string& path, const core::Problem& problem) {
+  auto out = open_output(path);
+  write_problem(out, problem);
+}
+
+core::Problem load_problem(const std::string& path) {
+  auto in = open_input(path);
+  return read_problem(in);
+}
+
+void save_scheme(const std::string& path,
+                 const core::ReplicationScheme& scheme) {
+  auto out = open_output(path);
+  write_scheme(out, scheme);
+}
+
+core::ReplicationScheme load_scheme(const std::string& path,
+                                    const core::Problem& problem) {
+  auto in = open_input(path);
+  return read_scheme(in, problem);
+}
+
+}  // namespace drep::io

@@ -1,0 +1,52 @@
+#pragma once
+// Plain-text persistence for problems and replication schemes.
+//
+// The format is a line-oriented, versioned, human-diffable text format so
+// that experiment inputs can be checked into a repository and shared
+// between the CLI tool, the benches, and external scripts:
+//
+//   drep-problem v1
+//   sites <M>
+//   objects <N>
+//   costs            # M lines of M space-separated costs (symmetric)
+//   ...
+//   sizes            # one line of N sizes
+//   primaries        # one line of N site ids
+//   capacities       # one line of M capacities
+//   reads            # M lines of N counts
+//   writes           # M lines of N counts
+//
+//   drep-scheme v1
+//   sites <M>
+//   objects <N>
+//   matrix           # M lines of N 0/1 digits (row = site)
+//
+// Readers validate eagerly and throw std::invalid_argument with a
+// line-number diagnostic on malformed input.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/replication.hpp"
+
+namespace drep::io {
+
+void write_problem(std::ostream& out, const core::Problem& problem);
+[[nodiscard]] core::Problem read_problem(std::istream& in);
+
+/// Writes only the replication matrix (the problem travels separately).
+void write_scheme(std::ostream& out, const core::ReplicationScheme& scheme);
+/// Reads a scheme and binds it to `problem`; throws when the dimensions do
+/// not match. Primary bits are forced on (as ReplicationScheme requires).
+[[nodiscard]] core::ReplicationScheme read_scheme(std::istream& in,
+                                                  const core::Problem& problem);
+
+/// File convenience wrappers; throw std::runtime_error when the file cannot
+/// be opened.
+void save_problem(const std::string& path, const core::Problem& problem);
+[[nodiscard]] core::Problem load_problem(const std::string& path);
+void save_scheme(const std::string& path, const core::ReplicationScheme& scheme);
+[[nodiscard]] core::ReplicationScheme load_scheme(const std::string& path,
+                                                  const core::Problem& problem);
+
+}  // namespace drep::io

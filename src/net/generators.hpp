@@ -1,0 +1,48 @@
+#pragma once
+// Random and structured topology generators.
+//
+// The paper's workload (Section 6.1) places a bidirectional link between
+// every pair of sites with cost drawn uniformly from {1..10} ("the number of
+// hops a TCP/IP packet should make"). complete_uniform_graph reproduces
+// that; the other generators provide sparse, ring, star and tree topologies
+// for tests, examples, and robustness experiments (e.g. Wolfson et al.'s
+// tree-network assumption discussed in Related Work).
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace drep::net {
+
+/// Complete graph with integer link costs uniform in {cost_lo..cost_hi}.
+[[nodiscard]] Graph complete_uniform_graph(std::size_t sites,
+                                           std::uint64_t cost_lo,
+                                           std::uint64_t cost_hi,
+                                           util::Rng& rng);
+
+/// Connected Erdos-Renyi graph: a random spanning tree guarantees
+/// connectivity, then every remaining pair is linked with `edge_prob`.
+/// Costs uniform in {cost_lo..cost_hi}.
+[[nodiscard]] Graph random_connected_graph(std::size_t sites, double edge_prob,
+                                           std::uint64_t cost_lo,
+                                           std::uint64_t cost_hi,
+                                           util::Rng& rng);
+
+/// Ring of `sites` vertices with constant link cost.
+[[nodiscard]] Graph ring_graph(std::size_t sites, double cost = 1.0);
+
+/// Star with vertex 0 as hub and constant spoke cost.
+[[nodiscard]] Graph star_graph(std::size_t sites, double cost = 1.0);
+
+/// Uniformly random labelled tree (random parent attachment) with integer
+/// costs uniform in {cost_lo..cost_hi}.
+[[nodiscard]] Graph random_tree(std::size_t sites, std::uint64_t cost_lo,
+                                std::uint64_t cost_hi, util::Rng& rng);
+
+/// Shortest-path cost matrix of the paper's complete random network: draws
+/// a complete graph with costs U{1..10} and applies the metric closure.
+[[nodiscard]] CostMatrix paper_cost_matrix(std::size_t sites, util::Rng& rng,
+                                           std::uint64_t cost_lo = 1,
+                                           std::uint64_t cost_hi = 10,
+                                           bool apply_closure = true);
+
+}  // namespace drep::net

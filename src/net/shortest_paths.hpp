@@ -1,0 +1,36 @@
+#pragma once
+// All-pairs shortest paths: the bridge from a configured Graph to the
+// CostMatrix C(i,j) the DRP cost model requires (Section 2 of the paper
+// defines C as the cumulative cost of the shortest path).
+
+#include "net/topology.hpp"
+
+namespace drep::net {
+
+/// Dijkstra from `source`; returns a distance per vertex
+/// (+infinity when unreachable).
+[[nodiscard]] std::vector<double> dijkstra(const Graph& graph, SiteId source);
+
+/// All-pairs shortest paths by running Dijkstra per vertex; O(M·E·logM).
+/// Preferable for sparse graphs. Throws std::invalid_argument when the graph
+/// is disconnected (the DRP needs every pair reachable).
+[[nodiscard]] CostMatrix all_pairs_dijkstra(const Graph& graph);
+
+/// All-pairs shortest paths with Floyd-Warshall; O(M^3). Preferable for
+/// dense graphs (the paper's complete networks). Throws when disconnected.
+[[nodiscard]] CostMatrix floyd_warshall(const Graph& graph);
+
+/// Shortest-path closure of an already-dense cost matrix: replaces every
+/// entry with the cheapest path cost using intermediate sites. The result is
+/// a metric whenever the input is finite. This is applied to the paper's
+/// complete random graphs, where a direct link of cost 10 can be undercut by
+/// a 2-hop path of cost 2+3.
+[[nodiscard]] CostMatrix metric_closure(const CostMatrix& costs);
+
+/// Minimum spanning tree (Prim) of a finite symmetric cost matrix, returned
+/// as a Graph with M-1 edges weighted by the matrix entries. Used to lift
+/// tree-only algorithms (e.g. Wolfson et al.'s ADR) onto general networks.
+/// Throws std::invalid_argument on non-finite entries or an empty matrix.
+[[nodiscard]] Graph minimum_spanning_tree(const CostMatrix& costs);
+
+}  // namespace drep::net

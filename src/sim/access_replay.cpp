@@ -1,0 +1,128 @@
+#include "sim/access_replay.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace drep::sim {
+
+namespace {
+
+using core::ObjectId;
+
+// Protocol payloads.
+struct ReadRequest {
+  ObjectId object;
+};
+struct ReadResponse {
+  ObjectId object;
+};
+struct WriteShip {
+  ObjectId object;
+  SiteId writer;
+};
+struct UpdateBroadcast {
+  ObjectId object;
+};
+
+/// One protocol endpoint per site. All sites share the scheme (the paper's
+/// two-field (SP_k, SN_k) record per object is exactly what
+/// ReplicationScheme::nearest/primary provide).
+class ReplicaNode final : public Node {
+ public:
+  ReplicaNode(SiteId self, const core::ReplicationScheme& scheme,
+              DesNetwork& network)
+      : self_(self), scheme_(&scheme), network_(&network) {}
+
+  void issue(const workload::Request& request, ReplayResult& result,
+             double latency_per_cost) {
+    const core::Problem& problem = scheme_->problem();
+    if (!request.is_write) {
+      const SiteId nearest = scheme_->nearest(self_, request.object);
+      if (nearest == self_) {
+        ++result.local_reads;  // served locally, no traffic
+        result.read_latency.add(0.0);
+        return;
+      }
+      ++result.remote_reads;
+      // Response time: request there, object back (no queueing modelled).
+      result.read_latency.add(2.0 * latency_per_cost *
+                              problem.cost(self_, nearest));
+      network_->send(self_, nearest, 0.0, ReadRequest{request.object});
+      return;
+    }
+    ++result.writes;
+    const SiteId primary = problem.primary(request.object);
+    // Visibility latency: ship to the primary plus the slowest broadcast leg.
+    double slowest_leg = 0.0;
+    for (const SiteId replicator : scheme_->replicas(request.object)) {
+      if (replicator == primary || replicator == self_) continue;
+      slowest_leg = std::max(slowest_leg, problem.cost(primary, replicator));
+    }
+    result.write_latency.add(
+        latency_per_cost * (problem.cost(self_, primary) + slowest_leg));
+    if (primary == self_) {
+      broadcast(request.object, /*writer=*/self_);
+    } else {
+      network_->send(self_, primary, problem.object_size(request.object),
+                     WriteShip{request.object, self_});
+    }
+  }
+
+  void handle(const Message& message) override {
+    const core::Problem& problem = scheme_->problem();
+    if (const auto* read = std::any_cast<ReadRequest>(&message.payload)) {
+      network_->send(self_, message.from, problem.object_size(read->object),
+                     ReadResponse{read->object});
+    } else if (const auto* ship = std::any_cast<WriteShip>(&message.payload)) {
+      broadcast(ship->object, ship->writer);
+    }
+    // ReadResponse / UpdateBroadcast terminate at the receiver.
+  }
+
+ private:
+  /// Primary-side fan-out of an update to every other replicator, excluding
+  /// the writer (which already holds the new version).
+  void broadcast(ObjectId object, SiteId writer) {
+    const core::Problem& problem = scheme_->problem();
+    for (const SiteId replicator : scheme_->replicas(object)) {
+      if (replicator == self_ || replicator == writer) continue;
+      network_->send(self_, replicator, problem.object_size(object),
+                     UpdateBroadcast{object});
+    }
+  }
+
+  SiteId self_;
+  const core::ReplicationScheme* scheme_;
+  DesNetwork* network_;
+};
+
+}  // namespace
+
+ReplayResult replay_trace(const core::ReplicationScheme& scheme,
+                          std::span<const workload::Request> trace,
+                          double latency_per_cost, double inter_arrival) {
+  const core::Problem& problem = scheme.problem();
+  DesNetwork network(problem.costs(), latency_per_cost);
+  std::vector<std::unique_ptr<ReplicaNode>> nodes;
+  nodes.reserve(problem.sites());
+  for (SiteId i = 0; i < problem.sites(); ++i) {
+    nodes.push_back(std::make_unique<ReplicaNode>(i, scheme, network));
+    network.attach(i, *nodes.back());
+  }
+
+  ReplayResult result;
+  for (std::size_t idx = 0; idx < trace.size(); ++idx) {
+    const workload::Request request = trace[idx];
+    network.queue().schedule(
+        inter_arrival * static_cast<double>(idx),
+        [&nodes, &result, request, latency_per_cost] {
+          nodes[request.site]->issue(request, result, latency_per_cost);
+        });
+  }
+  network.run();
+  result.traffic = network.stats();
+  result.duration = network.queue().now();
+  return result;
+}
+
+}  // namespace drep::sim

@@ -1,0 +1,161 @@
+#include "sim/cache_replay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <unordered_map>
+
+#include "core/cost_model.hpp"
+
+namespace drep::sim {
+
+namespace {
+
+using core::ObjectId;
+
+/// Per-site LRU cache over object ids, sized in data units.
+class LruCache {
+ public:
+  explicit LruCache(double capacity_units)
+      : free_(std::max(capacity_units, 0.0)), total_(free_) {}
+
+  [[nodiscard]] bool contains(ObjectId object) const {
+    return index_.count(object) != 0;
+  }
+
+  void touch(ObjectId object) {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  /// Inserts `object` (size `units`), appending evicted victims to
+  /// `evicted`. Returns false (and changes nothing) when the object cannot
+  /// fit even in an empty cache.
+  bool insert(ObjectId object, double units, const core::Problem& problem,
+              std::vector<ObjectId>& evicted) {
+    if (contains(object)) {
+      touch(object);
+      return true;
+    }
+    if (units > total_) return false;
+    while (free_ < units) {
+      const ObjectId victim = order_.back();
+      order_.pop_back();
+      index_.erase(victim);
+      free_ += problem.object_size(victim);
+      evicted.push_back(victim);
+    }
+    order_.push_front(object);
+    index_[object] = order_.begin();
+    free_ -= units;
+    return true;
+  }
+
+  /// Drops the object if cached; returns true when something was dropped.
+  bool invalidate(ObjectId object, const core::Problem& problem) {
+    const auto it = index_.find(object);
+    if (it == index_.end()) return false;
+    free_ += problem.object_size(object);
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+ private:
+  double free_;
+  double total_;
+  std::list<ObjectId> order_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> index_;
+};
+
+void drop_holder(std::vector<core::SiteId>& holders, core::SiteId site) {
+  const auto it = std::find(holders.begin(), holders.end(), site);
+  if (it != holders.end()) {
+    *it = holders.back();
+    holders.pop_back();
+  }
+}
+
+}  // namespace
+
+CacheReplayResult replay_with_lru_cache(
+    const core::Problem& problem, std::span<const workload::Request> trace) {
+  const std::size_t m = problem.sites();
+  // Spare capacity per site: total minus the pinned primaries.
+  std::vector<double> pinned(m, 0.0);
+  for (ObjectId k = 0; k < problem.objects(); ++k)
+    pinned[problem.primary(k)] += problem.object_size(k);
+  std::vector<LruCache> caches;
+  caches.reserve(m);
+  for (core::SiteId i = 0; i < m; ++i)
+    caches.emplace_back(problem.capacity(i) - pinned[i]);
+
+  // holders[k]: sites currently holding k (its primary plus caches) — the
+  // fetch targets and the invalidation fan-out.
+  std::vector<std::vector<core::SiteId>> holders(problem.objects());
+  for (ObjectId k = 0; k < problem.objects(); ++k)
+    holders[k].push_back(problem.primary(k));
+
+  CacheReplayResult result;
+  std::vector<ObjectId> evicted;
+  for (const workload::Request& request : trace) {
+    const core::SiteId site = request.site;
+    const ObjectId object = request.object;
+    const double size = problem.object_size(object);
+    const core::SiteId primary = problem.primary(object);
+
+    if (request.is_write) {
+      ++result.writes;
+      // Ship the new version to the primary...
+      result.traffic.data_traffic += size * problem.cost(site, primary);
+      if (site != primary) ++result.traffic.data_messages;
+      // ...which invalidates every cached copy (control messages only).
+      auto& list = holders[object];
+      for (std::size_t h = 0; h < list.size();) {
+        const core::SiteId holder = list[h];
+        if (holder != primary && caches[holder].invalidate(object, problem)) {
+          ++result.invalidations;
+          ++result.traffic.control_messages;
+          list[h] = list.back();
+          list.pop_back();
+        } else {
+          ++h;
+        }
+      }
+      continue;
+    }
+
+    // Read: served locally when the site is the primary or holds a fresh
+    // cached copy.
+    if (site == primary || caches[site].contains(object)) {
+      ++result.cache_hits;
+      caches[site].touch(object);
+      continue;
+    }
+    ++result.cache_misses;
+    // Fetch from the nearest current holder and cache the copy.
+    double best = std::numeric_limits<double>::infinity();
+    for (const core::SiteId holder : holders[object])
+      best = std::min(best, problem.cost(site, holder));
+    ++result.traffic.control_messages;  // the request itself
+    ++result.traffic.data_messages;
+    result.traffic.data_traffic += size * best;
+
+    evicted.clear();
+    if (caches[site].insert(object, size, problem, evicted)) {
+      for (const ObjectId victim : evicted) drop_holder(holders[victim], site);
+      result.evictions += evicted.size();
+      holders[object].push_back(site);
+    }
+  }
+
+  const double d_prime = core::primary_only_cost(problem);
+  if (d_prime > 0.0) {
+    result.savings_percent =
+        100.0 * (d_prime - result.traffic.data_traffic) / d_prime;
+  }
+  return result;
+}
+
+}  // namespace drep::sim

@@ -1,0 +1,41 @@
+#pragma once
+// LRU proxy-caching baseline — the alternative the paper's introduction
+// contrasts with replication ("improving web performance through caching
+// [proxy servers] and replication [mirror servers]").
+//
+// Each site treats its spare storage (capacity minus its pinned primaries)
+// as a cooperative LRU cache. A read hits locally when the object is the
+// site's primary or currently cached; otherwise the object is fetched from
+// the nearest site holding a copy (o_k·C units of traffic) and inserted,
+// evicting least-recently-used entries as needed. A write ships the new
+// version to the primary and *invalidates* every cached copy (control
+// messages, free) — the classical consistency protocol for caches, against
+// the paper's update-propagation for replicas. Unlike a replication scheme,
+// cache contents depend on request order, so the result is a property of a
+// trace, not of the aggregate matrices.
+
+#include <span>
+
+#include "core/problem.hpp"
+#include "sim/des.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::sim {
+
+struct CacheReplayResult {
+  TrafficStats traffic;
+  std::size_t cache_hits = 0;       // reads served locally (incl. primaries)
+  std::size_t cache_misses = 0;     // reads that had to fetch
+  std::size_t evictions = 0;
+  std::size_t invalidations = 0;    // cached copies dropped by writes
+  std::size_t writes = 0;
+  /// 100·(D_prime − traffic)/D_prime against the aggregate request pattern.
+  double savings_percent = 0.0;
+};
+
+/// Replays `trace` under the cooperative-LRU policy. Deterministic in the
+/// trace order.
+[[nodiscard]] CacheReplayResult replay_with_lru_cache(
+    const core::Problem& problem, std::span<const workload::Request> trace);
+
+}  // namespace drep::sim

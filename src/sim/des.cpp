@@ -1,0 +1,43 @@
+#include "sim/des.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace drep::sim {
+
+DesNetwork::DesNetwork(const net::CostMatrix& costs, double latency_per_cost)
+    : costs_(&costs),
+      latency_per_cost_(latency_per_cost),
+      nodes_(costs.sites(), nullptr) {
+  if (latency_per_cost < 0.0)
+    throw std::invalid_argument("DesNetwork: negative latency factor");
+}
+
+void DesNetwork::attach(SiteId site, Node& node) {
+  if (site >= nodes_.size())
+    throw std::out_of_range("DesNetwork::attach: site out of range");
+  nodes_[site] = &node;
+}
+
+void DesNetwork::send(SiteId from, SiteId to, double size_units,
+                      std::any payload) {
+  const double cost = costs_->at(from, to);
+  const double latency = latency_per_cost_ * cost;
+  Message message{from, to, size_units, std::move(payload)};
+  queue_.schedule_in(latency, [this, message = std::move(message), cost]() {
+    if (message.size_units > 0) {
+      stats_.data_traffic += message.size_units * cost;
+      ++stats_.data_messages;
+    } else {
+      ++stats_.control_messages;
+    }
+    Node* node = nodes_[message.to];
+    if (node == nullptr)
+      throw std::logic_error("DesNetwork: message to unattached site");
+    node->handle(message);
+  });
+}
+
+void DesNetwork::run() { queue_.run(); }
+
+}  // namespace drep::sim

@@ -1,0 +1,245 @@
+#include "sim/distributed_sra.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace drep::sim {
+
+namespace {
+
+using core::ObjectId;
+
+// Protocol payloads.
+struct TokenGrant {};
+struct TokenReturn {
+  bool list_empty;
+};
+struct FetchRequest {
+  ObjectId object;
+};
+struct FetchResponse {
+  ObjectId object;
+};
+struct ReplicaAnnounce {
+  ObjectId object;
+  SiteId replicator;
+};
+struct AnnounceAck {};
+
+class SraNode;
+
+/// Shared run state: the leader's replication record (assembled into the
+/// final scheme) and protocol counters.
+struct RunState {
+  std::vector<std::pair<ObjectId, SiteId>> replications;
+  std::size_t token_passes = 0;
+  std::vector<std::unique_ptr<SraNode>> nodes;
+};
+
+class SraNode final : public Node {
+ public:
+  SraNode(SiteId self, const core::Problem& problem, DesNetwork& network,
+          SiteId leader_site, RunState& state)
+      : self_(self),
+        problem_(&problem),
+        network_(&network),
+        leader_site_(leader_site),
+        state_(&state),
+        nearest_cost_(problem.objects()),
+        nearest_site_(problem.objects()) {
+    // Locally known statics: SP_k and the initial SN record (= SP_k).
+    double pinned = 0.0;
+    for (ObjectId k = 0; k < problem.objects(); ++k) {
+      const SiteId sp = problem.primary(k);
+      nearest_site_[k] = sp;
+      nearest_cost_[k] = problem.cost(self_, sp);
+      if (sp == self_) pinned += problem.object_size(k);
+    }
+    remaining_ = problem.capacity(self_) - pinned;
+    for (ObjectId k = 0; k < problem.objects(); ++k) {
+      if (problem.primary(k) != self_ &&
+          problem.object_size(k) <= remaining_) {
+        candidates_.push_back(k);
+      }
+    }
+    if (self_ == leader_site_) {
+      active_.resize(problem.sites());
+      for (SiteId i = 0; i < problem.sites(); ++i) active_[i] = i;
+    }
+  }
+
+  /// Leader bootstrap: grants the first token.
+  void start() {
+    if (self_ != leader_site_)
+      throw std::logic_error("SraNode::start: not the leader");
+    grant_next();
+  }
+
+  void handle(const Message& message) override {
+    if (std::any_cast<TokenGrant>(&message.payload) != nullptr) {
+      on_token();
+    } else if (const auto* ret = std::any_cast<TokenReturn>(&message.payload)) {
+      on_token_return(*ret);
+    } else if (const auto* fetch =
+                   std::any_cast<FetchRequest>(&message.payload)) {
+      network_->send(self_, message.from, problem_->object_size(fetch->object),
+                     FetchResponse{fetch->object});
+    } else if (const auto* resp =
+                   std::any_cast<FetchResponse>(&message.payload)) {
+      on_object_arrived(resp->object);
+    } else if (const auto* announce =
+                   std::any_cast<ReplicaAnnounce>(&message.payload)) {
+      on_announce(*announce);
+      network_->send(self_, announce->replicator, 0.0, AnnounceAck{});
+    } else if (std::any_cast<AnnounceAck>(&message.payload) != nullptr) {
+      if (--awaiting_acks_ == 0) return_token();
+    } else {
+      throw std::logic_error("SraNode: unknown payload");
+    }
+  }
+
+ private:
+  // --- site role -----------------------------------------------------------
+
+  void on_token() {
+    // One pass over L(self): find the best strictly-positive benefit and
+    // prune unprofitable / non-fitting candidates — byte-for-byte the
+    // centralized SRA visit, computed from purely local state.
+    double best_benefit = 0.0;
+    ObjectId best_object = 0;
+    bool found = false;
+    std::size_t write_pos = 0;
+    for (const ObjectId k : candidates_) {
+      if (problem_->object_size(k) > remaining_) continue;
+      const double benefit =
+          problem_->reads(self_, k) * nearest_cost_[k] -
+          (problem_->total_writes(k) - problem_->writes(self_, k)) *
+              problem_->cost(self_, problem_->primary(k));
+      if (benefit <= 0.0) continue;
+      if (!found || benefit >= best_benefit) {
+        best_benefit = benefit;
+        best_object = k;
+        found = true;
+      }
+      candidates_[write_pos++] = k;
+    }
+    candidates_.resize(write_pos);
+
+    if (!found) {
+      network_->send(self_, leader_site_, 0.0, TokenReturn{true});
+      return;
+    }
+    candidates_.erase(
+        std::find(candidates_.begin(), candidates_.end(), best_object));
+    remaining_ -= problem_->object_size(best_object);
+    // Fetch the object from the nearest replicator (a real migration).
+    network_->send(self_, nearest_site_[best_object], 0.0,
+                   FetchRequest{best_object});
+  }
+
+  void on_object_arrived(ObjectId object) {
+    nearest_cost_[object] = 0.0;
+    nearest_site_[object] = self_;
+    if (self_ == leader_site_) {
+      state_->replications.emplace_back(object, self_);
+    }
+    // Reliable broadcast: every other site updates its SN record and acks.
+    awaiting_acks_ = problem_->sites() - 1;
+    if (awaiting_acks_ == 0) {
+      return_token();
+      return;
+    }
+    for (SiteId j = 0; j < problem_->sites(); ++j) {
+      if (j != self_)
+        network_->send(self_, j, 0.0, ReplicaAnnounce{object, self_});
+    }
+  }
+
+  void on_announce(const ReplicaAnnounce& announce) {
+    const double via = problem_->cost(self_, announce.replicator);
+    if (via < nearest_cost_[announce.object]) {
+      nearest_cost_[announce.object] = via;
+      nearest_site_[announce.object] = announce.replicator;
+    }
+    if (self_ == leader_site_)
+      state_->replications.emplace_back(announce.object, announce.replicator);
+  }
+
+  void return_token() {
+    network_->send(self_, leader_site_, 0.0,
+                   TokenReturn{candidates_.empty()});
+  }
+
+  // --- leader role ---------------------------------------------------------
+
+  void grant_next() {
+    if (active_.empty()) return;  // protocol finished
+    const std::size_t slot = cursor_ % active_.size();
+    granted_slot_ = slot;
+    ++state_->token_passes;
+    const SiteId site = active_[slot];
+    if (site == self_) {
+      on_token();  // the leader's own site takes its turn locally
+    } else {
+      network_->send(self_, site, 0.0, TokenGrant{});
+    }
+  }
+
+  void on_token_return(const TokenReturn& ret) {
+    if (ret.list_empty) {
+      active_.erase(active_.begin() +
+                    static_cast<std::ptrdiff_t>(granted_slot_));
+      cursor_ = granted_slot_;
+    } else {
+      cursor_ = granted_slot_ + 1;
+    }
+    grant_next();
+  }
+
+  SiteId self_;
+  const core::Problem* problem_;
+  DesNetwork* network_;
+  SiteId leader_site_;
+  RunState* state_;
+
+  // Site-local state.
+  std::vector<double> nearest_cost_;
+  std::vector<SiteId> nearest_site_;
+  std::vector<ObjectId> candidates_;
+  double remaining_ = 0.0;
+  std::size_t awaiting_acks_ = 0;
+
+  // Leader-only state.
+  std::vector<SiteId> active_;
+  std::size_t cursor_ = 0;
+  std::size_t granted_slot_ = 0;
+};
+
+}  // namespace
+
+DistributedSraResult run_distributed_sra(const core::Problem& problem,
+                                         SiteId leader_site,
+                                         double latency_per_cost) {
+  if (leader_site >= problem.sites())
+    throw std::invalid_argument("run_distributed_sra: leader out of range");
+  DesNetwork network(problem.costs(), latency_per_cost);
+  RunState state;
+  state.nodes.reserve(problem.sites());
+  for (SiteId i = 0; i < problem.sites(); ++i) {
+    state.nodes.push_back(
+        std::make_unique<SraNode>(i, problem, network, leader_site, state));
+    network.attach(i, *state.nodes[i]);
+  }
+  state.nodes[leader_site]->start();
+  network.run();
+
+  core::ReplicationScheme scheme(problem);
+  for (const auto& [object, site] : state.replications) scheme.add(site, object);
+  DistributedSraResult result{std::move(scheme), network.stats(),
+                              state.token_passes, state.replications.size(),
+                              network.queue().now()};
+  return result;
+}
+
+}  // namespace drep::sim

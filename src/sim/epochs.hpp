@@ -1,0 +1,58 @@
+#pragma once
+// Multi-epoch day simulation (paper Section 5's operational narrative).
+//
+// The monitor bootstraps with a nightly GRA run. Each daytime epoch the
+// read/write patterns drift (a PatternChangeConfig draw); the controller
+// then follows one of three policies:
+//
+//   kStatic       — keep the night scheme all day (the strawman);
+//   kAgraOnDrift  — threshold-triggered AGRA (+ mini-GRA) via the Monitor;
+//   kNightlyOnly  — keep the scheme all day, re-run GRA after the last
+//                   epoch (counts the re-optimization's migration bill).
+//
+// Every scheme change is charged its migration NTC (new replicas fetched
+// from the nearest previous holder), so the report answers the question the
+// paper's figures leave open: does rapid adaptation pay for its own object
+// movement?
+
+#include "sim/monitor.hpp"
+#include "workload/pattern_change.hpp"
+
+namespace drep::sim {
+
+enum class AdaptationPolicy { kStatic, kAgraOnDrift, kNightlyOnly };
+
+struct EpochConfig {
+  std::size_t epochs = 4;
+  workload::PatternChangeConfig drift{};
+  AdaptationPolicy policy = AdaptationPolicy::kAgraOnDrift;
+  MonitorConfig monitor{};
+};
+
+struct EpochReport {
+  /// Savings % of the active scheme evaluated on each epoch's (drifted)
+  /// pattern, before any reaction that epoch.
+  std::vector<double> stale_savings;
+  /// Savings % after the policy's reaction (equals stale under kStatic).
+  std::vector<double> adapted_savings;
+  /// Objects the monitor re-tuned per epoch (0 for non-adaptive policies).
+  std::vector<std::size_t> objects_adapted;
+  /// Total NTC spent moving objects between schemes (adaptations plus the
+  /// final nightly run, when applicable).
+  double migration_traffic = 0.0;
+  /// Σ per-epoch served traffic D of the scheme that was active.
+  double served_traffic = 0.0;
+  /// served + migration: the number to compare policies by.
+  [[nodiscard]] double total_traffic() const {
+    return served_traffic + migration_traffic;
+  }
+};
+
+/// Runs the day. `problem` is copied and mutated internally; the same seed
+/// yields the same drift sequence for every policy, so reports are directly
+/// comparable.
+[[nodiscard]] EpochReport run_epochs(core::Problem problem,
+                                     const EpochConfig& config,
+                                     util::Rng& rng);
+
+}  // namespace drep::sim

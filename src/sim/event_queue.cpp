@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace drep::sim {
+
+void EventQueue::schedule(SimTime at, Handler handler) {
+  if (at < now_)
+    throw std::invalid_argument("EventQueue::schedule: event in the past");
+  if (!handler)
+    throw std::invalid_argument("EventQueue::schedule: empty handler");
+  heap_.push(Entry{at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Handler handler) {
+  schedule(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.at;
+  ++processed_;
+  entry.handler();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (run_next()) {
+    if (++count >= max_events && !heap_.empty())
+      throw std::runtime_error("EventQueue::run: event cap exceeded");
+  }
+  return count;
+}
+
+}  // namespace drep::sim

@@ -1,0 +1,58 @@
+#pragma once
+// Discrete-event simulation kernel: a time-ordered queue of closures with
+// FIFO tie-breaking. Deliberately minimal — the network layer (des.hpp)
+// builds message passing on top of it.
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace drep::sim {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `at` (>= now(); throws
+  /// std::invalid_argument otherwise). Events at equal times run in
+  /// scheduling order.
+  void schedule(SimTime at, Handler handler);
+  /// Schedules `handler` `delay` time units from now.
+  void schedule_in(SimTime delay, Handler handler);
+
+  /// Pops and runs the earliest event, advancing now(). Returns false when
+  /// the queue is empty.
+  bool run_next();
+
+  /// Runs until the queue drains or `max_events` events have run; returns
+  /// the number of events processed by this call. Throws std::runtime_error
+  /// when the cap is hit (runaway simulation guard).
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::size_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::size_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace drep::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Fault-tolerance analysis of replication schemes.
+//
+// The paper notes that "a more spherical study of replication would include
+// consistency and fault tolerance issues"; this module supplies the fault-
+// tolerance half. Given a replication scheme and a set of failed sites:
+//
+//   * a read is servable when some surviving site holds a replica (it is
+//     served by the nearest survivor, possibly at higher cost);
+//   * a write is servable when the object's primary survives (the paper's
+//     policy funnels all updates through SP_k);
+//   * an object is *lost* when every one of its replicators failed.
+//
+// Requests originated AT failed sites are excluded (their clients are down
+// too). Availability is weighted by the request pattern, so a scheme that
+// replicates the hot objects scores higher than raw replica counts suggest.
+
+#include <span>
+
+#include "core/replication.hpp"
+#include "util/rng.hpp"
+
+namespace drep::sim {
+
+struct DegradedService {
+  /// Fraction of (surviving-site) read requests still servable, weighted by
+  /// read counts. 1.0 when nothing of value was lost.
+  double read_availability = 1.0;
+  /// Fraction of (surviving-site) write requests whose primary survives.
+  double write_availability = 1.0;
+  /// Objects with no surviving replica at all.
+  std::size_t objects_lost = 0;
+  /// Read NTC of the servable reads, re-homed to the nearest survivor.
+  double degraded_read_cost = 0.0;
+  /// Read NTC those same reads had before the failure.
+  double healthy_read_cost = 0.0;
+};
+
+/// Evaluates the scheme under the given failed-site set. Duplicate entries
+/// are ignored; throws std::invalid_argument on out-of-range sites or when
+/// every site failed.
+[[nodiscard]] DegradedService evaluate_with_failures(
+    const core::ReplicationScheme& scheme, std::span<const core::SiteId> failed);
+
+/// Monte-Carlo estimate of expected read availability when `failures`
+/// distinct uniformly random sites fail; averaged over `trials` draws.
+[[nodiscard]] double expected_read_availability(
+    const core::ReplicationScheme& scheme, std::size_t failures,
+    std::size_t trials, util::Rng& rng);
+
+}  // namespace drep::sim

@@ -1,0 +1,83 @@
+#include "sim/monitor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drep::sim {
+
+namespace {
+std::vector<double> totals(const core::Problem& problem, bool writes) {
+  std::vector<double> result(problem.objects());
+  for (core::ObjectId k = 0; k < problem.objects(); ++k)
+    result[k] = writes ? problem.total_writes(k) : problem.total_reads(k);
+  return result;
+}
+
+/// Relative deviation in percent, treating a zero baseline with non-zero
+/// observation as an unbounded change.
+double deviation_percent(double baseline, double observed) {
+  if (baseline == observed) return 0.0;
+  if (baseline == 0.0) return std::numeric_limits<double>::infinity();
+  return 100.0 * std::abs(observed - baseline) / baseline;
+}
+}  // namespace
+
+Monitor::Monitor(const core::Problem& baseline, const MonitorConfig& config,
+                 util::Rng& rng)
+    : config_(config) {
+  config_.gra.validate();
+  config_.agra.validate();
+  algo::GraResult initial = algo::solve_gra(baseline, config_.gra, rng);
+  adopt(baseline, initial.best.scheme.matrix(), std::move(initial.population));
+}
+
+std::vector<core::ObjectId> Monitor::detect_changes(
+    const core::Problem& observed) const {
+  if (observed.objects() != baseline_reads_.size())
+    throw std::invalid_argument("Monitor: object count changed");
+  std::vector<core::ObjectId> changed;
+  for (core::ObjectId k = 0; k < observed.objects(); ++k) {
+    const double read_dev =
+        deviation_percent(baseline_reads_[k], observed.total_reads(k));
+    const double write_dev =
+        deviation_percent(baseline_writes_[k], observed.total_writes(k));
+    if (read_dev >= config_.change_threshold_percent ||
+        write_dev >= config_.change_threshold_percent) {
+      changed.push_back(k);
+    }
+  }
+  return changed;
+}
+
+std::vector<core::ObjectId> Monitor::adapt(const core::Problem& observed,
+                                           util::Rng& rng) {
+  const std::vector<core::ObjectId> changed = detect_changes(observed);
+  if (changed.empty()) return changed;
+  std::vector<ga::Chromosome> retained;
+  retained.reserve(population_.size());
+  for (const auto& ind : population_) retained.push_back(ind.genes);
+  algo::AgraResult result = algo::solve_agra(
+      observed, current_scheme_, retained, changed, config_.agra, rng);
+  adopt(observed, result.best.scheme.matrix(), std::move(result.population));
+  return changed;
+}
+
+void Monitor::reoptimize(const core::Problem& observed, util::Rng& rng) {
+  algo::GraResult result = algo::solve_gra(observed, config_.gra, rng);
+  adopt(observed, result.best.scheme.matrix(), std::move(result.population));
+}
+
+double Monitor::current_savings_percent(const core::Problem& observed) const {
+  core::ReplicationScheme scheme(observed, current_scheme_);
+  return core::savings_percent(observed, scheme);
+}
+
+void Monitor::adopt(const core::Problem& observed, ga::Chromosome scheme,
+                    std::vector<algo::Individual> population) {
+  baseline_reads_ = totals(observed, /*writes=*/false);
+  baseline_writes_ = totals(observed, /*writes=*/true);
+  current_scheme_ = std::move(scheme);
+  population_ = std::move(population);
+}
+
+}  // namespace drep::sim

@@ -1,0 +1,193 @@
+#include "sim/monitor_protocol.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/cost_model.hpp"
+
+namespace drep::sim {
+
+namespace {
+
+using core::ObjectId;
+
+// Protocol payloads.
+struct StatsReport {};  // pattern rows; zero-size control traffic
+struct AddReplica {
+  ObjectId object;
+  SiteId fetch_from;
+};
+struct DropReplica {
+  ObjectId object;
+};
+struct FetchRequest {
+  ObjectId object;
+};
+struct FetchResponse {
+  ObjectId object;
+};
+struct Ack {};
+
+/// Passive endpoint: answers fetches, acks directives back to the monitor
+/// site once its own migration (if any) completed.
+class SiteEndpoint final : public Node {
+ public:
+  SiteEndpoint(SiteId self, SiteId monitor_site, const core::Problem& problem,
+               DesNetwork& network)
+      : self_(self),
+        monitor_site_(monitor_site),
+        problem_(&problem),
+        network_(&network) {}
+
+  void handle(const Message& message) override {
+    if (const auto* add = std::any_cast<AddReplica>(&message.payload)) {
+      // Fetch the object from the designated previous holder.
+      network_->send(self_, add->fetch_from, 0.0, FetchRequest{add->object});
+    } else if (const auto* fetch =
+                   std::any_cast<FetchRequest>(&message.payload)) {
+      network_->send(self_, message.from, problem_->object_size(fetch->object),
+                     FetchResponse{fetch->object});
+    } else if (std::any_cast<FetchResponse>(&message.payload) != nullptr) {
+      network_->send(self_, monitor_site_, 0.0, Ack{});
+    } else if (std::any_cast<DropReplica>(&message.payload) != nullptr) {
+      // Local deallocation; ack immediately.
+      network_->send(self_, monitor_site_, 0.0, Ack{});
+    }
+    // StatsReport / Ack terminate at the monitor endpoint, not here.
+  }
+
+ private:
+  SiteId self_;
+  SiteId monitor_site_;
+  const core::Problem* problem_;
+  DesNetwork* network_;
+};
+
+/// The monitor-site endpoint: counts stats reports, then (once the caller
+/// performed the optimization) disseminates the scheme delta and waits for
+/// acks.
+class MonitorEndpoint final : public Node {
+ public:
+  using Trigger = std::function<void()>;
+
+  MonitorEndpoint(SiteId self, const core::Problem& problem,
+                  DesNetwork& network, std::size_t expected_reports,
+                  Trigger trigger)
+      : self_(self),
+        problem_(&problem),
+        network_(&network),
+        awaiting_reports_(expected_reports),
+        trigger_(std::move(trigger)) {}
+
+  void handle(const Message& message) override {
+    if (std::any_cast<StatsReport>(&message.payload) != nullptr) {
+      if (awaiting_reports_ > 0 && --awaiting_reports_ == 0) trigger_();
+    } else if (const auto* fetch =
+                   std::any_cast<FetchRequest>(&message.payload)) {
+      // The monitor site holds replicas like any other site: serve fetches.
+      if (message.from != self_) {
+        network_->send(self_, message.from,
+                       problem_->object_size(fetch->object),
+                       FetchResponse{fetch->object});
+      }
+    } else if (std::any_cast<Ack>(&message.payload) != nullptr) {
+      if (awaiting_acks_ > 0) --awaiting_acks_;
+    }
+    // FetchResponse (its own direct fetches) terminates here.
+  }
+
+  void expect_acks(std::size_t count) { awaiting_acks_ += count; }
+  [[nodiscard]] SiteId site() const noexcept { return self_; }
+
+ private:
+  SiteId self_;
+  const core::Problem* problem_;
+  DesNetwork* network_;
+  std::size_t awaiting_reports_;
+  std::size_t awaiting_acks_ = 0;
+  Trigger trigger_;
+};
+
+}  // namespace
+
+RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
+                              net::SiteId monitor_site, bool nightly,
+                              util::Rng& rng, double latency_per_cost) {
+  const std::size_t m = observed.sites();
+  if (monitor_site >= m)
+    throw std::invalid_argument("run_retune_round: monitor site out of range");
+
+  DesNetwork network(observed.costs(), latency_per_cost);
+  RetuneReport report;
+
+  const core::ReplicationScheme before(observed, monitor.current_scheme());
+
+  // The optimization itself runs when the last stats report lands.
+  const auto optimize = [&] {
+    if (nightly) {
+      monitor.reoptimize(observed, rng);
+      report.objects_adapted = observed.objects();
+    } else {
+      report.objects_adapted = monitor.adapt(observed, rng).size();
+    }
+  };
+
+  std::vector<std::unique_ptr<Node>> nodes(m);
+  MonitorEndpoint* monitor_node = nullptr;
+  {
+    auto owned = std::make_unique<MonitorEndpoint>(
+        monitor_site, observed, network, m - 1, [&] {
+      optimize();
+      // Disseminate the delta: additions fetch from the nearest previous
+      // holder, deallocations are dropped locally.
+      const core::ReplicationScheme after(observed, monitor.current_scheme());
+      for (ObjectId k = 0; k < observed.objects(); ++k) {
+        for (SiteId i = 0; i < m; ++i) {
+          const bool was = before.has_replica(i, k);
+          const bool is = after.has_replica(i, k);
+          if (was == is) continue;
+          if (is) {
+            ++report.replicas_added;
+            if (i == monitor_site) {
+              // The monitor's own additions fetch directly (no directive).
+              network.send(monitor_site, before.nearest(i, k), 0.0,
+                           FetchRequest{k});
+            } else {
+              network.send(monitor_site, i, 0.0,
+                           AddReplica{k, before.nearest(i, k)});
+              monitor_node->expect_acks(1);
+            }
+          } else {
+            ++report.replicas_dropped;
+            if (i != monitor_site) {
+              network.send(monitor_site, i, 0.0, DropReplica{k});
+              monitor_node->expect_acks(1);
+            }
+          }
+        }
+      }
+      report.migration_traffic = core::migration_cost(before, after);
+    });
+    monitor_node = owned.get();
+    nodes[monitor_site] = std::move(owned);
+  }
+  for (SiteId i = 0; i < m; ++i) {
+    if (i != monitor_site)
+      nodes[i] = std::make_unique<SiteEndpoint>(i, monitor_site, observed,
+                                                network);
+    network.attach(i, *nodes[i]);
+  }
+
+  // Kick off: every site ships its observed pattern to the monitor.
+  for (SiteId i = 0; i < m; ++i) {
+    if (i != monitor_site) network.send(i, monitor_site, 0.0, StatsReport{});
+  }
+  if (m == 1) optimize();  // degenerate single-site network
+  network.run();
+
+  report.traffic = network.stats();
+  report.round_time = network.queue().now();
+  return report;
+}
+
+}  // namespace drep::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Message-level realization of the monitor's control loop (Section 5):
+// "Each site sends ... the previous day's locally observed R/W patterns to
+// the monitor. After accumulating all the patterns, the monitor site
+// defines new replication schemes ... realized through object migration and
+// deallocation."
+//
+// run_retune_round drives one such round over the discrete-event network:
+//
+//   1. every site ships its observed pattern rows to the monitor site
+//      (control messages — the paper treats their cost as negligible);
+//   2. the monitor reacts (AGRA via the Monitor object, or a full GRA when
+//      `nightly`), producing a new network-wide scheme;
+//   3. the scheme delta is disseminated: each site gaining a replica
+//      receives a directive, fetches the object from the nearest previous
+//      holder (a real data transfer), and acks; deallocations are local.
+//
+// The report prices what the paper's Fig. 4 leaves out: the message count
+// and migration NTC of actually *rolling out* an adaptation, plus how long
+// the round takes in network time units.
+
+#include "sim/des.hpp"
+#include "sim/monitor.hpp"
+
+namespace drep::sim {
+
+struct RetuneReport {
+  /// Stats reports + directives + acks (control), object fetches (data).
+  TrafficStats traffic;
+  /// Objects the monitor re-tuned (0 = the round was a no-op).
+  std::size_t objects_adapted = 0;
+  /// Replicas added / dropped by the rollout.
+  std::size_t replicas_added = 0;
+  std::size_t replicas_dropped = 0;
+  /// NTC of the object migrations (equals core::migration_cost of the
+  /// schemes involved).
+  double migration_traffic = 0.0;
+  /// Network time from the first stats report to the last ack.
+  SimTime round_time = 0.0;
+};
+
+/// Runs one collection/adaptation/rollout round. `observed` carries the
+/// newly observed patterns; `monitor` is updated in place (adopts the new
+/// scheme and baseline). When `nightly` is true the monitor re-optimizes
+/// from scratch (GRA) instead of the threshold-triggered AGRA path.
+/// Throws std::invalid_argument when monitor_site is out of range.
+[[nodiscard]] RetuneReport run_retune_round(const core::Problem& observed,
+                                            Monitor& monitor,
+                                            net::SiteId monitor_site,
+                                            bool nightly, util::Rng& rng,
+                                            double latency_per_cost = 1.0);
+
+}  // namespace drep::sim

@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+namespace drep::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_output_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level() || level == LogLevel::Off) return;
+  std::lock_guard lock(g_output_mutex);
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace drep::util

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logger. Experiments log progress at Info; the algorithms
+// log per-generation diagnostics at Debug. Thread-safe line-at-a-time output.
+
+#include <sstream>
+#include <string>
+
+namespace drep::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; throws std::invalid_argument
+/// on anything else.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+/// Writes one formatted line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: DREP_LOG(Info) << "generated " << count << " networks";
+#define DREP_LOG(level_name)                                     \
+  if (::drep::util::log_level() <=                               \
+      ::drep::util::LogLevel::level_name)                        \
+  ::drep::util::detail::LogStream(::drep::util::LogLevel::level_name)
+
+}  // namespace drep::util

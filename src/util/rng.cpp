@@ -1,0 +1,131 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace drep::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t stream) const noexcept {
+  // Mix the child stream id into every state word through splitmix64 so that
+  // nearby stream ids yield unrelated sequences.
+  std::uint64_t sm = s_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
+  sm ^= s_[1] + 0x6a09e667f3bcc909ULL;
+  Rng child(0);
+  for (auto& word : child.s_) word = splitmix64(sm);
+  return child;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::below: n must be positive");
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_u64: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return next();
+  return lo + below(span + 1);
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_i64: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  if (span == std::numeric_limits<std::uint64_t>::max())
+    return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(below(span + 1));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_real: lo > hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::size_t weighted_index(Rng& rng, std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0)
+    throw std::invalid_argument("weighted_index: all weights non-positive");
+  double target = rng.uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  // Floating point slack: return the last positive-weight entry.
+  for (std::size_t i = weights.size(); i > 0; --i)
+    if (weights[i - 1] > 0.0) return i - 1;
+  return weights.size() - 1;
+}
+
+}  // namespace drep::util

@@ -1,0 +1,105 @@
+#pragma once
+// Deterministic, seedable random number generation for repeatable experiments.
+//
+// Every stochastic component in drep (workload generation, genetic operators,
+// tie-breaking in heuristics) draws from an explicitly passed Rng so that a
+// (seed, instance) pair fully determines an experiment. The generator is
+// xoshiro256** seeded through splitmix64, which is fast, has a 2^256-1 period
+// and passes BigCrush; std::mt19937 is deliberately avoided because its state
+// initialization from a single seed is poor and it is slower.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace drep::util {
+
+/// splitmix64 step: used to expand a single 64-bit seed into generator state.
+/// Public because it is also handy for cheap hash mixing in tests.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with distribution helpers.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be used with
+/// standard <random> distributions, but the member helpers are preferred:
+/// they are portable across standard library implementations (the standard
+/// distributions are not), keeping experiment outputs identical everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 random bits.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Derives an independent child stream. Children produced with distinct
+  /// `stream` values are statistically independent of each other and of the
+  /// parent; the parent state is not advanced. Used to give each of the 15
+  /// experiment networks (and each thread) its own stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  /// Uses Lemire's unbiased bounded generation.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  [[nodiscard]] std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+  /// Uniform in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+  /// Uniform std::size_t index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) { return static_cast<std::size_t>(below(n)); }
+
+  /// Uniform real in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double uniform01() noexcept;
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (portable, unlike std::normal_distribution).
+  [[nodiscard]] double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Picks a uniformly random element. Requires a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty span");
+    return items[index(items.size())];
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Samples an index in [0, weights.size()) proportionally to `weights`.
+/// Zero-weight entries are never selected. Throws std::invalid_argument if
+/// all weights are zero/negative or the span is empty.
+[[nodiscard]] std::size_t weighted_index(Rng& rng, std::span<const double> weights);
+
+}  // namespace drep::util

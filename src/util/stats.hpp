@@ -1,0 +1,50 @@
+#pragma once
+// Streaming and batch statistics used by the experiment harnesses.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drep::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) with
+/// min/max tracking. Default-constructed state represents the empty sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mean of the sample; 0 for the empty sample.
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance; 0 for samples of size < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Min/max; 0 for the empty sample.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `values` using linear
+/// interpolation between order statistics. Throws std::invalid_argument on an
+/// empty input or q outside [0,1]. Copies and sorts internally.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Mean of a span; throws std::invalid_argument if empty.
+[[nodiscard]] double mean_of(std::span<const double> values);
+
+/// Compact human-readable rendering, e.g. "12.3 ±1.4 [9.8, 14.0] n=15".
+[[nodiscard]] std::string summarize(const RunningStats& stats, int precision = 3);
+
+}  // namespace drep::util

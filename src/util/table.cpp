@@ -1,0 +1,136 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace drep::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::RowBuilder(Table& table, int precision)
+    : table_(table), precision_(precision) {}
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(double value) {
+  cells_.push_back(format_double(value, precision_));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::size_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(int value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void Table::RowBuilder::commit() {
+  if (committed_) return;
+  committed_ = true;
+  table_.add_row(std::move(cells_));
+}
+
+Table::RowBuilder::~RowBuilder() {
+  try {
+    commit();
+  } catch (...) {
+    // Swallow: destructors must not throw. An ill-sized row built without an
+    // explicit commit() is dropped.
+  }
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c == 0 ? 0 : 2);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  std::string text = out.str();
+  // Normalize "-0.000" to "0.000".
+  if (!text.empty() && text[0] == '-' &&
+      text.find_first_not_of("-0.") == std::string::npos) {
+    text.erase(text.begin());
+  }
+  return text;
+}
+
+}  // namespace drep::util

@@ -1,0 +1,64 @@
+#pragma once
+// Column-aligned text tables and CSV output for the benchmark harnesses.
+//
+// Every figure-reproduction bench prints one Table whose rows mirror the
+// series the paper plots, so EXPERIMENTS.md can quote bench output verbatim.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace drep::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with `precision` significant
+  /// decimal digits; strings pass through.
+  class RowBuilder {
+   public:
+    RowBuilder(Table& table, int precision);
+    RowBuilder& cell(const std::string& value);
+    RowBuilder& cell(const char* value);
+    RowBuilder& cell(double value);
+    RowBuilder& cell(std::size_t value);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(int value);
+    /// Commits the row to the table. Called by the destructor if omitted.
+    void commit();
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    int precision_;
+    std::vector<std::string> cells_;
+    bool committed_ = false;
+  };
+  [[nodiscard]] RowBuilder row(int precision = 3) { return RowBuilder(*this, precision); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders the table with aligned columns and a header separator.
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes/newlines are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` decimal places, trimming a bare "-0".
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace drep::util

@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace drep::util {
+
+namespace {
+// Set while a pool worker is executing a task; nested parallel_for calls from
+// inside a task run inline instead of re-entering the queue, which would risk
+// deadlock when every worker is itself waiting on nested blocks.
+thread_local bool g_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    g_inside_pool_worker = true;
+    task();
+    g_inside_pool_worker = false;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_blocked(begin, end,
+                       [&body](std::size_t, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_blocked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t blocks =
+      g_inside_pool_worker ? 1 : std::min(count, size());
+  if (blocks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(0, i);
+    return;
+  }
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  } state;
+  state.remaining = blocks;
+
+  const std::size_t chunk = (count + blocks - 1) / blocks;
+  const auto run_block = [&state, &body](std::size_t block, std::size_t lo,
+                                         std::size_t hi) {
+    std::exception_ptr error;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) body(block, i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard lock(state.mutex);
+    if (error && !state.first_error) state.first_error = error;
+    if (--state.remaining == 0) state.done_cv.notify_one();
+  };
+  // Blocks 1..n-1 go to the pool; the caller runs block 0 itself so that a
+  // fully busy pool can never stall the loop indefinitely.
+  for (std::size_t block = 1; block < blocks; ++block) {
+    const std::size_t lo = begin + block * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([run_block, block, lo, hi] { run_block(block, lo, hi); });
+  }
+  run_block(0, begin, std::min(end, begin + chunk));
+
+  std::unique_lock lock(state.mutex);
+  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace drep::util

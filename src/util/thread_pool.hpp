@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The experiment harnesses average over many independent random networks and
+// the genetic algorithms evaluate whole populations; both are embarrassingly
+// parallel. The pool is created once and reused; parallel_for partitions the
+// index range into contiguous blocks (one per worker) so callers can keep
+// per-block deterministic RNG streams.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace drep::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [begin, end), partitioned into contiguous
+  /// blocks, and blocks until all iterations finish. If any iteration throws,
+  /// the first captured exception is rethrown on the caller after all blocks
+  /// complete. Executes inline when the range is small or the pool has a
+  /// single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for but hands the body the block id as well, so callers
+  /// can maintain one RNG / accumulator per block:
+  ///   body(block, i). Blocks are numbered 0..blocks-1.
+  void parallel_for_blocked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t block, std::size_t i)>& body);
+
+  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace drep::util

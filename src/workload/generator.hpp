@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic workload generator reproducing paper Section 6.1.
+//
+// For a requested (M sites, N objects, U% update ratio, C% capacity ratio):
+//   * topology: complete graph, link costs U{1..10}, shortest-path closure;
+//   * one primary copy per object at a uniformly random site;
+//   * reads r_k(i) ~ U{1..40} for every (site, object) pair;
+//   * per-object updates: target U%·TR_k, final total ~ U(target/2,
+//     3·target/2), scattered uniformly over sites one request at a time;
+//   * object sizes uniform with mean 35 (we use U{10..60}; the paper states
+//     only the mean — see DESIGN.md);
+//   * site capacities ~ U(C·T/2, 3C·T/2) with T = Σ_k o_k, raised if needed
+//     so each site can hold its pinned primaries (otherwise no feasible
+//     scheme exists).
+// All draws come from the caller's Rng, so (seed, config) reproduces the
+// instance bit-for-bit.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace drep::workload {
+
+struct GeneratorConfig {
+  std::size_t sites = 50;
+  std::size_t objects = 200;
+  /// U%: per-object update total as a percentage of its read total.
+  double update_ratio_percent = 5.0;
+  /// C%: expected site capacity as a percentage of Σ_k o_k.
+  double capacity_percent = 15.0;
+
+  /// Read count range per (site, object).
+  std::uint64_t reads_lo = 1;
+  std::uint64_t reads_hi = 40;
+  /// Link cost range.
+  std::uint64_t link_cost_lo = 1;
+  std::uint64_t link_cost_hi = 10;
+  /// Object size range (defaults have the paper's mean of 35).
+  std::uint64_t object_size_lo = 10;
+  std::uint64_t object_size_hi = 60;
+  /// Apply the shortest-path closure to the complete random graph.
+  bool metric_closure = true;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+/// Generates one DRP instance. The result always satisfies
+/// Problem::validate().
+[[nodiscard]] core::Problem generate(const GeneratorConfig& config,
+                                     util::Rng& rng);
+
+/// Scatters `count` single requests uniformly over the M sites, incrementing
+/// reads (or writes) of object k. Exposed because the pattern-change
+/// generator reuses it.
+void scatter_requests(core::Problem& problem, core::ObjectId k, double count,
+                      bool writes, util::Rng& rng);
+
+}  // namespace drep::workload

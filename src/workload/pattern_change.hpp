@@ -1,0 +1,54 @@
+#pragma once
+// Read/write pattern mutation for the adaptive experiments (paper Section
+// 6.1, fifth experiment; evaluated in Section 6.3 / Fig. 4).
+//
+// A fraction OCh of the objects change their pattern; of those, R% see their
+// reads rise by Ch% and the remainder see their updates rise by Ch%. New
+// reads are scattered uniformly one request at a time. Half the new updates
+// are scattered the same way; the other half is clustered around a random
+// centre site via a normal distribution with σ = M/5 (wrapped modulo M), to
+// model "objects frequently updated from a specific cluster of nodes".
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace drep::workload {
+
+struct PatternChangeConfig {
+  /// Ch: percentage increase applied to the object's current total
+  /// (600 means the total grows by a factor of 7).
+  double change_percent = 600.0;
+  /// OCh: percentage of all objects whose pattern changes.
+  double objects_percent = 30.0;
+  /// R: of the changed objects, the percentage whose *reads* increase;
+  /// the rest get an update increase. (The paper's R/U split.)
+  double read_share_percent = 80.0;
+  /// σ = sites / cluster_stddev_divisor for the clustered update half.
+  double cluster_stddev_divisor = 5.0;
+
+  void validate() const;
+};
+
+/// Which objects were changed, by kind. An object appears in at most one
+/// list.
+struct PatternChangeReport {
+  std::vector<core::ObjectId> reads_increased;
+  std::vector<core::ObjectId> writes_increased;
+
+  [[nodiscard]] std::vector<core::ObjectId> all_changed() const;
+};
+
+/// Mutates `problem`'s request matrices in place and reports the changed
+/// objects. Deterministic given the Rng state.
+PatternChangeReport apply_pattern_change(core::Problem& problem,
+                                         const PatternChangeConfig& config,
+                                         util::Rng& rng);
+
+/// Adds `count` update requests clustered around a random centre site:
+/// site ~ round(Normal(centre, sigma)) mod M. Exposed for tests.
+void clustered_updates(core::Problem& problem, core::ObjectId k, double count,
+                       double sigma, util::Rng& rng);
+
+}  // namespace drep::workload

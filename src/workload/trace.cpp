@@ -1,0 +1,41 @@
+#include "workload/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drep::workload {
+
+namespace {
+std::uint64_t integral_count(double count, const char* what) {
+  if (count < 0.0 || std::floor(count) != count)
+    throw std::invalid_argument(std::string(what) +
+                                ": request counts must be non-negative integers");
+  return static_cast<std::uint64_t>(count);
+}
+}  // namespace
+
+std::vector<Request> build_trace(const core::Problem& problem, util::Rng& rng) {
+  std::vector<Request> trace;
+  trace.reserve(trace_size(problem));
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      const auto reads = integral_count(problem.reads(i, k), "build_trace");
+      for (std::uint64_t c = 0; c < reads; ++c)
+        trace.push_back({i, k, /*is_write=*/false});
+      const auto writes = integral_count(problem.writes(i, k), "build_trace");
+      for (std::uint64_t c = 0; c < writes; ++c)
+        trace.push_back({i, k, /*is_write=*/true});
+    }
+  }
+  rng.shuffle(trace);
+  return trace;
+}
+
+std::size_t trace_size(const core::Problem& problem) {
+  double total = 0.0;
+  for (core::ObjectId k = 0; k < problem.objects(); ++k)
+    total += problem.total_reads(k) + problem.total_writes(k);
+  return static_cast<std::size_t>(total);
+}
+
+}  // namespace drep::workload

@@ -1,0 +1,31 @@
+#pragma once
+// Request traces: the bridge between the aggregate R/W matrices the DRP
+// works with and the individual read/write requests the discrete-event
+// simulator replays. A trace built from a problem contains *exactly*
+// r_k(i) read and w_k(i) write requests per (site, object) pair, so the
+// replayed traffic of any scheme must equal the analytic cost model's D —
+// the core validation property of this reproduction.
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace drep::workload {
+
+struct Request {
+  core::SiteId site;
+  core::ObjectId object;
+  bool is_write;
+};
+
+/// Materializes the problem's request matrices as a uniformly shuffled
+/// request sequence. Throws std::invalid_argument when any count is not a
+/// non-negative integer (traces are only meaningful for integral counts).
+[[nodiscard]] std::vector<Request> build_trace(const core::Problem& problem,
+                                               util::Rng& rng);
+
+/// Total number of requests a trace of `problem` would contain.
+[[nodiscard]] std::size_t trace_size(const core::Problem& problem);
+
+}  // namespace drep::workload

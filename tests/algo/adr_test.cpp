@@ -1,0 +1,161 @@
+#include "algo/adr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/exhaustive.hpp"
+#include "algo/sra.hpp"
+#include "core/cost_model.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+using core::ObjectId;
+using core::SiteId;
+
+/// Path of 4 sites (0-1-2-3, unit edges), one object at site 0.
+struct PathFixture {
+  PathFixture()
+      : tree(4),
+        problem(make_problem()) {
+    tree.add_edge(0, 1, 1.0);
+    tree.add_edge(1, 2, 1.0);
+    tree.add_edge(2, 3, 1.0);
+  }
+  static core::Problem make_problem() {
+    net::CostMatrix costs(4);
+    costs.set(0, 1, 1.0);
+    costs.set(1, 2, 1.0);
+    costs.set(2, 3, 1.0);
+    costs.set(0, 2, 2.0);
+    costs.set(1, 3, 2.0);
+    costs.set(0, 3, 3.0);
+    return core::Problem(std::move(costs), {10.0}, {0},
+                         {100.0, 100.0, 100.0, 100.0});
+  }
+  net::Graph tree;
+  core::Problem problem;
+};
+
+TEST(Adr, ExpandsTowardReadHeavySide) {
+  PathFixture f;
+  f.problem.set_reads(3, 0, 20.0);
+  const AlgorithmResult result = solve_adr(f.problem, f.tree);
+  // Reads at the far end, no writes anywhere: the subtree grows to site 3.
+  for (SiteId i = 0; i < 4; ++i) EXPECT_TRUE(result.scheme.has_replica(i, 0));
+  EXPECT_NEAR(result.savings_percent, 100.0, 1e-9);
+}
+
+TEST(Adr, WritesBlockExpansion) {
+  PathFixture f;
+  f.problem.set_reads(3, 0, 5.0);
+  f.problem.set_writes(0, 0, 50.0);
+  const AlgorithmResult result = solve_adr(f.problem, f.tree);
+  // 50 writes elsewhere vs 5 reads beyond: no expansion at all.
+  EXPECT_EQ(result.extra_replicas, 0u);
+}
+
+TEST(Adr, SchemeIsAConnectedSubtree) {
+  util::Rng rng(1);
+  const core::Problem p = testing::small_random_problem(2, 12, 10, 3.0, 50.0);
+  const net::Graph mst = net::minimum_spanning_tree(p.costs());
+  const AlgorithmResult result = solve_adr(p, mst);
+  // Connectivity: from each replica walk toward the primary through
+  // replicated tree nodes; count reachable replicas from the primary.
+  for (ObjectId k = 0; k < p.objects(); ++k) {
+    std::vector<bool> seen(p.sites(), false);
+    std::vector<SiteId> stack{p.primary(k)};
+    seen[p.primary(k)] = true;
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+      const SiteId u = stack.back();
+      stack.pop_back();
+      ++reached;
+      for (const net::Edge& e : mst.neighbors(u)) {
+        if (!seen[e.to] && result.scheme.has_replica(e.to, k)) {
+          seen[e.to] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    EXPECT_EQ(reached, result.scheme.replicas(k).size()) << "object " << k;
+  }
+}
+
+TEST(Adr, StatsAndDeterminism) {
+  const core::Problem p = testing::small_random_problem(3, 10, 8, 2.0, 60.0);
+  AdrStats stats;
+  const AlgorithmResult a = solve_adr_mst(p, {}, &stats);
+  const AlgorithmResult b = solve_adr_mst(p);
+  EXPECT_EQ(a.scheme.matrix(), b.scheme.matrix());
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_EQ(stats.expansions >= stats.contractions, true);
+  EXPECT_GE(a.savings_percent, 0.0);
+}
+
+TEST(Adr, RespectsCapacityWhenAsked) {
+  PathFixture f;
+  // Shrink capacities so nothing beyond the primary fits.
+  core::Problem p(PathFixture::make_problem());
+  net::CostMatrix costs(4);
+  costs.set(0, 1, 1.0);
+  costs.set(1, 2, 1.0);
+  costs.set(2, 3, 1.0);
+  costs.set(0, 2, 2.0);
+  costs.set(1, 3, 2.0);
+  costs.set(0, 3, 3.0);
+  core::Problem tight(std::move(costs), {10.0}, {0}, {10.0, 0.0, 0.0, 0.0});
+  tight.set_reads(3, 0, 100.0);
+  const AlgorithmResult result = solve_adr(tight, f.tree);
+  EXPECT_EQ(result.extra_replicas, 0u);
+  EXPECT_TRUE(result.scheme.is_valid());
+}
+
+TEST(Adr, ValidatesTreeInput) {
+  const core::Problem p = testing::small_random_problem(4, 6, 5);
+  net::Graph wrong_size(5);
+  EXPECT_THROW((void)solve_adr(p, wrong_size), std::invalid_argument);
+  net::Graph not_tree(6);
+  not_tree.add_edge(0, 1, 1.0);  // disconnected
+  EXPECT_THROW((void)solve_adr(p, not_tree), std::invalid_argument);
+  util::Rng rng(5);
+  net::Graph cyclic = net::ring_graph(6, 1.0);
+  EXPECT_THROW((void)solve_adr(p, cyclic), std::invalid_argument);
+}
+
+TEST(Adr, NearOptimalOnTinyTreeInstances) {
+  // On its home turf (tree network, ample capacity) ADR should land close
+  // to the exhaustive optimum of Eq. 4.
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    util::Rng rng(seed);
+    const net::Graph tree = net::random_tree(4, 1, 5, rng);
+    net::CostMatrix costs = net::floyd_warshall(tree);
+    std::vector<double> sizes{10.0, 15.0, 8.0};
+    std::vector<core::SiteId> primaries{0, 1, 2};
+    core::Problem p(std::move(costs), std::move(sizes), std::move(primaries),
+                    {200.0, 200.0, 200.0, 200.0});
+    for (SiteId i = 0; i < 4; ++i) {
+      for (ObjectId k = 0; k < 3; ++k) {
+        p.set_reads(i, k, static_cast<double>(rng.uniform_u64(1, 30)));
+      }
+    }
+    p.set_writes(1, 0, 10.0);
+    const auto optimal = solve_exhaustive(p);
+    ASSERT_TRUE(optimal.has_value());
+    const AlgorithmResult adr = solve_adr(p, tree);
+    EXPECT_LE(adr.cost, optimal->cost * 1.35 + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Adr, MstLiftMatchesExplicitMst) {
+  const core::Problem p = testing::small_random_problem(6, 10, 8);
+  const net::Graph mst = net::minimum_spanning_tree(p.costs());
+  const AlgorithmResult via_lift = solve_adr_mst(p);
+  const AlgorithmResult via_tree = solve_adr(p, mst);
+  EXPECT_EQ(via_lift.scheme.matrix(), via_tree.scheme.matrix());
+}
+
+}  // namespace
+}  // namespace drep::algo

@@ -1,0 +1,85 @@
+#include "algo/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/sra.hpp"
+#include "core/benefit.hpp"
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+TEST(PrimaryOnly, ZeroSavingsByDefinition) {
+  const core::Problem p = testing::small_random_problem(1);
+  const AlgorithmResult result = primary_only(p);
+  EXPECT_DOUBLE_EQ(result.savings_percent, 0.0);
+  EXPECT_DOUBLE_EQ(result.cost, core::primary_only_cost(p));
+  EXPECT_EQ(result.extra_replicas, 0u);
+}
+
+TEST(RandomValid, RespectsCapacityAndPrimaries) {
+  const core::Problem p = testing::small_random_problem(2);
+  util::Rng rng(3);
+  const AlgorithmResult result = random_valid(p, rng);
+  EXPECT_TRUE(result.scheme.is_valid());
+  for (core::ObjectId k = 0; k < p.objects(); ++k)
+    EXPECT_TRUE(result.scheme.has_replica(p.primary(k), k));
+  EXPECT_GT(result.extra_replicas, 0u);
+}
+
+TEST(RandomValid, FillProbabilityZeroGivesPrimaryOnly) {
+  const core::Problem p = testing::small_random_problem(4);
+  util::Rng rng(5);
+  const AlgorithmResult result = random_valid(p, rng, 0.0);
+  EXPECT_EQ(result.extra_replicas, 0u);
+}
+
+TEST(HillClimb, ReachesALocalOptimum) {
+  const core::Problem p = testing::small_random_problem(6, 8, 8);
+  HillClimbStats stats;
+  const AlgorithmResult result = hill_climb(p, nullptr, 10000, &stats);
+  EXPECT_TRUE(result.scheme.is_valid());
+  EXPECT_GE(result.savings_percent, 0.0);
+  EXPECT_GT(stats.delta_evaluations, 0u);
+  // No remaining improving move.
+  for (core::SiteId i = 0; i < p.sites(); ++i) {
+    for (core::ObjectId k = 0; k < p.objects(); ++k) {
+      if (!result.scheme.has_replica(i, k)) {
+        if (result.scheme.fits(i, k)) {
+          EXPECT_GE(core::insertion_delta(result.scheme, i, k), -1e-9);
+        }
+      } else if (p.primary(k) != i) {
+        EXPECT_GE(core::removal_delta(result.scheme, i, k), -1e-9);
+      }
+    }
+  }
+}
+
+TEST(HillClimb, AtLeastAsGoodAsSraOnSmallInstances) {
+  // Exact-delta best-improvement dominates the local-view greedy here.
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const core::Problem p = testing::small_random_problem(seed, 8, 8, 10.0);
+    const AlgorithmResult hc = hill_climb(p);
+    const AlgorithmResult sra = solve_sra(p);
+    EXPECT_GE(hc.savings_percent, sra.savings_percent - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(HillClimb, StartingSchemeIsRespected) {
+  const core::Problem p = testing::small_random_problem(15, 8, 8);
+  util::Rng rng(16);
+  const AlgorithmResult random_start = random_valid(p, rng);
+  const AlgorithmResult improved = hill_climb(p, &random_start.scheme);
+  EXPECT_LE(improved.cost, random_start.cost + 1e-9);
+}
+
+TEST(HillClimb, MaxMovesBoundsWork) {
+  const core::Problem p = testing::small_random_problem(17, 8, 8);
+  HillClimbStats stats;
+  (void)hill_climb(p, nullptr, 3, &stats);
+  EXPECT_LE(stats.insertions + stats.removals, 3u);
+}
+
+}  // namespace
+}  // namespace drep::algo

@@ -1,0 +1,99 @@
+#include "algo/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/baselines.hpp"
+#include "algo/gra.hpp"
+#include "algo/sra.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+/// Tiny random instance: 4 sites × 3 objects → at most 9 free cells.
+core::Problem tiny_random(std::uint64_t seed, double update_percent = 10.0) {
+  return testing::small_random_problem(seed, 4, 3, update_percent, 40.0);
+}
+
+TEST(Exhaustive, RefusesLargeInstances) {
+  const core::Problem p = testing::small_random_problem(1);  // 12×15
+  EXPECT_FALSE(solve_exhaustive(p).has_value());
+}
+
+TEST(Exhaustive, SolvesTinyInstancesWithStats) {
+  const core::Problem p = tiny_random(2);
+  ExhaustiveStats stats;
+  const auto result = solve_exhaustive(p, 24, &stats);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->scheme.is_valid());
+  EXPECT_GE(result->savings_percent, 0.0);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+class OptimalityGap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityGap, OptimumDominatesHeuristics) {
+  const core::Problem p = tiny_random(GetParam());
+  const auto optimal = solve_exhaustive(p);
+  ASSERT_TRUE(optimal.has_value());
+  const AlgorithmResult sra = solve_sra(p);
+  const AlgorithmResult hc = hill_climb(p);
+  util::Rng rng(GetParam() + 100);
+  GraConfig gra_config;
+  gra_config.population = 10;
+  gra_config.generations = 25;
+  const GraResult gra = solve_gra(p, gra_config, rng);
+  EXPECT_LE(optimal->cost, sra.cost + 1e-9);
+  EXPECT_LE(optimal->cost, hc.cost + 1e-9);
+  EXPECT_LE(optimal->cost, gra.best.cost + 1e-9);
+}
+
+TEST_P(OptimalityGap, GraUsuallyReachesOptimumOnTinyInstances) {
+  const core::Problem p = tiny_random(GetParam());
+  const auto optimal = solve_exhaustive(p);
+  ASSERT_TRUE(optimal.has_value());
+  util::Rng rng(GetParam() + 200);
+  GraConfig config;
+  config.population = 16;
+  config.generations = 60;
+  // The paper's µm = 0.01 is tuned for M·N in the thousands; on a 12-bit
+  // string it would flip one bit every ~8 generations, and escaping a
+  // capacity-tight local optimum needs a remove+add double flip in one
+  // mutant. 0.15 makes such double flips routine at this string length.
+  config.mutation_rate = 0.15;
+  const GraResult gra = solve_gra(p, config, rng);
+  // Tiny search space + SRA seeding + elitism: expect the optimum within 3%.
+  EXPECT_LE(gra.best.cost, optimal->cost * 1.03 + 1e-9)
+      << "optimal " << optimal->cost << " vs GRA " << gra.best.cost;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityGap,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+TEST(Exhaustive, HighUpdateRatioKeepsPrimariesOnly) {
+  core::Problem p = testing::line_problem(3, 2, 10.0, 100.0);
+  // Writes dwarf reads for both objects: any replica only adds cost.
+  for (core::SiteId i = 0; i < 3; ++i) {
+    for (core::ObjectId k = 0; k < 2; ++k) {
+      p.set_reads(i, k, 1.0);
+      p.set_writes(i, k, 50.0);
+    }
+  }
+  const auto result = solve_exhaustive(p);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->extra_replicas, 0u);
+}
+
+TEST(Exhaustive, ReadOnlyReplicatesEverywhere) {
+  core::Problem p = testing::line_problem(3, 2, 10.0, 100.0);
+  for (core::SiteId i = 0; i < 3; ++i) {
+    for (core::ObjectId k = 0; k < 2; ++k) p.set_reads(i, k, 5.0);
+  }
+  const auto result = solve_exhaustive(p);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->extra_replicas, 4u);  // 3·2 cells − 2 primaries
+  EXPECT_NEAR(result->savings_percent, 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace drep::algo

@@ -1,0 +1,151 @@
+#include "algo/sra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/baselines.hpp"
+#include "core/benefit.hpp"
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+using core::ObjectId;
+using core::SiteId;
+
+TEST(Sra, ReplicatesReadHotObject) {
+  core::Problem p = testing::line3_problem(10.0);
+  p.set_reads(1, 0, 20.0);
+  p.set_reads(2, 0, 20.0);
+  const AlgorithmResult result = solve_sra(p);
+  EXPECT_TRUE(result.scheme.has_replica(1, 0));
+  EXPECT_TRUE(result.scheme.has_replica(2, 0));
+  EXPECT_EQ(result.extra_replicas, 2u);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);  // all reads local, no writes
+  EXPECT_DOUBLE_EQ(result.savings_percent, 100.0);
+}
+
+TEST(Sra, DoesNotReplicateWriteHotObject) {
+  core::Problem p = testing::line3_problem(10.0);
+  p.set_reads(1, 0, 1.0);
+  p.set_writes(0, 0, 100.0);
+  p.set_writes(2, 0, 100.0);
+  const AlgorithmResult result = solve_sra(p);
+  EXPECT_EQ(result.extra_replicas, 0u);
+  EXPECT_DOUBLE_EQ(result.savings_percent, 0.0);
+}
+
+TEST(Sra, RespectsCapacity) {
+  // Site 1 can hold only one extra object; both objects are read-hot there.
+  net::CostMatrix costs(3);
+  costs.set(0, 1, 1.0);
+  costs.set(1, 2, 1.0);
+  costs.set(0, 2, 2.0);
+  core::Problem p(std::move(costs), {10.0, 10.0}, {0, 0}, {20.0, 10.0, 10.0});
+  p.set_reads(1, 0, 50.0);
+  p.set_reads(1, 1, 40.0);
+  const AlgorithmResult result = solve_sra(p);
+  EXPECT_TRUE(result.scheme.is_valid());
+  // Only the more beneficial object (0) fits at site 1.
+  EXPECT_TRUE(result.scheme.has_replica(1, 0));
+  EXPECT_FALSE(result.scheme.has_replica(1, 1));
+}
+
+TEST(Sra, PicksHighestBenefitPerUnit) {
+  // Two objects compete for site 1's capacity; SRA must take the one with
+  // the larger Eq. 5 benefit first, exhausting the space.
+  net::CostMatrix costs(2);
+  costs.set(0, 1, 1.0);
+  core::Problem q(std::move(costs), {5.0, 50.0}, {0, 0}, {55.0, 50.0});
+  q.set_reads(1, 0, 30.0);  // benefit/unit = 30·1 = 30 per... B = r·C = 30
+  q.set_reads(1, 1, 40.0);  // B = 40 (total) but same per-unit scale
+  const AlgorithmResult result = solve_sra(q);
+  EXPECT_TRUE(result.scheme.is_valid());
+  // Benefit values (Eq. 5 divides by o_k): object0 = 30·1 = 30,
+  // object1 = 40·1 = 40. SRA replicates object 1 first; capacity 50 is then
+  // exhausted, object 0 no longer fits.
+  EXPECT_TRUE(result.scheme.has_replica(1, 1));
+  EXPECT_FALSE(result.scheme.has_replica(1, 0));
+}
+
+TEST(Sra, NeverProducesNegativeSavings) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const core::Problem p = testing::small_random_problem(seed, 10, 12, 30.0);
+    const AlgorithmResult result = solve_sra(p);
+    EXPECT_GE(result.savings_percent, 0.0) << "seed " << seed;
+    EXPECT_TRUE(result.scheme.is_valid());
+  }
+}
+
+TEST(Sra, EveryStepImprovesCost) {
+  // SRA only replicates on strictly positive benefit; final D < D_prime
+  // whenever at least one replica was created.
+  const core::Problem p = testing::small_random_problem(3);
+  const AlgorithmResult result = solve_sra(p);
+  if (result.extra_replicas > 0) {
+    EXPECT_LT(result.cost, core::primary_only_cost(p));
+  }
+}
+
+TEST(Sra, RoundRobinIsDeterministic) {
+  const core::Problem p = testing::small_random_problem(4);
+  const AlgorithmResult a = solve_sra(p);
+  const AlgorithmResult b = solve_sra(p);
+  EXPECT_EQ(a.scheme.matrix(), b.scheme.matrix());
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(Sra, RandomOrderIsSeedDeterministic) {
+  const core::Problem p = testing::small_random_problem(5);
+  SraConfig config;
+  config.site_order = SraConfig::SiteOrder::kRandom;
+  util::Rng rng_a(9), rng_b(9), rng_c(10);
+  const AlgorithmResult a = solve_sra(p, config, rng_a);
+  const AlgorithmResult b = solve_sra(p, config, rng_b);
+  const AlgorithmResult c = solve_sra(p, config, rng_c);
+  EXPECT_EQ(a.scheme.matrix(), b.scheme.matrix());
+  EXPECT_TRUE(a.scheme.is_valid() && c.scheme.is_valid());
+  EXPECT_GE(c.savings_percent, 0.0);
+}
+
+TEST(Sra, StatsArepopulated) {
+  const core::Problem p = testing::small_random_problem(6);
+  SraStats stats;
+  util::Rng rng(1);
+  const AlgorithmResult result = solve_sra(p, SraConfig{}, rng, &stats);
+  EXPECT_EQ(stats.replicas_created, result.extra_replicas);
+  EXPECT_GE(stats.site_visits, 1u);
+  EXPECT_GE(stats.benefit_evaluations, stats.replicas_created);
+}
+
+TEST(Sra, NoCapacityMeansNoReplicas) {
+  // Capacities exactly fit the pinned primaries.
+  net::CostMatrix costs(3);
+  costs.set(0, 1, 1.0);
+  costs.set(1, 2, 1.0);
+  costs.set(0, 2, 2.0);
+  core::Problem p(std::move(costs), {10.0}, {0}, {10.0, 0.0, 0.0});
+  p.set_reads(1, 0, 100.0);
+  const AlgorithmResult result = solve_sra(p);
+  EXPECT_EQ(result.extra_replicas, 0u);
+}
+
+TEST(Sra, SavingsNeverExceedHundredPercent) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const core::Problem p = testing::small_random_problem(seed, 8, 10, 2.0, 40.0);
+    const AlgorithmResult result = solve_sra(p);
+    EXPECT_LE(result.savings_percent, 100.0 + 1e-9);
+  }
+}
+
+TEST(Sra, ZeroUpdateHighCapacityReplicatesEverywhere) {
+  // With no writes and unconstrained storage, every (site, object) pair
+  // with positive read benefit gets a replica: reads all become local.
+  const core::Problem p = testing::small_random_problem(7, 8, 6, 0.0, 1000.0);
+  const AlgorithmResult result = solve_sra(p);
+  EXPECT_NEAR(result.savings_percent, 100.0, 1e-9);
+  EXPECT_EQ(result.extra_replicas, p.sites() * p.objects() - p.objects());
+}
+
+}  // namespace
+}  // namespace drep::algo

@@ -1,0 +1,190 @@
+#include "core/benefit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::core {
+namespace {
+
+Problem tiny() {
+  Problem p = testing::line3_problem(10.0);
+  p.set_reads(1, 0, 4.0);
+  p.set_reads(2, 0, 2.0);
+  p.set_writes(1, 0, 1.0);
+  return p;
+}
+
+TEST(LocalBenefit, HandComputed) {
+  const Problem p = tiny();
+  const ReplicationScheme scheme(p);
+  // B_0(2) = r2*C(2,SN=0) - (TW - w2)*C(2,0) = 2*2 - 1*2 = 2.
+  EXPECT_DOUBLE_EQ(local_benefit(scheme, 2, 0), 2.0);
+  // B_0(1) = 4*1 - (1-1)*1 = 4.
+  EXPECT_DOUBLE_EQ(local_benefit(scheme, 1, 0), 4.0);
+}
+
+TEST(LocalBenefit, ZeroForExistingReplica) {
+  const Problem p = tiny();
+  ReplicationScheme scheme(p);
+  scheme.add(1, 0);
+  EXPECT_DOUBLE_EQ(local_benefit(scheme, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(local_benefit(scheme, 0, 0), 0.0);  // primary site
+}
+
+TEST(LocalBenefit, NegativeWhenWritesDominate) {
+  Problem p = testing::line3_problem(10.0);
+  p.set_reads(2, 0, 1.0);
+  p.set_writes(0, 0, 50.0);
+  const ReplicationScheme scheme(p);
+  // Replicating at 2 saves 1*2 reads but attracts 50 updates over cost 2.
+  EXPECT_LT(local_benefit(scheme, 2, 0), 0.0);
+}
+
+TEST(LocalBenefit, MatchesLocalViewCostDelta) {
+  // With a single fully "local-view" change (no other site re-homes its
+  // reads), B·o must equal the exact D decrease.
+  const Problem p = tiny();
+  ReplicationScheme scheme(p);
+  const double before = total_cost(scheme);
+  const double benefit = local_benefit(scheme, 2, 0);
+  scheme.add(2, 0);
+  const double after = total_cost(scheme);
+  // Site 2 is at distance 2 from 0 and 1 from... wait: adding at 2 also
+  // brings site 1's nearest to min(1, C(1,2)=1) — unchanged. Pure local.
+  EXPECT_NEAR(before - after, benefit * p.object_size(0), 1e-9);
+}
+
+// Property: insertion_delta equals the actual change in D.
+class DeltaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaProperty, InsertionDeltaIsExact) {
+  const Problem p = testing::small_random_problem(GetParam());
+  ReplicationScheme scheme(p);
+  util::Rng rng(GetParam() + 50);
+  for (int step = 0; step < 25; ++step) {
+    scheme.add(static_cast<SiteId>(rng.index(p.sites())),
+               static_cast<ObjectId>(rng.index(p.objects())));
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto i = static_cast<SiteId>(rng.index(p.sites()));
+    const auto k = static_cast<ObjectId>(rng.index(p.objects()));
+    if (scheme.has_replica(i, k)) continue;
+    const double before = total_cost(scheme);
+    const double predicted = insertion_delta(scheme, i, k);
+    scheme.add(i, k);
+    const double after = total_cost(scheme);
+    EXPECT_NEAR(after - before, predicted, 1e-6 * std::max(1.0, before));
+    scheme.remove(i, k);  // restore
+  }
+}
+
+TEST_P(DeltaProperty, RemovalDeltaIsExact) {
+  const Problem p = testing::small_random_problem(GetParam() + 7);
+  ReplicationScheme scheme(p);
+  util::Rng rng(GetParam() + 99);
+  for (int step = 0; step < 40; ++step) {
+    scheme.add(static_cast<SiteId>(rng.index(p.sites())),
+               static_cast<ObjectId>(rng.index(p.objects())));
+  }
+  for (SiteId i = 0; i < p.sites(); ++i) {
+    for (ObjectId k = 0; k < p.objects(); ++k) {
+      if (!scheme.has_replica(i, k) || p.primary(k) == i) continue;
+      const double before = total_cost(scheme);
+      const double predicted = removal_delta(scheme, i, k);
+      scheme.remove(i, k);
+      const double after = total_cost(scheme);
+      EXPECT_NEAR(after - before, predicted, 1e-6 * std::max(1.0, before));
+      scheme.add(i, k);  // restore
+    }
+  }
+}
+
+TEST_P(DeltaProperty, InsertionDeltaNeverExceedsLocalView) {
+  // The global delta includes other sites re-homing their reads, which can
+  // only help: deltaD_exact <= -B·o.
+  const Problem p = testing::small_random_problem(GetParam() + 13);
+  const ReplicationScheme scheme(p);
+  for (SiteId i = 0; i < p.sites(); ++i) {
+    for (ObjectId k = 0; k < p.objects(); ++k) {
+      if (scheme.has_replica(i, k)) continue;
+      EXPECT_LE(insertion_delta(scheme, i, k),
+                -local_benefit(scheme, i, k) * p.object_size(k) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(DeltaEdgeCases, ExistingAndPrimary) {
+  const Problem p = tiny();
+  ReplicationScheme scheme(p);
+  scheme.add(1, 0);
+  EXPECT_DOUBLE_EQ(insertion_delta(scheme, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(removal_delta(scheme, 2, 0), 0.0);  // absent
+  EXPECT_THROW((void)removal_delta(scheme, 0, 0), std::invalid_argument);
+}
+
+TEST(ProportionalLinkWeights, MeanIsOne) {
+  const Problem p = testing::small_random_problem(5);
+  const auto plw = proportional_link_weights(p);
+  double sum = 0.0;
+  for (double w : plw) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(plw.size()), 1.0, 1e-9);
+}
+
+TEST(DeallocationEstimate, PrefersKeepingReadHotObjects) {
+  Problem p = testing::line3_problem(10.0);
+  p.set_reads(2, 0, 100.0);  // hot
+  const ReplicationScheme scheme_hot(p);
+  const auto plw = proportional_link_weights(p);
+  const double hot = deallocation_estimate(scheme_hot, plw, 2, 0);
+
+  Problem q = testing::line3_problem(10.0);
+  q.set_reads(2, 0, 1.0);  // cold
+  const ReplicationScheme scheme_cold(q);
+  const double cold = deallocation_estimate(scheme_cold, proportional_link_weights(q), 2, 0);
+  EXPECT_GT(hot, cold);
+}
+
+TEST(DeallocationEstimate, WideReplicationLowersScore) {
+  const Problem p = testing::small_random_problem(9);
+  const auto plw = proportional_link_weights(p);
+  ReplicationScheme narrow(p);
+  ReplicationScheme wide(p);
+  // Pick an object and a site that is not its primary.
+  const ObjectId k = 0;
+  SiteId site = 0;
+  while (p.primary(k) == site) ++site;
+  narrow.add(site, k);
+  wide.add(site, k);
+  for (SiteId i = 0; i < p.sites(); ++i) wide.add(i, k);
+  EXPECT_GT(deallocation_estimate(narrow, plw, site, k),
+            deallocation_estimate(wide, plw, site, k));
+}
+
+TEST(DeallocationEstimate, UpdateHeavyObjectsScoreLower) {
+  Problem read_heavy = testing::line3_problem(10.0);
+  read_heavy.set_reads(2, 0, 50.0);
+  Problem write_heavy = testing::line3_problem(10.0);
+  write_heavy.set_reads(2, 0, 50.0);
+  write_heavy.set_writes(0, 0, 200.0);
+  const ReplicationScheme a(read_heavy), b(write_heavy);
+  EXPECT_GT(deallocation_estimate(a, proportional_link_weights(read_heavy), 2, 0),
+            deallocation_estimate(b, proportional_link_weights(write_heavy), 2, 0));
+}
+
+TEST(DeallocationEstimate, RejectsWrongPlwSize) {
+  const Problem p = testing::line3_problem();
+  const ReplicationScheme scheme(p);
+  std::vector<double> bad(2, 1.0);
+  EXPECT_THROW((void)deallocation_estimate(scheme, bad, 0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drep::core

@@ -1,0 +1,169 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "testing/builders.hpp"
+
+namespace drep::core {
+namespace {
+
+TEST(ReplicationScheme, PrimaryOnlyInitialState) {
+  const Problem p = testing::line3_problem(10.0);
+  ReplicationScheme scheme(p);
+  EXPECT_TRUE(scheme.has_replica(0, 0));
+  EXPECT_FALSE(scheme.has_replica(1, 0));
+  EXPECT_EQ(scheme.replicas(0).size(), 1u);
+  EXPECT_EQ(scheme.replicas(0)[0], 0u);
+  EXPECT_EQ(scheme.total_replicas(), 1u);
+  EXPECT_EQ(scheme.extra_replicas(), 0u);
+  EXPECT_DOUBLE_EQ(scheme.used(0), 10.0);
+  EXPECT_DOUBLE_EQ(scheme.used(1), 0.0);
+  // Every site's nearest replica is the primary.
+  EXPECT_EQ(scheme.nearest(2, 0), 0u);
+  EXPECT_DOUBLE_EQ(scheme.nearest_cost(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(scheme.nearest_cost(0, 0), 0.0);
+  EXPECT_TRUE(scheme.is_valid());
+}
+
+TEST(ReplicationScheme, AddUpdatesNearest) {
+  const Problem p = testing::line3_problem(10.0);
+  ReplicationScheme scheme(p);
+  scheme.add(2, 0);
+  EXPECT_TRUE(scheme.has_replica(2, 0));
+  EXPECT_EQ(scheme.extra_replicas(), 1u);
+  EXPECT_DOUBLE_EQ(scheme.nearest_cost(2, 0), 0.0);
+  EXPECT_EQ(scheme.nearest(2, 0), 2u);
+  // Site 1 is equidistant (1.0) from both replicas; cost must be 1.
+  EXPECT_DOUBLE_EQ(scheme.nearest_cost(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scheme.used(2), 10.0);
+}
+
+TEST(ReplicationScheme, AddIsIdempotent) {
+  const Problem p = testing::line3_problem(10.0);
+  ReplicationScheme scheme(p);
+  scheme.add(1, 0);
+  scheme.add(1, 0);
+  EXPECT_EQ(scheme.replicas(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(scheme.used(1), 10.0);
+}
+
+TEST(ReplicationScheme, RemoveRestoresNearest) {
+  const Problem p = testing::line3_problem(10.0);
+  ReplicationScheme scheme(p);
+  scheme.add(2, 0);
+  scheme.remove(2, 0);
+  EXPECT_FALSE(scheme.has_replica(2, 0));
+  EXPECT_EQ(scheme.nearest(2, 0), 0u);
+  EXPECT_DOUBLE_EQ(scheme.nearest_cost(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(scheme.used(2), 0.0);
+  EXPECT_EQ(scheme.extra_replicas(), 0u);
+}
+
+TEST(ReplicationScheme, RemovePrimaryThrows) {
+  const Problem p = testing::line3_problem(10.0);
+  ReplicationScheme scheme(p);
+  EXPECT_THROW(scheme.remove(0, 0), std::invalid_argument);
+}
+
+TEST(ReplicationScheme, RemoveAbsentIsNoOp) {
+  const Problem p = testing::line3_problem(10.0);
+  ReplicationScheme scheme(p);
+  EXPECT_NO_THROW(scheme.remove(1, 0));
+  EXPECT_EQ(scheme.total_replicas(), 1u);
+}
+
+TEST(ReplicationScheme, CapacityAccounting) {
+  const Problem p = testing::line3_problem(10.0, /*capacity=*/15.0);
+  ReplicationScheme scheme(p);
+  EXPECT_TRUE(scheme.fits(1, 0));
+  scheme.add(1, 0);
+  EXPECT_FALSE(scheme.fits(1, 0) && !scheme.has_replica(1, 0));
+  EXPECT_DOUBLE_EQ(scheme.free_capacity(1), 5.0);
+  EXPECT_TRUE(scheme.is_valid());
+}
+
+TEST(ReplicationScheme, FromMatrixForcesPrimaries) {
+  const Problem p = testing::line3_problem(10.0);
+  std::vector<std::uint8_t> matrix(3, 0);  // even the primary bit unset
+  matrix[1] = 1;                           // replica at site 1
+  ReplicationScheme scheme(p, matrix);
+  EXPECT_TRUE(scheme.has_replica(0, 0));  // primary forced
+  EXPECT_TRUE(scheme.has_replica(1, 0));
+  EXPECT_FALSE(scheme.has_replica(2, 0));
+  EXPECT_EQ(scheme.extra_replicas(), 1u);
+}
+
+TEST(ReplicationScheme, FromMatrixRejectsWrongSize) {
+  const Problem p = testing::line3_problem(10.0);
+  std::vector<std::uint8_t> matrix(5, 0);
+  EXPECT_THROW(ReplicationScheme(p, matrix), std::invalid_argument);
+}
+
+TEST(ReplicationScheme, MatrixRoundTrip) {
+  const Problem p = testing::small_random_problem(3);
+  ReplicationScheme scheme(p);
+  util::Rng rng(99);
+  for (int step = 0; step < 30; ++step) {
+    const auto i = static_cast<SiteId>(rng.index(p.sites()));
+    const auto k = static_cast<ObjectId>(rng.index(p.objects()));
+    scheme.add(i, k);
+  }
+  ReplicationScheme copy(p, scheme.matrix());
+  EXPECT_EQ(copy.matrix(), scheme.matrix());
+  EXPECT_EQ(copy.total_replicas(), scheme.total_replicas());
+}
+
+// Property: after any randomized add/remove sequence the incremental
+// nearest index equals a brute-force scan of the replica lists.
+class ReplicationNearestProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplicationNearestProperty, IncrementalNearestMatchesBruteForce) {
+  const Problem p = testing::small_random_problem(GetParam());
+  ReplicationScheme scheme(p);
+  util::Rng rng(GetParam() * 31 + 7);
+  for (int step = 0; step < 200; ++step) {
+    const auto i = static_cast<SiteId>(rng.index(p.sites()));
+    const auto k = static_cast<ObjectId>(rng.index(p.objects()));
+    if (rng.bernoulli(0.6)) {
+      scheme.add(i, k);
+    } else if (p.primary(k) != i) {
+      scheme.remove(i, k);
+    }
+  }
+  for (SiteId i = 0; i < p.sites(); ++i) {
+    for (ObjectId k = 0; k < p.objects(); ++k) {
+      double best = std::numeric_limits<double>::infinity();
+      for (SiteId rep : scheme.replicas(k)) best = std::min(best, p.cost(i, rep));
+      EXPECT_DOUBLE_EQ(scheme.nearest_cost(i, k), best);
+      EXPECT_DOUBLE_EQ(p.cost(i, scheme.nearest(i, k)), best);
+      EXPECT_TRUE(scheme.has_replica(scheme.nearest(i, k), k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationNearestProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: used() always equals the sum of stored object sizes.
+TEST(ReplicationScheme, UsedMatchesMatrixSum) {
+  const Problem p = testing::small_random_problem(11);
+  ReplicationScheme scheme(p);
+  util::Rng rng(5);
+  for (int step = 0; step < 100; ++step) {
+    const auto i = static_cast<SiteId>(rng.index(p.sites()));
+    const auto k = static_cast<ObjectId>(rng.index(p.objects()));
+    scheme.add(i, k);
+  }
+  for (SiteId i = 0; i < p.sites(); ++i) {
+    double expected = 0.0;
+    for (ObjectId k = 0; k < p.objects(); ++k) {
+      if (scheme.has_replica(i, k)) expected += p.object_size(k);
+    }
+    EXPECT_DOUBLE_EQ(scheme.used(i), expected);
+  }
+}
+
+}  // namespace
+}  // namespace drep::core

@@ -1,0 +1,105 @@
+#include "ga/crossover.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drep::ga {
+namespace {
+
+/// Position-wise conservation: each child position holds one of the two
+/// parent values and the children are complementary.
+void expect_conserved(const Chromosome& pa, const Chromosome& pb,
+                      const Chromosome& ca, const Chromosome& cb) {
+  ASSERT_EQ(ca.size(), pa.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const bool straight = ca[i] == pa[i] && cb[i] == pb[i];
+    const bool swapped = ca[i] == pb[i] && cb[i] == pa[i];
+    EXPECT_TRUE(straight || swapped) << "position " << i;
+  }
+}
+
+TEST(TwoPoint, ConservesGenesAcrossManyDraws) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Chromosome pa(37), pb(37);
+    for (std::size_t i = 0; i < 37; ++i) {
+      pa[i] = rng.bernoulli(0.5);
+      pb[i] = rng.bernoulli(0.5);
+    }
+    Chromosome ca = pa, cb = pb;
+    (void)two_point_crossover(ca, cb, rng);
+    expect_conserved(pa, pb, ca, cb);
+  }
+}
+
+TEST(TwoPoint, CutDescriptorMatchesEffect) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    Chromosome pa(20, 0), pb(20, 1);
+    Chromosome ca = pa, cb = pb;
+    const CrossoverCut cut = two_point_crossover(ca, cb, rng);
+    ASSERT_LE(cut.lo, cut.hi);
+    ASSERT_LE(cut.hi, 20u);
+    for (std::size_t i = 0; i < 20; ++i) {
+      const bool inside = i >= cut.lo && i < cut.hi;
+      const bool exchanged = cut.middle ? inside : !inside;
+      EXPECT_EQ(ca[i], exchanged ? 1 : 0) << "trial " << trial << " pos " << i;
+      EXPECT_EQ(cb[i], exchanged ? 0 : 1);
+    }
+  }
+}
+
+TEST(TwoPoint, BothSwapDirectionsOccur) {
+  util::Rng rng(3);
+  int middle = 0, outer = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Chromosome a(10, 0), b(10, 1);
+    const CrossoverCut cut = two_point_crossover(a, b, rng);
+    (cut.middle ? middle : outer)++;
+  }
+  EXPECT_GT(middle, 50);
+  EXPECT_GT(outer, 50);
+}
+
+TEST(OnePoint, SwapsPrefixOrSuffix) {
+  util::Rng rng(4);
+  int prefix = 0, suffix = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Chromosome a(12, 0), b(12, 1);
+    const CrossoverCut cut = one_point_crossover(a, b, rng);
+    EXPECT_TRUE(cut.middle);
+    if (cut.lo == 0) {
+      ++prefix;
+      for (std::size_t i = 0; i < cut.hi; ++i) EXPECT_EQ(a[i], 1);
+      for (std::size_t i = cut.hi; i < 12; ++i) EXPECT_EQ(a[i], 0);
+    } else {
+      ++suffix;
+      EXPECT_EQ(cut.hi, 12u);
+      for (std::size_t i = 0; i < cut.lo; ++i) EXPECT_EQ(a[i], 0);
+      for (std::size_t i = cut.lo; i < 12; ++i) EXPECT_EQ(a[i], 1);
+    }
+  }
+  EXPECT_GT(prefix, 50);
+  EXPECT_GT(suffix, 50);
+}
+
+TEST(Uniform, MixesRoughlyHalf) {
+  util::Rng rng(5);
+  Chromosome a(10000, 0), b(10000, 1);
+  (void)uniform_crossover(a, b, rng);
+  EXPECT_NEAR(static_cast<double>(count_ones(a)), 5000.0, 300.0);
+  // Complementarity.
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NE(a[i], b[i]);
+}
+
+TEST(Crossover, Validation) {
+  util::Rng rng(6);
+  Chromosome a(5, 0), b(6, 0), empty_a, empty_b;
+  EXPECT_THROW((void)two_point_crossover(a, b, rng), std::invalid_argument);
+  EXPECT_THROW((void)one_point_crossover(a, b, rng), std::invalid_argument);
+  EXPECT_THROW((void)uniform_crossover(a, b, rng), std::invalid_argument);
+  EXPECT_THROW((void)two_point_crossover(empty_a, empty_b, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drep::ga

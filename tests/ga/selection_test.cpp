@@ -1,0 +1,198 @@
+#include "ga/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace drep::ga {
+namespace {
+
+TEST(Roulette, ProportionalFrequencies) {
+  util::Rng rng(1);
+  const std::vector<double> fitness{1.0, 2.0, 7.0};
+  std::map<std::size_t, int> counts;
+  const std::size_t draws = 50000;
+  for (const std::size_t pick : roulette_selection(fitness, draws, rng))
+    counts[pick]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.7, 0.01);
+}
+
+TEST(Roulette, DegenerateFitnessFallsBackToUniform) {
+  util::Rng rng(2);
+  const std::vector<double> fitness{0.0, 0.0, -1.0};
+  std::map<std::size_t, int> counts;
+  for (const std::size_t pick : roulette_selection(fitness, 30000, rng))
+    counts[pick]++;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(counts[i], 10000, 600);
+}
+
+TEST(Roulette, EmptyPoolThrows) {
+  util::Rng rng(3);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)roulette_selection(empty, 1, rng), std::invalid_argument);
+}
+
+TEST(StochasticRemainder, ExactSlotCount) {
+  util::Rng rng(4);
+  const std::vector<double> fitness{0.5, 1.5, 3.0};
+  for (std::size_t slots : {1u, 7u, 50u}) {
+    EXPECT_EQ(stochastic_remainder_selection(fitness, slots, rng).size(), slots);
+  }
+}
+
+TEST(StochasticRemainder, IntegerPartsAreDeterministic) {
+  // fitness 1,1,2 over 4 slots: expectations are exactly 1,1,2 — the pick
+  // multiset must be {0,1,2,2} on every draw.
+  const std::vector<double> fitness{1.0, 1.0, 2.0};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    auto picks = stochastic_remainder_selection(fitness, 4, rng);
+    std::sort(picks.begin(), picks.end());
+    EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2, 2})) << "seed " << seed;
+  }
+}
+
+TEST(StochasticRemainder, GuaranteesFloorOfExpectation) {
+  util::Rng rng(5);
+  const std::vector<double> fitness{5.0, 3.0, 2.0};
+  // Expectations over 10 slots: 5, 3, 2 — all integers, so deterministic.
+  for (int trial = 0; trial < 10; ++trial) {
+    auto picks = stochastic_remainder_selection(fitness, 10, rng);
+    std::map<std::size_t, int> counts;
+    for (std::size_t p : picks) counts[p]++;
+    EXPECT_EQ(counts[0], 5);
+    EXPECT_EQ(counts[1], 3);
+    EXPECT_EQ(counts[2], 2);
+  }
+}
+
+TEST(StochasticRemainder, FractionalPartsResolveProportionally) {
+  // fitness .4/.6 over 1 slot: pure fractional raffle, 40/60 split.
+  const std::vector<double> fitness{0.4, 0.6};
+  util::Rng rng(6);
+  int zero_picks = 0;
+  const int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    zero_picks += stochastic_remainder_selection(fitness, 1, rng)[0] == 0;
+  }
+  EXPECT_NEAR(zero_picks / static_cast<double>(trials), 0.4, 0.02);
+}
+
+TEST(StochasticRemainder, LowerSamplingErrorThanRoulette) {
+  // The whole point of the technique: with proportionate expectations the
+  // count deviation per chromosome is < 1 deterministic + raffle, while
+  // roulette's is binomial. Check variance over repeated draws.
+  const std::vector<double> fitness{1.0, 1.0, 1.0, 1.0};
+  util::Rng rng(7);
+  double sr_sq_dev = 0.0, rl_sq_dev = 0.0;
+  const int trials = 500;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::map<std::size_t, int> sr_counts, rl_counts;
+    for (std::size_t p : stochastic_remainder_selection(fitness, 8, rng))
+      sr_counts[p]++;
+    for (std::size_t p : roulette_selection(fitness, 8, rng)) rl_counts[p]++;
+    for (std::size_t i = 0; i < 4; ++i) {
+      sr_sq_dev += (sr_counts[i] - 2.0) * (sr_counts[i] - 2.0);
+      rl_sq_dev += (rl_counts[i] - 2.0) * (rl_counts[i] - 2.0);
+    }
+  }
+  EXPECT_EQ(sr_sq_dev, 0.0);  // expectations are integral: no error at all
+  EXPECT_GT(rl_sq_dev, 0.0);
+}
+
+TEST(StochasticRemainder, DegenerateFitnessFallsBackToUniform) {
+  util::Rng rng(8);
+  const std::vector<double> fitness{0.0, 0.0};
+  const auto picks = stochastic_remainder_selection(fitness, 1000, rng);
+  const auto zeros = static_cast<double>(
+      std::count(picks.begin(), picks.end(), std::size_t{0}));
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.08);
+}
+
+TEST(Tournament, HigherArityMeansMorePressure) {
+  util::Rng rng(10);
+  const std::vector<double> fitness{0.1, 0.2, 0.3, 0.4};
+  const auto best_share = [&](std::size_t arity) {
+    int best = 0;
+    const int draws = 20000;
+    for (int d = 0; d < draws; ++d) {
+      best += tournament_selection(fitness, 1, arity, rng)[0] == 3;
+    }
+    return best / static_cast<double>(draws);
+  };
+  const double arity2 = best_share(2);
+  const double arity5 = best_share(5);
+  EXPECT_GT(arity2, 0.25);  // better than uniform
+  EXPECT_GT(arity5, arity2);
+}
+
+TEST(Tournament, ArityOneIsUniform) {
+  util::Rng rng(11);
+  const std::vector<double> fitness{1.0, 100.0};
+  int zero = 0;
+  for (int d = 0; d < 20000; ++d)
+    zero += tournament_selection(fitness, 1, 1, rng)[0] == 0;
+  EXPECT_NEAR(zero / 20000.0, 0.5, 0.02);
+}
+
+TEST(Tournament, Validation) {
+  util::Rng rng(12);
+  const std::vector<double> empty;
+  const std::vector<double> some{1.0};
+  EXPECT_THROW((void)tournament_selection(empty, 1, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)tournament_selection(some, 1, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Rank, FollowsRankNotMagnitude) {
+  util::Rng rng(13);
+  // Huge magnitude gap but only two ranks: probabilities must be 1/3 : 2/3.
+  const std::vector<double> fitness{1e-9, 1e9};
+  int worst = 0;
+  const int draws = 30000;
+  for (const std::size_t pick : rank_selection(fitness, draws, rng))
+    worst += pick == 0;
+  EXPECT_NEAR(worst / static_cast<double>(draws), 1.0 / 3.0, 0.02);
+}
+
+TEST(Rank, TiesShareProbabilityByRankOrder) {
+  util::Rng rng(14);
+  const std::vector<double> fitness{0.5, 0.5, 0.5};
+  std::map<std::size_t, int> counts;
+  for (const std::size_t pick : rank_selection(fitness, 30000, rng))
+    counts[pick]++;
+  // Ranks 1,2,3 over equal fitness: shares 1/6, 2/6, 3/6 in *some* stable
+  // order; the sum of all shares is what matters — no crash, full coverage.
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(Rank, EmptyPoolThrows) {
+  util::Rng rng(15);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)rank_selection(empty, 1, rng), std::invalid_argument);
+}
+
+TEST(CrossoverPairing, IsPermutation) {
+  util::Rng rng(9);
+  const auto order = crossover_pairing(25, rng);
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(BestWorstIndex, Basics) {
+  const std::vector<double> fitness{0.3, 0.9, 0.1, 0.9};
+  EXPECT_EQ(best_index(fitness), 1u);   // first maximum
+  EXPECT_EQ(worst_index(fitness), 2u);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)best_index(empty), std::invalid_argument);
+  EXPECT_THROW((void)worst_index(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drep::ga

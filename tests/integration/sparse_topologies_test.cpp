@@ -1,0 +1,131 @@
+// Cross-module properties on sparse (non-complete) topologies — the
+// workload generator always draws dense graphs, so these guard the paths
+// where C(i,j) comes from a real shortest-path computation over rings,
+// stars, trees, and sparse meshes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/adr.hpp"
+#include "algo/gra.hpp"
+#include "algo/sra.hpp"
+#include "core/cost_model.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "sim/access_replay.hpp"
+#include "sim/distributed_sra.hpp"
+#include "workload/trace.hpp"
+
+namespace drep {
+namespace {
+
+/// A problem over an arbitrary topology with random integer patterns.
+core::Problem sparse_problem(const net::Graph& graph, std::size_t objects,
+                             std::uint64_t seed) {
+  net::CostMatrix costs = net::floyd_warshall(graph);
+  const std::size_t m = costs.sites();
+  util::Rng rng(seed);
+  std::vector<double> sizes(objects);
+  std::vector<core::SiteId> primaries(objects);
+  for (std::size_t k = 0; k < objects; ++k) {
+    sizes[k] = static_cast<double>(rng.uniform_u64(5, 40));
+    primaries[k] = static_cast<core::SiteId>(rng.index(m));
+  }
+  double total = 0.0;
+  for (double s : sizes) total += s;
+  std::vector<double> pinned(m, 0.0);
+  for (std::size_t k = 0; k < objects; ++k) pinned[primaries[k]] += sizes[k];
+  std::vector<double> capacities(m);
+  for (std::size_t i = 0; i < m; ++i)
+    capacities[i] = std::max(0.3 * total, pinned[i]);
+  core::Problem problem(std::move(costs), std::move(sizes),
+                        std::move(primaries), std::move(capacities));
+  for (core::SiteId i = 0; i < m; ++i) {
+    for (core::ObjectId k = 0; k < objects; ++k) {
+      problem.set_reads(i, k, static_cast<double>(rng.uniform_u64(0, 15)));
+      if (rng.bernoulli(0.15))
+        problem.set_writes(i, k, static_cast<double>(rng.uniform_u64(0, 3)));
+    }
+  }
+  problem.validate();
+  return problem;
+}
+
+struct TopologyCase {
+  std::string name;
+  net::Graph graph;
+};
+
+std::vector<TopologyCase> topologies() {
+  util::Rng rng(77);
+  std::vector<TopologyCase> cases;
+  cases.push_back({"ring", net::ring_graph(9, 2.0)});
+  cases.push_back({"star", net::star_graph(9, 3.0)});
+  cases.push_back({"tree", net::random_tree(9, 1, 6, rng)});
+  cases.push_back({"mesh", net::random_connected_graph(9, 0.25, 1, 6, rng)});
+  return cases;
+}
+
+class SparseTopology : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SparseTopology, CostBookkeepingsAgree) {
+  const TopologyCase topo = topologies()[GetParam()];
+  const core::Problem p = sparse_problem(topo.graph, 7, 1);
+  core::ReplicationScheme scheme(p);
+  util::Rng rng(2);
+  for (int step = 0; step < 20; ++step) {
+    scheme.add(static_cast<core::SiteId>(rng.index(p.sites())),
+               static_cast<core::ObjectId>(rng.index(p.objects())));
+  }
+  EXPECT_NEAR(core::total_cost(scheme), core::total_cost_writer_view(scheme),
+              1e-6 * std::max(1.0, core::total_cost(scheme)))
+      << topo.name;
+}
+
+TEST_P(SparseTopology, ReplayMatchesAnalyticCost) {
+  const TopologyCase topo = topologies()[GetParam()];
+  const core::Problem p = sparse_problem(topo.graph, 6, 3);
+  const algo::AlgorithmResult sra = algo::solve_sra(p);
+  util::Rng rng(4);
+  const auto trace = workload::build_trace(p, rng);
+  const sim::ReplayResult replay = sim::replay_trace(sra.scheme, trace);
+  EXPECT_NEAR(replay.traffic.data_traffic, sra.cost,
+              1e-6 * std::max(1.0, sra.cost))
+      << topo.name;
+}
+
+TEST_P(SparseTopology, DistributedSraMatchesCentralized) {
+  const TopologyCase topo = topologies()[GetParam()];
+  const core::Problem p = sparse_problem(topo.graph, 6, 5);
+  const sim::DistributedSraResult distributed = sim::run_distributed_sra(p);
+  const algo::AlgorithmResult centralized = algo::solve_sra(p);
+  EXPECT_EQ(distributed.scheme.matrix(), centralized.scheme.matrix())
+      << topo.name;
+}
+
+TEST_P(SparseTopology, AlgorithmsStayValidAndNonNegative) {
+  const TopologyCase topo = topologies()[GetParam()];
+  const core::Problem p = sparse_problem(topo.graph, 8, 6);
+  const algo::AlgorithmResult sra = algo::solve_sra(p);
+  EXPECT_TRUE(sra.scheme.is_valid());
+  EXPECT_GE(sra.savings_percent, 0.0);
+
+  algo::GraConfig config;
+  config.population = 10;
+  config.generations = 10;
+  util::Rng rng(7);
+  const algo::GraResult gra = algo::solve_gra(p, config, rng);
+  EXPECT_TRUE(gra.best.scheme.is_valid());
+  EXPECT_GE(gra.best.savings_percent, sra.savings_percent - 5.0);
+
+  const algo::AlgorithmResult adr = algo::solve_adr_mst(p);
+  EXPECT_TRUE(adr.scheme.is_valid());
+  EXPECT_GE(adr.savings_percent, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SparseTopology,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace drep

@@ -1,0 +1,114 @@
+// Robustness fuzzing for the text parsers: randomly corrupted inputs must
+// either parse (when the corruption happens to keep the format valid) or
+// throw a typed exception — never crash, hang, or produce an inconsistent
+// Problem. Deterministic seeds keep failures reproducible.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cost_model.hpp"
+#include "io/serialize.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::io {
+namespace {
+
+/// Applies `edits` random single-character mutations (replace, delete, or
+/// insert) to `text`.
+std::string mutate(std::string text, int edits, util::Rng& rng) {
+  const std::string alphabet = "0123456789 .-\nabcxyz";
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const std::size_t pos = rng.index(text.size());
+    switch (rng.index(3)) {
+      case 0:
+        text[pos] = alphabet[rng.index(alphabet.size())];
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, alphabet[rng.index(alphabet.size())]);
+        break;
+    }
+  }
+  return text;
+}
+
+/// If the mutated text still parses, the result must be a coherent Problem.
+void expect_parse_or_throw(const std::string& text) {
+  std::stringstream in(text);
+  try {
+    const core::Problem problem = read_problem(in);
+    EXPECT_GT(problem.sites(), 0u);
+    EXPECT_GT(problem.objects(), 0u);
+    // Totals must be consistent with the matrices.
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      double reads = 0.0;
+      for (core::SiteId i = 0; i < problem.sites(); ++i)
+        reads += problem.reads(i, k);
+      EXPECT_DOUBLE_EQ(reads, problem.total_reads(k));
+    }
+    // And the cost model must be evaluable.
+    (void)core::primary_only_cost(problem);
+  } catch (const std::invalid_argument&) {
+    // expected for malformed input
+  } catch (const std::out_of_range&) {
+    // std::stod range failures inside the tokenizer are acceptable too
+  }
+}
+
+class ProblemFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProblemFuzz, MutatedInputNeverCrashesTheParser) {
+  const core::Problem original = testing::small_random_problem(1, 6, 5);
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  const std::string pristine = buffer.str();
+
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const int edits = 1 + static_cast<int>(rng.index(8));
+    expect_parse_or_throw(mutate(pristine, edits, rng));
+  }
+}
+
+TEST_P(ProblemFuzz, TruncationsAlwaysThrow) {
+  const core::Problem original = testing::small_random_problem(2, 5, 4);
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  const std::string pristine = buffer.str();
+  util::Rng rng(GetParam() + 99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Cut somewhere strictly inside the payload (keep the magic line).
+    const std::size_t cut =
+        20 + rng.index(pristine.size() - 21);
+    std::stringstream in(pristine.substr(0, cut));
+    EXPECT_THROW((void)read_problem(in), std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProblemFuzz, ::testing::Values(1, 2, 3, 4));
+
+TEST(SchemeFuzz, MutatedSchemesNeverCrash) {
+  const core::Problem problem = testing::small_random_problem(3, 6, 5);
+  core::ReplicationScheme scheme(problem);
+  scheme.add(problem.primary(0) == 0 ? 1 : 0, 0);
+  std::stringstream buffer;
+  write_scheme(buffer, scheme);
+  const std::string pristine = buffer.str();
+  util::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::stringstream in(mutate(pristine, 1 + static_cast<int>(rng.index(5)), rng));
+    try {
+      const core::ReplicationScheme loaded = read_scheme(in, problem);
+      EXPECT_TRUE(loaded.total_replicas() >= problem.objects());
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drep::io

@@ -1,0 +1,162 @@
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::io {
+namespace {
+
+TEST(ProblemIo, RoundTripPreservesEverything) {
+  const core::Problem original = testing::small_random_problem(1);
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  const core::Problem loaded = read_problem(buffer);
+
+  ASSERT_EQ(loaded.sites(), original.sites());
+  ASSERT_EQ(loaded.objects(), original.objects());
+  for (core::SiteId i = 0; i < original.sites(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.capacity(i), original.capacity(i));
+    for (core::SiteId j = 0; j < original.sites(); ++j)
+      EXPECT_DOUBLE_EQ(loaded.cost(i, j), original.cost(i, j));
+    for (core::ObjectId k = 0; k < original.objects(); ++k) {
+      EXPECT_DOUBLE_EQ(loaded.reads(i, k), original.reads(i, k));
+      EXPECT_DOUBLE_EQ(loaded.writes(i, k), original.writes(i, k));
+    }
+  }
+  for (core::ObjectId k = 0; k < original.objects(); ++k) {
+    EXPECT_DOUBLE_EQ(loaded.object_size(k), original.object_size(k));
+    EXPECT_EQ(loaded.primary(k), original.primary(k));
+    EXPECT_DOUBLE_EQ(loaded.total_reads(k), original.total_reads(k));
+    EXPECT_DOUBLE_EQ(loaded.total_writes(k), original.total_writes(k));
+  }
+}
+
+TEST(ProblemIo, RoundTripIsByteStable) {
+  const core::Problem original = testing::small_random_problem(2);
+  std::stringstream first, second;
+  write_problem(first, original);
+  core::Problem loaded = read_problem(first);
+  write_problem(second, loaded);
+  first.clear();
+  first.seekg(0);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ProblemIo, CommentsAndBlankLinesIgnored) {
+  const core::Problem original = testing::line3_problem();
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  std::string text = buffer.str();
+  text.insert(0, "# a header comment\n\n");
+  std::stringstream patched(text);
+  EXPECT_NO_THROW((void)read_problem(patched));
+}
+
+TEST(ProblemIo, RejectsCorruptInput) {
+  const auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW((void)read_problem(in), std::invalid_argument) << text;
+  };
+  expect_reject("");                          // empty
+  expect_reject("drep-scheme v1\n");          // wrong magic
+  expect_reject("drep-problem v1\nsites x\n");  // bad count
+  expect_reject("drep-problem v1\nsites 2\nobjects 0\n");  // zero objects
+
+  // Truncated after the costs section.
+  const core::Problem original = testing::line3_problem();
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  const std::string full = buffer.str();
+  expect_reject(full.substr(0, full.find("sizes")));
+
+  // Asymmetric costs.
+  std::string broken = full;
+  const auto pos = broken.find("costs\n") + 6;
+  broken[pos] = '9';  // cost(0,0) becomes 9 -> non-zero diagonal
+  expect_reject(broken);
+}
+
+TEST(ProblemIo, RejectsRowWithExtraValues) {
+  const core::Problem original = testing::line3_problem();
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  std::string text = buffer.str();
+  const auto sizes_pos = text.find("sizes\n") + 6;
+  text.insert(text.find('\n', sizes_pos), " 42");
+  std::stringstream in(text);
+  EXPECT_THROW((void)read_problem(in), std::invalid_argument);
+}
+
+TEST(SchemeIo, RoundTrip) {
+  const core::Problem problem = testing::small_random_problem(3);
+  core::ReplicationScheme scheme(problem);
+  util::Rng rng(4);
+  for (int step = 0; step < 25; ++step) {
+    scheme.add(static_cast<core::SiteId>(rng.index(problem.sites())),
+               static_cast<core::ObjectId>(rng.index(problem.objects())));
+  }
+  std::stringstream buffer;
+  write_scheme(buffer, scheme);
+  const core::ReplicationScheme loaded = read_scheme(buffer, problem);
+  EXPECT_EQ(loaded.matrix(), scheme.matrix());
+  EXPECT_EQ(loaded.total_replicas(), scheme.total_replicas());
+}
+
+TEST(SchemeIo, RejectsDimensionMismatch) {
+  const core::Problem a = testing::small_random_problem(5, 8, 10);
+  const core::Problem b = testing::small_random_problem(6, 9, 10);
+  std::stringstream buffer;
+  write_scheme(buffer, core::ReplicationScheme(a));
+  EXPECT_THROW((void)read_scheme(buffer, b), std::invalid_argument);
+}
+
+TEST(SchemeIo, RejectsBadMatrixCells) {
+  const core::Problem problem = testing::line3_problem();
+  std::stringstream buffer;
+  write_scheme(buffer, core::ReplicationScheme(problem));
+  std::string text = buffer.str();
+  text[text.find("matrix\n") + 7] = '2';
+  std::stringstream in(text);
+  EXPECT_THROW((void)read_scheme(in, problem), std::invalid_argument);
+}
+
+TEST(FileIo, SaveAndLoad) {
+  const core::Problem original = testing::small_random_problem(7, 6, 8);
+  const std::string problem_path = ::testing::TempDir() + "drep_io_p.drp";
+  const std::string scheme_path = ::testing::TempDir() + "drep_io_s.drs";
+  save_problem(problem_path, original);
+  const core::Problem loaded = load_problem(problem_path);
+  EXPECT_EQ(loaded.sites(), original.sites());
+
+  core::ReplicationScheme scheme(loaded);
+  scheme.add(loaded.primary(0) == 0 ? 1 : 0, 0);
+  save_scheme(scheme_path, scheme);
+  const core::ReplicationScheme reloaded = load_scheme(scheme_path, loaded);
+  EXPECT_EQ(reloaded.matrix(), scheme.matrix());
+  std::remove(problem_path.c_str());
+  std::remove(scheme_path.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_problem("/nonexistent/path/problem.drp"),
+               std::runtime_error);
+}
+
+TEST(ProblemIo, CostModelSurvivesRoundTrip) {
+  // The serialized instance must produce bit-identical costs.
+  const core::Problem original = testing::small_random_problem(8);
+  std::stringstream buffer;
+  write_problem(buffer, original);
+  const core::Problem loaded = read_problem(buffer);
+  EXPECT_DOUBLE_EQ(core::primary_only_cost(loaded),
+                   core::primary_only_cost(original));
+}
+
+}  // namespace
+}  // namespace drep::io

@@ -1,0 +1,122 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace drep::net {
+namespace {
+
+TEST(CostMatrix, StartsWithZeroDiagonalAndInfElsewhere) {
+  CostMatrix costs(3);
+  for (SiteId i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(costs.at(i, i), 0.0);
+    for (SiteId j = 0; j < 3; ++j) {
+      if (i != j) EXPECT_TRUE(std::isinf(costs.at(i, j)));
+    }
+  }
+}
+
+TEST(CostMatrix, SetIsSymmetric) {
+  CostMatrix costs(3);
+  costs.set(0, 2, 7.0);
+  EXPECT_DOUBLE_EQ(costs.at(0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(costs.at(2, 0), 7.0);
+}
+
+TEST(CostMatrix, SetValidation) {
+  CostMatrix costs(3);
+  EXPECT_THROW(costs.set(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(costs.set(1, 1, 2.0), std::invalid_argument);
+  costs.set(1, 1, 0.0);  // allowed no-op
+  EXPECT_THROW(costs.set(0, 3, 1.0), std::out_of_range);
+  EXPECT_THROW((void)costs.at(3, 0), std::out_of_range);
+}
+
+TEST(CostMatrix, RowAccess) {
+  CostMatrix costs(3);
+  costs.set(1, 0, 4.0);
+  costs.set(1, 2, 6.0);
+  const auto row = costs.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+TEST(CostMatrix, RowSums) {
+  CostMatrix costs(3);
+  costs.set(0, 1, 1.0);
+  costs.set(0, 2, 2.0);
+  costs.set(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(costs.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(costs.row_sum(1), 5.0);
+  EXPECT_DOUBLE_EQ(costs.row_sum(2), 6.0);
+  EXPECT_NEAR(costs.mean_row_sum(), 14.0 / 3.0, 1e-12);
+}
+
+TEST(CostMatrix, MetricDetection) {
+  CostMatrix metric(3);
+  metric.set(0, 1, 1.0);
+  metric.set(1, 2, 1.0);
+  metric.set(0, 2, 2.0);
+  double violation = -1.0;
+  EXPECT_TRUE(metric.is_metric(&violation));
+  EXPECT_DOUBLE_EQ(violation, 0.0);
+
+  CostMatrix broken(3);
+  broken.set(0, 1, 1.0);
+  broken.set(1, 2, 1.0);
+  broken.set(0, 2, 5.0);  // 5 > 1 + 1
+  EXPECT_FALSE(broken.is_metric(&violation));
+  EXPECT_DOUBLE_EQ(violation, 3.0);
+}
+
+TEST(CostMatrix, InfiniteEntriesAreNotMetric) {
+  CostMatrix costs(3);
+  costs.set(0, 1, 1.0);
+  // (0,2) and (1,2) still infinite.
+  EXPECT_FALSE(costs.is_metric());
+}
+
+TEST(CostMatrix, SingleSiteIsTriviallyMetric) {
+  CostMatrix costs(1);
+  EXPECT_TRUE(costs.is_metric());
+}
+
+TEST(Graph, AddEdgeValidation) {
+  Graph graph(3);
+  EXPECT_THROW(graph.add_edge(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(0, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(0, 1, -2.0), std::invalid_argument);
+  graph.add_edge(0, 1, 1.5);
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(Graph, EdgesAreUndirected) {
+  Graph graph(3);
+  graph.add_edge(0, 2, 3.0);
+  ASSERT_EQ(graph.neighbors(0).size(), 1u);
+  ASSERT_EQ(graph.neighbors(2).size(), 1u);
+  EXPECT_EQ(graph.neighbors(0)[0].to, 2u);
+  EXPECT_EQ(graph.neighbors(2)[0].to, 0u);
+  EXPECT_DOUBLE_EQ(graph.neighbors(0)[0].weight, 3.0);
+}
+
+TEST(Graph, Connectivity) {
+  Graph graph(4);
+  graph.add_edge(0, 1, 1.0);
+  graph.add_edge(1, 2, 1.0);
+  EXPECT_FALSE(graph.connected());
+  graph.add_edge(2, 3, 1.0);
+  EXPECT_TRUE(graph.connected());
+}
+
+TEST(Graph, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(Graph(0).connected());
+  EXPECT_TRUE(Graph(1).connected());
+}
+
+}  // namespace
+}  // namespace drep::net

@@ -1,0 +1,110 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace drep::sim {
+namespace {
+
+net::CostMatrix line_costs() {
+  net::CostMatrix costs(3);
+  costs.set(0, 1, 2.0);
+  costs.set(1, 2, 3.0);
+  costs.set(0, 2, 5.0);
+  return costs;
+}
+
+/// Records everything it receives.
+class RecorderNode final : public Node {
+ public:
+  void handle(const Message& message) override { received.push_back(message); }
+  std::vector<Message> received;
+};
+
+TEST(DesNetwork, DeliversWithCostProportionalLatency) {
+  const net::CostMatrix costs = line_costs();
+  DesNetwork network(costs, /*latency_per_cost=*/2.0);
+  RecorderNode node0, node1, node2;
+  network.attach(0, node0);
+  network.attach(1, node1);
+  network.attach(2, node2);
+  network.send(0, 2, 4.0, std::string("payload"));
+  network.run();
+  ASSERT_EQ(node2.received.size(), 1u);
+  EXPECT_EQ(node2.received[0].from, 0u);
+  EXPECT_DOUBLE_EQ(node2.received[0].size_units, 4.0);
+  EXPECT_DOUBLE_EQ(network.queue().now(), 10.0);  // 2.0 × C(0,2)=5
+  EXPECT_EQ(std::any_cast<std::string>(node2.received[0].payload), "payload");
+}
+
+TEST(DesNetwork, TrafficAccounting) {
+  const net::CostMatrix costs = line_costs();
+  DesNetwork network(costs);
+  RecorderNode nodes[3];
+  for (SiteId i = 0; i < 3; ++i) network.attach(i, nodes[i]);
+  network.send(0, 1, 10.0, 0);  // data: 10 × 2 = 20
+  network.send(1, 2, 0.0, 0);   // control: free
+  network.send(2, 0, 3.0, 0);   // data: 3 × 5 = 15
+  network.run();
+  EXPECT_DOUBLE_EQ(network.stats().data_traffic, 35.0);
+  EXPECT_EQ(network.stats().data_messages, 2u);
+  EXPECT_EQ(network.stats().control_messages, 1u);
+  EXPECT_EQ(network.stats().total_messages(), 3u);
+}
+
+TEST(DesNetwork, SelfSendIsImmediateAndFree) {
+  const net::CostMatrix costs = line_costs();
+  DesNetwork network(costs);
+  RecorderNode node;
+  network.attach(1, node);
+  network.send(1, 1, 100.0, 0);
+  network.run();
+  ASSERT_EQ(node.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(network.stats().data_traffic, 0.0);  // C(1,1)=0
+  EXPECT_DOUBLE_EQ(network.queue().now(), 0.0);
+}
+
+TEST(DesNetwork, UnattachedDestinationThrows) {
+  const net::CostMatrix costs = line_costs();
+  DesNetwork network(costs);
+  RecorderNode node;
+  network.attach(0, node);
+  network.send(0, 1, 1.0, 0);
+  EXPECT_THROW(network.run(), std::logic_error);
+}
+
+TEST(DesNetwork, AttachValidation) {
+  const net::CostMatrix costs = line_costs();
+  DesNetwork network(costs);
+  RecorderNode node;
+  EXPECT_THROW(network.attach(3, node), std::out_of_range);
+  EXPECT_THROW(DesNetwork(costs, -1.0), std::invalid_argument);
+}
+
+TEST(DesNetwork, HandlersMaySendMore) {
+  const net::CostMatrix costs = line_costs();
+  DesNetwork network(costs);
+  class Forwarder final : public Node {
+   public:
+    Forwarder(DesNetwork& net, SiteId self, SiteId next)
+        : net_(&net), self_(self), next_(next) {}
+    void handle(const Message& message) override {
+      if (message.size_units > 1.0)
+        net_->send(self_, next_, message.size_units - 1.0, 0);
+    }
+    DesNetwork* net_;
+    SiteId self_, next_;
+  };
+  Forwarder f0(network, 0, 1), f1(network, 1, 2), f2(network, 2, 0);
+  network.attach(0, f0);
+  network.attach(1, f1);
+  network.attach(2, f2);
+  network.send(2, 0, 3.0, 0);  // 3 hops: 3→2→1, stops at size 1
+  network.run();
+  EXPECT_EQ(network.stats().data_messages, 3u);
+}
+
+}  // namespace
+}  // namespace drep::sim

@@ -1,0 +1,85 @@
+#include "sim/distributed_sra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/sra.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::sim {
+namespace {
+
+// The distributed token protocol must reproduce the centralized algorithm's
+// scheme exactly (same round-robin order, same tie-breaks).
+class DistributedEqualsCentralized
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributedEqualsCentralized, SameScheme) {
+  const core::Problem p = testing::small_random_problem(GetParam(), 10, 12);
+  const DistributedSraResult distributed = run_distributed_sra(p);
+  const algo::AlgorithmResult centralized = algo::solve_sra(p);
+  EXPECT_EQ(distributed.scheme.matrix(), centralized.scheme.matrix());
+  EXPECT_EQ(distributed.replications, centralized.extra_replicas);
+}
+
+TEST_P(DistributedEqualsCentralized, AnyLeaderSameScheme) {
+  const core::Problem p = testing::small_random_problem(GetParam() + 30, 8, 8);
+  const algo::AlgorithmResult centralized = algo::solve_sra(p);
+  for (SiteId leader = 0; leader < p.sites(); leader += 3) {
+    const DistributedSraResult distributed = run_distributed_sra(p, leader);
+    EXPECT_EQ(distributed.scheme.matrix(), centralized.scheme.matrix())
+        << "leader " << leader;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedEqualsCentralized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DistributedSra, MigrationTrafficMatchesFetchedObjects) {
+  core::Problem p = testing::line3_problem(10.0);
+  p.set_reads(1, 0, 20.0);
+  p.set_reads(2, 0, 20.0);
+  const DistributedSraResult result = run_distributed_sra(p);
+  // Both non-primary sites replicate. Site order 0,1,2: site 1 fetches from
+  // SP at cost 1 (10 units), site 2 then fetches from nearest (site 1, cost
+  // 1, 10 units) — total 20 data units·cost.
+  EXPECT_EQ(result.replications, 2u);
+  EXPECT_DOUBLE_EQ(result.traffic.data_traffic, 20.0);
+  EXPECT_EQ(result.traffic.data_messages, 2u);
+}
+
+TEST(DistributedSra, TokenAccounting) {
+  const core::Problem p = testing::small_random_problem(7, 8, 10);
+  const DistributedSraResult result = run_distributed_sra(p);
+  // Every site is visited at least once before being dropped.
+  EXPECT_GE(result.token_passes, p.sites());
+  // Each replication costs one fetch round plus a reliable broadcast to
+  // M-1 sites with acks.
+  EXPECT_GE(result.traffic.control_messages,
+            result.replications * (p.sites() - 1));
+  EXPECT_GT(result.duration, 0.0);
+}
+
+TEST(DistributedSra, NoBeneficialReplicationMeansNoDataTraffic) {
+  core::Problem p = testing::line3_problem(10.0);
+  p.set_writes(1, 0, 100.0);
+  p.set_reads(2, 0, 1.0);
+  const DistributedSraResult result = run_distributed_sra(p);
+  EXPECT_EQ(result.replications, 0u);
+  EXPECT_DOUBLE_EQ(result.traffic.data_traffic, 0.0);
+}
+
+TEST(DistributedSra, LeaderValidation) {
+  const core::Problem p = testing::line3_problem();
+  EXPECT_THROW((void)run_distributed_sra(p, 3), std::invalid_argument);
+}
+
+TEST(DistributedSra, SchemeIsAlwaysValid) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    const core::Problem p = testing::small_random_problem(seed, 9, 10, 15.0);
+    const DistributedSraResult result = run_distributed_sra(p);
+    EXPECT_TRUE(result.scheme.is_valid());
+  }
+}
+
+}  // namespace
+}  // namespace drep::sim

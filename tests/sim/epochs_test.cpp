@@ -1,0 +1,110 @@
+#include "sim/epochs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::sim {
+namespace {
+
+EpochConfig fast_epochs(AdaptationPolicy policy) {
+  EpochConfig config;
+  config.epochs = 3;
+  config.policy = policy;
+  config.drift.change_percent = 500.0;
+  config.drift.objects_percent = 25.0;
+  config.drift.read_share_percent = 30.0;
+  config.monitor.gra.population = 8;
+  config.monitor.gra.generations = 8;
+  config.monitor.agra.population = 8;
+  config.monitor.agra.generations = 15;
+  config.monitor.agra.mini_gra_generations = 5;
+  config.monitor.agra.mini_gra = config.monitor.gra;
+  return config;
+}
+
+TEST(Epochs, ReportShapes) {
+  const core::Problem p = testing::small_random_problem(1, 10, 12);
+  util::Rng rng(2);
+  const EpochReport report =
+      run_epochs(p, fast_epochs(AdaptationPolicy::kAgraOnDrift), rng);
+  ASSERT_EQ(report.stale_savings.size(), 3u);
+  ASSERT_EQ(report.adapted_savings.size(), 3u);
+  ASSERT_EQ(report.objects_adapted.size(), 3u);
+  EXPECT_GT(report.served_traffic, 0.0);
+  EXPECT_GE(report.migration_traffic, 0.0);
+  EXPECT_DOUBLE_EQ(report.total_traffic(),
+                   report.served_traffic + report.migration_traffic);
+}
+
+TEST(Epochs, StaticPolicyNeverMigratesOrAdapts) {
+  const core::Problem p = testing::small_random_problem(3, 10, 12);
+  util::Rng rng(4);
+  const EpochReport report =
+      run_epochs(p, fast_epochs(AdaptationPolicy::kStatic), rng);
+  EXPECT_DOUBLE_EQ(report.migration_traffic, 0.0);
+  for (std::size_t e = 0; e < report.objects_adapted.size(); ++e) {
+    EXPECT_EQ(report.objects_adapted[e], 0u);
+    EXPECT_DOUBLE_EQ(report.stale_savings[e], report.adapted_savings[e]);
+  }
+}
+
+TEST(Epochs, AdaptationImprovesEachEpoch) {
+  const core::Problem p = testing::small_random_problem(5, 12, 15, 5.0, 15.0);
+  util::Rng rng(6);
+  const EpochReport report =
+      run_epochs(p, fast_epochs(AdaptationPolicy::kAgraOnDrift), rng);
+  for (std::size_t e = 0; e < report.adapted_savings.size(); ++e) {
+    EXPECT_GE(report.adapted_savings[e], report.stale_savings[e] - 1e-9)
+        << "epoch " << e;
+  }
+}
+
+TEST(Epochs, PoliciesSeeTheSameDrift) {
+  // Identical seeds must produce identical stale savings in epoch 0 across
+  // policies (the drift stream is isolated from policy randomness).
+  const core::Problem p = testing::small_random_problem(7, 10, 12);
+  util::Rng rng_a(8), rng_b(8);
+  const EpochReport a =
+      run_epochs(p, fast_epochs(AdaptationPolicy::kStatic), rng_a);
+  const EpochReport b =
+      run_epochs(p, fast_epochs(AdaptationPolicy::kAgraOnDrift), rng_b);
+  EXPECT_DOUBLE_EQ(a.stale_savings[0], b.stale_savings[0]);
+}
+
+TEST(Epochs, NightlyOnlyPaysMigrationAtTheEnd) {
+  const core::Problem p = testing::small_random_problem(9, 10, 12);
+  util::Rng rng(10);
+  const EpochReport report =
+      run_epochs(p, fast_epochs(AdaptationPolicy::kNightlyOnly), rng);
+  // The day itself is static...
+  for (const std::size_t adapted : report.objects_adapted)
+    EXPECT_EQ(adapted, 0u);
+  // ...but the final re-optimization almost surely moves something.
+  EXPECT_GT(report.migration_traffic, 0.0);
+}
+
+TEST(MigrationCost, HandComputed) {
+  core::Problem p = testing::line3_problem(10.0);
+  core::ReplicationScheme from(p);
+  core::ReplicationScheme to(p);
+  to.add(1, 0);  // fetched from the primary at cost 1
+  to.add(2, 0);  // fetched from the nearest holder under `from` (site 0, cost 2)
+  EXPECT_DOUBLE_EQ(core::migration_cost(from, to), 10.0 * 1.0 + 10.0 * 2.0);
+  // Reverse direction: only deallocations, free.
+  EXPECT_DOUBLE_EQ(core::migration_cost(to, from), 0.0);
+  // Identity.
+  EXPECT_DOUBLE_EQ(core::migration_cost(from, from), 0.0);
+}
+
+TEST(MigrationCost, RejectsForeignSchemes) {
+  const core::Problem a = testing::line3_problem();
+  const core::Problem b = testing::line3_problem();
+  const core::ReplicationScheme sa(a);
+  const core::ReplicationScheme sb(b);
+  EXPECT_THROW((void)core::migration_cost(sa, sb), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drep::sim

@@ -1,0 +1,77 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace drep::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.processed(), 3u);
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) queue.schedule_in(1.0, chain);
+  };
+  queue.schedule(0.0, chain);
+  queue.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyHandlers) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(6.0, EventQueue::Handler{}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_next());
+  queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.run_next());
+  EXPECT_FALSE(queue.run_next());
+}
+
+TEST(EventQueue, EventCapGuardsRunaway) {
+  EventQueue queue;
+  std::function<void()> forever = [&] { queue.schedule_in(1.0, forever); };
+  queue.schedule(0.0, forever);
+  EXPECT_THROW(queue.run(100), std::runtime_error);
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.run_next();
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace drep::sim

@@ -1,0 +1,127 @@
+#include "sim/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/sra.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::sim {
+namespace {
+
+core::Problem tiny() {
+  core::Problem p = testing::line3_problem(10.0, 100.0);
+  p.set_reads(1, 0, 4.0);
+  p.set_reads(2, 0, 2.0);
+  p.set_writes(1, 0, 1.0);
+  return p;
+}
+
+TEST(Failures, NoFailuresIsFullyAvailable) {
+  const core::Problem p = tiny();
+  const core::ReplicationScheme scheme(p);
+  const DegradedService report = evaluate_with_failures(scheme, {});
+  EXPECT_DOUBLE_EQ(report.read_availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.write_availability, 1.0);
+  EXPECT_EQ(report.objects_lost, 0u);
+  EXPECT_DOUBLE_EQ(report.degraded_read_cost, report.healthy_read_cost);
+}
+
+TEST(Failures, PrimaryOnlySchemeLosesEverythingWithThePrimary) {
+  const core::Problem p = tiny();
+  const core::ReplicationScheme scheme(p);
+  const std::vector<core::SiteId> failed{0};  // the only replica
+  const DegradedService report = evaluate_with_failures(scheme, failed);
+  EXPECT_DOUBLE_EQ(report.read_availability, 0.0);
+  EXPECT_DOUBLE_EQ(report.write_availability, 0.0);
+  EXPECT_EQ(report.objects_lost, 1u);
+}
+
+TEST(Failures, ReplicaOnSurvivorKeepsReadsAlive) {
+  const core::Problem p = tiny();
+  core::ReplicationScheme scheme(p);
+  scheme.add(2, 0);
+  const std::vector<core::SiteId> failed{0};
+  const DegradedService report = evaluate_with_failures(scheme, failed);
+  EXPECT_DOUBLE_EQ(report.read_availability, 1.0);  // site 2's copy survives
+  EXPECT_DOUBLE_EQ(report.write_availability, 0.0);  // primary is down
+  EXPECT_EQ(report.objects_lost, 0u);
+  // Site 1 now reads from site 2 at cost 1 (was cost 1 to site 0 too).
+  EXPECT_GT(report.degraded_read_cost, 0.0);
+}
+
+TEST(Failures, RequestsFromFailedSitesExcluded) {
+  const core::Problem p = tiny();
+  core::ReplicationScheme scheme(p);
+  scheme.add(2, 0);
+  // Fail site 1 — the main reader/writer. Remaining requests: site 2's
+  // reads (servable) and no writes.
+  const std::vector<core::SiteId> failed{1};
+  const DegradedService report = evaluate_with_failures(scheme, failed);
+  EXPECT_DOUBLE_EQ(report.read_availability, 1.0);
+  EXPECT_DOUBLE_EQ(report.write_availability, 1.0);  // no surviving writes
+}
+
+TEST(Failures, DegradedCostNeverBelowHealthy) {
+  const core::Problem p = testing::small_random_problem(3);
+  const algo::AlgorithmResult sra = algo::solve_sra(p);
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<core::SiteId> failed;
+    for (core::SiteId i = 0; i < p.sites(); ++i) {
+      if (rng.bernoulli(0.25)) failed.push_back(i);
+    }
+    if (failed.size() == p.sites()) continue;
+    const DegradedService report = evaluate_with_failures(sra.scheme, failed);
+    EXPECT_GE(report.degraded_read_cost, report.healthy_read_cost - 1e-9);
+    EXPECT_GE(report.read_availability, 0.0);
+    EXPECT_LE(report.read_availability, 1.0);
+  }
+}
+
+TEST(Failures, Validation) {
+  const core::Problem p = tiny();
+  const core::ReplicationScheme scheme(p);
+  const std::vector<core::SiteId> out_of_range{5};
+  EXPECT_THROW((void)evaluate_with_failures(scheme, out_of_range),
+               std::invalid_argument);
+  const std::vector<core::SiteId> all{0, 1, 2};
+  EXPECT_THROW((void)evaluate_with_failures(scheme, all),
+               std::invalid_argument);
+  // Duplicates are fine.
+  const std::vector<core::SiteId> dup{1, 1};
+  EXPECT_NO_THROW((void)evaluate_with_failures(scheme, dup));
+}
+
+TEST(Failures, MoreReplicationNeverHurtsAvailability) {
+  const core::Problem p = testing::small_random_problem(5, 10, 12);
+  const core::ReplicationScheme primary_only(p);
+  core::ReplicationScheme replicated(p);
+  util::Rng fill(6);
+  for (int step = 0; step < 40; ++step) {
+    replicated.add(static_cast<core::SiteId>(fill.index(p.sites())),
+                   static_cast<core::ObjectId>(fill.index(p.objects())));
+  }
+  util::Rng rng_a(7), rng_b(7);
+  const double base =
+      expected_read_availability(primary_only, 3, 50, rng_a);
+  const double better = expected_read_availability(replicated, 3, 50, rng_b);
+  EXPECT_GE(better, base);
+  EXPECT_LT(base, 1.0);  // primary-only must actually lose some objects
+}
+
+TEST(Failures, MonteCarloValidation) {
+  const core::Problem p = tiny();
+  const core::ReplicationScheme scheme(p);
+  util::Rng rng(8);
+  EXPECT_THROW((void)expected_read_availability(scheme, 3, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)expected_read_availability(scheme, 1, 0, rng),
+               std::invalid_argument);
+  const double availability = expected_read_availability(scheme, 1, 200, rng);
+  // Object 0's only copy is at site 0; it dies in 1 of 3 single-site
+  // failures.
+  EXPECT_NEAR(availability, 2.0 / 3.0, 0.12);
+}
+
+}  // namespace
+}  // namespace drep::sim

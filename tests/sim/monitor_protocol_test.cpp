@@ -1,0 +1,110 @@
+#include "sim/monitor_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+#include "workload/pattern_change.hpp"
+
+namespace drep::sim {
+namespace {
+
+MonitorConfig fast_monitor() {
+  MonitorConfig config;
+  config.gra.population = 8;
+  config.gra.generations = 8;
+  config.agra.population = 8;
+  config.agra.generations = 15;
+  config.agra.mini_gra_generations = 5;
+  config.agra.mini_gra = config.gra;
+  return config;
+}
+
+TEST(MonitorProtocol, QuietRoundCollectsStatsOnly) {
+  const core::Problem p = testing::small_random_problem(1, 10, 12);
+  util::Rng rng(2);
+  Monitor monitor(p, fast_monitor(), rng);
+  const RetuneReport report =
+      run_retune_round(p, monitor, /*monitor_site=*/0, /*nightly=*/false, rng);
+  EXPECT_EQ(report.objects_adapted, 0u);
+  EXPECT_EQ(report.replicas_added, 0u);
+  EXPECT_EQ(report.replicas_dropped, 0u);
+  EXPECT_DOUBLE_EQ(report.migration_traffic, 0.0);
+  // Exactly the M-1 stats reports, no data.
+  EXPECT_EQ(report.traffic.control_messages, p.sites() - 1);
+  EXPECT_EQ(report.traffic.data_messages, 0u);
+  EXPECT_GT(report.round_time, 0.0);
+}
+
+TEST(MonitorProtocol, DriftTriggersRolloutWithMigrationTraffic) {
+  core::Problem p = testing::small_random_problem(3, 12, 15, 5.0, 15.0);
+  util::Rng rng(4);
+  Monitor monitor(p, fast_monitor(), rng);
+
+  workload::PatternChangeConfig change;
+  change.change_percent = 600.0;
+  change.objects_percent = 30.0;
+  change.read_share_percent = 70.0;
+  util::Rng crng(5);
+  (void)workload::apply_pattern_change(p, change, crng);
+
+  const core::ReplicationScheme before(p, monitor.current_scheme());
+  const RetuneReport report =
+      run_retune_round(p, monitor, /*monitor_site=*/2, /*nightly=*/false, rng);
+  EXPECT_GT(report.objects_adapted, 0u);
+  EXPECT_GT(report.replicas_added + report.replicas_dropped, 0u);
+  // The DES fetches move exactly the analytically priced migration bytes.
+  const core::ReplicationScheme after(p, monitor.current_scheme());
+  EXPECT_NEAR(report.migration_traffic, core::migration_cost(before, after),
+              1e-9);
+  EXPECT_NEAR(report.traffic.data_traffic, report.migration_traffic,
+              1e-6 * std::max(1.0, report.migration_traffic));
+  EXPECT_EQ(report.traffic.data_messages, report.replicas_added);
+}
+
+TEST(MonitorProtocol, NightlyRoundReoptimizes) {
+  core::Problem p = testing::small_random_problem(6, 10, 12);
+  util::Rng rng(7);
+  Monitor monitor(p, fast_monitor(), rng);
+  workload::PatternChangeConfig change;
+  change.objects_percent = 40.0;
+  util::Rng crng(8);
+  (void)workload::apply_pattern_change(p, change, crng);
+  const RetuneReport report =
+      run_retune_round(p, monitor, 0, /*nightly=*/true, rng);
+  EXPECT_EQ(report.objects_adapted, p.objects());
+  // The monitor adopted the new baseline: a second round is quiet.
+  util::Rng rng2(9);
+  const RetuneReport quiet = run_retune_round(p, monitor, 0, false, rng2);
+  EXPECT_EQ(quiet.objects_adapted, 0u);
+}
+
+TEST(MonitorProtocol, MonitorSiteValidation) {
+  const core::Problem p = testing::small_random_problem(10, 8, 10);
+  util::Rng rng(11);
+  Monitor monitor(p, fast_monitor(), rng);
+  EXPECT_THROW((void)run_retune_round(p, monitor,
+                                      static_cast<net::SiteId>(p.sites()),
+                                      false, rng),
+               std::invalid_argument);
+}
+
+TEST(MonitorProtocol, AnyMonitorSiteWorks) {
+  core::Problem p = testing::small_random_problem(12, 9, 10, 5.0, 15.0);
+  workload::PatternChangeConfig change;
+  change.objects_percent = 30.0;
+  for (net::SiteId site = 0; site < p.sites(); site += 4) {
+    core::Problem drifted = p;
+    util::Rng rng(13);
+    Monitor monitor(drifted, fast_monitor(), rng);
+    util::Rng crng(14);
+    (void)workload::apply_pattern_change(drifted, change, crng);
+    const RetuneReport report =
+        run_retune_round(drifted, monitor, site, false, rng);
+    EXPECT_EQ(report.traffic.control_messages >= drifted.sites() - 1, true)
+        << "monitor site " << site;
+  }
+}
+
+}  // namespace
+}  // namespace drep::sim

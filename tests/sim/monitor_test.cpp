@@ -1,0 +1,121 @@
+#include "sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+#include "workload/pattern_change.hpp"
+
+namespace drep::sim {
+namespace {
+
+MonitorConfig fast_monitor() {
+  MonitorConfig config;
+  config.gra.population = 8;
+  config.gra.generations = 8;
+  config.agra.population = 8;
+  config.agra.generations = 15;
+  config.agra.mini_gra_generations = 5;
+  config.agra.mini_gra.population = 8;
+  return config;
+}
+
+TEST(Monitor, BootstrapAdoptsAGraScheme) {
+  const core::Problem p = testing::small_random_problem(1, 10, 12);
+  util::Rng rng(2);
+  Monitor monitor(p, fast_monitor(), rng);
+  EXPECT_EQ(monitor.current_scheme().size(), p.sites() * p.objects());
+  EXPECT_EQ(monitor.population().size(), fast_monitor().gra.population);
+  EXPECT_GE(monitor.current_savings_percent(p), 0.0);
+  // Baseline equals the bootstrap problem: nothing to detect.
+  EXPECT_TRUE(monitor.detect_changes(p).empty());
+}
+
+TEST(Monitor, DetectsOnlyAboveThreshold) {
+  const core::Problem p = testing::small_random_problem(3, 10, 12);
+  util::Rng rng(4);
+  MonitorConfig config = fast_monitor();
+  config.change_threshold_percent = 100.0;
+  Monitor monitor(p, config, rng);
+
+  core::Problem observed = p;
+  // +50% reads on object 0: below threshold.
+  workload::scatter_requests(observed, 0,
+                             std::round(0.5 * p.total_reads(0)), false, rng);
+  // +300% reads on object 1: above.
+  workload::scatter_requests(observed, 1,
+                             std::round(3.0 * p.total_reads(1)), false, rng);
+  const auto changed = monitor.detect_changes(observed);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], 1u);
+}
+
+TEST(Monitor, DetectsWriteSurgesToo) {
+  const core::Problem p = testing::small_random_problem(5, 10, 12);
+  util::Rng rng(6);
+  Monitor monitor(p, fast_monitor(), rng);
+  core::Problem observed = p;
+  workload::scatter_requests(observed, 2,
+                             std::round(5.0 * std::max(1.0, p.total_writes(2))),
+                             true, rng);
+  const auto changed = monitor.detect_changes(observed);
+  EXPECT_EQ(changed, (std::vector<core::ObjectId>{2}));
+}
+
+TEST(Monitor, AdaptImprovesOverStaleScheme) {
+  core::Problem p = testing::small_random_problem(7, 12, 15, 5.0, 15.0);
+  util::Rng rng(8);
+  Monitor monitor(p, fast_monitor(), rng);
+
+  core::Problem observed = p;
+  workload::PatternChangeConfig change;
+  change.change_percent = 600.0;
+  change.objects_percent = 25.0;
+  change.read_share_percent = 20.0;  // mostly update surges
+  util::Rng crng(9);
+  (void)workload::apply_pattern_change(observed, change, crng);
+
+  const double stale = monitor.current_savings_percent(observed);
+  const auto changed = monitor.adapt(observed, rng);
+  EXPECT_FALSE(changed.empty());
+  EXPECT_GE(monitor.current_savings_percent(observed), stale - 1e-9);
+  // Re-baselined: a second look at the same snapshot is quiet.
+  EXPECT_TRUE(monitor.detect_changes(observed).empty());
+}
+
+TEST(Monitor, AdaptWithoutChangesIsNoOp) {
+  const core::Problem p = testing::small_random_problem(10, 10, 12);
+  util::Rng rng(11);
+  Monitor monitor(p, fast_monitor(), rng);
+  const ga::Chromosome before = monitor.current_scheme();
+  const auto changed = monitor.adapt(p, rng);
+  EXPECT_TRUE(changed.empty());
+  EXPECT_EQ(monitor.current_scheme(), before);
+}
+
+TEST(Monitor, ReoptimizeAdoptsNewScheme) {
+  core::Problem p = testing::small_random_problem(12, 10, 12);
+  util::Rng rng(13);
+  Monitor monitor(p, fast_monitor(), rng);
+  core::Problem observed = p;
+  workload::PatternChangeConfig change;
+  change.objects_percent = 40.0;
+  util::Rng crng(14);
+  (void)workload::apply_pattern_change(observed, change, crng);
+  monitor.reoptimize(observed, rng);
+  EXPECT_TRUE(monitor.detect_changes(observed).empty());
+  EXPECT_GE(monitor.current_savings_percent(observed), 0.0);
+}
+
+TEST(Monitor, RejectsMismatchedProblem) {
+  const core::Problem p = testing::small_random_problem(15, 10, 12);
+  util::Rng rng(16);
+  Monitor monitor(p, fast_monitor(), rng);
+  const core::Problem other = testing::small_random_problem(17, 10, 13);
+  EXPECT_THROW((void)monitor.detect_changes(other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drep::sim

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drep::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ParseAllLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+}
+
+TEST(Log, ParseRejectsUnknown) {
+  EXPECT_THROW((void)parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW((void)parse_log_level(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_log_level("INFO"), std::invalid_argument);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, MacroCompilesAndRespectsLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Nothing should be emitted (and nothing should crash).
+  DREP_LOG(Error) << "suppressed " << 42;
+  set_log_level(LogLevel::Debug);
+  DREP_LOG(Debug) << "emitted at debug " << 1.5;
+}
+
+TEST(Log, OrderingOfLevels) {
+  EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+  EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+  EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+  EXPECT_LT(LogLevel::Error, LogLevel::Off);
+}
+
+}  // namespace
+}  // namespace drep::util

@@ -1,0 +1,228 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace drep::util {
+namespace {
+
+TEST(SplitMix64, AdvancesStateAndMixes) {
+  std::uint64_t state = 42;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 42u);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentState) {
+  Rng parent(7);
+  Rng child_before = parent.fork(1);
+  (void)parent.next();
+  // fork() must not depend on how far the parent has advanced... it does
+  // snapshot state, so fork after advancing differs; what we require is that
+  // forking does not advance the parent.
+  Rng parent2(7);
+  Rng child2 = parent2.fork(1);
+  EXPECT_EQ(child_before.next(), child2.next());
+  EXPECT_EQ(parent.next(), [] { Rng p(7); (void)p.fork(1); (void)p.next(); return p.next(); }());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformU64RejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_u64(9, 3), std::invalid_argument);
+}
+
+TEST(Rng, UniformI64HandlesNegatives) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(11);
+  std::array<int, 10> buckets{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) buckets[rng.index(10)]++;
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+  EXPECT_THROW((void)rng.uniform_real(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  const int draws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / draws, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(13);
+  const int draws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < draws; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / draws, 10.0, 0.05);
+}
+
+TEST(Rng, ShuffleProducesPermutation) {
+  Rng rng(14);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(15);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) fixed_points += (values[static_cast<std::size_t>(i)] == i);
+  EXPECT_LT(fixed_points, 15);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(16);
+  std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(std::span<const int>(empty)), std::invalid_argument);
+}
+
+TEST(WeightedIndex, ProportionalFrequencies) {
+  Rng rng(17);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) counts[weighted_index(rng, weights)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.6, 0.015);
+}
+
+TEST(WeightedIndex, SkipsZeroWeights) {
+  Rng rng(18);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(weighted_index(rng, weights), 1u);
+}
+
+TEST(WeightedIndex, NegativeWeightsTreatedAsZero) {
+  Rng rng(19);
+  const std::vector<double> weights{-5.0, 2.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(weighted_index(rng, weights), 1u);
+}
+
+TEST(WeightedIndex, ThrowsOnDegenerate) {
+  Rng rng(20);
+  const std::vector<double> zero{0.0, 0.0};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)weighted_index(rng, zero), std::invalid_argument);
+  EXPECT_THROW((void)weighted_index(rng, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drep::util

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace drep::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"x", "longheader"});
+  table.add_row({"12345", "9"});
+  const std::string text = table.to_string();
+  std::istringstream lines(text);
+  std::string header, separator, row;
+  std::getline(lines, header);
+  std::getline(lines, separator);
+  std::getline(lines, row);
+  EXPECT_EQ(header.find("longheader"), row.find('9'));
+  EXPECT_GE(separator.size(), header.size() - 1);
+}
+
+TEST(Table, RowBuilderFormatsNumbers) {
+  Table table({"name", "value", "count"});
+  table.row(2).cell("alpha").cell(3.14159).cell(std::size_t{7});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_EQ(text.find("3.142"), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(Table, RowBuilderExplicitCommitIsIdempotent) {
+  Table table({"a"});
+  {
+    auto row = table.row();
+    row.cell("x");
+    row.commit();
+    row.commit();
+  }
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"plain", "with,comma", "with\"quote"});
+  table.add_row({"v1", "a,b", "say \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(Table, CsvRowCount) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(-2.345, 1), "-2.3");
+}
+
+TEST(FormatDouble, NormalizesNegativeZero) {
+  EXPECT_EQ(format_double(-0.0001, 2), "0.00");
+  EXPECT_EQ(format_double(-0.0, 1), "0.0");
+}
+
+}  // namespace
+}  // namespace drep::util

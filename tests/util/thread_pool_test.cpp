@@ -1,0 +1,124 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace drep::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIteration) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 10, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, BlockedVariantPartitionsContiguously) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> block_of(100, 999);
+  std::mutex mutex;
+  pool.parallel_for_blocked(0, 100, [&](std::size_t block, std::size_t i) {
+    std::lock_guard lock(mutex);
+    block_of[i] = block;
+  });
+  // Each block owns one contiguous range.
+  for (std::size_t i = 1; i < 100; ++i) {
+    if (block_of[i] != block_of[i - 1]) {
+      EXPECT_GT(block_of[i], block_of[i - 1]);
+    }
+  }
+  for (std::size_t b : block_of) EXPECT_LT(b, 4u);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, AllIterationsRunDespiteException) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  try {
+    pool.parallel_for(0, 100, [&](std::size_t i) {
+      count++;
+      if (i % 10 == 0) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Iterations in blocks after a thrown one are skipped, but every block ran.
+  EXPECT_GT(count.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  pool.submit([&] {
+    ran = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(mutex);
+  cv.wait_for(lock, std::chrono::seconds(5), [&] { return ran.load(); });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::shared().parallel_for(0, 32, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(8);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::vector<double> partial(8, 0.0);
+  pool.parallel_for_blocked(0, values.size(),
+                            [&](std::size_t block, std::size_t i) {
+                              partial[block] += values[i];
+                            });
+  const double total = std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, std::accumulate(values.begin(), values.end(), 0.0));
+}
+
+}  // namespace
+}  // namespace drep::util

@@ -1,0 +1,176 @@
+#include "workload/pattern_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/generator.hpp"
+
+namespace drep::workload {
+namespace {
+
+core::Problem make_problem(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.sites = 20;
+  config.objects = 50;
+  config.update_ratio_percent = 5.0;
+  config.capacity_percent = 20.0;
+  util::Rng rng(seed);
+  return generate(config, rng);
+}
+
+TEST(PatternChangeConfig, Validation) {
+  PatternChangeConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.change_percent = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = PatternChangeConfig{};
+  config.objects_percent = 120.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = PatternChangeConfig{};
+  config.read_share_percent = -5.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = PatternChangeConfig{};
+  config.cluster_stddev_divisor = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(PatternChange, ChangesTheRequestedObjectCount) {
+  core::Problem p = make_problem(1);
+  PatternChangeConfig config;
+  config.objects_percent = 30.0;  // 15 of 50
+  config.read_share_percent = 80.0;
+  util::Rng rng(2);
+  const PatternChangeReport report = apply_pattern_change(p, config, rng);
+  EXPECT_EQ(report.reads_increased.size(), 12u);   // 80% of 15
+  EXPECT_EQ(report.writes_increased.size(), 3u);
+  // No object in both lists; ids valid and distinct.
+  std::set<core::ObjectId> all;
+  for (core::ObjectId k : report.all_changed()) {
+    EXPECT_LT(k, p.objects());
+    EXPECT_TRUE(all.insert(k).second);
+  }
+  EXPECT_EQ(all.size(), 15u);
+}
+
+TEST(PatternChange, ReadIncreaseMatchesChPercent) {
+  core::Problem p = make_problem(3);
+  const core::Problem before = p;
+  PatternChangeConfig config;
+  config.change_percent = 600.0;
+  config.objects_percent = 20.0;
+  config.read_share_percent = 100.0;
+  util::Rng rng(4);
+  const PatternChangeReport report = apply_pattern_change(p, config, rng);
+  for (core::ObjectId k : report.reads_increased) {
+    EXPECT_NEAR(p.total_reads(k), 7.0 * before.total_reads(k),
+                1.0);  // +600% (rounding slack)
+    EXPECT_DOUBLE_EQ(p.total_writes(k), before.total_writes(k));
+  }
+}
+
+TEST(PatternChange, WriteIncreaseMatchesChPercent) {
+  core::Problem p = make_problem(5);
+  const core::Problem before = p;
+  PatternChangeConfig config;
+  config.change_percent = 400.0;
+  config.objects_percent = 20.0;
+  config.read_share_percent = 0.0;  // all changes are update increases
+  util::Rng rng(6);
+  const PatternChangeReport report = apply_pattern_change(p, config, rng);
+  EXPECT_TRUE(report.reads_increased.empty());
+  for (core::ObjectId k : report.writes_increased) {
+    EXPECT_NEAR(p.total_writes(k), before.total_writes(k) +
+                    std::round(4.0 * before.total_writes(k)), 1.0);
+    EXPECT_DOUBLE_EQ(p.total_reads(k), before.total_reads(k));
+  }
+}
+
+TEST(PatternChange, UntouchedObjectsKeepTheirPatterns) {
+  core::Problem p = make_problem(7);
+  const core::Problem before = p;
+  PatternChangeConfig config;
+  config.objects_percent = 10.0;
+  util::Rng rng(8);
+  const PatternChangeReport report = apply_pattern_change(p, config, rng);
+  std::set<core::ObjectId> changed;
+  for (core::ObjectId k : report.all_changed()) changed.insert(k);
+  for (core::ObjectId k = 0; k < p.objects(); ++k) {
+    if (changed.count(k) != 0) continue;
+    EXPECT_DOUBLE_EQ(p.total_reads(k), before.total_reads(k));
+    EXPECT_DOUBLE_EQ(p.total_writes(k), before.total_writes(k));
+  }
+}
+
+TEST(PatternChange, ZeroObjectsPercentIsNoOp) {
+  core::Problem p = make_problem(9);
+  const core::Problem before = p;
+  PatternChangeConfig config;
+  config.objects_percent = 0.0;
+  util::Rng rng(10);
+  const PatternChangeReport report = apply_pattern_change(p, config, rng);
+  EXPECT_TRUE(report.all_changed().empty());
+  for (core::ObjectId k = 0; k < p.objects(); ++k)
+    EXPECT_DOUBLE_EQ(p.total_reads(k), before.total_reads(k));
+}
+
+TEST(PatternChange, WriteIncreaseOnNeverWrittenObjectUsesReadBase) {
+  GeneratorConfig gen;
+  gen.sites = 10;
+  gen.objects = 5;
+  gen.update_ratio_percent = 0.0;  // no writes at all
+  util::Rng grng(11);
+  core::Problem p = generate(gen, grng);
+  PatternChangeConfig config;
+  config.objects_percent = 100.0;
+  config.read_share_percent = 0.0;
+  config.change_percent = 100.0;
+  util::Rng rng(12);
+  const PatternChangeReport report = apply_pattern_change(p, config, rng);
+  EXPECT_EQ(report.writes_increased.size(), 5u);
+  for (core::ObjectId k : report.writes_increased)
+    EXPECT_GT(p.total_writes(k), 0.0);
+}
+
+TEST(ClusteredUpdates, AddsExactCountAndClusters) {
+  core::Problem p = make_problem(13);
+  const double before = p.total_writes(0);
+  util::Rng rng(14);
+  clustered_updates(p, 0, 500.0, /*sigma=*/2.0, rng);
+  EXPECT_DOUBLE_EQ(p.total_writes(0), before + 500.0);
+  // With sigma = 2 over 20 sites, the mass must concentrate: the busiest
+  // site should hold far more than the uniform share.
+  double max_writes = 0.0;
+  for (core::SiteId i = 0; i < p.sites(); ++i)
+    max_writes = std::max(max_writes, p.writes(i, 0));
+  EXPECT_GT(max_writes, 2.0 * 500.0 / static_cast<double>(p.sites()));
+}
+
+TEST(ClusteredUpdates, AllSitesInRange) {
+  core::Problem p = make_problem(15);
+  util::Rng rng(16);
+  // Huge sigma: the wrap-around must still land every request on a valid
+  // site (implicitly checked by Problem's bounds-checked setters).
+  EXPECT_NO_THROW(clustered_updates(p, 1, 200.0, 100.0, rng));
+}
+
+TEST(PatternChange, DeterministicGivenSeed) {
+  core::Problem a = make_problem(17);
+  core::Problem b = make_problem(17);
+  PatternChangeConfig config;
+  util::Rng rng_a(18), rng_b(18);
+  (void)apply_pattern_change(a, config, rng_a);
+  (void)apply_pattern_change(b, config, rng_b);
+  for (core::SiteId i = 0; i < a.sites(); ++i) {
+    for (core::ObjectId k = 0; k < a.objects(); ++k) {
+      EXPECT_DOUBLE_EQ(a.reads(i, k), b.reads(i, k));
+      EXPECT_DOUBLE_EQ(a.writes(i, k), b.writes(i, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drep::workload
