@@ -1,0 +1,154 @@
+// Micro-benchmarks for the incremental (delta) cost evaluator against the
+// full O(M·N) evaluation it replaces in the GA hot path. The headline
+// number is the single-flip re-evaluation vs CostEvaluator::total_cost at
+// the paper-scale 200-site / 1000-object shape (see DESIGN.md, incremental
+// cost model).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/gra.hpp"
+#include "core/cost_model.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace drep;
+
+core::Problem make_problem(std::size_t sites, std::size_t objects) {
+  workload::GeneratorConfig config;
+  config.sites = sites;
+  config.objects = objects;
+  config.update_ratio_percent = 5.0;
+  config.capacity_percent = 15.0;
+  util::Rng rng(42);
+  return workload::generate(config, rng);
+}
+
+ga::Chromosome dense_chromosome(const core::Problem& problem) {
+  util::Rng rng(7);
+  return algo::random_population(problem, 1, rng).front();
+}
+
+/// A non-primary cell to toggle.
+std::pair<core::SiteId, core::ObjectId> free_cell(const core::Problem& p) {
+  return {p.primary(0) == 0 ? core::SiteId{1} : core::SiteId{0},
+          core::ObjectId{0}};
+}
+
+// Baseline: the full evaluation the GA used to pay for every chromosome.
+void BM_FullTotalCost(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  core::CostEvaluator evaluator(problem);
+  const ga::Chromosome genes = dense_chromosome(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.total_cost(genes));
+  }
+  state.SetLabel("full O(M*N) evaluation");
+}
+BENCHMARK(BM_FullTotalCost)
+    ->Args({20, 100})
+    ->Args({50, 400})
+    ->Args({100, 500})
+    ->Args({200, 1000});
+
+// Headline: re-evaluating after a single bit flip (one mutation).
+void BM_DeltaApplyFlip(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  core::DeltaEvaluator delta(problem);
+  delta.rebase(dense_chromosome(problem));
+  const auto [site, object] = free_cell(problem);
+  for (auto _ : state) {
+    // Toggles the replica on/off; every iteration is one flip.
+    benchmark::DoNotOptimize(delta.apply_flip(site, object));
+  }
+  state.SetLabel("single-flip re-evaluation");
+}
+BENCHMARK(BM_DeltaApplyFlip)
+    ->Args({20, 100})
+    ->Args({50, 400})
+    ->Args({100, 500})
+    ->Args({200, 1000});
+
+// Read-only flip probe (AGRA's exact-delta repair scoring).
+void BM_DeltaPeekFlip(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  core::DeltaEvaluator delta(problem);
+  delta.rebase(dense_chromosome(problem));
+  const auto [site, object] = free_cell(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta.peek_flip(site, object));
+  }
+  state.SetLabel("hypothetical-flip probe");
+}
+BENCHMARK(BM_DeltaPeekFlip)->Args({50, 400})->Args({200, 1000});
+
+// Replacing one whole gene (crossover boundary-gene repair).
+void BM_DeltaGeneExchange(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  core::DeltaEvaluator delta(problem);
+  const ga::Chromosome a = dense_chromosome(problem);
+  util::Rng rng(11);
+  const ga::Chromosome b = algo::random_population(problem, 1, rng).front();
+  delta.rebase(a);
+  const std::size_t n = problem.objects();
+  const core::SiteId site = 1;
+  std::vector<std::uint8_t> row_a(a.begin() + static_cast<std::ptrdiff_t>(site * n),
+                                  a.begin() + static_cast<std::ptrdiff_t>((site + 1) * n));
+  std::vector<std::uint8_t> row_b(b.begin() + static_cast<std::ptrdiff_t>(site * n),
+                                  b.begin() + static_cast<std::ptrdiff_t>((site + 1) * n));
+  bool use_b = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta.apply_gene_exchange(site, use_b ? row_b : row_a));
+    use_b = !use_b;
+  }
+  state.SetLabel("whole-gene exchange");
+}
+BENCHMARK(BM_DeltaGeneExchange)->Args({50, 400})->Args({200, 1000});
+
+// Adopting a brand-new baseline (selection copies a different parent in).
+void BM_DeltaRebase(benchmark::State& state) {
+  const auto problem =
+      make_problem(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)));
+  core::DeltaEvaluator delta(problem);
+  const ga::Chromosome genes = dense_chromosome(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta.rebase(genes));
+  }
+  state.SetLabel("full rebase (upper bound)");
+}
+BENCHMARK(BM_DeltaRebase)->Args({50, 400})->Args({200, 1000});
+
+// The stateless population path: re-derive only `touched` objects of a
+// mutated chromosome against a cached per-object cost vector.
+void BM_DeltaCostTouched(benchmark::State& state) {
+  const auto problem = make_problem(200, 1000);
+  core::DeltaEvaluator delta(problem);
+  ga::Chromosome genes = dense_chromosome(problem);
+  std::vector<double> v(problem.objects(), 0.0);
+  benchmark::DoNotOptimize(delta.full_cost(genes, v));
+  std::vector<core::ObjectId> touched;
+  for (std::int64_t t = 0; t < state.range(0); ++t) {
+    touched.push_back(static_cast<core::ObjectId>(
+        (t * 97) % static_cast<std::int64_t>(problem.objects())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta.delta_cost(genes, touched, v));
+  }
+  state.SetLabel("delta_cost, N=1000");
+}
+BENCHMARK(BM_DeltaCostTouched)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -166,10 +166,13 @@ std::size_t repair_capacity(const core::Problem& problem, ga::Chromosome& genes,
       degree[k] += genes[static_cast<std::size_t>(i) * n + k] != 0 ? 1.0 : 0.0;
   }
 
-  // The exact-ΔD strategy needs full scheme state; build it lazily.
-  std::optional<core::ReplicationScheme> scheme;
-  if (strategy == AgraConfig::Repair::kExactDelta)
-    scheme.emplace(problem, genes);
+  // The exact-ΔD strategy scores a candidate deallocation with one
+  // incremental peek — O((|R_k|+1)·M) — instead of full scheme state.
+  std::optional<core::DeltaEvaluator> delta;
+  if (strategy == AgraConfig::Repair::kExactDelta) {
+    delta.emplace(problem);
+    delta->rebase(genes);
+  }
 
   std::size_t deallocations = 0;
   for (core::SiteId i = 0; i < m; ++i) {
@@ -178,11 +181,9 @@ std::size_t repair_capacity(const core::Problem& problem, ga::Chromosome& genes,
       core::ObjectId victim = 0;
       bool found = false;
       double victim_score = std::numeric_limits<double>::infinity();
-      std::size_t candidates = 0;
       for (core::ObjectId k = 0; k < n; ++k) {
         if (genes[static_cast<std::size_t>(i) * n + k] == 0) continue;
         if (problem.primary(k) == i) continue;
-        ++candidates;
         double score = 0.0;
         switch (strategy) {
           case AgraConfig::Repair::kEstimator: {
@@ -200,8 +201,9 @@ std::size_t repair_capacity(const core::Problem& problem, ga::Chromosome& genes,
             score = rng.uniform01();
             break;
           case AgraConfig::Repair::kExactDelta:
-            // Deallocate the replica whose removal degrades D least.
-            score = -core::removal_delta(*scheme, i, k);
+            // Deallocate the replica whose removal degrades D least: the
+            // candidate with the smallest post-removal total wins.
+            score = delta->peek_flip(i, k);
             break;
         }
         if (!found || score < victim_score) {
@@ -215,11 +217,10 @@ std::size_t repair_capacity(const core::Problem& problem, ga::Chromosome& genes,
         // problem generator guarantees this cannot happen.
         throw std::logic_error("repair_capacity: site over-full with primaries only");
       }
-      (void)candidates;
       genes[static_cast<std::size_t>(i) * n + victim] = 0;
       loads[i] -= problem.object_size(victim);
       degree[victim] -= 1.0;
-      if (scheme) scheme->remove(i, victim);
+      if (delta) delta->apply_flip(i, victim);
       ++deallocations;
     }
   }

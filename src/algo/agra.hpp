@@ -41,7 +41,11 @@ struct AgraConfig {
   enum class Repair {
     kEstimator,   // Eq. 6 estimate, O(M) per candidate — the paper's choice
     kRandom,      // deallocate uniformly at random
-    kExactDelta,  // exact ΔD greedy, O(M²N) worst case — the rejected option
+    /// Exact ΔD greedy — the paper's rejected option, implemented with
+    /// DeltaEvaluator::peek_flip: O((|R_k|+1)·M) per candidate. The victim
+    /// is the replica whose removal degrades D least (smallest
+    /// post-removal total).
+    kExactDelta,
   };
   Repair repair = Repair::kEstimator;
 

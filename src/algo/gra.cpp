@@ -138,6 +138,14 @@ std::vector<ga::Chromosome> random_population(const core::Problem& problem,
 namespace {
 
 /// Shared machinery for one GRA evolution run.
+///
+/// Evaluation is incremental: every individual carries, alongside its genes,
+/// the per-object cost vector V_k backing its fitness. Children produced by
+/// mutation or crossover inherit the parent's V_k plus the set of objects
+/// their genes changed ("touched"), so evaluating them re-derives only the
+/// touched objects through the per-worker DeltaEvaluator instances — the
+/// totals stay bit-identical to a full evaluation (see DeltaEvaluator), so
+/// results do not depend on which path evaluated a chromosome.
 class GraEngine {
  public:
   GraEngine(const core::Problem& problem, const GraConfig& config,
@@ -151,17 +159,23 @@ class GraEngine {
     evaluators_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
       evaluators_.emplace_back(problem);
+    d_prime_ = evaluators_[0].primary_only_cost();
+    // Kernel-derived per-object costs of the primary-only chromosome, shared
+    // by every individual the negative-fitness rule resets.
+    primary_v_.resize(problem.objects());
+    (void)evaluators_[0].full_cost(primary_, primary_v_);
   }
 
   GraResult run(std::vector<ga::Chromosome> initial) {
     util::Stopwatch watch;
-    std::vector<Individual> population = adopt(std::move(initial));
+    std::vector<EvalIndividual> population = adopt(std::move(initial));
     evaluate(population);
 
-    Individual best_ever = population[ga::best_index(fitness_of(population))];
+    EvalIndividual best_ever =
+        population[ga::best_index(fitness_of(population))];
     std::vector<double> history;
     history.reserve(config_.generations + 1);
-    history.push_back(best_ever.fitness);
+    history.push_back(best_ever.ind.fitness);
 
     for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
       if (config_.selection == GraConfig::SelectionScheme::kSgaRoulette) {
@@ -171,25 +185,42 @@ class GraEngine {
       }
       const auto fit = fitness_of(population);
       const std::size_t best_now = ga::best_index(fit);
-      if (population[best_now].fitness > best_ever.fitness)
+      if (population[best_now].ind.fitness > best_ever.ind.fitness)
         best_ever = population[best_now];
       // Elitism: the best-found-so-far chromosome replaces the current
       // worst, once every elite_interval generations (paper: 5, to avoid
       // premature convergence).
       if (gen % config_.elite_interval == 0)
         population[ga::worst_index(fit)] = best_ever;
-      history.push_back(best_ever.fitness);
+      history.push_back(best_ever.ind.fitness);
     }
 
-    core::ReplicationScheme scheme(problem_, best_ever.genes);
+    double full_equivalents = 0.0;
+    for (const auto& evaluator : evaluators_)
+      full_equivalents += evaluator.full_equivalents();
+    std::vector<Individual> final_population;
+    final_population.reserve(population.size());
+    for (auto& e : population) final_population.push_back(std::move(e.ind));
+
+    core::ReplicationScheme scheme(problem_, best_ever.ind.genes);
     return GraResult{make_result(std::move(scheme), watch.seconds()),
-                     std::move(population), std::move(history), evaluations_};
+                     std::move(final_population), std::move(history),
+                     evaluations_, full_equivalents};
   }
 
  private:
-  std::vector<Individual> adopt(std::vector<ga::Chromosome> initial) {
+  /// An Individual plus the incremental-evaluation state that backs it: the
+  /// per-object costs V_k of the last evaluated genes (empty = never
+  /// evaluated) and the objects whose bits changed since ("touched").
+  struct EvalIndividual {
+    Individual ind;
+    std::vector<double> v;
+    std::vector<core::ObjectId> touched;
+  };
+
+  std::vector<EvalIndividual> adopt(std::vector<ga::Chromosome> initial) {
     const std::size_t length = problem_.sites() * problem_.objects();
-    std::vector<Individual> population;
+    std::vector<EvalIndividual> population;
     population.reserve(initial.size());
     for (auto& genes : initial) {
       if (genes.size() != length)
@@ -201,27 +232,49 @@ class GraEngine {
       }
       if (!chromosome_valid(problem_, genes))
         throw std::invalid_argument("GRA: initial chromosome violates capacity");
-      population.push_back({std::move(genes), 0.0});
+      population.push_back({{std::move(genes), 0.0}, {}, {}});
     }
     return population;
   }
 
-  static std::vector<double> fitness_of(const std::vector<Individual>& pop) {
+  static std::vector<double> fitness_of(
+      const std::vector<EvalIndividual>& pop) {
     std::vector<double> fit(pop.size());
-    for (std::size_t p = 0; p < pop.size(); ++p) fit[p] = pop[p].fitness;
+    for (std::size_t p = 0; p < pop.size(); ++p) fit[p] = pop[p].ind.fitness;
     return fit;
   }
 
   /// Computes fitness for every individual; f < 0 resets the chromosome to
-  /// the primary-only allocation with f = 0 (paper Section 4).
-  void evaluate(std::vector<Individual>& population) {
+  /// the primary-only allocation with f = 0 (paper Section 4). Individuals
+  /// with an inherited V_k cache and few touched objects take the delta
+  /// path; everything else pays one full evaluation. Both paths produce
+  /// bit-identical totals and neither depends on the block id, so the
+  /// outcome is the same for any pool size, serial included.
+  void evaluate(std::vector<EvalIndividual>& population) {
     evaluations_ += population.size();
-    const auto body = [this, &population](std::size_t block, std::size_t p) {
-      Individual& ind = population[p];
-      ind.fitness = evaluators_[block].fitness(ind.genes);
-      if (ind.fitness < 0.0) {
-        ind.genes = primary_;
-        ind.fitness = 0.0;
+    const std::size_t n = problem_.objects();
+    const auto body = [this, &population, n](std::size_t block, std::size_t p) {
+      EvalIndividual& e = population[p];
+      core::DeltaEvaluator& evaluator = evaluators_[block];
+      double cost;
+      if (!e.v.empty()) {
+        std::sort(e.touched.begin(), e.touched.end());
+        e.touched.erase(std::unique(e.touched.begin(), e.touched.end()),
+                        e.touched.end());
+        // Past half the objects a delta pass would outwork a full one.
+        cost = e.touched.size() * 2 < n
+                   ? evaluator.delta_cost(e.ind.genes, e.touched, e.v)
+                   : evaluator.full_cost(e.ind.genes, e.v);
+      } else {
+        e.v.resize(n);
+        cost = evaluator.full_cost(e.ind.genes, e.v);
+      }
+      e.touched.clear();
+      e.ind.fitness = d_prime_ <= 0.0 ? 0.0 : (d_prime_ - cost) / d_prime_;
+      if (e.ind.fitness < 0.0) {
+        e.ind.genes = primary_;
+        e.ind.fitness = 0.0;
+        e.v = primary_v_;
       }
     };
     if (config_.parallel_evaluation && population.size() > 1) {
@@ -249,8 +302,9 @@ class GraEngine {
   }
 
   void repair_gene(ga::Chromosome& a, ga::Chromosome& b,
-                   const Individual& parent_a, const Individual& parent_b,
-                   std::size_t gene, const ga::CrossoverCut& cut) const {
+                   const EvalIndividual& parent_a,
+                   const EvalIndividual& parent_b, std::size_t gene,
+                   const ga::CrossoverCut& cut) const {
     const std::size_t n = problem_.objects();
     const std::size_t gene_begin = gene * n;
     const std::size_t gene_end = gene_begin + n;
@@ -270,23 +324,41 @@ class GraEngine {
     if (!invalid) return;
     if (config_.crossover == GraConfig::CrossoverKind::kUniform) {
       // Scattered exchange: restore the gene from the parents.
-      std::copy(parent_a.genes.begin() + static_cast<std::ptrdiff_t>(gene_begin),
-                parent_a.genes.begin() + static_cast<std::ptrdiff_t>(gene_end),
+      const ga::Chromosome& genes_a = parent_a.ind.genes;
+      const ga::Chromosome& genes_b = parent_b.ind.genes;
+      std::copy(genes_a.begin() + static_cast<std::ptrdiff_t>(gene_begin),
+                genes_a.begin() + static_cast<std::ptrdiff_t>(gene_end),
                 a.begin() + static_cast<std::ptrdiff_t>(gene_begin));
-      std::copy(parent_b.genes.begin() + static_cast<std::ptrdiff_t>(gene_begin),
-                parent_b.genes.begin() + static_cast<std::ptrdiff_t>(gene_end),
+      std::copy(genes_b.begin() + static_cast<std::ptrdiff_t>(gene_begin),
+                genes_b.begin() + static_cast<std::ptrdiff_t>(gene_end),
                 b.begin() + static_cast<std::ptrdiff_t>(gene_begin));
       return;
     }
     exchange_uncrossed_portion(a, b, gene_begin, gene_end, cut);
   }
 
+  /// Wraps a freshly produced chromosome as a child of `parent`: the child
+  /// inherits the parent's V_k cache and pending touched set, extended with
+  /// the objects where its genes differ from the parent's.
+  EvalIndividual child_of(ga::Chromosome genes, const EvalIndividual& parent) {
+    EvalIndividual child{{std::move(genes), 0.0}, {}, {}};
+    if (parent.v.empty()) return child;  // no base: full evaluation later
+    child.v = parent.v;
+    child.touched = parent.touched;
+    const std::size_t n = problem_.objects();
+    for (const std::size_t column :
+         ga::differing_columns(child.ind.genes, parent.ind.genes, n))
+      child.touched.push_back(static_cast<core::ObjectId>(column));
+    return child;
+  }
+
   /// Applies the configured crossover to copies of the two parents and
   /// repairs the boundary genes; appends both children.
-  void crossed_children(const Individual& parent_a, const Individual& parent_b,
-                        std::vector<Individual>& out) {
-    ga::Chromosome a = parent_a.genes;
-    ga::Chromosome b = parent_b.genes;
+  void crossed_children(const EvalIndividual& parent_a,
+                        const EvalIndividual& parent_b,
+                        std::vector<EvalIndividual>& out) {
+    ga::Chromosome a = parent_a.ind.genes;
+    ga::Chromosome b = parent_b.ind.genes;
     ga::CrossoverCut cut;
     switch (config_.crossover) {
       case GraConfig::CrossoverKind::kTwoPointRepair:
@@ -312,16 +384,17 @@ class GraEngine {
       repair_gene(a, b, parent_a, parent_b, first, cut);
       if (second != first) repair_gene(a, b, parent_a, parent_b, second, cut);
     }
-    out.push_back({std::move(a), 0.0});
-    out.push_back({std::move(b), 0.0});
+    out.push_back(child_of(std::move(a), parent_a));
+    out.push_back(child_of(std::move(b), parent_b));
   }
 
-  /// Mutated copy of a parent, with the storage / primary-copy veto.
-  Individual mutated(const Individual& parent) {
-    Individual child{parent.genes, 0.0};
+  /// Mutated copy of a parent, with the storage / primary-copy veto. The
+  /// kept flips extend the child's touched set for delta evaluation.
+  EvalIndividual mutated(const EvalIndividual& parent) {
+    EvalIndividual child{{parent.ind.genes, 0.0}, parent.v, parent.touched};
     const std::size_t n = problem_.objects();
-    auto loads = chromosome_loads(problem_, child.genes);
-    ga::mutate_bits(child.genes, config_.mutation_rate, rng_,
+    auto loads = chromosome_loads(problem_, child.ind.genes);
+    ga::mutate_bits(child.ind.genes, config_.mutation_rate, rng_,
                     [&](std::size_t position, bool now_set) {
                       const auto site = static_cast<core::SiteId>(position / n);
                       const auto object =
@@ -336,18 +409,23 @@ class GraEngine {
                       if (problem_.primary(object) == site) return false;
                       loads[site] -= size;
                       return true;
-                    });
+                    },
+                    &flip_positions_);
+    if (!child.v.empty()) {
+      for (const std::size_t position : flip_positions_)
+        child.touched.push_back(static_cast<core::ObjectId>(position % n));
+    }
     return child;
   }
 
   /// The paper's (µ+λ) generation: parents plus crossover and mutation
   /// subpopulations compete for the Np slots via stochastic remainder.
-  std::vector<Individual> mu_plus_lambda_generation(
-      std::vector<Individual>& parents) {
-    std::vector<Individual> pool = std::move(parents);
+  std::vector<EvalIndividual> mu_plus_lambda_generation(
+      std::vector<EvalIndividual>& parents) {
+    std::vector<EvalIndividual> pool = std::move(parents);
     const std::size_t mu = pool.size();
 
-    std::vector<Individual> offspring;
+    std::vector<EvalIndividual> offspring;
     offspring.reserve(2 * mu);
     const auto pairing = ga::crossover_pairing(mu, rng_);
     for (std::size_t t = 0; t + 1 < pairing.size(); t += 2) {
@@ -374,7 +452,7 @@ class GraEngine {
                                                    config_.population, rng_);
         break;
     }
-    std::vector<Individual> next;
+    std::vector<EvalIndividual> next;
     next.reserve(picks.size());
     for (const std::size_t pick : picks) next.push_back(pool[pick]);
     return next;
@@ -382,14 +460,15 @@ class GraEngine {
 
   /// Holland's SGA generation (ablation): roulette-select Np parents, pair,
   /// crossover with µc, mutate everything, and that IS the next generation.
-  std::vector<Individual> sga_generation(std::vector<Individual>& parents) {
+  std::vector<EvalIndividual> sga_generation(
+      std::vector<EvalIndividual>& parents) {
     const auto picks = ga::roulette_selection(fitness_of(parents),
                                               config_.population, rng_);
-    std::vector<Individual> mating;
+    std::vector<EvalIndividual> mating;
     mating.reserve(picks.size());
     for (const std::size_t pick : picks) mating.push_back(parents[pick]);
 
-    std::vector<Individual> next;
+    std::vector<EvalIndividual> next;
     next.reserve(mating.size() + 1);
     for (std::size_t t = 0; t + 1 < mating.size(); t += 2) {
       if (rng_.bernoulli(config_.crossover_rate)) {
@@ -409,7 +488,10 @@ class GraEngine {
   const GraConfig& config_;
   util::Rng& rng_;
   ga::Chromosome primary_;
-  std::vector<core::CostEvaluator> evaluators_;
+  std::vector<core::DeltaEvaluator> evaluators_;
+  double d_prime_ = 0.0;
+  std::vector<double> primary_v_;
+  std::vector<std::size_t> flip_positions_;  // mutated() scratch, main thread
   std::size_t evaluations_ = 0;
 };
 

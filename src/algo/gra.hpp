@@ -57,9 +57,17 @@ struct GraConfig {
   enum class CrossoverKind { kTwoPointRepair, kOnePoint, kUniform };
   CrossoverKind crossover = CrossoverKind::kTwoPointRepair;
 
-  /// Evaluate populations on the shared thread pool.
+  /// Evaluate populations on the shared thread pool. Fitness is computed
+  /// per individual with no cross-individual floating-point accumulation
+  /// and no per-block state that can affect results, so for a fixed seed
+  /// the run is deterministic regardless of this flag or the pool size:
+  /// parallel and serial evaluation produce identical populations and
+  /// identical best_fitness_history (regression-tested in
+  /// tests/algo/gra_test.cpp).
   bool parallel_evaluation = true;
 
+  /// Checks field ranges only; no field choice affects determinism (see
+  /// parallel_evaluation above).
   void validate() const;
 };
 
@@ -71,8 +79,16 @@ struct GraResult {
   /// Best-ever fitness after initialization and after each generation
   /// (length generations+1); non-decreasing.
   std::vector<double> best_fitness_history;
-  /// Number of chromosome evaluations performed.
+  /// Number of chromosome evaluations performed (full and incremental
+  /// alike — each evaluated chromosome counts once).
   std::size_t evaluations = 0;
+  /// Actual evaluation work spent, in units of one full M·N evaluation:
+  /// a delta-evaluated chromosome contributes touched/N. Includes the
+  /// engine's setup evaluation of the primary-only chromosome, so this is
+  /// slightly above the work the `evaluations` chromosomes alone cost; the
+  /// ratio against `evaluations` is the measured saving of the incremental
+  /// path.
+  double full_equivalent_evaluations = 0.0;
 };
 
 /// Full GRA run: build the initial population, evolve, return the best.

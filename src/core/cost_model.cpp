@@ -222,4 +222,184 @@ double CostEvaluator::fitness(std::span<const std::uint8_t> matrix) {
   return (d_prime_ - total_cost(matrix)) / d_prime_;
 }
 
+DeltaEvaluator::DeltaEvaluator(const Problem& problem) : eval_(problem) {
+  scratch_replicas_.reserve(problem.sites());
+}
+
+void DeltaEvaluator::refresh() {
+  eval_.refresh();
+  if (!has_baseline()) return;
+  const std::size_t n = problem().objects();
+  for (ObjectId k = 0; k < n; ++k) {
+    v_[k] = eval_.object_cost_with_replicas(k, replicas_[k]);
+  }
+  objects_recomputed_ += n;
+  total_ = sum_object_costs(v_);
+}
+
+double DeltaEvaluator::rebase(std::span<const std::uint8_t> matrix) {
+  const Problem& p = problem();
+  const std::size_t m = p.sites();
+  const std::size_t n = p.objects();
+  if (matrix.size() != m * n)
+    throw std::invalid_argument("DeltaEvaluator::rebase: matrix size mismatch");
+  matrix_.assign(matrix.begin(), matrix.end());
+  replicas_.assign(n, std::vector<SiteId>());
+  v_.assign(n, 0.0);
+  for (ObjectId k = 0; k < n; ++k) {
+    const SiteId sp = p.primary(k);
+    matrix_[static_cast<std::size_t>(sp) * n + k] = 1;
+    auto& reps = replicas_[k];
+    for (SiteId i = 0; i < m; ++i) {
+      if (matrix_[static_cast<std::size_t>(i) * n + k] != 0) reps.push_back(i);
+    }
+    v_[k] = eval_.object_cost_with_replicas(k, reps);
+  }
+  objects_recomputed_ += n;
+  total_ = sum_object_costs(v_);
+  return total_;
+}
+
+double DeltaEvaluator::total() const {
+  if (!has_baseline())
+    throw std::logic_error("DeltaEvaluator::total: no baseline (call rebase)");
+  return total_;
+}
+
+double DeltaEvaluator::fitness() const {
+  const double d_prime = eval_.primary_only_cost();
+  if (d_prime <= 0.0) return 0.0;
+  return (d_prime - total()) / d_prime;
+}
+
+bool DeltaEvaluator::has_replica(SiteId i, ObjectId k) const {
+  if (!has_baseline())
+    throw std::logic_error("DeltaEvaluator::has_replica: no baseline");
+  const std::size_t n = problem().objects();
+  if (i >= problem().sites() || k >= n)
+    throw std::out_of_range("DeltaEvaluator::has_replica: cell out of range");
+  return matrix_[static_cast<std::size_t>(i) * n + k] != 0;
+}
+
+double DeltaEvaluator::peek_flip(SiteId site, ObjectId k) {
+  const bool present = has_replica(site, k);  // validates state and bounds
+  if (problem().primary(k) == site && present)
+    throw std::invalid_argument("DeltaEvaluator::peek_flip: cannot drop a primary copy");
+  scratch_replicas_.clear();
+  for (SiteId rep : replicas_[k]) {
+    if (!(present && rep == site)) scratch_replicas_.push_back(rep);
+  }
+  if (!present) {
+    scratch_replicas_.insert(
+        std::upper_bound(scratch_replicas_.begin(), scratch_replicas_.end(), site),
+        site);
+  }
+  ++objects_recomputed_;
+  return total_ - v_[k] + eval_.object_cost_with_replicas(k, scratch_replicas_);
+}
+
+double DeltaEvaluator::apply_flip(SiteId site, ObjectId k) {
+  const bool present = has_replica(site, k);
+  if (problem().primary(k) == site && present)
+    throw std::invalid_argument("DeltaEvaluator::apply_flip: cannot drop a primary copy");
+  const std::size_t n = problem().objects();
+  auto& reps = replicas_[k];
+  if (present) {
+    reps.erase(std::find(reps.begin(), reps.end(), site));
+  } else {
+    reps.insert(std::upper_bound(reps.begin(), reps.end(), site), site);
+  }
+  matrix_[static_cast<std::size_t>(site) * n + k] = present ? 0 : 1;
+  v_[k] = eval_.object_cost_with_replicas(k, reps);
+  ++objects_recomputed_;
+  total_ = sum_object_costs(v_);
+  return total_;
+}
+
+double DeltaEvaluator::apply_gene_exchange(SiteId site,
+                                           std::span<const std::uint8_t> row) {
+  if (!has_baseline())
+    throw std::logic_error("DeltaEvaluator::apply_gene_exchange: no baseline");
+  const Problem& p = problem();
+  const std::size_t n = p.objects();
+  if (site >= p.sites())
+    throw std::out_of_range("DeltaEvaluator::apply_gene_exchange: site out of range");
+  if (row.size() != n)
+    throw std::invalid_argument("DeltaEvaluator::apply_gene_exchange: row length mismatch");
+  bool any_changed = false;
+  for (ObjectId k = 0; k < n; ++k) {
+    const bool want = row[k] != 0 || p.primary(k) == site;
+    std::uint8_t& cell = matrix_[static_cast<std::size_t>(site) * n + k];
+    if ((cell != 0) == want) continue;
+    auto& reps = replicas_[k];
+    if (want) {
+      reps.insert(std::upper_bound(reps.begin(), reps.end(), site), site);
+    } else {
+      reps.erase(std::find(reps.begin(), reps.end(), site));
+    }
+    cell = want ? 1 : 0;
+    v_[k] = eval_.object_cost_with_replicas(k, reps);
+    ++objects_recomputed_;
+    any_changed = true;
+  }
+  if (any_changed) total_ = sum_object_costs(v_);
+  return total_;
+}
+
+double DeltaEvaluator::full_cost(std::span<const std::uint8_t> matrix,
+                                 std::span<double> object_costs) {
+  const Problem& p = problem();
+  const std::size_t n = p.objects();
+  if (matrix.size() != p.sites() * n)
+    throw std::invalid_argument("DeltaEvaluator::full_cost: matrix size mismatch");
+  if (object_costs.size() != n)
+    throw std::invalid_argument("DeltaEvaluator::full_cost: object_costs size mismatch");
+  for (ObjectId k = 0; k < n; ++k)
+    object_costs[k] = object_cost_in_matrix(k, matrix);
+  return sum_object_costs(object_costs);
+}
+
+double DeltaEvaluator::delta_cost(std::span<const std::uint8_t> matrix,
+                                  std::span<const ObjectId> changed,
+                                  std::span<double> object_costs) {
+  const Problem& p = problem();
+  const std::size_t n = p.objects();
+  if (matrix.size() != p.sites() * n)
+    throw std::invalid_argument("DeltaEvaluator::delta_cost: matrix size mismatch");
+  if (object_costs.size() != n)
+    throw std::invalid_argument("DeltaEvaluator::delta_cost: object_costs size mismatch");
+  for (const ObjectId k : changed)
+    object_costs[k] = object_cost_in_matrix(k, matrix);
+  return sum_object_costs(object_costs);
+}
+
+double DeltaEvaluator::object_cost_in_matrix(
+    ObjectId k, std::span<const std::uint8_t> matrix) {
+  const Problem& p = problem();
+  const std::size_t m = p.sites();
+  const std::size_t n = p.objects();
+  if (k >= n)
+    throw std::out_of_range("DeltaEvaluator: object out of range");
+  const SiteId sp = p.primary(k);
+  scratch_replicas_.clear();
+  for (SiteId i = 0; i < m; ++i) {
+    if (i == sp || matrix[static_cast<std::size_t>(i) * n + k] != 0)
+      scratch_replicas_.push_back(i);
+  }
+  ++objects_recomputed_;
+  return eval_.object_cost_with_replicas(k, scratch_replicas_);
+}
+
+double DeltaEvaluator::sum_object_costs(std::span<const double> v) const {
+  double total = 0.0;
+  for (const double cost : v) total += cost;
+  return total;
+}
+
+double DeltaEvaluator::full_equivalents() const noexcept {
+  const std::size_t n = problem().objects();
+  if (n == 0) return 0.0;
+  return static_cast<double>(objects_recomputed_) / static_cast<double>(n);
+}
+
 }  // namespace drep::core

@@ -1,5 +1,6 @@
 #include "ga/crossover.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -52,6 +53,24 @@ CrossoverCut uniform_crossover(Chromosome& a, Chromosome& b, util::Rng& rng) {
     if (rng.bernoulli(0.5)) std::swap(a[i], b[i]);
   }
   return CrossoverCut{0, a.size(), true};
+}
+
+std::vector<std::size_t> differing_columns(std::span<const std::uint8_t> a,
+                                           std::span<const std::uint8_t> b,
+                                           std::size_t stride) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("differing_columns: length mismatch");
+  if (stride == 0)
+    throw std::invalid_argument("differing_columns: zero stride");
+  std::vector<std::uint8_t> hit(std::min(stride, a.size()), 0);
+  for (std::size_t pos = 0; pos < a.size(); ++pos) {
+    if (a[pos] != b[pos]) hit[pos % stride] = 1;
+  }
+  std::vector<std::size_t> columns;
+  for (std::size_t c = 0; c < hit.size(); ++c) {
+    if (hit[c] != 0) columns.push_back(c);
+  }
+  return columns;
 }
 
 }  // namespace drep::ga

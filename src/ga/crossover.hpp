@@ -35,4 +35,15 @@ CrossoverCut one_point_crossover(Chromosome& a, Chromosome& b, util::Rng& rng);
 /// probability 0.5. Returns a full-string cut descriptor.
 CrossoverCut uniform_crossover(Chromosome& a, Chromosome& b, util::Rng& rng);
 
+/// Distinct column indices (position mod `stride`) at which the two
+/// equal-length strings differ, ascending. With GRA's site-major M·N
+/// chromosomes (stride = N) the column is the object id: comparing a
+/// crossover child against the parent it was copied from yields exactly the
+/// objects whose cost must be re-derived, so children of converged parents
+/// can be delta-evaluated instead of fully re-evaluated. Throws
+/// std::invalid_argument on a length mismatch or zero stride.
+[[nodiscard]] std::vector<std::size_t> differing_columns(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+    std::size_t stride);
+
 }  // namespace drep::ga

@@ -3,7 +3,9 @@
 namespace drep::ga {
 
 std::size_t mutate_bits(Chromosome& genes, double rate, util::Rng& rng,
-                        const std::function<bool(std::size_t, bool)>& accept) {
+                        const std::function<bool(std::size_t, bool)>& accept,
+                        std::vector<std::size_t>* kept_positions) {
+  if (kept_positions) kept_positions->clear();
   std::size_t kept = 0;
   for_each_mutation_site(genes.size(), rate, rng, [&](std::size_t position) {
     const bool new_value = genes[position] == 0;
@@ -12,6 +14,7 @@ std::size_t mutate_bits(Chromosome& genes, double rate, util::Rng& rng,
       genes[position] = new_value ? 0 : 1;  // veto: flip back
     } else {
       ++kept;
+      if (kept_positions) kept_positions->push_back(position);
     }
   });
   return kept;

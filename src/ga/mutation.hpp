@@ -14,9 +14,13 @@ namespace drep::ga {
 
 /// Flips each gene independently with probability `rate`; a flip is kept
 /// only when accept(position, new_value) returns true. Returns the number of
-/// kept flips. `accept` may be nullptr (all flips kept).
+/// kept flips. `accept` may be nullptr (all flips kept). When
+/// `kept_positions` is non-null it is cleared and filled with the kept flip
+/// positions in increasing order, so callers can delta-evaluate the mutated
+/// chromosome against its parent instead of paying a full re-evaluation.
 std::size_t mutate_bits(
     Chromosome& genes, double rate, util::Rng& rng,
-    const std::function<bool(std::size_t, bool)>& accept = nullptr);
+    const std::function<bool(std::size_t, bool)>& accept = nullptr,
+    std::vector<std::size_t>* kept_positions = nullptr);
 
 }  // namespace drep::ga

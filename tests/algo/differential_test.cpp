@@ -1,0 +1,103 @@
+// Differential testing of the heuristics against the exhaustive solver on
+// tiny (M·N ≤ 16) instances: every emitted scheme must be capacity-valid,
+// must never cost less than the provable optimum, and must price identically
+// under both write-cost bookkeepings (receiver-pays Eq. 4 vs writer-pays
+// Eqs. 2+3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/agra.hpp"
+#include "algo/exhaustive.hpp"
+#include "algo/gra.hpp"
+#include "algo/sra.hpp"
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+void expect_scheme_consistent(const core::ReplicationScheme& scheme,
+                              double optimal_cost) {
+  EXPECT_TRUE(scheme.is_valid());
+  const double cost = core::total_cost(scheme);
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(optimal_cost));
+  EXPECT_GE(cost, optimal_cost - tolerance)
+      << "heuristic beat the exhaustive optimum";
+  // Both bookkeepings of Eq. 4 vs Eqs. 2+3 must price the same scheme alike.
+  EXPECT_NEAR(core::total_cost_writer_view(scheme), cost,
+              1e-9 * std::max(1.0, std::abs(cost)));
+}
+
+GraConfig tiny_gra_config() {
+  GraConfig config;
+  config.population = 8;
+  config.generations = 10;
+  return config;
+}
+
+TEST(Differential, HeuristicsNeverBeatExhaustiveOnTinyInstances) {
+  // Shapes with M·N ≤ 16 so the exhaustive solver is exact.
+  const struct {
+    std::size_t sites;
+    std::size_t objects;
+  } shapes[] = {{4, 4}, {2, 8}, {8, 2}, {5, 3}, {3, 5}};
+  for (const auto& shape : shapes) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const core::Problem p = testing::small_random_problem(
+          seed * 131, shape.sites, shape.objects, 10.0, 30.0);
+      const auto optimal = solve_exhaustive(p);
+      ASSERT_TRUE(optimal.has_value())
+          << shape.sites << "x" << shape.objects << " seed " << seed;
+      SCOPED_TRACE(::testing::Message() << shape.sites << "x" << shape.objects
+                                        << " seed " << seed);
+      expect_scheme_consistent(optimal->scheme, optimal->cost);
+
+      const AlgorithmResult sra = solve_sra(p);
+      expect_scheme_consistent(sra.scheme, optimal->cost);
+
+      util::Rng gra_rng(seed);
+      const GraResult gra = solve_gra(p, tiny_gra_config(), gra_rng);
+      expect_scheme_consistent(gra.best.scheme, optimal->cost);
+
+      // AGRA over every object, seeded from the GRA population.
+      std::vector<ga::Chromosome> gra_population;
+      for (const auto& ind : gra.population)
+        gra_population.push_back(ind.genes);
+      std::vector<core::ObjectId> changed;
+      for (core::ObjectId k = 0; k < p.objects(); ++k) changed.push_back(k);
+      AgraConfig agra_config;
+      agra_config.population = 6;
+      agra_config.generations = 8;
+      for (const auto repair :
+           {AgraConfig::Repair::kEstimator, AgraConfig::Repair::kExactDelta}) {
+        agra_config.repair = repair;
+        util::Rng agra_rng(seed * 7);
+        const AgraResult agra =
+            solve_agra(p, gra.best.scheme.matrix(), gra_population, changed,
+                       agra_config, agra_rng);
+        expect_scheme_consistent(agra.best.scheme, optimal->cost);
+      }
+    }
+  }
+}
+
+TEST(Differential, GraFitnessHistoryConsistentWithEmittedScheme) {
+  const core::Problem p = testing::small_random_problem(17, 4, 4, 5.0, 40.0);
+  util::Rng rng(18);
+  const GraResult result = solve_gra(p, tiny_gra_config(), rng);
+  // The reported best fitness must match the emitted scheme's actual cost.
+  const double d_prime = core::primary_only_cost(p);
+  ASSERT_GT(d_prime, 0.0);
+  const double fitness_from_scheme =
+      (d_prime - core::total_cost(result.best.scheme)) / d_prime;
+  EXPECT_NEAR(result.best_fitness_history.back(), fitness_from_scheme, 1e-9);
+  // Work accounting: the incremental path can only have spent less than one
+  // full evaluation per chromosome (plus the engine's setup evaluation).
+  EXPECT_GT(result.full_equivalent_evaluations, 0.0);
+  EXPECT_LE(result.full_equivalent_evaluations,
+            static_cast<double>(result.evaluations) + 1.5);
+}
+
+}  // namespace
+}  // namespace drep::algo

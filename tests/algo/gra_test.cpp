@@ -134,6 +134,12 @@ TEST(Gra, DeterministicGivenSeed) {
   const GraResult b = solve_gra(p, fast_config(), rng_b);
   EXPECT_EQ(a.best.scheme.matrix(), b.best.scheme.matrix());
   EXPECT_DOUBLE_EQ(a.best.cost, b.best.cost);
+  // The documented parallel_evaluation determinism guarantee: same seed and
+  // pool ⇒ bit-identical trajectory, not just the same final scheme.
+  ASSERT_EQ(a.best_fitness_history.size(), b.best_fitness_history.size());
+  EXPECT_EQ(a.best_fitness_history, b.best_fitness_history);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_DOUBLE_EQ(a.full_equivalent_evaluations, b.full_equivalent_evaluations);
 }
 
 TEST(Gra, ParallelAndSerialEvaluationAgree) {
@@ -146,6 +152,23 @@ TEST(Gra, ParallelAndSerialEvaluationAgree) {
   util::Rng rng_b(16);
   const GraResult serial = solve_gra(p, config, rng_b);
   EXPECT_EQ(parallel.best.scheme.matrix(), serial.best.scheme.matrix());
+  // Fitness is computed per individual with no cross-individual FP
+  // accumulation, so the full history must match exactly as well.
+  EXPECT_EQ(parallel.best_fitness_history, serial.best_fitness_history);
+  EXPECT_DOUBLE_EQ(parallel.full_equivalent_evaluations,
+                   serial.full_equivalent_evaluations);
+}
+
+TEST(Gra, IncrementalEvaluationSavesWork) {
+  // The delta path must make the measured work (in full-evaluation units)
+  // strictly smaller than the number of chromosomes evaluated: mutants and
+  // crossover children touch far fewer than N objects.
+  const core::Problem p = testing::small_random_problem(19);
+  util::Rng rng(20);
+  const GraResult result = solve_gra(p, fast_config(), rng);
+  EXPECT_GT(result.full_equivalent_evaluations, 0.0);
+  EXPECT_LT(result.full_equivalent_evaluations,
+            0.9 * static_cast<double>(result.evaluations));
 }
 
 TEST(Gra, RandomInitAlsoWorks) {
