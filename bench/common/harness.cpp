@@ -2,10 +2,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "algo/sra.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace drep::bench {
 
@@ -21,6 +25,12 @@ bool parse_size_flag(const std::string& arg, const std::string& name,
 
 Options Options::parse(int argc, char** argv) {
   Options options;
+  if (argc > 0) {
+    const std::string path = argv[0];
+    const auto slash = path.find_last_of('/');
+    options.bench_name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::size_t value = 0;
@@ -28,6 +38,10 @@ Options Options::parse(int argc, char** argv) {
       options.paper = true;
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--no-json") {
+      options.json = false;
+    } else if (arg.rfind("--json-dir=", 0) == 0) {
+      options.json_dir = arg.substr(std::string("--json-dir=").size());
     } else if (parse_size_flag(arg, "networks", value)) {
       options.networks_override = value;
     } else if (parse_size_flag(arg, "generations", value)) {
@@ -39,7 +53,7 @@ Options Options::parse(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--paper] [--networks=N] [--generations=N] "
-          "[--population=N] [--seed=N] [--csv]\n",
+          "[--population=N] [--seed=N] [--csv] [--no-json] [--json-dir=PATH]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -135,6 +149,70 @@ Runner gra_runner(algo::GraConfig config) {
   };
 }
 
+namespace {
+
+/// Tables emitted so far in this process, in order.
+std::vector<obs::Json>& collected_tables() {
+  static std::vector<obs::Json> tables;
+  return tables;
+}
+
+obs::Json table_to_json(const std::string& title, const util::Table& table) {
+  obs::Json json_table = obs::Json::object();
+  json_table["title"] = obs::Json(title);
+  obs::Json columns = obs::Json::array();
+  for (const std::string& header : table.headers())
+    columns.push_back(obs::Json(header));
+  json_table["columns"] = std::move(columns);
+  obs::Json rows = obs::Json::array();
+  for (const auto& row : table.row_data()) {
+    obs::Json cells = obs::Json::array();
+    for (const std::string& cell : row) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (!cell.empty() && end == cell.c_str() + cell.size()) {
+        cells.push_back(obs::Json(value));
+      } else {
+        cells.push_back(obs::Json(cell));
+      }
+    }
+    rows.push_back(std::move(cells));
+  }
+  json_table["rows"] = std::move(rows);
+  return json_table;
+}
+
+/// Rewrites <json_dir>/BENCH_<bench_name>.json with everything emitted so
+/// far plus the current metric snapshot.
+void write_bench_json(const Options& options) {
+  obs::Json root = obs::Json::object();
+  root["schema_version"] = obs::Json(1);
+  root["bench"] = obs::Json(options.bench_name);
+  root["build"] = obs::Json(obs::build_version());
+  obs::Json opts = obs::Json::object();
+  opts["paper"] = obs::Json(options.paper);
+  opts["networks_override"] = obs::Json(options.networks_override);
+  opts["generations_override"] = obs::Json(options.generations_override);
+  opts["population_override"] = obs::Json(options.population_override);
+  opts["seed"] = obs::Json(options.seed);
+  root["options"] = std::move(opts);
+  obs::Json tables = obs::Json::array();
+  for (const obs::Json& table : collected_tables()) tables.push_back(table);
+  root["tables"] = std::move(tables);
+  root["metrics"] = obs::metrics_to_json(obs::Registry::global().snapshot());
+
+  const std::string path =
+      options.json_dir + "/BENCH_" + options.bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << root.dump(2) << '\n';
+}
+
+}  // namespace
+
 void emit(const std::string& title, const util::Table& table,
           const Options& options) {
   std::cout << "== " << title << " ==\n";
@@ -144,6 +222,10 @@ void emit(const std::string& title, const util::Table& table,
   table.print(std::cout);
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
   std::cout << "\n";
+  if (options.json && !options.bench_name.empty()) {
+    collected_tables().push_back(table_to_json(title, table));
+    write_bench_json(options);
+  }
 }
 
 }  // namespace drep::bench

@@ -13,6 +13,14 @@
 //        --population=N    override GRA population
 //        --seed=N          base RNG seed
 //        --csv             also emit CSV after the table
+//        --no-json         skip the BENCH_<name>.json artifact
+//        --json-dir=PATH   directory for BENCH_<name>.json (default ".")
+//
+// Besides the human-readable tables, every bench run maintains a
+// machine-readable artifact BENCH_<name>.json (schema_version 1): the
+// options, every emitted table (numeric cells as numbers), and the final
+// obs metric snapshot. The file is rewritten after each emit() so a
+// partially complete run still leaves a valid artifact.
 
 #include <cstdint>
 #include <functional>
@@ -33,6 +41,11 @@ struct Options {
   std::size_t population_override = 0;
   std::uint64_t seed = 2000;
   bool csv = false;
+  /// Write BENCH_<bench_name>.json into json_dir after each emit().
+  bool json = true;
+  std::string json_dir = ".";
+  /// Basename of argv[0]; names the JSON artifact. Empty disables it.
+  std::string bench_name;
 
   /// Parses argv; prints usage and exits(0) on --help, exits(2) on unknown
   /// flags.

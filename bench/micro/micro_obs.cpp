@@ -1,0 +1,93 @@
+// Micro-benchmarks for the observability primitives. The headline claims:
+// a counter increment on the sharded fast path costs a handful of ns (one
+// TLS slot read + one relaxed atomic CAS on a cache-line-padded cell;
+// target < 5 ns on bare metal, somewhat more under virtualization), and an
+// instrumented GRA solve is within noise (<2%) of a build configured with
+// -DDREP_OBS=OFF. The second claim needs two builds: run BM_GraSmall here
+// and in an OFF build (where the macros compile to nothing) and compare.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstddef>
+
+#include "algo/gra.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace drep;
+
+// The macro fast path: registry lookup cached in a function-local static,
+// then one sharded atomic add. This is what every instrumented hot loop
+// pays per event.
+void BM_CounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    DREP_COUNT("drep_bench_counter_total", 1);
+  }
+  state.SetLabel("DREP_COUNT fast path");
+}
+BENCHMARK(BM_CounterAdd);
+BENCHMARK(BM_CounterAdd)->Threads(4)->Name("BM_CounterAdd/contended");
+
+void BM_GaugeSet(benchmark::State& state) {
+  double value = 0.0;
+  for (auto _ : state) {
+    DREP_GAUGE_SET("drep_bench_gauge", value);
+    value += 1.0;
+  }
+  state.SetLabel("DREP_GAUGE_SET fast path");
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  double value = 0.0;
+  for (auto _ : state) {
+    DREP_OBSERVE("drep_bench_histogram", obs::latency_buckets(), value);
+    value += 0.125;
+    if (value > 100.0) value = 0.0;
+  }
+  state.SetLabel("DREP_OBSERVE incl. bucket search");
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanScope(benchmark::State& state) {
+  for (auto _ : state) {
+    DREP_SPAN("bench/span");
+  }
+  state.SetLabel("DREP_SPAN enter+exit");
+}
+BENCHMARK(BM_SpanScope);
+
+// End-to-end probe for the instrumentation overhead claim: a small but
+// real GRA solve whose hot loops carry the production DREP_COUNT/DREP_SPAN
+// call sites. Compare the same benchmark between DREP_OBS=ON and OFF
+// builds; the delta is the total observability tax.
+void BM_GraSmall(benchmark::State& state) {
+  workload::GeneratorConfig config;
+  config.sites = 10;
+  config.objects = 20;
+  config.update_ratio_percent = 5.0;
+  config.capacity_percent = 25.0;
+  util::Rng gen_rng(42);
+  const core::Problem problem = workload::generate(config, gen_rng);
+  algo::GraConfig gra;
+  gra.generations = 10;
+  gra.population = 10;
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(algo::solve_gra(problem, gra, rng));
+  }
+#if defined(DREP_OBS_DISABLED)
+  state.SetLabel("GRA 10x20, obs OFF");
+#else
+  state.SetLabel("GRA 10x20, obs ON");
+#endif
+}
+BENCHMARK(BM_GraSmall)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -24,14 +24,15 @@ for sanitizer in address undefined; do
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
 done
 
-# ThreadSanitizer: the suites that exercise real concurrency. The rest of
-# the tests are single-threaded and already covered above; running them
-# under TSan's ~10x slowdown buys nothing.
+# ThreadSanitizer: the suites that exercise real concurrency (thread pool,
+# parallel GRA evaluation, sharded metrics, span registry). The rest of the
+# tests are single-threaded and already covered above; running them under
+# TSan's ~10x slowdown buys nothing.
 dir=build-thread
 configure_and_build thread "$dir"
-echo "== ctest under thread sanitizer (thread pool + parallel GRA) =="
+echo "== ctest under thread sanitizer (pool + parallel GRA + obs) =="
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
   ctest --test-dir "$dir" --output-on-failure \
-    -R 'ThreadPool|Gra\.|EvolvePopulation'
+    -R 'ThreadPool|Gra\.|EvolvePopulation|Metrics\.|SpanTest'
 
 echo "sanitize: all jobs passed"

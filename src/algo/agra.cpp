@@ -9,6 +9,8 @@
 #include "ga/crossover.hpp"
 #include "ga/mutation.hpp"
 #include "ga/selection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace drep::algo {
@@ -59,6 +61,7 @@ MicroGaResult micro_ga(const core::Problem& problem,
                        const ga::Chromosome& current_mask,
                        std::span<const ga::Chromosome> seed_masks,
                        const AgraConfig& config, util::Rng& rng) {
+  DREP_SPAN("agra/micro_ga");
   config.validate();
   const std::size_t m = problem.sites();
   if (current_mask.size() != m)
@@ -112,6 +115,7 @@ MicroGaResult micro_ga(const core::Problem& problem,
   MaskIndividual best_ever = population[ga::best_index(fitness_of(population))];
 
   for (std::size_t gen = 1; gen <= config.generations; ++gen) {
+    DREP_COUNT("drep_agra_micro_generations_total", 1);
     // Regular sampling space: stochastic-remainder select Ap parents; pair;
     // single-point crossover with rate 0.8; bit-flip mutation with the
     // primary-bit veto. The resulting strings ARE the next generation.
@@ -232,11 +236,14 @@ AgraResult solve_agra(const core::Problem& problem,
                       std::span<const ga::Chromosome> gra_population,
                       std::span<const core::ObjectId> changed_objects,
                       const AgraConfig& config, util::Rng& rng) {
+  DREP_SPAN("agra/solve");
   config.validate();
   const std::size_t m = problem.sites();
   const std::size_t n = problem.objects();
   if (current_scheme.size() != m * n)
     throw std::invalid_argument("solve_agra: current scheme length mismatch");
+  DREP_COUNT("drep_agra_runs_total", 1);
+  DREP_COUNT("drep_agra_objects_adapted_total", changed_objects.size());
 
   util::Stopwatch total_watch;
   core::CostEvaluator evaluator(problem);
@@ -288,9 +295,11 @@ AgraResult solve_agra(const core::Problem& problem,
   // Repair the capacity violations transcription may have introduced.
   for (auto& genes : working)
     repairs += repair_capacity(problem, genes, plw, config.repair, rng);
+  DREP_COUNT("drep_agra_transcription_repairs_total", repairs);
 
   if (config.mini_gra_generations > 0) {
     // Policy (b): polish with a few generations of mini-GRA.
+    DREP_SPAN("agra/mini_gra");
     util::Stopwatch mini_watch;
     GraConfig mini = config.mini_gra;
     mini.generations = config.mini_gra_generations;

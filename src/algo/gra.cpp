@@ -7,6 +7,8 @@
 #include "ga/crossover.hpp"
 #include "ga/mutation.hpp"
 #include "ga/selection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -167,6 +169,7 @@ class GraEngine {
   }
 
   GraResult run(std::vector<ga::Chromosome> initial) {
+    DREP_SPAN("gra/solve");
     util::Stopwatch watch;
     std::vector<EvalIndividual> population = adopt(std::move(initial));
     evaluate(population);
@@ -178,6 +181,8 @@ class GraEngine {
     history.push_back(best_ever.ind.fitness);
 
     for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
+      DREP_SPAN("gra/generation");
+      DREP_COUNT("drep_gra_generations_total", 1);
       if (config_.selection == GraConfig::SelectionScheme::kSgaRoulette) {
         population = sga_generation(population);
       } else {
@@ -187,6 +192,11 @@ class GraEngine {
       const std::size_t best_now = ga::best_index(fit);
       if (population[best_now].ind.fitness > best_ever.ind.fitness)
         best_ever = population[best_now];
+      double fitness_sum = 0.0;
+      for (const double f : fit) fitness_sum += f;
+      DREP_GAUGE_SET("drep_gra_best_fitness", best_ever.ind.fitness);
+      DREP_GAUGE_SET("drep_gra_mean_fitness",
+                     fitness_sum / static_cast<double>(fit.size()));
       // Elitism: the best-found-so-far chromosome replaces the current
       // worst, once every elite_interval generations (paper: 5, to avoid
       // premature convergence).
@@ -251,7 +261,9 @@ class GraEngine {
   /// bit-identical totals and neither depends on the block id, so the
   /// outcome is the same for any pool size, serial included.
   void evaluate(std::vector<EvalIndividual>& population) {
+    DREP_SPAN("gra/evaluate");
     evaluations_ += population.size();
+    DREP_COUNT("drep_gra_evaluations_total", population.size());
     const std::size_t n = problem_.objects();
     const auto body = [this, &population, n](std::size_t block, std::size_t p) {
       EvalIndividual& e = population[p];
@@ -262,16 +274,22 @@ class GraEngine {
         e.touched.erase(std::unique(e.touched.begin(), e.touched.end()),
                         e.touched.end());
         // Past half the objects a delta pass would outwork a full one.
-        cost = e.touched.size() * 2 < n
-                   ? evaluator.delta_cost(e.ind.genes, e.touched, e.v)
-                   : evaluator.full_cost(e.ind.genes, e.v);
+        if (e.touched.size() * 2 < n) {
+          DREP_COUNT("drep_gra_delta_evaluations_total", 1);
+          cost = evaluator.delta_cost(e.ind.genes, e.touched, e.v);
+        } else {
+          DREP_COUNT("drep_gra_full_evaluations_total", 1);
+          cost = evaluator.full_cost(e.ind.genes, e.v);
+        }
       } else {
         e.v.resize(n);
+        DREP_COUNT("drep_gra_full_evaluations_total", 1);
         cost = evaluator.full_cost(e.ind.genes, e.v);
       }
       e.touched.clear();
       e.ind.fitness = d_prime_ <= 0.0 ? 0.0 : (d_prime_ - cost) / d_prime_;
       if (e.ind.fitness < 0.0) {
+        DREP_COUNT("drep_gra_resets_total", 1);
         e.ind.genes = primary_;
         e.ind.fitness = 0.0;
         e.v = primary_v_;
@@ -322,6 +340,7 @@ class GraEngine {
     const bool invalid =
         gene_load(a) > capacity || gene_load(b) > capacity;
     if (!invalid) return;
+    DREP_COUNT("drep_gra_gene_repairs_total", 1);
     if (config_.crossover == GraConfig::CrossoverKind::kUniform) {
       // Scattered exchange: restore the gene from the parents.
       const ga::Chromosome& genes_a = parent_a.ind.genes;
@@ -500,11 +519,14 @@ class GraEngine {
 GraResult solve_gra(const core::Problem& problem, const GraConfig& config,
                     util::Rng& rng) {
   config.validate();
-  std::vector<ga::Chromosome> initial =
-      config.init == GraConfig::Init::kSraSeeded
-          ? sra_seeded_population(problem, config.population,
-                                  config.perturb_fraction, rng)
-          : random_population(problem, config.population, rng);
+  std::vector<ga::Chromosome> initial;
+  {
+    DREP_SPAN("gra/seed");
+    initial = config.init == GraConfig::Init::kSraSeeded
+                  ? sra_seeded_population(problem, config.population,
+                                          config.perturb_fraction, rng)
+                  : random_population(problem, config.population, rng);
+  }
   GraEngine engine(problem, config, rng);
   return engine.run(std::move(initial));
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/benefit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace drep::algo {
@@ -21,6 +23,7 @@ AlgorithmResult make_result(core::ReplicationScheme scheme,
 AlgorithmResult solve_sra(const core::Problem& problem,
                           const SraConfig& config, util::Rng& rng,
                           SraStats* stats) {
+  DREP_SPAN("sra/solve");
   util::Stopwatch watch;
   core::ReplicationScheme scheme(problem);
   const std::size_t m = problem.sites();
@@ -92,6 +95,11 @@ AlgorithmResult solve_sra(const core::Problem& problem,
     }
   }
 
+  DREP_COUNT("drep_sra_runs_total", 1);
+  DREP_COUNT("drep_sra_site_visits_total", local_stats.site_visits);
+  DREP_COUNT("drep_sra_benefit_evaluations_total",
+             local_stats.benefit_evaluations);
+  DREP_COUNT("drep_sra_replicas_created_total", local_stats.replicas_created);
   if (stats != nullptr) *stats = local_stats;
   return make_result(std::move(scheme), watch.seconds());
 }

@@ -1,0 +1,410 @@
+#include "cli/cli.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algo/agra.hpp"
+#include "algo/baselines.hpp"
+#include "algo/exhaustive.hpp"
+#include "algo/gra.hpp"
+#include "algo/sra.hpp"
+#include "core/cost_model.hpp"
+#include "io/serialize.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "sim/access_replay.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace drep::cli {
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> named;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return named.count(key) != 0;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = named.find(key);
+    if (it == named.end())
+      throw UsageError("missing required flag " + flag_name(key));
+    return it->second;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = named.find(key);
+    if (it == named.end()) return fallback;
+    const std::string& text = it->second;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+      throw UsageError(flag_name(key) + " expects a number, got '" + text +
+                       "'");
+    return value;
+  }
+
+  /// Canonical spelling for error messages: the short form where one
+  /// exists, --key otherwise.
+  [[nodiscard]] static std::string flag_name(const std::string& key) {
+    if (key == "in") return "-i";
+    if (key == "out") return "-o";
+    if (key == "scheme") return "-s";
+    if (key == "new") return "-n";
+    return "--" + key;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first,
+                const std::set<std::string>& allowed) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string key;
+    if (arg == "-o" || arg == "-i" || arg == "-s" || arg == "-n") {
+      if (i + 1 >= argc) throw UsageError(arg + " needs a file argument");
+      key = arg == "-o"   ? "out"
+            : arg == "-i" ? "in"
+            : arg == "-s" ? "scheme"
+                          : "new";
+      args.named[key] = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        key = arg.substr(2);
+        args.named[key] = "1";
+      } else {
+        key = arg.substr(2, eq - 2);
+        args.named[key] = arg.substr(eq + 1);
+      }
+    } else {
+      throw UsageError("unexpected argument: " + arg);
+    }
+    if (allowed.count(key) == 0)
+      throw UsageError("unknown flag " + Args::flag_name(key) +
+                       " for this command");
+  }
+  return args;
+}
+
+/// The parsed flags as a sorted string->string object (std::map order), so
+/// two invocations with the same flags serialize identically.
+obs::Json args_to_json(const Args& args) {
+  obs::Json config = obs::Json::object();
+  for (const auto& [key, value] : args.named) config[key] = obs::Json(value);
+  return config;
+}
+
+/// Writes the --report (RunReport JSON) and/or --prom (Prometheus text
+/// exposition) files when requested. Capture happens here, after the
+/// command's spans have closed, so the report sees the whole run.
+void maybe_write_reports(const Args& args, const std::string& command,
+                         obs::Json result) {
+  const bool want_report = args.has("report");
+  const bool want_prom = args.has("prom");
+  if (!want_report && !want_prom) return;
+  const obs::RunReport report =
+      obs::RunReport::capture(command, args_to_json(args), std::move(result));
+  if (want_report) report.save(args.require("report"));
+  if (want_prom) {
+    const std::string path = args.require("prom");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot create " + path);
+    out << obs::to_prometheus(report.metrics);
+    if (!out) throw std::runtime_error("failed writing " + path);
+  }
+}
+
+int cmd_generate(const Args& args) {
+  workload::GeneratorConfig config;
+  config.sites = static_cast<std::size_t>(args.number("sites", 50));
+  config.objects = static_cast<std::size_t>(args.number("objects", 200));
+  config.update_ratio_percent = args.number("update", 5.0);
+  config.capacity_percent = args.number("capacity", 15.0);
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  const core::Problem problem = workload::generate(config, rng);
+  io::save_problem(args.require("out"), problem);
+  std::cout << "wrote " << args.require("out") << ": " << problem.sites()
+            << " sites, " << problem.objects() << " objects, D' = "
+            << core::primary_only_cost(problem) << "\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const core::Problem problem = io::load_problem(args.require("in"));
+  const std::string algo_name = args.get("algo", "gra");
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+
+  obs::Json result_json = obs::Json::object();
+  result_json["algo"] = obs::Json(algo_name);
+  std::optional<algo::AlgorithmResult> result;
+  {
+    DREP_SPAN("cli/solve");
+    if (algo_name == "sra") {
+      result = algo::solve_sra(problem, algo::SraConfig{}, rng);
+    } else if (algo_name == "gra") {
+      algo::GraConfig config;
+      config.generations =
+          static_cast<std::size_t>(args.number("generations", 80));
+      config.population =
+          static_cast<std::size_t>(args.number("population", 50));
+      algo::GraResult gra = algo::solve_gra(problem, config, rng);
+      result_json["evaluations"] = obs::Json(gra.evaluations);
+      result_json["full_equivalent_evaluations"] =
+          obs::Json(gra.full_equivalent_evaluations);
+      obs::Json history = obs::Json::array();
+      for (const double fitness : gra.best_fitness_history)
+        history.push_back(obs::Json(fitness));
+      result_json["best_fitness_history"] = std::move(history);
+      result = std::move(gra.best);
+    } else if (algo_name == "agra") {
+      // Adapt-from-scratch: treat every object as changed and the
+      // primary-only allocation as the current scheme; the micro-GAs place
+      // each object, transcription assembles the population.
+      algo::AgraConfig config;
+      config.mini_gra_generations =
+          static_cast<std::size_t>(args.number("mini", 5));
+      std::vector<core::ObjectId> changed(problem.objects());
+      std::iota(changed.begin(), changed.end(), core::ObjectId{0});
+      algo::AgraResult agra =
+          algo::solve_agra(problem, algo::primary_chromosome(problem), {},
+                           changed, config, rng);
+      result_json["transcription_repairs"] = obs::Json(agra.repairs);
+      result = std::move(agra.best);
+    } else if (algo_name == "hillclimb") {
+      result = algo::hill_climb(problem);
+    } else if (algo_name == "exhaustive") {
+      auto optimal = algo::solve_exhaustive(problem);
+      if (!optimal) {
+        std::cerr << "exhaustive: instance too large (use a tiny problem)\n";
+        return 1;
+      }
+      result = std::move(*optimal);
+    } else {
+      throw UsageError("unknown --algo=" + algo_name +
+                       " (sra|gra|agra|hillclimb|exhaustive)");
+    }
+  }
+
+  if (args.has("out")) io::save_scheme(args.require("out"), result->scheme);
+  result_json["cost"] = obs::Json(result->cost);
+  result_json["savings_percent"] = obs::Json(result->savings_percent);
+  result_json["extra_replicas"] = obs::Json(result->extra_replicas);
+  result_json["elapsed_seconds"] = obs::Json(result->elapsed_seconds);
+  std::cout << algo_name << ": cost " << result->cost << ", savings "
+            << util::format_double(result->savings_percent, 2) << "%, +"
+            << result->extra_replicas << " replicas, "
+            << util::format_double(result->elapsed_seconds, 4) << "s\n";
+  maybe_write_reports(args, "solve", std::move(result_json));
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const core::Problem problem = io::load_problem(args.require("in"));
+  const core::ReplicationScheme scheme =
+      args.has("scheme") ? io::load_scheme(args.require("scheme"), problem)
+                         : core::ReplicationScheme(problem);
+  core::CostBreakdown parts;
+  {
+    DREP_SPAN("cli/evaluate");
+    parts = core::cost_breakdown(scheme);
+  }
+  const double primary_only = core::primary_only_cost(problem);
+  const double savings = 100.0 * core::savings_fraction(problem, parts.total());
+  util::Table table({"metric", "value"});
+  table.row(3).cell("read NTC").cell(parts.read_cost);
+  table.row(3).cell("write NTC").cell(parts.write_cost);
+  table.row(3).cell("total D").cell(parts.total());
+  table.row(3).cell("D' (primary only)").cell(primary_only);
+  table.row(2).cell("savings %").cell(savings);
+  table.row(0).cell("replicas beyond primaries").cell(scheme.extra_replicas());
+  table.row(0).cell("scheme valid").cell(scheme.is_valid() ? "yes" : "NO");
+  table.print(std::cout);
+
+  obs::Json result_json = obs::Json::object();
+  result_json["read_cost"] = obs::Json(parts.read_cost);
+  result_json["write_cost"] = obs::Json(parts.write_cost);
+  result_json["total_cost"] = obs::Json(parts.total());
+  result_json["primary_only_cost"] = obs::Json(primary_only);
+  result_json["savings_percent"] = obs::Json(savings);
+  result_json["extra_replicas"] = obs::Json(scheme.extra_replicas());
+  result_json["valid"] = obs::Json(scheme.is_valid());
+  maybe_write_reports(args, "evaluate", std::move(result_json));
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const core::Problem problem = io::load_problem(args.require("in"));
+  const core::ReplicationScheme scheme =
+      args.has("scheme") ? io::load_scheme(args.require("scheme"), problem)
+                         : core::ReplicationScheme(problem);
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  const auto trace = workload::build_trace(problem, rng);
+  sim::ReplayResult replay;
+  {
+    DREP_SPAN("cli/replay");
+    replay = sim::replay_trace(scheme, trace);
+  }
+  util::Table table({"metric", "value"});
+  table.row(3).cell("replayed data traffic").cell(replay.traffic.data_traffic);
+  table.row(3).cell("analytic D").cell(core::total_cost(scheme));
+  table.row(0).cell("requests").cell(trace.size());
+  table.row(0).cell("local reads").cell(replay.local_reads);
+  table.row(0).cell("remote reads").cell(replay.remote_reads);
+  table.row(0).cell("data messages").cell(replay.traffic.data_messages);
+  table.row(0).cell("control messages").cell(replay.traffic.control_messages);
+  table.row(3).cell("mean read latency").cell(replay.read_latency.mean());
+  table.row(3).cell("mean write latency").cell(replay.write_latency.mean());
+  table.print(std::cout);
+
+  obs::Json result_json = obs::Json::object();
+  result_json["data_traffic"] = obs::Json(replay.traffic.data_traffic);
+  result_json["analytic_cost"] = obs::Json(core::total_cost(scheme));
+  result_json["requests"] = obs::Json(trace.size());
+  result_json["local_reads"] = obs::Json(replay.local_reads);
+  result_json["remote_reads"] = obs::Json(replay.remote_reads);
+  result_json["data_messages"] = obs::Json(replay.traffic.data_messages);
+  result_json["control_messages"] = obs::Json(replay.traffic.control_messages);
+  result_json["mean_read_latency"] = obs::Json(replay.read_latency.mean());
+  result_json["mean_write_latency"] = obs::Json(replay.write_latency.mean());
+  maybe_write_reports(args, "replay", std::move(result_json));
+  return 0;
+}
+
+int cmd_adapt(const Args& args) {
+  const core::Problem old_problem = io::load_problem(args.require("in"));
+  const core::Problem new_problem = io::load_problem(args.require("new"));
+  const core::ReplicationScheme scheme =
+      io::load_scheme(args.require("scheme"), old_problem);
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+
+  // Detect which objects shifted beyond the threshold, then run AGRA.
+  const double threshold = args.number("threshold", 100.0);
+  std::vector<core::ObjectId> changed;
+  for (core::ObjectId k = 0; k < old_problem.objects(); ++k) {
+    const auto deviates = [threshold](double before, double now) {
+      if (before == now) return false;
+      if (before == 0.0) return true;
+      return 100.0 * std::abs(now - before) / before >= threshold;
+    };
+    if (deviates(old_problem.total_reads(k), new_problem.total_reads(k)) ||
+        deviates(old_problem.total_writes(k), new_problem.total_writes(k))) {
+      changed.push_back(k);
+    }
+  }
+  algo::AgraConfig config;
+  config.mini_gra_generations =
+      static_cast<std::size_t>(args.number("mini", 5));
+  std::optional<algo::AgraResult> result;
+  {
+    DREP_SPAN("cli/adapt");
+    result = algo::solve_agra(new_problem, scheme.matrix(), {}, changed,
+                              config, rng);
+  }
+  io::save_scheme(args.require("out"), result->best.scheme);
+
+  core::ReplicationScheme stale(new_problem, scheme.matrix());
+  const double stale_savings = core::savings_percent(new_problem, stale);
+  std::cout << changed.size() << " objects changed; stale savings "
+            << util::format_double(stale_savings, 2) << "% -> adapted "
+            << util::format_double(result->best.savings_percent, 2) << "% in "
+            << util::format_double(result->best.elapsed_seconds, 4) << "s\n";
+
+  obs::Json result_json = obs::Json::object();
+  result_json["changed_objects"] = obs::Json(changed.size());
+  result_json["stale_savings_percent"] = obs::Json(stale_savings);
+  result_json["adapted_savings_percent"] =
+      obs::Json(result->best.savings_percent);
+  result_json["cost"] = obs::Json(result->best.cost);
+  result_json["transcription_repairs"] = obs::Json(result->repairs);
+  result_json["micro_ga_seconds"] = obs::Json(result->micro_ga_seconds);
+  result_json["mini_gra_seconds"] = obs::Json(result->mini_gra_seconds);
+  result_json["elapsed_seconds"] = obs::Json(result->best.elapsed_seconds);
+  maybe_write_reports(args, "adapt", std::move(result_json));
+  return 0;
+}
+
+void usage(std::ostream& out) {
+  out << "drep <command> [flags]\n"
+         "  generate --sites=N --objects=N [--update=%] [--capacity=%] [--seed=N] -o FILE\n"
+         "  solve    -i FILE [-o FILE] --algo=sra|gra|agra|hillclimb|exhaustive\n"
+         "           [--generations=N] [--population=N] [--mini=N] [--seed=N]\n"
+         "  evaluate -i FILE [-s SCHEME]\n"
+         "  replay   -i FILE [-s SCHEME] [--seed=N]\n"
+         "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
+         "  help\n"
+         "solve/evaluate/replay/adapt also take --report=FILE.json (machine-readable\n"
+         "run report: config, result, metrics, span timings) and --prom=FILE\n"
+         "(Prometheus text exposition of the metric snapshot).\n";
+}
+
+const std::set<std::string> kGenerateFlags = {"sites",    "objects", "update",
+                                              "capacity", "seed",    "out"};
+const std::set<std::string> kSolveFlags = {
+    "in",   "out",  "algo",   "generations", "population",
+    "mini", "seed", "report", "prom"};
+const std::set<std::string> kEvaluateFlags = {"in", "scheme", "report",
+                                              "prom"};
+const std::set<std::string> kReplayFlags = {"in", "scheme", "seed", "report",
+                                            "prom"};
+const std::set<std::string> kAdaptFlags = {"in",        "new",  "scheme",
+                                           "out",       "threshold",
+                                           "mini",      "seed", "report",
+                                           "prom"};
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  // Tests invoke run() repeatedly in one process; each invocation is one
+  // "run", so reports must not see a previous invocation's numbers.
+  obs::Registry::global().reset();
+  obs::SpanRegistry::global().reset();
+
+  if (argc < 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage(std::cout);
+    return 0;
+  }
+  try {
+    if (command == "generate")
+      return cmd_generate(parse_args(argc, argv, 2, kGenerateFlags));
+    if (command == "solve")
+      return cmd_solve(parse_args(argc, argv, 2, kSolveFlags));
+    if (command == "evaluate")
+      return cmd_evaluate(parse_args(argc, argv, 2, kEvaluateFlags));
+    if (command == "replay")
+      return cmd_replay(parse_args(argc, argv, 2, kReplayFlags));
+    if (command == "adapt")
+      return cmd_adapt(parse_args(argc, argv, 2, kAdaptFlags));
+    throw UsageError("unknown command '" + command + "'");
+  } catch (const UsageError& error) {
+    std::cerr << "drep: " << error.what() << "\n"
+              << "usage: drep <generate|solve|evaluate|replay|adapt|help> "
+                 "[flags] -- run 'drep help' for details\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "drep " << command << ": " << error.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace drep::cli

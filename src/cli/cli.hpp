@@ -1,0 +1,26 @@
+#pragma once
+// drep command-line front end, as a library so tests can drive it
+// in-process (tools/drep_cli.cpp is a two-line main around run()).
+//
+// Exit codes: 0 success, 1 runtime failure (I/O error, invalid file,
+// instance too large), 2 usage error (unknown subcommand or flag, missing
+// required flag, malformed number) — usage errors also print a one-line
+// hint pointing at `drep help`.
+
+#include <stdexcept>
+#include <string>
+
+namespace drep::cli {
+
+/// Bad invocation (unknown flag/command, missing or malformed argument).
+/// run() turns it into exit status 2 plus a usage hint.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Full CLI entry point: parses argv, dispatches the subcommand, writes
+/// --report / --prom files. Resets the global metric and span registries on
+/// entry so repeated in-process invocations (tests) start clean.
+int run(int argc, char** argv);
+
+}  // namespace drep::cli

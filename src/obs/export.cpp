@@ -1,0 +1,76 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace drep::obs {
+
+namespace {
+
+void append_value(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (value == std::nearbyint(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    const auto result = std::to_chars(buffer, buffer + sizeof(buffer),
+                                      static_cast<long long>(value));
+    out.append(buffer, result.ptr);
+    return;
+  }
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricSample& sample : snapshot.samples) {
+    out += "# TYPE ";
+    out += sample.name;
+    switch (sample.kind) {
+      case MetricKind::kCounter: out += " counter\n"; break;
+      case MetricKind::kGauge: out += " gauge\n"; break;
+      case MetricKind::kHistogram: out += " histogram\n"; break;
+    }
+    if (sample.kind != MetricKind::kHistogram) {
+      out += sample.name;
+      out += ' ';
+      append_value(out, sample.value);
+      out += '\n';
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < sample.histogram.counts.size(); ++b) {
+      cumulative += sample.histogram.counts[b];
+      out += sample.name;
+      out += "_bucket{le=\"";
+      if (b < sample.histogram.bounds.size()) {
+        append_value(out, sample.histogram.bounds[b]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      append_value(out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    out += sample.name;
+    out += "_sum ";
+    append_value(out, sample.histogram.sum);
+    out += '\n';
+    out += sample.name;
+    out += "_count ";
+    append_value(out, static_cast<double>(sample.histogram.count));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace drep::obs

@@ -1,0 +1,18 @@
+#pragma once
+// Prometheus-style text exposition of a metrics snapshot.
+//
+// Each instrument becomes a `# TYPE` comment plus sample lines in the
+// text-based exposition format: counters and gauges one line each,
+// histograms the conventional cumulative `_bucket{le="..."}` series ending
+// with `le="+Inf"`, plus `_sum` and `_count`. The CLI's --prom=FILE flag
+// writes one; a scrape endpoint can serve the same string later.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace drep::obs {
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace drep::obs

@@ -1,0 +1,104 @@
+#pragma once
+// Dependency-free JSON value, writer, and parser.
+//
+// Just enough JSON for machine-readable run reports: null/bool/number/
+// string/array/object, insertion-ordered objects (so reports serialize in
+// the order they are assembled, deterministically), dump() with optional
+// pretty-printing, and a strict recursive-descent parse() used by the
+// round-trip tests and report consumers. Numbers are doubles; dump() emits
+// integral values without a decimal point and everything else through
+// shortest-round-trip formatting, so parse(dump(x)) == x.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace drep::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value sequence (keys unique).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() noexcept : value_(nullptr) {}
+  Json(std::nullptr_t) noexcept : value_(nullptr) {}
+  Json(bool value) noexcept : value_(value) {}
+  Json(double value) noexcept : value_(value) {}
+  Json(int value) noexcept : value_(static_cast<double>(value)) {}
+  Json(unsigned value) noexcept : value_(static_cast<double>(value)) {}
+  Json(long value) noexcept : value_(static_cast<double>(value)) {}
+  Json(unsigned long value) noexcept : value_(static_cast<double>(value)) {}
+  Json(long long value) noexcept : value_(static_cast<double>(value)) {}
+  Json(unsigned long long value) noexcept
+      : value_(static_cast<double>(value)) {}
+  Json(const char* value) : value_(std::string(value)) {}
+  Json(std::string value) noexcept : value_(std::move(value)) {}
+  Json(std::string_view value) : value_(std::string(value)) {}
+  Json(Array value) noexcept : value_(std::move(value)) {}
+  Json(Object value) noexcept : value_(std::move(value)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Kind kind() const noexcept {
+    return static_cast<Kind>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind() == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind() == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind() == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind() == Kind::kObject;
+  }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object access: returns the member, inserting a null on first use.
+  /// Throws std::logic_error when the value is not (convertible from null
+  /// to) an object.
+  Json& operator[](std::string_view key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Array append; throws std::logic_error when not (null or) an array.
+  void push_back(Json value);
+
+  /// Serializes. indent < 0: compact one-liner; indent >= 0: pretty-printed
+  /// with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws std::invalid_argument with a byte offset on
+  /// malformed input (trailing garbage included).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Appends the JSON escaping of `text` (without quotes) to `out`.
+void json_escape(std::string& out, std::string_view text);
+
+}  // namespace drep::obs

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace drep::obs {
+
+double Counter::value() const noexcept {
+  double total = 0.0;
+  for (const auto& shard : shards_)
+    total += shard.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (auto& shard : shards_) shard.value.store(0.0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  shards_ = std::vector<Shard>(kMetricShards);
+  for (auto& shard : shards_)
+    shard.counts = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) noexcept {
+  // First bucket whose upper edge admits the value; the trailing +inf
+  // bucket takes everything beyond the last finite edge.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[detail::this_thread_shard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Data Histogram::data() const {
+  Data data;
+  data.bounds = bounds_;
+  data.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < shard.counts.size(); ++b)
+      data.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    data.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : data.counts) data.count += c;
+  return data;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) {
+    for (auto& count : shard.counts) count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const MetricSample* MetricsSnapshot::find(
+    std::string_view name) const noexcept {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::check_name_free(const std::string& name,
+                               MetricKind wanted) const {
+  if (wanted != MetricKind::kCounter && counters_.count(name) != 0)
+    throw std::logic_error("obs: metric '" + name +
+                           "' already registered as a counter");
+  if (wanted != MetricKind::kGauge && gauges_.count(name) != 0)
+    throw std::logic_error("obs: metric '" + name +
+                           "' already registered as a gauge");
+  if (wanted != MetricKind::kHistogram && histograms_.count(name) != 0)
+    throw std::logic_error("obs: metric '" + name +
+                           "' already registered as a histogram");
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  std::string key(name);
+  check_name_free(key, MetricKind::kCounter);
+  return *counters_.emplace(std::move(key), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  std::string key(name);
+  check_name_free(key, MetricKind::kGauge);
+  return *gauges_.emplace(std::move(key), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    const auto& existing = it->second->bounds();
+    if (!std::equal(existing.begin(), existing.end(), bounds.begin(),
+                    bounds.end())) {
+      throw std::logic_error("obs: histogram '" + std::string(name) +
+                             "' re-registered with different buckets");
+    }
+    return *it->second;
+  }
+  std::string key(name);
+  check_name_free(key, MetricKind::kHistogram);
+  return *histograms_
+              .emplace(std::move(key),
+                       std::make_unique<Histogram>(std::vector<double>(
+                           bounds.begin(), bounds.end())))
+              .first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.samples.push_back({name, MetricKind::kCounter, counter->value(), {}});
+  for (const auto& [name, gauge] : gauges_)
+    snap.samples.push_back({name, MetricKind::kGauge, gauge->value(), {}});
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample{name, MetricKind::kHistogram, 0.0, histogram->data()};
+    sample.value = sample.histogram.sum;
+    snap.samples.push_back(std::move(sample));
+  }
+  // The three maps are each sorted; one merge keeps the whole snapshot
+  // sorted by name for deterministic serialization.
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::span<const double> latency_buckets() noexcept {
+  static const std::array<double, 12> kBuckets = {
+      1.0,    2.0,    5.0,    10.0,   20.0,   50.0,
+      100.0,  200.0,  500.0,  1000.0, 2000.0, 5000.0};
+  return kBuckets;
+}
+
+}  // namespace drep::obs

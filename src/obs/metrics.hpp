@@ -1,0 +1,216 @@
+#pragma once
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The GA hot loop increments counters millions of times per run, so the
+// write path must cost roughly one relaxed atomic add: every instrument is
+// sharded into cache-line-padded cells indexed by a per-thread slot, and a
+// snapshot folds the shards. Values are doubles (traffic is measured in
+// fractional NTC units); integer counts below 2^53 stay exact, which the
+// concurrency tests rely on.
+//
+// Instrument call sites through the DREP_COUNT / DREP_GAUGE_SET /
+// DREP_OBSERVE macros at the bottom: each caches the registry lookup in a
+// function-local static, so the steady-state cost is the shard add alone,
+// and all of them compile to nothing when the build defines
+// DREP_OBS_DISABLED (cmake -DDREP_OBS=OFF).
+//
+// Naming scheme (DESIGN.md "Observability"): drep_<area>_<name>, counters
+// suffixed _total, with area one of gra, agra, sra, des, replay, monitor,
+// epochs, pool.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drep::obs {
+
+/// Shard count per instrument. More shards than typical pool sizes keeps
+/// same-cell collisions (and thus CAS retries) rare.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+/// Stable per-thread shard slot in [0, kMetricShards), assigned round-robin
+/// on first use so concurrent threads land on distinct cells. Inline so the
+/// steady-state cost at an instrumented call site is one TLS read.
+[[nodiscard]] inline std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+struct alignas(64) PaddedDouble {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace detail
+
+/// Monotonically increasing sum. add() is wait-free per shard (one relaxed
+/// fetch_add on the thread's cell).
+class Counter {
+ public:
+  void add(double delta) noexcept {
+    shards_[detail::this_thread_shard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1.0); }
+
+  /// Folded total across shards.
+  [[nodiscard]] double value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  detail::PaddedDouble shards_[kMetricShards];
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// finite buckets, ascending; one implicit +inf bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  struct Data {
+    std::vector<double> bounds;        // finite upper edges
+    std::vector<std::uint64_t> counts; // per bucket, bounds.size() + 1 entries
+    std::uint64_t count = 0;           // total observations
+    double sum = 0.0;                  // Σ observed values
+  };
+  [[nodiscard]] Data data() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  void reset() noexcept;
+
+ private:
+  struct Shard {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One folded instrument at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;        // counters and gauges
+  Histogram::Data histogram; // kHistogram only
+};
+
+struct MetricsSnapshot {
+  /// Sorted by name, so serialized output is deterministic.
+  std::vector<MetricSample> samples;
+  [[nodiscard]] const MetricSample* find(std::string_view name) const noexcept;
+};
+
+/// Name-keyed instrument registry. Instruments live for the life of the
+/// registry (reset() zeroes values but never invalidates references, which
+/// is what lets the macros cache them in statics). Registering the same
+/// name under two kinds throws std::logic_error.
+class Registry {
+ public:
+  /// The process-wide registry the DREP_* macros write to.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` are copied on first registration and must match on later
+  /// lookups of the same name (mismatch throws std::logic_error).
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument, keeping registrations (and references) valid.
+  void reset();
+
+ private:
+  void check_name_free(const std::string& name, MetricKind wanted) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shared bucket edges for simulated-latency histograms (NTC-proportional
+/// time units).
+[[nodiscard]] std::span<const double> latency_buckets() noexcept;
+
+}  // namespace drep::obs
+
+#if defined(DREP_OBS_DISABLED)
+
+// Kill switch: the operands must still parse (so flags cannot rot) but are
+// never evaluated, and the optimizer erases the whole statement.
+#define DREP_COUNT(name, delta)            \
+  do {                                     \
+    if (false) {                           \
+      (void)(name);                        \
+      (void)(delta);                       \
+    }                                      \
+  } while (0)
+#define DREP_GAUGE_SET(name, value) DREP_COUNT(name, value)
+#define DREP_OBSERVE(name, bounds, value)  \
+  do {                                     \
+    if (false) {                           \
+      (void)(name);                        \
+      (void)(bounds);                      \
+      (void)(value);                       \
+    }                                      \
+  } while (0)
+
+#else
+
+#define DREP_COUNT(name, delta)                                          \
+  do {                                                                   \
+    static ::drep::obs::Counter& drep_obs_counter =                      \
+        ::drep::obs::Registry::global().counter(name);                   \
+    drep_obs_counter.add(static_cast<double>(delta));                    \
+  } while (0)
+
+#define DREP_GAUGE_SET(name, value)                                      \
+  do {                                                                   \
+    static ::drep::obs::Gauge& drep_obs_gauge =                          \
+        ::drep::obs::Registry::global().gauge(name);                     \
+    drep_obs_gauge.set(static_cast<double>(value));                      \
+  } while (0)
+
+#define DREP_OBSERVE(name, bounds, value)                                \
+  do {                                                                   \
+    static ::drep::obs::Histogram& drep_obs_histogram =                  \
+        ::drep::obs::Registry::global().histogram(name, bounds);         \
+    drep_obs_histogram.observe(static_cast<double>(value));              \
+  } while (0)
+
+#endif  // DREP_OBS_DISABLED

@@ -1,0 +1,84 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace drep::obs {
+
+std::string build_version() {
+#if defined(DREP_GIT_DESCRIBE)
+  return DREP_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+Json metrics_to_json(const MetricsSnapshot& snapshot) {
+  Json metrics = Json::object();
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.kind != MetricKind::kHistogram) {
+      metrics[sample.name] = Json(sample.value);
+      continue;
+    }
+    Json histogram = Json::object();
+    histogram["count"] = Json(sample.histogram.count);
+    histogram["sum"] = Json(sample.histogram.sum);
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < sample.histogram.counts.size(); ++b) {
+      Json bucket = Json::object();
+      bucket["le"] = b < sample.histogram.bounds.size()
+                         ? Json(sample.histogram.bounds[b])
+                         : Json(nullptr);
+      bucket["count"] = Json(sample.histogram.counts[b]);
+      buckets.push_back(std::move(bucket));
+    }
+    histogram["buckets"] = std::move(buckets);
+    metrics[sample.name] = std::move(histogram);
+  }
+  return metrics;
+}
+
+Json spans_to_json(const SpanRegistry::SpanStats& stats) {
+  Json node = Json::object();
+  node["label"] = Json(stats.label);
+  node["count"] = Json(stats.count);
+  node["seconds"] = Json(stats.seconds);
+  Json children = Json::array();
+  for (const SpanRegistry::SpanStats& child : stats.children)
+    children.push_back(spans_to_json(child));
+  node["children"] = std::move(children);
+  return node;
+}
+
+RunReport RunReport::capture(std::string command, Json config, Json result) {
+  RunReport report;
+  report.command = std::move(command);
+  report.config = std::move(config);
+  report.result = std::move(result);
+  report.metrics = Registry::global().snapshot();
+  report.spans = SpanRegistry::global().snapshot();
+  return report;
+}
+
+Json RunReport::to_json() const {
+  Json root = Json::object();
+  root["schema_version"] = Json(schema_version);
+  root["tool"] = Json(tool);
+  root["build"] = Json(build);
+  root["command"] = Json(command);
+  root["config"] = config;
+  root["result"] = result;
+  root["metrics"] = metrics_to_json(metrics);
+  root["spans"] = spans_to_json(spans);
+  return root;
+}
+
+void RunReport::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("obs: cannot create " + path);
+  out << to_json().dump(2) << '\n';
+  if (!out) throw std::runtime_error("obs: failed writing " + path);
+}
+
+}  // namespace drep::obs

@@ -1,0 +1,58 @@
+#pragma once
+// Versioned machine-readable run reports.
+//
+// A RunReport is the durable record of one solver/replay/adapt invocation:
+// what build ran, with what configuration, what came out, every metric the
+// run touched, and where the wall time went (the span tree). The CLI's
+// --report=FILE.json writes one; the bench harness embeds the same metric
+// and table JSON in its BENCH_<name>.json files.
+//
+// Schema policy (DESIGN.md "Observability"): `schema_version` bumps on any
+// breaking change to field names/locations; adding new fields is
+// non-breaking and keeps the version. For a fixed seed the report is
+// byte-stable across runs except for fields whose key contains "seconds"
+// (wall-clock) — consumers diffing runs strip those.
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace drep::obs {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// `git describe --always --dirty` at configure time, or "unknown".
+[[nodiscard]] std::string build_version();
+
+/// Metric snapshot as JSON: counters/gauges map to numbers, histograms to
+/// {"count", "sum", "buckets": [{"le", "count"}...]} with non-cumulative
+/// per-bucket counts and a final catch-all bucket ("le": null).
+[[nodiscard]] Json metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Span tree as JSON: {"label", "count", "seconds", "children": [...]}.
+[[nodiscard]] Json spans_to_json(const SpanRegistry::SpanStats& stats);
+
+struct RunReport {
+  int schema_version = kRunReportSchemaVersion;
+  std::string tool = "drep";
+  std::string build = build_version();
+  std::string command;
+  Json config = Json::object();
+  Json result = Json::object();
+  MetricsSnapshot metrics;
+  SpanRegistry::SpanStats spans;
+
+  /// Snapshot of the global registries plus the given command context.
+  [[nodiscard]] static RunReport capture(std::string command, Json config,
+                                         Json result);
+
+  [[nodiscard]] Json to_json() const;
+
+  /// Pretty-printed JSON to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void save(const std::string& path) const;
+};
+
+}  // namespace drep::obs

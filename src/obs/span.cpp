@@ -1,0 +1,106 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace drep::obs {
+
+namespace detail {
+
+struct SpanNode {
+  std::string label;
+  std::size_t count = 0;
+  double seconds = 0.0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+namespace {
+/// The calling thread's position in the global tree (nullptr = at root).
+SpanNode*& tls_cursor() noexcept {
+  thread_local SpanNode* cursor = nullptr;
+  return cursor;
+}
+}  // namespace
+
+}  // namespace detail
+
+SpanRegistry::SpanRegistry()
+    : root_(std::make_unique<detail::SpanNode>()) {
+  root_->label = "root";
+}
+
+SpanRegistry::~SpanRegistry() = default;
+
+SpanRegistry& SpanRegistry::global() {
+  static SpanRegistry registry;
+  return registry;
+}
+
+detail::SpanNode* SpanRegistry::enter(const char* label,
+                                      detail::SpanNode** previous) {
+  std::lock_guard lock(mutex_);
+  detail::SpanNode*& cursor = detail::tls_cursor();
+  *previous = cursor;
+  detail::SpanNode* parent = cursor != nullptr ? cursor : root_.get();
+  detail::SpanNode* node = nullptr;
+  for (const auto& child : parent->children) {
+    if (child->label == label) {
+      node = child.get();
+      break;
+    }
+  }
+  if (node == nullptr) {
+    parent->children.push_back(std::make_unique<detail::SpanNode>());
+    node = parent->children.back().get();
+    node->label = label;
+  }
+  ++node->count;
+  cursor = node;
+  return node;
+}
+
+void SpanRegistry::exit(detail::SpanNode* node, detail::SpanNode* previous,
+                        double seconds) {
+  std::lock_guard lock(mutex_);
+  node->seconds += seconds;
+  detail::tls_cursor() = previous;
+}
+
+const SpanRegistry::SpanStats* SpanRegistry::SpanStats::find(
+    std::string_view child_label) const {
+  for (const SpanStats& child : children) {
+    if (child.label == child_label) return &child;
+  }
+  return nullptr;
+}
+
+namespace {
+
+SpanRegistry::SpanStats copy_tree(const detail::SpanNode& node) {
+  SpanRegistry::SpanStats stats;
+  stats.label = node.label;
+  stats.count = node.count;
+  stats.seconds = node.seconds;
+  stats.children.reserve(node.children.size());
+  for (const auto& child : node.children)
+    stats.children.push_back(copy_tree(*child));
+  std::sort(stats.children.begin(), stats.children.end(),
+            [](const SpanRegistry::SpanStats& a,
+               const SpanRegistry::SpanStats& b) { return a.label < b.label; });
+  return stats;
+}
+
+}  // namespace
+
+SpanRegistry::SpanStats SpanRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return copy_tree(*root_);
+}
+
+void SpanRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  root_->children.clear();
+  root_->count = 0;
+  root_->seconds = 0.0;
+}
+
+}  // namespace drep::obs

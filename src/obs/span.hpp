@@ -1,0 +1,97 @@
+#pragma once
+// Scoped tracing spans: DREP_SPAN("gra/generation") times the enclosing
+// scope and aggregates (count, total wall seconds) into a label tree.
+//
+// Nesting is positional: a span opened while another span is active on the
+// same thread becomes its child, so the snapshot is a call-tree of where
+// wall time went — e.g. cli/solve -> gra/solve -> gra/generation ->
+// gra/evaluate. Each thread has its own cursor into the shared tree;
+// spans opened on pool workers root at the top level of the tree.
+//
+// Enter/exit each take one short mutex section, so spans belong around
+// phases (a solver run, a generation, a replay), not around per-bit work —
+// hot paths use the counters in obs/metrics.hpp instead. With
+// DREP_OBS_DISABLED (cmake -DDREP_OBS=OFF) DREP_SPAN compiles to nothing.
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drep::obs {
+
+namespace detail {
+struct SpanNode;
+}  // namespace detail
+
+class SpanRegistry {
+ public:
+  /// The process-wide tree the DREP_SPAN macro records into.
+  static SpanRegistry& global();
+  SpanRegistry();
+  ~SpanRegistry();
+  SpanRegistry(const SpanRegistry&) = delete;
+  SpanRegistry& operator=(const SpanRegistry&) = delete;
+
+  /// Aggregated span statistics; the root carries label "root" and no
+  /// timing of its own. Children are sorted by label (creation order can
+  /// vary across threads).
+  struct SpanStats {
+    std::string label;
+    std::size_t count = 0;
+    double seconds = 0.0;
+    std::vector<SpanStats> children;
+    [[nodiscard]] const SpanStats* find(std::string_view child_label) const;
+  };
+  [[nodiscard]] SpanStats snapshot() const;
+
+  /// Drops all recorded spans. Must not race active SpanScopes (call it
+  /// between runs, as the CLI does, not mid-solve).
+  void reset();
+
+ private:
+  friend class SpanScope;
+  detail::SpanNode* enter(const char* label, detail::SpanNode** previous);
+  void exit(detail::SpanNode* node, detail::SpanNode* previous,
+            double seconds);
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<detail::SpanNode> root_;
+};
+
+/// RAII scope produced by DREP_SPAN; records on destruction.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* label)
+      : node_(SpanRegistry::global().enter(label, &previous_)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~SpanScope() {
+    SpanRegistry::global().exit(
+        node_, previous_,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  detail::SpanNode* previous_ = nullptr;
+  detail::SpanNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace drep::obs
+
+#if defined(DREP_OBS_DISABLED)
+#define DREP_SPAN(label) ((void)0)
+#else
+#define DREP_OBS_SPAN_CONCAT_(a, b) a##b
+#define DREP_OBS_SPAN_CONCAT(a, b) DREP_OBS_SPAN_CONCAT_(a, b)
+#define DREP_SPAN(label)                         \
+  const ::drep::obs::SpanScope DREP_OBS_SPAN_CONCAT( \
+      drep_obs_span_, __COUNTER__) { label }
+#endif

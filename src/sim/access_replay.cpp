@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace drep::sim {
 
 namespace {
@@ -36,21 +39,29 @@ class ReplicaNode final : public Node {
   void issue(const workload::Request& request, ReplayResult& result,
              double latency_per_cost) {
     const core::Problem& problem = scheme_->problem();
+    DREP_COUNT("drep_replay_requests_total", 1);
     if (!request.is_write) {
       const SiteId nearest = scheme_->nearest(self_, request.object);
       if (nearest == self_) {
         ++result.local_reads;  // served locally, no traffic
         result.read_latency.add(0.0);
+        DREP_COUNT("drep_replay_local_reads_total", 1);
+        DREP_OBSERVE("drep_replay_read_latency", obs::latency_buckets(), 0.0);
         return;
       }
       ++result.remote_reads;
       // Response time: request there, object back (no queueing modelled).
-      result.read_latency.add(2.0 * latency_per_cost *
-                              problem.cost(self_, nearest));
+      const double latency =
+          2.0 * latency_per_cost * problem.cost(self_, nearest);
+      result.read_latency.add(latency);
+      DREP_COUNT("drep_replay_remote_reads_total", 1);
+      DREP_OBSERVE("drep_replay_read_latency", obs::latency_buckets(),
+                   latency);
       network_->send(self_, nearest, 0.0, ReadRequest{request.object});
       return;
     }
     ++result.writes;
+    DREP_COUNT("drep_replay_writes_total", 1);
     const SiteId primary = problem.primary(request.object);
     // Visibility latency: ship to the primary plus the slowest broadcast leg.
     double slowest_leg = 0.0;
@@ -58,8 +69,11 @@ class ReplicaNode final : public Node {
       if (replicator == primary || replicator == self_) continue;
       slowest_leg = std::max(slowest_leg, problem.cost(primary, replicator));
     }
-    result.write_latency.add(
-        latency_per_cost * (problem.cost(self_, primary) + slowest_leg));
+    const double write_latency =
+        latency_per_cost * (problem.cost(self_, primary) + slowest_leg);
+    result.write_latency.add(write_latency);
+    DREP_OBSERVE("drep_replay_write_latency", obs::latency_buckets(),
+                 write_latency);
     if (primary == self_) {
       broadcast(request.object, /*writer=*/self_);
     } else {
@@ -101,6 +115,7 @@ class ReplicaNode final : public Node {
 ReplayResult replay_trace(const core::ReplicationScheme& scheme,
                           std::span<const workload::Request> trace,
                           double latency_per_cost, double inter_arrival) {
+  DREP_SPAN("sim/replay");
   const core::Problem& problem = scheme.problem();
   DesNetwork network(problem.costs(), latency_per_cost);
   std::vector<std::unique_ptr<ReplicaNode>> nodes;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace drep::sim {
 
 DesNetwork::DesNetwork(const net::CostMatrix& costs, double latency_per_cost)
@@ -28,8 +30,11 @@ void DesNetwork::send(SiteId from, SiteId to, double size_units,
     if (message.size_units > 0) {
       stats_.data_traffic += message.size_units * cost;
       ++stats_.data_messages;
+      DREP_COUNT("drep_des_data_messages_total", 1);
+      DREP_COUNT("drep_des_traffic_units_total", message.size_units * cost);
     } else {
       ++stats_.control_messages;
+      DREP_COUNT("drep_des_control_messages_total", 1);
     }
     Node* node = nodes_[message.to];
     if (node == nullptr)

@@ -1,11 +1,14 @@
 #include "sim/epochs.hpp"
 
 #include "core/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace drep::sim {
 
 EpochReport run_epochs(core::Problem problem, const EpochConfig& config,
                        util::Rng& rng) {
+  DREP_SPAN("sim/epochs");
   // Drift draws come from a dedicated stream so that every policy sees the
   // identical pattern trajectory regardless of how much randomness its own
   // optimizations consume.
@@ -18,6 +21,8 @@ EpochReport run_epochs(core::Problem problem, const EpochConfig& config,
   report.stale_savings.reserve(config.epochs);
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    DREP_SPAN("sim/epoch");
+    DREP_COUNT("drep_epochs_total", 1);
     (void)workload::apply_pattern_change(problem, config.drift, drift_rng);
     // The active scheme faces the drifted pattern...
     core::ReplicationScheme current(problem, active.matrix());
@@ -28,7 +33,9 @@ EpochReport run_epochs(core::Problem problem, const EpochConfig& config,
       adapted = monitor.adapt(problem, rng).size();
       if (adapted > 0) {
         core::ReplicationScheme next(problem, monitor.current_scheme());
-        report.migration_traffic += core::migration_cost(current, next);
+        const double migration = core::migration_cost(current, next);
+        report.migration_traffic += migration;
+        DREP_COUNT("drep_epochs_migration_traffic_units_total", migration);
         active = std::move(next);
       }
     }

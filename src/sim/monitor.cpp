@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace drep::sim {
 
 namespace {
@@ -51,8 +54,11 @@ std::vector<core::ObjectId> Monitor::detect_changes(
 
 std::vector<core::ObjectId> Monitor::adapt(const core::Problem& observed,
                                            util::Rng& rng) {
+  DREP_SPAN("monitor/adapt");
   const std::vector<core::ObjectId> changed = detect_changes(observed);
   if (changed.empty()) return changed;
+  DREP_COUNT("drep_monitor_adaptations_total", 1);
+  DREP_COUNT("drep_monitor_objects_adapted_total", changed.size());
   std::vector<ga::Chromosome> retained;
   retained.reserve(population_.size());
   for (const auto& ind : population_) retained.push_back(ind.genes);
@@ -63,6 +69,8 @@ std::vector<core::ObjectId> Monitor::adapt(const core::Problem& observed,
 }
 
 void Monitor::reoptimize(const core::Problem& observed, util::Rng& rng) {
+  DREP_SPAN("monitor/reoptimize");
+  DREP_COUNT("drep_monitor_reoptimizations_total", 1);
   algo::GraResult result = algo::solve_gra(observed, config_.gra, rng);
   adopt(observed, result.best.scheme.matrix(), std::move(result.population));
 }

@@ -46,6 +46,13 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data()
+      const noexcept {
+    return rows_;
+  }
 
   /// Renders the table with aligned columns and a header separator.
   void print(std::ostream& out) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+
 namespace drep::util {
 
 namespace {
@@ -32,9 +34,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  DREP_COUNT("drep_pool_tasks_total", 1);
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
+    DREP_GAUGE_SET("drep_pool_queue_depth", queue_.size());
   }
   cv_.notify_one();
 }
@@ -48,6 +52,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      DREP_GAUGE_SET("drep_pool_queue_depth", queue_.size());
     }
     g_inside_pool_worker = true;
     task();
@@ -65,6 +70,7 @@ void ThreadPool::parallel_for_blocked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
+  DREP_GAUGE_SET("drep_pool_workers", size());
   const std::size_t count = end - begin;
   const std::size_t blocks =
       g_inside_pool_worker ? 1 : std::min(count, size());

@@ -1,0 +1,82 @@
+// Schema check for the BENCH_<name>.json artifact the bench harness writes:
+// runs a miniature fig-3(a) sweep end to end and validates the emitted file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/static_figs.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace drep::bench {
+namespace {
+
+TEST(BenchReport, UpdateRatioSweepEmitsASchemaValidArtifact) {
+  obs::Registry::global().reset();
+
+  Options options;
+  options.networks_override = 1;
+  options.generations_override = 1;
+  options.population_override = 2;
+  options.seed = 7;
+  options.json_dir = ::testing::TempDir();
+  options.bench_name = "test_sweep";
+
+  ::testing::internal::CaptureStdout();
+  run_update_ratio_sweep(options, "test title");
+  const std::string stdout_text = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(stdout_text.find("test title"), std::string::npos);
+
+  const std::string path = options.json_dir + "/BENCH_test_sweep.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing artifact " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json report = obs::Json::parse(buffer.str());
+
+  EXPECT_EQ(report.find("schema_version")->as_number(), 1.0);
+  EXPECT_EQ(report.find("bench")->as_string(), "test_sweep");
+  ASSERT_NE(report.find("build"), nullptr);
+  EXPECT_TRUE(report.find("build")->is_string());
+
+  const obs::Json* opts = report.find("options");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_EQ(opts->find("seed")->as_number(), 7.0);
+  ASSERT_NE(opts->find("networks_override"), nullptr);
+  EXPECT_EQ(opts->find("networks_override")->as_number(), 1.0);
+
+  // At least one table with named columns and numeric data cells.
+  const obs::Json::Array& tables = report.find("tables")->as_array();
+  ASSERT_FALSE(tables.empty());
+  const obs::Json& table = tables[0];
+  EXPECT_EQ(table.find("title")->as_string(), "test title");
+  const obs::Json::Array& columns = table.find("columns")->as_array();
+  ASSERT_FALSE(columns.empty());
+  const obs::Json::Array& rows = table.find("rows")->as_array();
+  ASSERT_FALSE(rows.empty());
+  for (const obs::Json& row : rows) {
+    EXPECT_EQ(row.as_array().size(), columns.size());
+    // Beyond the label column, cells are numbers, not strings.
+    for (std::size_t c = 1; c < row.as_array().size(); ++c) {
+      EXPECT_TRUE(row.as_array()[c].is_number())
+          << "row cell " << c << " is not numeric";
+    }
+  }
+
+#if !defined(DREP_OBS_DISABLED)
+  const obs::Json* metrics = report.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::Json* evaluations = metrics->find("drep_gra_evaluations_total");
+  ASSERT_NE(evaluations, nullptr);
+  EXPECT_GT(evaluations->as_number(), 0.0);
+#endif
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace drep::bench

@@ -1,0 +1,209 @@
+// Drives drep::cli::run() in-process: argument validation exit codes, the
+// solve/replay report pipeline, report determinism, and --algo=agra.
+
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drep::cli {
+namespace {
+
+int run_cli(std::vector<std::string> args) {
+  args.insert(args.begin(), "drep");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return run(static_cast<int>(argv.size()), argv.data());
+}
+
+obs::Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return obs::Json::parse(buffer.str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Recursively removes every object member whose key mentions wall time;
+/// what remains must be byte-stable for a fixed seed.
+void strip_timing(obs::Json& value) {
+  if (value.is_object()) {
+    auto& object = value.as_object();
+    object.erase(std::remove_if(object.begin(), object.end(),
+                                [](const auto& member) {
+                                  return member.first.find("seconds") !=
+                                         std::string::npos;
+                                }),
+                 object.end());
+    for (auto& [key, member] : object) strip_timing(member);
+  } else if (value.is_array()) {
+    for (obs::Json& item : value.as_array()) strip_timing(item);
+  }
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "drep_cli_test";
+    problem_ = dir_ + "_problem.drp";
+    ASSERT_EQ(run_cli({"generate", "--sites=10", "--objects=12", "--seed=3",
+                       "-o", problem_}),
+              0);
+  }
+  void TearDown() override { std::remove(problem_.c_str()); }
+
+  std::string dir_;
+  std::string problem_;
+};
+
+TEST_F(CliTest, SolveGraWritesAReportWithMetricsAndSpans) {
+  const std::string report_path = dir_ + "_run.json";
+  ASSERT_EQ(run_cli({"solve", "-i", problem_, "--algo=gra", "--generations=4",
+                     "--population=6", "--report=" + report_path}),
+            0);
+  const obs::Json report = load_json(report_path);
+  EXPECT_EQ(report.find("schema_version")->as_number(), 1.0);
+  EXPECT_EQ(report.find("tool")->as_string(), "drep");
+  EXPECT_EQ(report.find("command")->as_string(), "solve");
+  EXPECT_EQ(report.find("config")->find("algo")->as_string(), "gra");
+  EXPECT_GT(report.find("result")->find("cost")->as_number(), 0.0);
+  EXPECT_EQ(report.find("result")
+                ->find("best_fitness_history")
+                ->as_array()
+                .size(),
+            5u);  // generations + 1
+#if !defined(DREP_OBS_DISABLED)
+  const auto& metrics = report.find("metrics")->as_object();
+  std::size_t drep_metrics = 0;
+  for (const auto& [name, value] : metrics) {
+    if (name.rfind("drep_", 0) == 0) ++drep_metrics;
+  }
+  EXPECT_GE(drep_metrics, 10u);
+  ASSERT_NE(report.find("metrics")->find("drep_gra_evaluations_total"),
+            nullptr);
+  EXPECT_GT(
+      report.find("metrics")->find("drep_gra_evaluations_total")->as_number(),
+      0.0);
+  // The span tree holds cli/solve -> gra/solve with positive wall time.
+  const obs::Json* spans = report.find("spans");
+  const auto& top = spans->find("children")->as_array();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].find("label")->as_string(), "cli/solve");
+  EXPECT_GE(top[0].find("seconds")->as_number(), 0.0);
+  EXPECT_FALSE(top[0].find("children")->as_array().empty());
+#endif
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, ReportIsStableAcrossSameSeedRuns) {
+  const std::string first = dir_ + "_first.json";
+  const std::string second = dir_ + "_second.json";
+  const std::vector<std::string> base{"solve",           "-i",
+                                      problem_,          "--algo=gra",
+                                      "--generations=3", "--population=4",
+                                      "--seed=11"};
+  auto args = base;
+  args.push_back("--report=" + first);
+  ASSERT_EQ(run_cli(args), 0);
+  args = base;
+  args.push_back("--report=" + second);
+  ASSERT_EQ(run_cli(args), 0);
+
+  obs::Json a = load_json(first);
+  obs::Json b = load_json(second);
+  // The config captures the report path itself; normalize it.
+  a["config"] = obs::Json();
+  b["config"] = obs::Json();
+  strip_timing(a);
+  strip_timing(b);
+  EXPECT_EQ(a.dump(2), b.dump(2));
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST_F(CliTest, SolveWithoutOutputFlagIsAccepted) {
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--algo=sra"}), 0);
+}
+
+TEST_F(CliTest, SolveAgraProducesAValidScheme) {
+  const std::string scheme = dir_ + "_agra.drs";
+  ASSERT_EQ(run_cli({"solve", "-i", problem_, "--algo=agra", "--mini=2", "-o",
+                     scheme}),
+            0);
+  EXPECT_EQ(run_cli({"evaluate", "-i", problem_, "-s", scheme}), 0);
+  std::remove(scheme.c_str());
+}
+
+TEST_F(CliTest, ReplayReportCarriesReplayMetrics) {
+  const std::string report_path = dir_ + "_replay.json";
+  ASSERT_EQ(
+      run_cli({"replay", "-i", problem_, "--report=" + report_path}), 0);
+  const obs::Json report = load_json(report_path);
+  EXPECT_EQ(report.find("command")->as_string(), "replay");
+  EXPECT_GT(report.find("result")->find("requests")->as_number(), 0.0);
+#if !defined(DREP_OBS_DISABLED)
+  const obs::Json* requests =
+      report.find("metrics")->find("drep_replay_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->as_number(),
+            report.find("result")->find("requests")->as_number());
+  const obs::Json* latency =
+      report.find("metrics")->find("drep_replay_read_latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->find("count")->as_number(), 0.0);
+#endif
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, PromFlagWritesExpositionText) {
+  const std::string prom_path = dir_ + "_metrics.prom";
+  ASSERT_EQ(run_cli({"solve", "-i", problem_, "--algo=sra",
+                     "--prom=" + prom_path}),
+            0);
+  const std::string text = read_file(prom_path);
+#if !defined(DREP_OBS_DISABLED)
+  EXPECT_NE(text.find("# TYPE drep_sra_runs_total counter"),
+            std::string::npos);
+#endif
+  std::remove(prom_path.c_str());
+}
+
+TEST_F(CliTest, UsageErrorsExitWithStatusTwo) {
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);                       // unknown command
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--bogus=1"}), 2);  // unknown flag
+  EXPECT_EQ(run_cli({"solve", "--algo=gra"}), 2);              // missing -i
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--algo=nope"}), 2);  // bad algo
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--seed=abc"}), 2);   // bad number
+  EXPECT_EQ(run_cli({"generate", "stray"}), 2);                // bare argument
+  EXPECT_EQ(run_cli({"solve", "-i"}), 2);                      // missing value
+  EXPECT_EQ(run_cli({}), 2);                                   // no command
+}
+
+TEST_F(CliTest, HelpExitsZero) {
+  EXPECT_EQ(run_cli({"help"}), 0);
+  EXPECT_EQ(run_cli({"--help"}), 0);
+}
+
+TEST_F(CliTest, RuntimeFailuresExitWithStatusOne) {
+  EXPECT_EQ(run_cli({"solve", "-i", dir_ + "_missing.drp"}), 1);
+}
+
+}  // namespace
+}  // namespace drep::cli

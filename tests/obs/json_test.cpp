@@ -1,0 +1,143 @@
+// JSON value/writer/parser: escaping, number formatting, round trips, and
+// strict-parser error handling.
+
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace drep::obs {
+namespace {
+
+TEST(Json, KindsAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json("text").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+  EXPECT_THROW((void)Json(1.0).as_string(), std::logic_error);
+  EXPECT_THROW((void)Json("x").as_number(), std::logic_error);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json object = Json::object();
+  object["zulu"] = Json(1);
+  object["alpha"] = Json(2);
+  object["mike"] = Json(3);
+  EXPECT_EQ(object.dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+  object["zulu"] = Json(9);  // overwrite keeps position
+  EXPECT_EQ(object.dump(), R"({"zulu":9,"alpha":2,"mike":3})");
+}
+
+TEST(Json, IntegralDoublesDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(3.0).dump(), "3");
+  EXPECT_EQ(Json(-42).dump(), "-42");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  EXPECT_EQ(Json(std::size_t{123456789}).dump(), "123456789");
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, EscapingCoversControlAndSpecialCharacters) {
+  std::string out;
+  json_escape(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+  const Json value(std::string("quote\" back\\ nl\n tab\t bell\x07"));
+  const Json reparsed = Json::parse(value.dump());
+  EXPECT_EQ(reparsed, value);
+}
+
+TEST(Json, DumpParseRoundTripOnCompositeDocument) {
+  Json doc = Json::object();
+  doc["name"] = Json("drep");
+  doc["version"] = Json(1);
+  doc["ratio"] = Json(0.125);
+  doc["flag"] = Json(true);
+  doc["nothing"] = Json(nullptr);
+  Json list = Json::array();
+  list.push_back(Json(1));
+  list.push_back(Json("two"));
+  Json nested = Json::object();
+  nested["deep"] = Json(-2.5e-3);
+  list.push_back(std::move(nested));
+  doc["list"] = std::move(list);
+
+  const Json compact = Json::parse(doc.dump());
+  EXPECT_EQ(compact, doc);
+  const Json pretty = Json::parse(doc.dump(2));
+  EXPECT_EQ(pretty, doc);
+  // dump is deterministic: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(compact.dump(), doc.dump());
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xC3\xA9");     // é
+  EXPECT_EQ(Json::parse(R"("\u20ac")").as_string(), "\xE2\x82\xAC"); // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, ParserAcceptsStandardForms) {
+  EXPECT_EQ(Json::parse("null"), Json(nullptr));
+  EXPECT_EQ(Json::parse("true"), Json(true));
+  EXPECT_EQ(Json::parse("  [1, 2.5, -3e2]  ").as_array().size(), 3u);
+  EXPECT_EQ(Json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("nul"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1,"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"bad\\q\""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"ctrl\x01\""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,\"a\":2}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"\\uD800\""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("+1"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("01x"), std::invalid_argument);
+}
+
+TEST(Json, ParserErrorsCarryAByteOffset) {
+  try {
+    (void)Json::parse("[1, oops]");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, MutatorsAutoConvertNull) {
+  Json value;  // null
+  value["key"] = Json(1);
+  EXPECT_TRUE(value.is_object());
+  Json list;  // null
+  list.push_back(Json(1));
+  EXPECT_TRUE(list.is_array());
+  EXPECT_THROW(Json(1.0)["key"], std::logic_error);
+  EXPECT_THROW(Json("s").push_back(Json(1)), std::logic_error);
+}
+
+TEST(Json, FindDoesNotInsert) {
+  Json object = Json::object();
+  object["present"] = Json(1);
+  EXPECT_NE(object.find("present"), nullptr);
+  EXPECT_EQ(object.find("absent"), nullptr);
+  EXPECT_EQ(object.as_object().size(), 1u);
+}
+
+}  // namespace
+}  // namespace drep::obs

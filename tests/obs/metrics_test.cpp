@@ -1,0 +1,179 @@
+// Metrics registry: exact concurrent sums, histogram bucketing, reset
+// semantics, and the kind-collision guards.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace drep::obs {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  EXPECT_EQ(counter.value(), 0.0);
+  counter.inc();
+  counter.add(2.5);
+  EXPECT_EQ(counter.value(), 3.5);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsSumExactly) {
+  Registry registry;
+  Counter& counter = registry.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Integer counts below 2^53 are exact in doubles, so this must be ==.
+  EXPECT_EQ(counter.value(), static_cast<double>(kThreads * kIncrements));
+}
+
+TEST(Metrics, GaugeLastWriteWinsAndAdds) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("depth");
+  gauge.set(7.0);
+  EXPECT_EQ(gauge.value(), 7.0);
+  gauge.set(3.0);
+  EXPECT_EQ(gauge.value(), 3.0);
+  gauge.add(1.5);
+  EXPECT_EQ(gauge.value(), 4.5);
+}
+
+TEST(Metrics, HistogramBucketsOnInclusiveUpperEdges) {
+  Registry registry;
+  const std::array<double, 3> bounds{1.0, 2.0, 5.0};
+  Histogram& histogram = registry.histogram("lat", bounds);
+  histogram.observe(0.5);   // bucket 0
+  histogram.observe(1.0);   // bucket 0 (inclusive upper edge)
+  histogram.observe(1.5);   // bucket 1
+  histogram.observe(5.0);   // bucket 2
+  histogram.observe(100.0); // +inf bucket
+  const Histogram::Data data = histogram.data();
+  ASSERT_EQ(data.counts.size(), 4u);
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 1u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.counts[3], 1u);
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_DOUBLE_EQ(data.sum, 0.5 + 1.0 + 1.5 + 5.0 + 100.0);
+}
+
+TEST(Metrics, ConcurrentHistogramObservationsSumExactly) {
+  Registry registry;
+  const std::array<double, 2> bounds{10.0, 20.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kObservations; ++i)
+        histogram.observe(static_cast<double>(i % 30));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram::Data data = histogram.data();
+  EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads * kObservations));
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t c : data.counts) bucketed += c;
+  EXPECT_EQ(bucketed, data.count);
+}
+
+TEST(Metrics, SnapshotIsSortedByNameAndFindable) {
+  Registry registry;
+  registry.counter("z_last").inc();
+  registry.gauge("a_first").set(1.0);
+  const std::array<double, 1> bounds{1.0};
+  registry.histogram("m_middle", bounds).observe(0.5);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 3u);
+  EXPECT_EQ(snapshot.samples[0].name, "a_first");
+  EXPECT_EQ(snapshot.samples[1].name, "m_middle");
+  EXPECT_EQ(snapshot.samples[2].name, "z_last");
+  const MetricSample* found = snapshot.find("z_last");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, MetricKind::kCounter);
+  EXPECT_EQ(found->value, 1.0);
+  EXPECT_EQ(snapshot.find("missing"), nullptr);
+}
+
+TEST(Metrics, ResetZeroesButKeepsReferencesValid) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  const std::array<double, 1> bounds{1.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  counter.add(5.0);
+  gauge.set(5.0);
+  histogram.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0.0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.data().count, 0u);
+  // The same references keep working after reset.
+  counter.inc();
+  EXPECT_EQ(counter.value(), 1.0);
+}
+
+TEST(Metrics, SameNameSameKindReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("c");
+  Counter& b = registry.counter("c");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, CrossKindNameCollisionThrows) {
+  Registry registry;
+  registry.counter("name");
+  EXPECT_THROW(registry.gauge("name"), std::logic_error);
+  const std::array<double, 1> bounds{1.0};
+  EXPECT_THROW(registry.histogram("name", bounds), std::logic_error);
+}
+
+TEST(Metrics, HistogramBoundMismatchThrows) {
+  Registry registry;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  registry.histogram("h", bounds);
+  const std::array<double, 2> other{1.0, 3.0};
+  EXPECT_THROW(registry.histogram("h", other), std::logic_error);
+  EXPECT_NO_THROW(registry.histogram("h", bounds));
+}
+
+TEST(Metrics, LatencyBucketsAreAscending) {
+  const std::span<const double> buckets = latency_buckets();
+  ASSERT_GE(buckets.size(), 2u);
+  for (std::size_t i = 1; i < buckets.size(); ++i)
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+}
+
+TEST(Metrics, MacrosWriteToTheGlobalRegistry) {
+  Registry::global().reset();
+  DREP_COUNT("drep_test_macro_total", 2);
+  DREP_COUNT("drep_test_macro_total", 3);
+  DREP_GAUGE_SET("drep_test_macro_gauge", 4.5);
+  const MetricsSnapshot snapshot = Registry::global().snapshot();
+#if defined(DREP_OBS_DISABLED)
+  EXPECT_EQ(snapshot.find("drep_test_macro_total"), nullptr);
+#else
+  const MetricSample* counter = snapshot.find("drep_test_macro_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 5.0);
+  const MetricSample* gauge = snapshot.find("drep_test_macro_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 4.5);
+#endif
+}
+
+}  // namespace
+}  // namespace drep::obs

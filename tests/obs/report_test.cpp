@@ -1,0 +1,139 @@
+// RunReport assembly and the two exports: JSON (round-trips through the
+// parser) and Prometheus text exposition (cumulative histogram buckets).
+
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace drep::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  Registry registry;
+  registry.counter("drep_test_hits_total").add(12.0);
+  registry.gauge("drep_test_depth").set(3.5);
+  const std::array<double, 2> bounds{1.0, 5.0};
+  Histogram& histogram = registry.histogram("drep_test_latency", bounds);
+  histogram.observe(0.5);
+  histogram.observe(2.0);
+  histogram.observe(9.0);
+  return registry.snapshot();
+}
+
+TEST(Report, MetricsToJsonShapes) {
+  const Json metrics = metrics_to_json(sample_snapshot());
+  ASSERT_TRUE(metrics.is_object());
+  const Json* counter = metrics.find("drep_test_hits_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->as_number(), 12.0);
+  const Json* gauge = metrics.find("drep_test_depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->as_number(), 3.5);
+  const Json* histogram = metrics.find("drep_test_latency");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->find("count")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(histogram->find("sum")->as_number(), 11.5);
+  const Json::Array& buckets = histogram->find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 3u);  // two finite edges + catch-all
+  EXPECT_EQ(buckets[0].find("le")->as_number(), 1.0);
+  EXPECT_EQ(buckets[0].find("count")->as_number(), 1.0);
+  EXPECT_TRUE(buckets[2].find("le")->is_null());
+  EXPECT_EQ(buckets[2].find("count")->as_number(), 1.0);
+}
+
+TEST(Report, SpansToJsonMirrorsTheTree) {
+  SpanRegistry::SpanStats stats;
+  stats.label = "root";
+  SpanRegistry::SpanStats child;
+  child.label = "solve";
+  child.count = 2;
+  child.seconds = 0.25;
+  stats.children.push_back(child);
+  const Json json = spans_to_json(stats);
+  EXPECT_EQ(json.find("label")->as_string(), "root");
+  const Json::Array& children = json.find("children")->as_array();
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0].find("label")->as_string(), "solve");
+  EXPECT_EQ(children[0].find("count")->as_number(), 2.0);
+  EXPECT_EQ(children[0].find("seconds")->as_number(), 0.25);
+}
+
+TEST(Report, CaptureToJsonRoundTripsThroughTheParser) {
+  Registry::global().reset();
+  SpanRegistry::global().reset();
+  DREP_COUNT("drep_test_report_total", 4);
+  {
+    DREP_SPAN("test/phase");
+  }
+  Json config = Json::object();
+  config["seed"] = Json(1);
+  Json result = Json::object();
+  result["cost"] = Json(123.5);
+  const RunReport report =
+      RunReport::capture("solve", std::move(config), std::move(result));
+  EXPECT_EQ(report.schema_version, kRunReportSchemaVersion);
+  EXPECT_EQ(report.tool, "drep");
+  EXPECT_FALSE(report.build.empty());
+
+  const Json json = report.to_json();
+  const Json reparsed = Json::parse(json.dump(2));
+  EXPECT_EQ(reparsed, json);
+  EXPECT_EQ(reparsed.find("schema_version")->as_number(),
+            static_cast<double>(kRunReportSchemaVersion));
+  EXPECT_EQ(reparsed.find("command")->as_string(), "solve");
+  EXPECT_EQ(reparsed.find("config")->find("seed")->as_number(), 1.0);
+  EXPECT_EQ(reparsed.find("result")->find("cost")->as_number(), 123.5);
+#if !defined(DREP_OBS_DISABLED)
+  ASSERT_NE(reparsed.find("metrics")->find("drep_test_report_total"), nullptr);
+  EXPECT_EQ(
+      reparsed.find("metrics")->find("drep_test_report_total")->as_number(),
+      4.0);
+  EXPECT_FALSE(reparsed.find("spans")->find("children")->as_array().empty());
+#endif
+}
+
+TEST(Report, SaveWritesParseableFile) {
+  const std::string path =
+      ::testing::TempDir() + "/drep_report_save_test.json";
+  RunReport report;
+  report.command = "evaluate";
+  report.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json loaded = Json::parse(buffer.str());
+  EXPECT_EQ(loaded.find("command")->as_string(), "evaluate");
+  std::remove(path.c_str());
+}
+
+TEST(Report, PrometheusExposition) {
+  const std::string text = to_prometheus(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE drep_test_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("drep_test_hits_total 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE drep_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("drep_test_depth 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE drep_test_latency histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_NE(text.find("drep_test_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("drep_test_latency_bucket{le=\"5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("drep_test_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("drep_test_latency_sum 11.5\n"), std::string::npos);
+  EXPECT_NE(text.find("drep_test_latency_count 3\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drep::obs

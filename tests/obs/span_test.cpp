@@ -1,0 +1,110 @@
+// Tracing spans: nesting into a label tree, aggregation across repeats,
+// concurrent use from several threads, and reset.
+
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace drep::obs {
+namespace {
+
+#if !defined(DREP_OBS_DISABLED)
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SpanRegistry::global().reset(); }
+};
+
+TEST_F(SpanTest, NestedScopesFormATree) {
+  {
+    SpanScope outer("outer");
+    {
+      SpanScope inner("inner");
+    }
+    {
+      SpanScope inner("inner");
+    }
+  }
+  const SpanRegistry::SpanStats root = SpanRegistry::global().snapshot();
+  EXPECT_EQ(root.label, "root");
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanRegistry::SpanStats& outer = root.children[0];
+  EXPECT_EQ(outer.label, "outer");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_GE(outer.seconds, 0.0);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].label, "inner");
+  EXPECT_EQ(outer.children[0].count, 2u);
+}
+
+TEST_F(SpanTest, SiblingsSortedByLabelAndFindWorks) {
+  {
+    SpanScope parent("parent");
+    { SpanScope b("b_child"); }
+    { SpanScope a("a_child"); }
+  }
+  const SpanRegistry::SpanStats root = SpanRegistry::global().snapshot();
+  const SpanRegistry::SpanStats* parent = root.find("parent");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 2u);
+  EXPECT_EQ(parent->children[0].label, "a_child");
+  EXPECT_EQ(parent->children[1].label, "b_child");
+  EXPECT_NE(parent->find("a_child"), nullptr);
+  EXPECT_EQ(parent->find("missing"), nullptr);
+}
+
+TEST_F(SpanTest, MacroTimesTheEnclosingScope) {
+  {
+    DREP_SPAN("macro_span");
+  }
+  const SpanRegistry::SpanStats root = SpanRegistry::global().snapshot();
+  const SpanRegistry::SpanStats* span = root.find("macro_span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1u);
+}
+
+TEST_F(SpanTest, ResetDropsAllSpans) {
+  {
+    SpanScope scope("gone");
+  }
+  SpanRegistry::global().reset();
+  const SpanRegistry::SpanStats root = SpanRegistry::global().snapshot();
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST_F(SpanTest, ConcurrentThreadsEachRootAtTopLevel) {
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kRepeats; ++i) {
+        SpanScope outer("thread_outer");
+        SpanScope inner("thread_inner");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const SpanRegistry::SpanStats root = SpanRegistry::global().snapshot();
+  const SpanRegistry::SpanStats* outer = root.find("thread_outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, static_cast<std::size_t>(kThreads * kRepeats));
+  const SpanRegistry::SpanStats* inner = outer->find("thread_inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, static_cast<std::size_t>(kThreads * kRepeats));
+}
+
+#else  // DREP_OBS_DISABLED
+
+TEST(SpanTest, MacroCompilesToNothingWhenDisabled) {
+  DREP_SPAN("ignored");
+  SUCCEED();
+}
+
+#endif
+
+}  // namespace
+}  // namespace drep::obs

@@ -92,6 +92,9 @@ TEST(ThreadPool, SubmitRunsTask) {
   std::mutex mutex;
   std::condition_variable cv;
   pool.submit([&] {
+    // Notify under the lock: otherwise the waiter can wake on the predicate
+    // and destroy `cv` while notify_one is still executing.
+    std::lock_guard task_lock(mutex);
     ran = true;
     cv.notify_one();
   });

@@ -1,245 +1,6 @@
 // drep — command-line front end for the data-replication library.
-//
-//   drep generate --sites=50 --objects=200 [--update=5] [--capacity=15]
-//                 [--seed=1] -o problem.drp
-//   drep solve    -i problem.drp -o scheme.drs --algo=sra|gra|hillclimb|exhaustive
-//                 [--generations=80] [--population=50] [--seed=1]
-//   drep evaluate -i problem.drp [-s scheme.drs]
-//   drep replay   -i problem.drp [-s scheme.drs] [--seed=1]
-//   drep adapt    -i old.drp -n new.drp -s scheme.drs -o adapted.drs
-//                 [--threshold=100] [--mini=5] [--seed=1]
-//
-// Problems and schemes travel in the drep text format (src/io/serialize.hpp)
-// so experiments are scriptable and reproducible.
+// All logic lives in src/cli/cli.cpp so tests can drive it in-process.
 
-#include <cstdio>
-#include <cstring>
-#include <iostream>
-#include <map>
-#include <optional>
-#include <string>
+#include "cli/cli.hpp"
 
-#include "algo/agra.hpp"
-#include "algo/baselines.hpp"
-#include "algo/exhaustive.hpp"
-#include "algo/gra.hpp"
-#include "algo/sra.hpp"
-#include "core/cost_model.hpp"
-#include "io/serialize.hpp"
-#include "sim/access_replay.hpp"
-#include "sim/monitor.hpp"
-#include "util/table.hpp"
-#include "workload/generator.hpp"
-
-using namespace drep;
-
-namespace {
-
-struct Args {
-  std::map<std::string, std::string> named;
-  [[nodiscard]] std::string require(const std::string& key) const {
-    const auto it = named.find(key);
-    if (it == named.end())
-      throw std::invalid_argument("missing required flag --" + key);
-    return it->second;
-  }
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback) const {
-    const auto it = named.find(key);
-    return it == named.end() ? fallback : it->second;
-  }
-  [[nodiscard]] double number(const std::string& key, double fallback) const {
-    const auto it = named.find(key);
-    return it == named.end() ? fallback : std::stod(it->second);
-  }
-};
-
-Args parse_args(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "-o" || arg == "-i" || arg == "-s" || arg == "-n") {
-      if (i + 1 >= argc)
-        throw std::invalid_argument(arg + " needs a file argument");
-      const char* key = arg == "-o"   ? "out"
-                        : arg == "-i" ? "in"
-                        : arg == "-s" ? "scheme"
-                                      : "new";
-      args.named[key] = argv[++i];
-    } else if (arg.rfind("--", 0) == 0) {
-      const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        args.named[arg.substr(2)] = "1";
-      } else {
-        args.named[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
-    } else {
-      throw std::invalid_argument("unexpected argument: " + arg);
-    }
-  }
-  return args;
-}
-
-int cmd_generate(const Args& args) {
-  workload::GeneratorConfig config;
-  config.sites = static_cast<std::size_t>(args.number("sites", 50));
-  config.objects = static_cast<std::size_t>(args.number("objects", 200));
-  config.update_ratio_percent = args.number("update", 5.0);
-  config.capacity_percent = args.number("capacity", 15.0);
-  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
-  const core::Problem problem = workload::generate(config, rng);
-  io::save_problem(args.require("out"), problem);
-  std::cout << "wrote " << args.require("out") << ": " << problem.sites()
-            << " sites, " << problem.objects() << " objects, D' = "
-            << core::primary_only_cost(problem) << "\n";
-  return 0;
-}
-
-int cmd_solve(const Args& args) {
-  const core::Problem problem = io::load_problem(args.require("in"));
-  const std::string algo_name = args.get("algo", "gra");
-  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
-
-  std::optional<algo::AlgorithmResult> result;
-  if (algo_name == "sra") {
-    result = algo::solve_sra(problem, algo::SraConfig{}, rng);
-  } else if (algo_name == "gra") {
-    algo::GraConfig config;
-    config.generations = static_cast<std::size_t>(args.number("generations", 80));
-    config.population = static_cast<std::size_t>(args.number("population", 50));
-    result = std::move(algo::solve_gra(problem, config, rng).best);
-  } else if (algo_name == "hillclimb") {
-    result = algo::hill_climb(problem);
-  } else if (algo_name == "exhaustive") {
-    auto optimal = algo::solve_exhaustive(problem);
-    if (!optimal) {
-      std::cerr << "exhaustive: instance too large (use a tiny problem)\n";
-      return 1;
-    }
-    result = std::move(*optimal);
-  } else {
-    std::cerr << "unknown --algo=" << algo_name
-              << " (sra|gra|hillclimb|exhaustive)\n";
-    return 2;
-  }
-
-  io::save_scheme(args.require("out"), result->scheme);
-  std::cout << algo_name << ": cost " << result->cost << ", savings "
-            << util::format_double(result->savings_percent, 2) << "%, +"
-            << result->extra_replicas << " replicas, "
-            << util::format_double(result->elapsed_seconds, 4) << "s\n";
-  return 0;
-}
-
-int cmd_evaluate(const Args& args) {
-  const core::Problem problem = io::load_problem(args.require("in"));
-  const core::ReplicationScheme scheme =
-      args.named.count("scheme") != 0
-          ? io::load_scheme(args.require("scheme"), problem)
-          : core::ReplicationScheme(problem);
-  const core::CostBreakdown parts = core::cost_breakdown(scheme);
-  util::Table table({"metric", "value"});
-  table.row(3).cell("read NTC").cell(parts.read_cost);
-  table.row(3).cell("write NTC").cell(parts.write_cost);
-  table.row(3).cell("total D").cell(parts.total());
-  table.row(3).cell("D' (primary only)").cell(core::primary_only_cost(problem));
-  table.row(2).cell("savings %").cell(
-      100.0 * core::savings_fraction(problem, parts.total()));
-  table.row(0).cell("replicas beyond primaries").cell(scheme.extra_replicas());
-  table.row(0).cell("scheme valid").cell(scheme.is_valid() ? "yes" : "NO");
-  table.print(std::cout);
-  return 0;
-}
-
-int cmd_replay(const Args& args) {
-  const core::Problem problem = io::load_problem(args.require("in"));
-  const core::ReplicationScheme scheme =
-      args.named.count("scheme") != 0
-          ? io::load_scheme(args.require("scheme"), problem)
-          : core::ReplicationScheme(problem);
-  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
-  const auto trace = workload::build_trace(problem, rng);
-  const sim::ReplayResult replay = sim::replay_trace(scheme, trace);
-  util::Table table({"metric", "value"});
-  table.row(3).cell("replayed data traffic").cell(replay.traffic.data_traffic);
-  table.row(3).cell("analytic D").cell(core::total_cost(scheme));
-  table.row(0).cell("requests").cell(trace.size());
-  table.row(0).cell("local reads").cell(replay.local_reads);
-  table.row(0).cell("remote reads").cell(replay.remote_reads);
-  table.row(0).cell("data messages").cell(replay.traffic.data_messages);
-  table.row(0).cell("control messages").cell(replay.traffic.control_messages);
-  table.row(3).cell("mean read latency").cell(replay.read_latency.mean());
-  table.row(3).cell("mean write latency").cell(replay.write_latency.mean());
-  table.print(std::cout);
-  return 0;
-}
-
-int cmd_adapt(const Args& args) {
-  const core::Problem old_problem = io::load_problem(args.require("in"));
-  const core::Problem new_problem = io::load_problem(args.require("new"));
-  const core::ReplicationScheme scheme =
-      io::load_scheme(args.require("scheme"), old_problem);
-  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
-
-  // Detect which objects shifted beyond the threshold, then run AGRA.
-  const double threshold = args.number("threshold", 100.0);
-  std::vector<core::ObjectId> changed;
-  for (core::ObjectId k = 0; k < old_problem.objects(); ++k) {
-    const auto deviates = [threshold](double before, double now) {
-      if (before == now) return false;
-      if (before == 0.0) return true;
-      return 100.0 * std::abs(now - before) / before >= threshold;
-    };
-    if (deviates(old_problem.total_reads(k), new_problem.total_reads(k)) ||
-        deviates(old_problem.total_writes(k), new_problem.total_writes(k))) {
-      changed.push_back(k);
-    }
-  }
-  algo::AgraConfig config;
-  config.mini_gra_generations = static_cast<std::size_t>(args.number("mini", 5));
-  const algo::AgraResult result = algo::solve_agra(
-      new_problem, scheme.matrix(), {}, changed, config, rng);
-  io::save_scheme(args.require("out"), result.best.scheme);
-
-  core::ReplicationScheme stale(new_problem, scheme.matrix());
-  std::cout << changed.size() << " objects changed; stale savings "
-            << util::format_double(core::savings_percent(new_problem, stale), 2)
-            << "% -> adapted "
-            << util::format_double(result.best.savings_percent, 2) << "% in "
-            << util::format_double(result.best.elapsed_seconds, 4) << "s\n";
-  return 0;
-}
-
-void usage() {
-  std::puts(
-      "drep <command> [flags]\n"
-      "  generate --sites=N --objects=N [--update=%] [--capacity=%] [--seed=N] -o FILE\n"
-      "  solve    -i FILE -o FILE --algo=sra|gra|hillclimb|exhaustive\n"
-      "           [--generations=N] [--population=N] [--seed=N]\n"
-      "  evaluate -i FILE [-s SCHEME]\n"
-      "  replay   -i FILE [-s SCHEME] [--seed=N]\n"
-      "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N]");
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage();
-    return 2;
-  }
-  const std::string command = argv[1];
-  try {
-    const Args args = parse_args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "solve") return cmd_solve(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "replay") return cmd_replay(args);
-    if (command == "adapt") return cmd_adapt(args);
-    usage();
-    return 2;
-  } catch (const std::exception& error) {
-    std::cerr << "drep " << command << ": " << error.what() << '\n';
-    return 1;
-  }
-}
+int main(int argc, char** argv) { return drep::cli::run(argc, argv); }
