@@ -1,0 +1,95 @@
+// Micro-benchmarks for the fault-injection layer. Two questions:
+//
+//   1. What does *arming* the layer cost when nothing fails? A zero-rate
+//      FaultPlan turns on per-message bernoulli draws, acks, and retry
+//      timers — BM_ReplayFaultless vs BM_ReplayZeroRatePlan is exactly
+//      that overhead, and it bounds what a cautious deployment pays for
+//      keeping the machinery always-on.
+//   2. What does a *lossy* run cost? BM_ReplayLossy replays the same trace
+//      under 10% drop + 5% latency spikes, where retransmissions and
+//      fallback routing dominate. The delta over the zero-rate run is the
+//      price of the faults themselves, not the harness.
+//
+// A fourth case drives distributed SRA under loss — the protocol-heavy
+// path (token grants, fetch/announce ladders) rather than the
+// data-plane-heavy replay.
+#include <benchmark/benchmark.h>
+
+#include "algo/sra.hpp"
+#include "sim/access_replay.hpp"
+#include "sim/distributed_sra.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace drep;
+
+core::Problem bench_problem() {
+  workload::GeneratorConfig config;
+  config.sites = 15;
+  config.objects = 25;
+  config.update_ratio_percent = 5.0;
+  config.capacity_percent = 25.0;
+  util::Rng rng(42);
+  return workload::generate(config, rng);
+}
+
+void BM_ReplayFaultless(benchmark::State& state) {
+  const core::Problem problem = bench_problem();
+  const core::ReplicationScheme scheme = algo::solve_sra(problem).scheme;
+  util::Rng trng(7);
+  const auto trace = workload::build_trace(problem, trng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::replay_trace(scheme, trace));
+  }
+  state.SetLabel("perfect network, no plan armed");
+}
+BENCHMARK(BM_ReplayFaultless)->Unit(benchmark::kMicrosecond);
+
+void BM_ReplayZeroRatePlan(benchmark::State& state) {
+  const core::Problem problem = bench_problem();
+  const core::ReplicationScheme scheme = algo::solve_sra(problem).scheme;
+  util::Rng trng(7);
+  const auto trace = workload::build_trace(problem, trng);
+  sim::ReplayOptions options;
+  options.faults = sim::FaultPlan{};  // armed: draws + acks + timers
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::replay_trace(scheme, trace, options));
+  }
+  state.SetLabel("zero-rate plan armed (retry layer idle)");
+}
+BENCHMARK(BM_ReplayZeroRatePlan)->Unit(benchmark::kMicrosecond);
+
+void BM_ReplayLossy(benchmark::State& state) {
+  const core::Problem problem = bench_problem();
+  const core::ReplicationScheme scheme = algo::solve_sra(problem).scheme;
+  util::Rng trng(7);
+  const auto trace = workload::build_trace(problem, trng);
+  sim::ReplayOptions options;
+  options.faults =
+      sim::FaultPlan::parse("seed=9,drop=0.1,spike=0.05,crash=3@0..50");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::replay_trace(scheme, trace, options));
+  }
+  state.SetLabel("10% drop, 5% spikes, one crash window");
+}
+BENCHMARK(BM_ReplayLossy)->Unit(benchmark::kMicrosecond);
+
+void BM_DistributedSraLossy(benchmark::State& state) {
+  const core::Problem problem = bench_problem();
+  sim::DistributedSraOptions options;
+  options.faults = sim::FaultPlan::parse("seed=9,drop=0.15");
+  options.retry.max_retries = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_distributed_sra(problem, options));
+  }
+  state.SetLabel("token protocol under 15% drop");
+}
+BENCHMARK(BM_DistributedSraLossy)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

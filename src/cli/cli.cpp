@@ -23,6 +23,7 @@
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "sim/access_replay.hpp"
+#include "sim/failures.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 
@@ -127,6 +128,18 @@ void maybe_write_reports(const Args& args, const std::string& command,
     if (!out) throw std::runtime_error("cannot create " + path);
     out << obs::to_prometheus(report.metrics);
     if (!out) throw std::runtime_error("failed writing " + path);
+  }
+}
+
+/// Parses --faults=SPEC into a validated FaultPlan; malformed specs are
+/// usage errors (exit 2), not runtime failures.
+sim::FaultPlan parse_fault_plan(const Args& args) {
+  try {
+    sim::FaultPlan plan = sim::FaultPlan::parse(args.require("faults"));
+    plan.validate();
+    return plan;
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(std::string("--faults: ") + error.what());
   }
 }
 
@@ -255,10 +268,12 @@ int cmd_replay(const Args& args) {
                          : core::ReplicationScheme(problem);
   util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
   const auto trace = workload::build_trace(problem, rng);
+  sim::ReplayOptions options;
+  if (args.has("faults")) options.faults = parse_fault_plan(args);
   sim::ReplayResult replay;
   {
     DREP_SPAN("cli/replay");
-    replay = sim::replay_trace(scheme, trace);
+    replay = sim::replay_trace(scheme, trace, options);
   }
   util::Table table({"metric", "value"});
   table.row(3).cell("replayed data traffic").cell(replay.traffic.data_traffic);
@@ -270,6 +285,20 @@ int cmd_replay(const Args& args) {
   table.row(0).cell("control messages").cell(replay.traffic.control_messages);
   table.row(3).cell("mean read latency").cell(replay.read_latency.mean());
   table.row(3).cell("mean write latency").cell(replay.write_latency.mean());
+  if (options.faults) {
+    table.row(0).cell("dropped (link)").cell(replay.traffic.dropped_link);
+    table.row(0)
+        .cell("dropped (site down)")
+        .cell(replay.traffic.dropped_site_down);
+    table.row(0).cell("latency spikes").cell(replay.traffic.latency_spikes);
+    table.row(0).cell("retries").cell(replay.retry_stats.retries);
+    table.row(0).cell("timeouts").cell(replay.retry_stats.timeouts);
+    table.row(0).cell("give-ups").cell(replay.retry_stats.give_ups);
+    table.row(0).cell("degraded reads").cell(replay.degraded_reads);
+    table.row(0).cell("failed reads").cell(replay.failed_reads);
+    table.row(0).cell("failed writes").cell(replay.failed_writes);
+    table.row(0).cell("stale updates").cell(replay.stale_replica_updates);
+  }
   table.print(std::cout);
 
   obs::Json result_json = obs::Json::object();
@@ -282,6 +311,20 @@ int cmd_replay(const Args& args) {
   result_json["control_messages"] = obs::Json(replay.traffic.control_messages);
   result_json["mean_read_latency"] = obs::Json(replay.read_latency.mean());
   result_json["mean_write_latency"] = obs::Json(replay.write_latency.mean());
+  if (options.faults) {
+    result_json["dropped_link"] = obs::Json(replay.traffic.dropped_link);
+    result_json["dropped_site_down"] =
+        obs::Json(replay.traffic.dropped_site_down);
+    result_json["latency_spikes"] = obs::Json(replay.traffic.latency_spikes);
+    result_json["retries"] = obs::Json(replay.retry_stats.retries);
+    result_json["timeouts"] = obs::Json(replay.retry_stats.timeouts);
+    result_json["give_ups"] = obs::Json(replay.retry_stats.give_ups);
+    result_json["duplicates"] = obs::Json(replay.retry_stats.duplicates);
+    result_json["degraded_reads"] = obs::Json(replay.degraded_reads);
+    result_json["failed_reads"] = obs::Json(replay.failed_reads);
+    result_json["failed_writes"] = obs::Json(replay.failed_writes);
+    result_json["stale_updates"] = obs::Json(replay.stale_replica_updates);
+  }
   maybe_write_reports(args, "replay", std::move(result_json));
   return 0;
 }
@@ -325,7 +368,34 @@ int cmd_adapt(const Args& args) {
             << util::format_double(result->best.savings_percent, 2) << "% in "
             << util::format_double(result->best.elapsed_seconds, 4) << "s\n";
 
+  // --faults: static what-if analysis of the adapted scheme under the
+  // plan's crash windows — worst case over every window-opening instant.
+  std::optional<sim::DegradedService> degraded;
+  if (args.has("faults")) {
+    const sim::FaultPlan plan = parse_fault_plan(args);
+    degraded = sim::evaluate_with_failures(result->best.scheme, plan, 0.0);
+    for (const sim::CrashWindow& window : plan.crashes) {
+      const sim::DegradedService at_window = sim::evaluate_with_failures(
+          result->best.scheme, plan, window.from);
+      if (at_window.read_availability < degraded->read_availability)
+        degraded = at_window;
+    }
+    std::cout << "under faults: read availability "
+              << util::format_double(degraded->read_availability, 4)
+              << ", write availability "
+              << util::format_double(degraded->write_availability, 4) << ", "
+              << degraded->objects_lost << " objects lost\n";
+  }
+
   obs::Json result_json = obs::Json::object();
+  if (degraded) {
+    result_json["read_availability"] = obs::Json(degraded->read_availability);
+    result_json["write_availability"] =
+        obs::Json(degraded->write_availability);
+    result_json["objects_lost"] = obs::Json(degraded->objects_lost);
+    result_json["degraded_read_cost"] =
+        obs::Json(degraded->degraded_read_cost);
+  }
   result_json["changed_objects"] = obs::Json(changed.size());
   result_json["stale_savings_percent"] = obs::Json(stale_savings);
   result_json["adapted_savings_percent"] =
@@ -345,12 +415,18 @@ void usage(std::ostream& out) {
          "  solve    -i FILE [-o FILE] --algo=sra|gra|agra|hillclimb|exhaustive\n"
          "           [--generations=N] [--population=N] [--mini=N] [--seed=N]\n"
          "  evaluate -i FILE [-s SCHEME]\n"
-         "  replay   -i FILE [-s SCHEME] [--seed=N]\n"
+         "  replay   -i FILE [-s SCHEME] [--seed=N] [--faults=SPEC]\n"
          "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
+         "           [--faults=SPEC]\n"
          "  help\n"
          "solve/evaluate/replay/adapt also take --report=FILE.json (machine-readable\n"
          "run report: config, result, metrics, span timings) and --prom=FILE\n"
-         "(Prometheus text exposition of the metric snapshot).\n";
+         "(Prometheus text exposition of the metric snapshot).\n"
+         "--faults=SPEC injects deterministic faults, e.g.\n"
+         "  --faults=seed=7,drop=0.1,spike=0.05,spikex=4,crash=2@10..500\n"
+         "(drop/spike probabilities, spike factor, crash=SITE@FROM..UNTIL with\n"
+         "empty UNTIL meaning forever). replay drives the DES through the plan;\n"
+         "adapt reports the adapted scheme's worst-case availability under it.\n";
 }
 
 const std::set<std::string> kGenerateFlags = {"sites",    "objects", "update",
@@ -360,12 +436,12 @@ const std::set<std::string> kSolveFlags = {
     "mini", "seed", "report", "prom"};
 const std::set<std::string> kEvaluateFlags = {"in", "scheme", "report",
                                               "prom"};
-const std::set<std::string> kReplayFlags = {"in", "scheme", "seed", "report",
-                                            "prom"};
+const std::set<std::string> kReplayFlags = {"in",     "scheme", "seed",
+                                            "report", "prom",   "faults"};
 const std::set<std::string> kAdaptFlags = {"in",        "new",  "scheme",
                                            "out",       "threshold",
                                            "mini",      "seed", "report",
-                                           "prom"};
+                                           "prom",      "faults"};
 
 }  // namespace
 

@@ -23,6 +23,16 @@ CrossoverCut two_point_crossover(Chromosome& a, Chromosome& b,
   std::size_t lo = rng.index(size + 1);
   std::size_t hi = rng.index(size + 1);
   if (lo > hi) std::swap(lo, hi);
+  // Redraw degenerate cuts: lo == hi swaps nothing (or, in outside mode,
+  // whole chromosomes) and {0, size} is the same two cases mirrored —
+  // either way the pair leaves with the parents' genomes and the crossover
+  // is a silent no-op. Size-1 chromosomes have no non-degenerate cut, so
+  // they keep the first draw.
+  while (size >= 2 && (lo == hi || (lo == 0 && hi == size))) {
+    lo = rng.index(size + 1);
+    hi = rng.index(size + 1);
+    if (lo > hi) std::swap(lo, hi);
+  }
   CrossoverCut cut{lo, hi, rng.bernoulli(0.5)};
   if (cut.middle) {
     swap_range(a, b, cut.lo, cut.hi);

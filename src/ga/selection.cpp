@@ -57,6 +57,10 @@ std::vector<std::size_t> stochastic_remainder_selection(
     }
     fractions[i] = expected - integral;
   }
+  // Goldberg's remainder raffle is *without* replacement: a candidate whose
+  // fractional part already won a slot is out of the draw, so every
+  // candidate ends with either floor(expected) or ceil(expected) copies.
+  // Once all fractions are spent, any leftover slots fall back to uniform.
   while (picks.size() < slots) {
     const double frac_total =
         std::accumulate(fractions.begin(), fractions.end(), 0.0);
@@ -64,7 +68,9 @@ std::vector<std::size_t> stochastic_remainder_selection(
       picks.push_back(rng.index(fitness.size()));
       continue;
     }
-    picks.push_back(util::weighted_index(rng, fractions));
+    const std::size_t winner = util::weighted_index(rng, fractions);
+    fractions[winner] = 0.0;
+    picks.push_back(winner);
   }
   return picks;
 }

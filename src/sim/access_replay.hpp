@@ -13,7 +13,27 @@
 // The accumulated data traffic of a full trace equals the analytic D of the
 // scheme — the central model-validation property of this reproduction
 // (tests/sim/access_replay_test.cpp).
+//
+// With a FaultPlan armed the replay degrades instead of diverging:
+//   * a read routes to the nearest *live* replicator — when SN_k(i) is
+//     inside a crash window it falls back to the cheapest live replica
+//     (ties to the lowest site id; the primary is always a candidate),
+//     counted as a degraded read; with no live replica at all the read
+//     fails;
+//   * reads and write shipments carry sequence ids, are retried with
+//     bounded exponential backoff, and are deduplicated (the primary
+//     re-acks a replayed WriteShip without re-broadcasting);
+//   * each update-broadcast leg is acked per replica and retried; a leg
+//     that exhausts its retries leaves that replica stale (counted);
+//   * read latency is then *measured* (request injection to response
+//     delivery, retransmissions included) instead of the analytic round
+//     trip — with all-zero fault rates the two coincide exactly. Write
+//     latency stays the analytic visibility bound in both modes.
+// All retry machinery is keyed on the plan's presence: a plan with zero
+// rates produces byte-identical traffic to the faultless replay, which is
+// what lets the replay-equals-analytic-D property extend to the fault path.
 
+#include <optional>
 #include <span>
 
 #include "core/replication.hpp"
@@ -22,6 +42,18 @@
 #include "workload/trace.hpp"
 
 namespace drep::sim {
+
+struct ReplayOptions {
+  double latency_per_cost = 1.0;
+  /// Requests are injected `inter_arrival` time units apart (0 = all at
+  /// t=0, still causally ordered by the event queue).
+  double inter_arrival = 0.0;
+  /// Fault injection; nullopt = perfect network (no acks or retry timers,
+  /// byte-identical traffic to the original replay).
+  std::optional<FaultPlan> faults;
+  /// Timeout/backoff parameters; only consulted when `faults` is set.
+  RetryPolicy retry;
+};
 
 struct ReplayResult {
   TrafficStats traffic;
@@ -39,6 +71,18 @@ struct ReplayResult {
   /// response time".
   util::RunningStats read_latency;
   util::RunningStats write_latency;
+  /// Fault-plan service degradation (all zero on a perfect network).
+  RetryStats retry_stats;
+  /// Reads served by a live replica other than SN_k(i).
+  std::size_t degraded_reads = 0;
+  /// Reads lost for good: reader crashed, no live replica, or retries
+  /// exhausted.
+  std::size_t failed_reads = 0;
+  /// Writes lost for good: writer or primary crashed, or retries exhausted.
+  std::size_t failed_writes = 0;
+  /// Update-broadcast legs abandoned after retries — that replica serves a
+  /// stale version until the next write reaches it.
+  std::size_t stale_replica_updates = 0;
 };
 
 /// Replays `trace` against `scheme`. Requests are injected
@@ -48,5 +92,10 @@ struct ReplayResult {
                                         std::span<const workload::Request> trace,
                                         double latency_per_cost = 1.0,
                                         double inter_arrival = 0.0);
+
+/// Full-options variant (fault injection + retry policy).
+[[nodiscard]] ReplayResult replay_trace(const core::ReplicationScheme& scheme,
+                                        std::span<const workload::Request> trace,
+                                        const ReplayOptions& options);
 
 }  // namespace drep::sim

@@ -21,12 +21,76 @@ void DesNetwork::attach(SiteId site, Node& node) {
   nodes_[site] = &node;
 }
 
+void DesNetwork::set_faults(FaultPlan plan) {
+  plan.validate();
+  for (const CrashWindow& window : plan.crashes) {
+    if (window.site >= nodes_.size())
+      throw std::invalid_argument("DesNetwork::set_faults: crash site out of range");
+  }
+  faults_ = std::move(plan);
+  fault_rng_ = util::Rng(faults_->seed);
+  // Notify nodes at every window edge. Edge events are scheduled up front
+  // (before any protocol traffic at the same timestamp), so a node crashed
+  // from t=0 sees on_crash before its bootstrap messages would fire.
+  for (const CrashWindow& window : faults_->crashes) {
+    const SiteId site = window.site;
+    queue_.schedule(window.from, [this, site] {
+      if (nodes_[site] != nullptr) nodes_[site]->on_crash();
+    });
+    if (window.until < std::numeric_limits<double>::infinity()) {
+      queue_.schedule(window.until, [this, site] {
+        if (nodes_[site] != nullptr) nodes_[site]->on_recover();
+      });
+    }
+  }
+}
+
+double DesNetwork::worst_one_way_latency() const noexcept {
+  double worst = 0.0;
+  for (SiteId i = 0; i < nodes_.size(); ++i) {
+    for (SiteId j = 0; j < nodes_.size(); ++j) {
+      const double latency = latency_per_cost_ * costs_->at(i, j);
+      if (latency > worst) worst = latency;
+    }
+  }
+  return worst;
+}
+
 void DesNetwork::send(SiteId from, SiteId to, double size_units,
                       std::any payload) {
   const double cost = costs_->at(from, to);
-  const double latency = latency_per_cost_ * cost;
+  double latency = latency_per_cost_ * cost;
+  if (faults_) {
+    // A crashed site neither sends nor receives.
+    if (faults_->site_down(from, queue_.now())) {
+      ++stats_.dropped_site_down;
+      DREP_COUNT("drep_des_dropped_site_down_total", 1);
+      return;
+    }
+    if (from != to) {
+      // Draw both decisions unconditionally so the fault stream consumed
+      // per message is independent of the configured rates.
+      const bool dropped = fault_rng_.bernoulli(faults_->drop_probability);
+      const bool spiked = fault_rng_.bernoulli(faults_->spike_probability);
+      if (dropped) {
+        ++stats_.dropped_link;
+        DREP_COUNT("drep_des_dropped_link_total", 1);
+        return;
+      }
+      if (spiked) {
+        latency *= faults_->spike_factor;
+        ++stats_.latency_spikes;
+        DREP_COUNT("drep_des_latency_spikes_total", 1);
+      }
+    }
+  }
   Message message{from, to, size_units, std::move(payload)};
   queue_.schedule_in(latency, [this, message = std::move(message), cost]() {
+    if (faults_ && faults_->site_down(message.to, queue_.now())) {
+      ++stats_.dropped_site_down;
+      DREP_COUNT("drep_des_dropped_site_down_total", 1);
+      return;
+    }
     if (message.size_units > 0) {
       stats_.data_traffic += message.size_units * cost;
       ++stats_.data_messages;

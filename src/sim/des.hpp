@@ -8,13 +8,24 @@
 // comparable to D. Zero-size messages model control traffic (the paper
 // treats its cost as negligible; we deliver it with latency but charge no
 // NTC).
+//
+// With a FaultPlan attached (set_faults), the network becomes imperfect:
+// messages are dropped with the plan's link-loss probability, latencies
+// spike, messages from or to a crashed site are discarded, and nodes are
+// told about their own crash/recover window edges. NTC is charged at
+// delivery, so dropped messages cost nothing and retransmitted duplicates
+// cost full price — the replayed traffic of a faulty run prices the
+// protocol's retry overhead.
 
 #include <any>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
 
 namespace drep::sim {
 
@@ -34,6 +45,11 @@ class Node {
  public:
   virtual ~Node() = default;
   virtual void handle(const Message& message) = 0;
+  /// Fault-plan window edges for this node's site. A node should drop its
+  /// in-flight protocol state on crash and may re-announce itself on
+  /// recover; the network already discards its traffic while down.
+  virtual void on_crash() {}
+  virtual void on_recover() {}
 };
 
 struct TrafficStats {
@@ -41,8 +57,17 @@ struct TrafficStats {
   double data_traffic = 0.0;
   std::size_t data_messages = 0;
   std::size_t control_messages = 0;
+  /// Fault-plan casualties: messages lost to link loss, messages discarded
+  /// because an endpoint was crashed, and deliveries that took a latency
+  /// spike. All zero on a perfect network.
+  std::size_t dropped_link = 0;
+  std::size_t dropped_site_down = 0;
+  std::size_t latency_spikes = 0;
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return data_messages + control_messages;
+  }
+  [[nodiscard]] std::size_t dropped_messages() const noexcept {
+    return dropped_link + dropped_site_down;
   }
 };
 
@@ -55,6 +80,26 @@ class DesNetwork {
   [[nodiscard]] std::size_t sites() const noexcept { return nodes_.size(); }
   [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+
+  /// Attaches the fault plan (validated). Crash/recover notifications are
+  /// scheduled for every window edge, so call before run(). Passing a plan
+  /// with all-zero rates and no windows still counts as "faults armed" —
+  /// protocols key their retry machinery on faults_armed().
+  void set_faults(FaultPlan plan);
+  [[nodiscard]] bool faults_armed() const noexcept {
+    return faults_.has_value();
+  }
+  [[nodiscard]] const FaultPlan* fault_plan() const noexcept {
+    return faults_ ? &*faults_ : nullptr;
+  }
+  /// True when `site` is not inside a crash window at the current sim time
+  /// (always true without a plan).
+  [[nodiscard]] bool site_up(SiteId site) const noexcept {
+    return !faults_ || !faults_->site_down(site, queue_.now());
+  }
+  /// latency_per_cost × max C(i,j): the worst healthy one-way delivery
+  /// latency, the anchor for RetryPolicy::resolve_base.
+  [[nodiscard]] double worst_one_way_latency() const noexcept;
 
   /// Attaches the protocol endpoint for `site`; the node must outlive the
   /// network's event processing.
@@ -75,6 +120,8 @@ class DesNetwork {
   EventQueue queue_;
   std::vector<Node*> nodes_;
   TrafficStats stats_;
+  std::optional<FaultPlan> faults_;
+  util::Rng fault_rng_;
 };
 
 }  // namespace drep::sim

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace drep::sim {
 
@@ -10,22 +13,33 @@ namespace {
 
 using core::ObjectId;
 
-// Protocol payloads.
-struct TokenGrant {};
+// Protocol payloads. Every exchange carries a sequence id (or the token
+// round number) so retransmissions are idempotent under dedup.
+struct TokenGrant {
+  std::uint64_t round;
+};
 struct TokenReturn {
+  std::uint64_t round;
   bool list_empty;
 };
 struct FetchRequest {
   ObjectId object;
+  std::uint64_t id;
 };
 struct FetchResponse {
   ObjectId object;
+  std::uint64_t id;
 };
 struct ReplicaAnnounce {
   ObjectId object;
   SiteId replicator;
+  std::uint64_t id;
 };
-struct AnnounceAck {};
+struct AnnounceAck {
+  std::uint64_t id;
+};
+struct Rejoin {};
+struct RejoinAck {};
 
 class SraNode;
 
@@ -33,18 +47,28 @@ class SraNode;
 /// final scheme) and protocol counters.
 struct RunState {
   std::vector<std::pair<ObjectId, SiteId>> replications;
+  std::set<std::pair<ObjectId, SiteId>> replication_seen;
   std::size_t token_passes = 0;
+  RetryStats retry;
+  std::size_t sites_skipped = 0;
+  std::size_t rejoins = 0;
+  std::uint64_t next_id = 0;
   std::vector<std::unique_ptr<SraNode>> nodes;
 };
+
+constexpr std::uint64_t kNoRound = 0;  // rounds start at 1
 
 class SraNode final : public Node {
  public:
   SraNode(SiteId self, const core::Problem& problem, DesNetwork& network,
-          SiteId leader_site, RunState& state)
+          SiteId leader_site, const RetryPolicy& retry, double retry_base,
+          RunState& state)
       : self_(self),
         problem_(&problem),
         network_(&network),
         leader_site_(leader_site),
+        retry_(retry),
+        retry_base_(retry_base),
         state_(&state),
         nearest_cost_(problem.objects()),
         nearest_site_(problem.objects()) {
@@ -77,32 +101,80 @@ class SraNode final : public Node {
   }
 
   void handle(const Message& message) override {
-    if (std::any_cast<TokenGrant>(&message.payload) != nullptr) {
-      on_token();
+    if (const auto* grant = std::any_cast<TokenGrant>(&message.payload)) {
+      on_grant(*grant);
     } else if (const auto* ret = std::any_cast<TokenReturn>(&message.payload)) {
-      on_token_return(*ret);
+      on_token_return(message.from, *ret);
     } else if (const auto* fetch =
                    std::any_cast<FetchRequest>(&message.payload)) {
       network_->send(self_, message.from, problem_->object_size(fetch->object),
-                     FetchResponse{fetch->object});
+                     FetchResponse{fetch->object, fetch->id});
     } else if (const auto* resp =
                    std::any_cast<FetchResponse>(&message.payload)) {
-      on_object_arrived(resp->object);
+      on_object_arrived(*resp);
     } else if (const auto* announce =
                    std::any_cast<ReplicaAnnounce>(&message.payload)) {
       on_announce(*announce);
-      network_->send(self_, announce->replicator, 0.0, AnnounceAck{});
-    } else if (std::any_cast<AnnounceAck>(&message.payload) != nullptr) {
-      if (--awaiting_acks_ == 0) return_token();
+      network_->send(self_, announce->replicator, 0.0,
+                     AnnounceAck{announce->id});
+    } else if (const auto* ack = std::any_cast<AnnounceAck>(&message.payload)) {
+      on_announce_ack(message.from, *ack);
+    } else if (std::any_cast<Rejoin>(&message.payload) != nullptr) {
+      on_rejoin(message.from);
+      network_->send(self_, message.from, 0.0, RejoinAck{});
+    } else if (std::any_cast<RejoinAck>(&message.payload) != nullptr) {
+      rejoin_pending_ = false;
     } else {
       throw std::logic_error("SraNode: unknown payload");
     }
   }
 
+  /// Crash wipes in-flight exchange state (volatile protocol memory); the
+  /// already-committed local replicas survive, like data on disk.
+  void on_crash() override {
+    serving_ = false;
+    fetch_id_ = 0;
+    announce_id_ = 0;
+    announce_missing_ = 0;
+    rejoin_pending_ = false;
+  }
+
+  /// A recovered non-leader asks the leader to re-admit it.
+  void on_recover() override {
+    if (self_ == leader_site_) return;
+    rejoin_pending_ = true;
+    send_rejoin(0);
+  }
+
  private:
+  [[nodiscard]] bool retries_armed() const { return network_->faults_armed(); }
+
+  void arm_timer(std::size_t attempt, std::function<void()> handler) {
+    network_->queue().schedule_in(retry_.timeout_for(retry_base_, attempt),
+                                  std::move(handler));
+  }
+
   // --- site role -----------------------------------------------------------
 
-  void on_token() {
+  void on_grant(const TokenGrant& grant) {
+    if (serving_ && serving_round_ == grant.round) {
+      ++state_->retry.duplicates;  // still working on this visit
+      return;
+    }
+    if (grant.round == last_served_round_) {
+      // The leader missed our return; resend the cached reply.
+      ++state_->retry.duplicates;
+      ++state_->retry.retries;
+      network_->send(self_, leader_site_, 0.0,
+                     TokenReturn{last_served_round_, last_return_empty_});
+      return;
+    }
+    begin_visit(grant.round);
+  }
+
+  void begin_visit(std::uint64_t round) {
+    serving_ = true;
+    serving_round_ = round;
     // One pass over L(self): find the best strictly-positive benefit and
     // prune unprofitable / non-fitting candidates — byte-for-byte the
     // centralized SRA visit, computed from purely local state.
@@ -127,32 +199,124 @@ class SraNode final : public Node {
     candidates_.resize(write_pos);
 
     if (!found) {
-      network_->send(self_, leader_site_, 0.0, TokenReturn{true});
+      finish_visit();
       return;
     }
-    candidates_.erase(
-        std::find(candidates_.begin(), candidates_.end(), best_object));
-    remaining_ -= problem_->object_size(best_object);
-    // Fetch the object from the nearest replicator (a real migration).
-    network_->send(self_, nearest_site_[best_object], 0.0,
-                   FetchRequest{best_object});
+    // The replication is committed only when the object actually arrives;
+    // until then the candidate stays in L(self) so an aborted fetch leaves
+    // consistent state.
+    pending_object_ = best_object;
+    begin_fetch();
   }
 
-  void on_object_arrived(ObjectId object) {
-    nearest_cost_[object] = 0.0;
-    nearest_site_[object] = self_;
-    if (self_ == leader_site_) {
-      state_->replications.emplace_back(object, self_);
-    }
-    // Reliable broadcast: every other site updates its SN record and acks.
-    awaiting_acks_ = problem_->sites() - 1;
-    if (awaiting_acks_ == 0) {
-      return_token();
+  void begin_fetch() {
+    fetch_id_ = ++state_->next_id;
+    send_fetch(0);
+  }
+
+  /// Fetch target for a given attempt: the nearest known replicator first,
+  /// falling back to the primary (always a replicator) on later attempts in
+  /// case the nearest crashed.
+  [[nodiscard]] SiteId fetch_target(std::size_t attempt) const {
+    const SiteId nearest = nearest_site_[pending_object_];
+    const SiteId primary = problem_->primary(pending_object_);
+    if (attempt <= retry_.max_retries / 2 || nearest == primary)
+      return nearest;
+    return primary;
+  }
+
+  void send_fetch(std::size_t attempt) {
+    network_->send(self_, fetch_target(attempt), 0.0,
+                   FetchRequest{pending_object_, fetch_id_});
+    if (!retries_armed()) return;
+    arm_timer(attempt, [this, id = fetch_id_, attempt] {
+      if (fetch_id_ != id || !network_->site_up(self_)) return;
+      ++state_->retry.timeouts;
+      if (attempt >= retry_.max_retries) {
+        // Every reachable holder stopped answering: the object is
+        // unobtainable right now — prune it and move on.
+        ++state_->retry.give_ups;
+        fetch_id_ = 0;
+        const auto it = std::find(candidates_.begin(), candidates_.end(),
+                                  pending_object_);
+        if (it != candidates_.end()) candidates_.erase(it);
+        finish_visit();
+        return;
+      }
+      ++state_->retry.retries;
+      send_fetch(attempt + 1);
+    });
+  }
+
+  void on_object_arrived(const FetchResponse& resp) {
+    if (resp.id != fetch_id_) {
+      ++state_->retry.duplicates;
       return;
     }
+    fetch_id_ = 0;
+    const ObjectId object = resp.object;
+    candidates_.erase(
+        std::find(candidates_.begin(), candidates_.end(), object));
+    remaining_ -= problem_->object_size(object);
+    nearest_cost_[object] = 0.0;
+    nearest_site_[object] = self_;
+    if (self_ == leader_site_) record_replication(object, self_);
+    begin_announce(object);
+  }
+
+  /// Reliable broadcast: every other site updates its SN record and acks;
+  /// un-acked sites are re-announced with backoff.
+  void begin_announce(ObjectId object) {
+    announce_object_ = object;
+    announce_acked_.assign(problem_->sites(), false);
+    announce_acked_[self_] = true;
+    announce_missing_ = problem_->sites() - 1;
+    if (announce_missing_ == 0) {
+      finish_visit();
+      return;
+    }
+    announce_id_ = ++state_->next_id;
     for (SiteId j = 0; j < problem_->sites(); ++j) {
       if (j != self_)
-        network_->send(self_, j, 0.0, ReplicaAnnounce{object, self_});
+        network_->send(self_, j, 0.0,
+                       ReplicaAnnounce{object, self_, announce_id_});
+    }
+    if (retries_armed()) arm_announce_timer(0);
+  }
+
+  void arm_announce_timer(std::size_t attempt) {
+    arm_timer(attempt, [this, id = announce_id_, attempt] {
+      if (announce_id_ != id || !network_->site_up(self_)) return;
+      ++state_->retry.timeouts;
+      if (attempt >= retry_.max_retries) {
+        // The remaining sites are unreachable; they will carry a stale SN
+        // record until (if ever) they learn otherwise. Give the token back.
+        ++state_->retry.give_ups;
+        announce_id_ = 0;
+        announce_missing_ = 0;
+        finish_visit();
+        return;
+      }
+      for (SiteId j = 0; j < problem_->sites(); ++j) {
+        if (!announce_acked_[j]) {
+          ++state_->retry.retries;
+          network_->send(self_, j, 0.0,
+                         ReplicaAnnounce{announce_object_, self_, id});
+        }
+      }
+      arm_announce_timer(attempt + 1);
+    });
+  }
+
+  void on_announce_ack(SiteId from, const AnnounceAck& ack) {
+    if (ack.id != announce_id_ || announce_acked_[from]) {
+      ++state_->retry.duplicates;
+      return;
+    }
+    announce_acked_[from] = true;
+    if (--announce_missing_ == 0) {
+      announce_id_ = 0;
+      finish_visit();
     }
   }
 
@@ -163,30 +327,97 @@ class SraNode final : public Node {
       nearest_site_[announce.object] = announce.replicator;
     }
     if (self_ == leader_site_)
-      state_->replications.emplace_back(announce.object, announce.replicator);
+      record_replication(announce.object, announce.replicator);
   }
 
-  void return_token() {
+  void finish_visit() {
+    serving_ = false;
+    last_served_round_ = serving_round_;
+    last_return_empty_ = candidates_.empty();
     network_->send(self_, leader_site_, 0.0,
-                   TokenReturn{candidates_.empty()});
+                   TokenReturn{last_served_round_, last_return_empty_});
+  }
+
+  void send_rejoin(std::size_t attempt) {
+    network_->send(self_, leader_site_, 0.0, Rejoin{});
+    if (!retries_armed()) return;
+    arm_timer(attempt, [this, attempt] {
+      if (!rejoin_pending_ || !network_->site_up(self_)) return;
+      ++state_->retry.timeouts;
+      if (attempt >= retry_.max_retries) {
+        ++state_->retry.give_ups;
+        rejoin_pending_ = false;
+        return;
+      }
+      ++state_->retry.retries;
+      send_rejoin(attempt + 1);
+    });
   }
 
   // --- leader role ---------------------------------------------------------
 
+  void record_replication(ObjectId object, SiteId site) {
+    if (state_->replication_seen.emplace(object, site).second)
+      state_->replications.emplace_back(object, site);
+  }
+
   void grant_next() {
-    if (active_.empty()) return;  // protocol finished
+    if (active_.empty()) {
+      finished_ = true;
+      return;
+    }
     const std::size_t slot = cursor_ % active_.size();
     granted_slot_ = slot;
+    current_round_ = ++round_counter_;
+    outstanding_ = true;
     ++state_->token_passes;
     const SiteId site = active_[slot];
     if (site == self_) {
-      on_token();  // the leader's own site takes its turn locally
+      begin_visit(current_round_);  // the leader's own site takes its turn
     } else {
-      network_->send(self_, site, 0.0, TokenGrant{});
+      network_->send(self_, site, 0.0, TokenGrant{current_round_});
+      if (retries_armed()) arm_grant_timer(current_round_, 0);
     }
   }
 
-  void on_token_return(const TokenReturn& ret) {
+  /// The leader's patience must outlast a full visit *including* the
+  /// visited site's own fetch/announce retry budgets, so its retry cap is
+  /// padded: prematurely skipping a live site is the one failure mode that
+  /// can diverge the scheme.
+  [[nodiscard]] std::size_t grant_max_retries() const {
+    return retry_.max_retries + 4;
+  }
+
+  void arm_grant_timer(std::uint64_t round, std::size_t attempt) {
+    arm_timer(attempt, [this, round, attempt] {
+      if (!outstanding_ || current_round_ != round) return;
+      ++state_->retry.timeouts;
+      if (attempt >= grant_max_retries()) {
+        // Site presumed crashed: skip it; it may rejoin on recovery.
+        ++state_->retry.give_ups;
+        ++state_->sites_skipped;
+        skipped_.push_back(active_[granted_slot_]);
+        active_.erase(active_.begin() +
+                      static_cast<std::ptrdiff_t>(granted_slot_));
+        cursor_ = granted_slot_;
+        outstanding_ = false;
+        grant_next();
+        return;
+      }
+      ++state_->retry.retries;
+      network_->send(self_, active_[granted_slot_], 0.0, TokenGrant{round});
+      arm_grant_timer(round, attempt + 1);
+    });
+  }
+
+  void on_token_return(SiteId from, const TokenReturn& ret) {
+    if (!outstanding_ || ret.round != current_round_) {
+      ++state_->retry.duplicates;
+      // A late return from a skipped site proves it alive: re-admit it.
+      readmit(from);
+      return;
+    }
+    outstanding_ = false;
     if (ret.list_empty) {
       active_.erase(active_.begin() +
                     static_cast<std::ptrdiff_t>(granted_slot_));
@@ -197,10 +428,27 @@ class SraNode final : public Node {
     grant_next();
   }
 
+  void on_rejoin(SiteId from) { readmit(from); }
+
+  void readmit(SiteId site) {
+    const auto it = std::find(skipped_.begin(), skipped_.end(), site);
+    if (it == skipped_.end()) return;
+    skipped_.erase(it);
+    active_.push_back(site);
+    ++state_->rejoins;
+    if (finished_) {
+      // The token loop had wound down; restart it for the returnee.
+      finished_ = false;
+      if (!outstanding_) grant_next();
+    }
+  }
+
   SiteId self_;
   const core::Problem* problem_;
   DesNetwork* network_;
   SiteId leader_site_;
+  RetryPolicy retry_;
+  double retry_base_;
   RunState* state_;
 
   // Site-local state.
@@ -208,12 +456,29 @@ class SraNode final : public Node {
   std::vector<SiteId> nearest_site_;
   std::vector<ObjectId> candidates_;
   double remaining_ = 0.0;
-  std::size_t awaiting_acks_ = 0;
+
+  // Visit in flight at this site.
+  bool serving_ = false;
+  std::uint64_t serving_round_ = kNoRound;
+  std::uint64_t last_served_round_ = kNoRound;
+  bool last_return_empty_ = false;
+  ObjectId pending_object_ = 0;
+  std::uint64_t fetch_id_ = 0;  // 0 = no fetch outstanding
+  ObjectId announce_object_ = 0;
+  std::uint64_t announce_id_ = 0;  // 0 = no announce outstanding
+  std::vector<bool> announce_acked_;
+  std::size_t announce_missing_ = 0;
+  bool rejoin_pending_ = false;
 
   // Leader-only state.
   std::vector<SiteId> active_;
+  std::vector<SiteId> skipped_;
   std::size_t cursor_ = 0;
   std::size_t granted_slot_ = 0;
+  std::uint64_t round_counter_ = kNoRound;
+  std::uint64_t current_round_ = kNoRound;
+  bool outstanding_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace
@@ -221,24 +486,58 @@ class SraNode final : public Node {
 DistributedSraResult run_distributed_sra(const core::Problem& problem,
                                          SiteId leader_site,
                                          double latency_per_cost) {
-  if (leader_site >= problem.sites())
+  DistributedSraOptions options;
+  options.leader_site = leader_site;
+  options.latency_per_cost = latency_per_cost;
+  return run_distributed_sra(problem, options);
+}
+
+DistributedSraResult run_distributed_sra(const core::Problem& problem,
+                                         const DistributedSraOptions& options) {
+  if (options.leader_site >= problem.sites())
     throw std::invalid_argument("run_distributed_sra: leader out of range");
-  DesNetwork network(problem.costs(), latency_per_cost);
+  DesNetwork network(problem.costs(), options.latency_per_cost);
+  if (options.faults) {
+    if (options.faults->site_down(options.leader_site, 0.0) ||
+        std::any_of(options.faults->crashes.begin(),
+                    options.faults->crashes.end(),
+                    [&](const CrashWindow& w) {
+                      return w.site == options.leader_site;
+                    })) {
+      throw std::invalid_argument(
+          "run_distributed_sra: the fault plan crashes the leader site");
+    }
+    network.set_faults(*options.faults);
+  }
+  const double retry_base =
+      options.retry.resolve_base(network.worst_one_way_latency());
   RunState state;
   state.nodes.reserve(problem.sites());
   for (SiteId i = 0; i < problem.sites(); ++i) {
-    state.nodes.push_back(
-        std::make_unique<SraNode>(i, problem, network, leader_site, state));
+    state.nodes.push_back(std::make_unique<SraNode>(
+        i, problem, network, options.leader_site, options.retry, retry_base,
+        state));
     network.attach(i, *state.nodes[i]);
   }
-  state.nodes[leader_site]->start();
+  state.nodes[options.leader_site]->start();
   network.run();
+
+  DREP_COUNT("drep_sra_protocol_retries_total", state.retry.retries);
+  DREP_COUNT("drep_sra_protocol_timeouts_total", state.retry.timeouts);
+  DREP_COUNT("drep_sra_protocol_give_ups_total", state.retry.give_ups);
+  DREP_COUNT("drep_sra_sites_skipped_total", state.sites_skipped);
+  DREP_COUNT("drep_sra_rejoins_total", state.rejoins);
 
   core::ReplicationScheme scheme(problem);
   for (const auto& [object, site] : state.replications) scheme.add(site, object);
-  DistributedSraResult result{std::move(scheme), network.stats(),
-                              state.token_passes, state.replications.size(),
-                              network.queue().now()};
+  DistributedSraResult result{std::move(scheme),
+                              network.stats(),
+                              state.token_passes,
+                              state.replications.size(),
+                              network.queue().now(),
+                              state.retry,
+                              state.sites_skipped,
+                              state.rejoins};
   return result;
 }
 

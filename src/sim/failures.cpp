@@ -65,6 +65,13 @@ DegradedService evaluate_with_failures(const core::ReplicationScheme& scheme,
   return report;
 }
 
+DegradedService evaluate_with_failures(const core::ReplicationScheme& scheme,
+                                       const FaultPlan& plan, double at) {
+  const std::vector<core::SiteId> failed =
+      plan.down_sites(scheme.problem().sites(), at);
+  return evaluate_with_failures(scheme, failed);
+}
+
 double expected_read_availability(const core::ReplicationScheme& scheme,
                                   std::size_t failures, std::size_t trials,
                                   util::Rng& rng) {

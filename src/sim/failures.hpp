@@ -18,6 +18,7 @@
 #include <span>
 
 #include "core/replication.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/rng.hpp"
 
 namespace drep::sim {
@@ -41,6 +42,14 @@ struct DegradedService {
 /// every site failed.
 [[nodiscard]] DegradedService evaluate_with_failures(
     const core::ReplicationScheme& scheme, std::span<const core::SiteId> failed);
+
+/// Same static analysis, but the failed-site set is whatever the FaultPlan
+/// has down at simulated time `at` — the bridge between the DES fault
+/// injection (which replays the degradation) and this module (which bounds
+/// it analytically). A plan with no crash window covering `at` reports a
+/// fully healthy service.
+[[nodiscard]] DegradedService evaluate_with_failures(
+    const core::ReplicationScheme& scheme, const FaultPlan& plan, double at);
 
 /// Monte-Carlo estimate of expected read availability when `failures`
 /// distinct uniformly random sites fail; averaged over `trials` draws.

@@ -1,0 +1,146 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace drep::sim {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw std::invalid_argument("FaultPlan: " + why);
+}
+
+double parse_number(std::string_view text, const std::string& what) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size())
+    bad_spec(what + " expects a number, got '" + copy + "'");
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view text, const std::string& what) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (copy.empty() || end != copy.c_str() + copy.size())
+    bad_spec(what + " expects an unsigned integer, got '" + copy + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+/// crash=SITE@FROM..UNTIL with UNTIL optional (empty = forever).
+CrashWindow parse_crash(std::string_view text) {
+  const auto at = text.find('@');
+  if (at == std::string_view::npos)
+    bad_spec("crash expects SITE@FROM..UNTIL, got '" + std::string(text) + "'");
+  CrashWindow window;
+  window.site =
+      static_cast<net::SiteId>(parse_u64(text.substr(0, at), "crash site"));
+  const std::string_view range = text.substr(at + 1);
+  const auto dots = range.find("..");
+  if (dots == std::string_view::npos)
+    bad_spec("crash expects FROM..UNTIL after '@', got '" + std::string(range) +
+             "'");
+  window.from = parse_number(range.substr(0, dots), "crash start");
+  const std::string_view until = range.substr(dots + 2);
+  if (!until.empty()) window.until = parse_number(until, "crash end");
+  return window;
+}
+
+}  // namespace
+
+bool FaultPlan::site_down(net::SiteId site, double at) const noexcept {
+  for (const CrashWindow& window : crashes) {
+    if (window.site == site && at >= window.from && at < window.until)
+      return true;
+  }
+  return false;
+}
+
+std::vector<net::SiteId> FaultPlan::down_sites(std::size_t sites,
+                                               double at) const {
+  std::vector<net::SiteId> down;
+  for (net::SiteId site = 0; site < sites; ++site) {
+    if (site_down(site, at)) down.push_back(site);
+  }
+  return down;
+}
+
+std::vector<net::SiteId> FaultPlan::crashed_sites() const {
+  std::vector<net::SiteId> sites;
+  for (const CrashWindow& window : crashes) sites.push_back(window.site);
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+void FaultPlan::validate() const {
+  const auto probability = [](double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0))
+      bad_spec(std::string(what) + " must be in [0, 1]");
+  };
+  probability(drop_probability, "drop probability");
+  probability(spike_probability, "spike probability");
+  if (!(spike_factor >= 1.0)) bad_spec("spike factor must be >= 1");
+  for (const CrashWindow& window : crashes) {
+    if (!(window.from >= 0.0)) bad_spec("crash start must be >= 0");
+    if (!(window.until > window.from))
+      bad_spec("crash window must satisfy until > from");
+  }
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos)
+      bad_spec("expected key=value, got '" + std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(value, "seed");
+    } else if (key == "drop") {
+      plan.drop_probability = parse_number(value, "drop");
+    } else if (key == "spike") {
+      plan.spike_probability = parse_number(value, "spike");
+    } else if (key == "spikex") {
+      plan.spike_factor = parse_number(value, "spikex");
+    } else if (key == "crash") {
+      plan.crashes.push_back(parse_crash(value));
+    } else {
+      bad_spec("unknown key '" + std::string(key) + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+double RetryPolicy::resolve_base(double worst_one_way_latency) const {
+  if (base_timeout > 0.0) return base_timeout;
+  // Four one-way worst-case legs: a request/response round trip plus slack
+  // for processing fan-out, so a healthy exchange never times out.
+  const double derived = 4.0 * worst_one_way_latency;
+  return derived > 0.0 ? derived : 1.0;
+}
+
+double RetryPolicy::timeout_for(double base, std::size_t attempt) const {
+  return base * std::pow(backoff, static_cast<double>(attempt));
+}
+
+double RetryPolicy::give_up_time(double base) const {
+  double total = 0.0;
+  for (std::size_t attempt = 0; attempt <= max_retries; ++attempt)
+    total += timeout_for(base, attempt);
+  return total;
+}
+
+}  // namespace drep::sim

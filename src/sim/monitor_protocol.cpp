@@ -1,9 +1,12 @@
 #include "sim/monitor_protocol.hpp"
 
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 
 #include "core/cost_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace drep::sim {
 
@@ -11,101 +14,378 @@ namespace {
 
 using core::ObjectId;
 
-// Protocol payloads.
+// Protocol payloads. Ids make retransmissions idempotent: a directive, its
+// migration fetch, and its ack all carry the directive's sequence id.
 struct StatsReport {};  // pattern rows; zero-size control traffic
+struct StatsAck {};
 struct AddReplica {
   ObjectId object;
   SiteId fetch_from;
+  std::uint64_t id;
 };
 struct DropReplica {
   ObjectId object;
+  std::uint64_t id;
 };
 struct FetchRequest {
   ObjectId object;
+  std::uint64_t id;
 };
 struct FetchResponse {
   ObjectId object;
+  std::uint64_t id;
 };
-struct Ack {};
+struct Ack {
+  std::uint64_t id;
+};
 
-/// Passive endpoint: answers fetches, acks directives back to the monitor
-/// site once its own migration (if any) completed.
+constexpr std::uint64_t kNoId = 0;  // directive ids start at 1
+
+/// Retry-layer context shared by both endpoint kinds.
+struct RetryContext {
+  RetryPolicy policy;
+  double base = 0.0;
+  RetryStats* stats = nullptr;
+};
+
+/// Site endpoint: ships its stats report (retried until acked when faults
+/// are armed), answers fetches, executes directives idempotently, and acks
+/// them back to the monitor site.
 class SiteEndpoint final : public Node {
  public:
   SiteEndpoint(SiteId self, SiteId monitor_site, const core::Problem& problem,
-               DesNetwork& network)
+               DesNetwork& network, const RetryContext& retry)
       : self_(self),
         monitor_site_(monitor_site),
         problem_(&problem),
-        network_(&network) {}
+        network_(&network),
+        retry_(retry) {}
+
+  void start_report() { send_report(0); }
 
   void handle(const Message& message) override {
     if (const auto* add = std::any_cast<AddReplica>(&message.payload)) {
-      // Fetch the object from the designated previous holder.
-      network_->send(self_, add->fetch_from, 0.0, FetchRequest{add->object});
+      on_add(*add);
+    } else if (const auto* drop =
+                   std::any_cast<DropReplica>(&message.payload)) {
+      on_drop(*drop);
     } else if (const auto* fetch =
                    std::any_cast<FetchRequest>(&message.payload)) {
       network_->send(self_, message.from, problem_->object_size(fetch->object),
-                     FetchResponse{fetch->object});
-    } else if (std::any_cast<FetchResponse>(&message.payload) != nullptr) {
-      network_->send(self_, monitor_site_, 0.0, Ack{});
-    } else if (std::any_cast<DropReplica>(&message.payload) != nullptr) {
-      // Local deallocation; ack immediately.
-      network_->send(self_, monitor_site_, 0.0, Ack{});
+                     FetchResponse{fetch->object, fetch->id});
+    } else if (const auto* resp =
+                   std::any_cast<FetchResponse>(&message.payload)) {
+      on_fetched(*resp);
+    } else if (std::any_cast<StatsAck>(&message.payload) != nullptr) {
+      stats_acked_ = true;
     }
     // StatsReport / Ack terminate at the monitor endpoint, not here.
   }
 
+  void on_crash() override {
+    // In-flight migration state is volatile; completed directives (the
+    // replica is on disk) survive.
+    migrating_.clear();
+  }
+
+  void on_recover() override {
+    if (!stats_acked_) send_report(0);  // late report; the monitor dedups
+  }
+
  private:
+  struct Migration {
+    ObjectId object;
+    SiteId from;
+  };
+
+  [[nodiscard]] bool retries_armed() const { return network_->faults_armed(); }
+
+  void arm_timer(std::size_t attempt, std::function<void()> handler) {
+    network_->queue().schedule_in(
+        retry_.policy.timeout_for(retry_.base, attempt), std::move(handler));
+  }
+
+  void send_report(std::size_t attempt) {
+    network_->send(self_, monitor_site_, 0.0, StatsReport{});
+    if (!retries_armed()) return;
+    arm_timer(attempt, [this, attempt] {
+      if (stats_acked_ || !network_->site_up(self_)) return;
+      ++retry_.stats->timeouts;
+      if (attempt >= retry_.policy.max_retries) {
+        ++retry_.stats->give_ups;  // the monitor's deadline covers for us
+        return;
+      }
+      ++retry_.stats->retries;
+      send_report(attempt + 1);
+    });
+  }
+
+  void on_add(const AddReplica& add) {
+    if (completed_.count(add.id) != 0) {
+      ++retry_.stats->duplicates;  // already migrated; the ack was lost
+      network_->send(self_, monitor_site_, 0.0, Ack{add.id});
+      return;
+    }
+    // The rollout can direct several additions at one site back-to-back, so
+    // migrations run concurrently, keyed by directive id.
+    if (!migrating_.emplace(add.id, Migration{add.object, add.fetch_from})
+             .second) {
+      ++retry_.stats->duplicates;  // this migration is still in flight
+      return;
+    }
+    send_fetch(add.id, 0);
+  }
+
+  /// Fetch the designated previous holder first; fall back to the object's
+  /// primary (always a holder) on later attempts in case it crashed.
+  [[nodiscard]] SiteId fetch_target(const Migration& m,
+                                    std::size_t attempt) const {
+    const SiteId primary = problem_->primary(m.object);
+    if (attempt <= retry_.policy.max_retries / 2 || m.from == primary)
+      return m.from;
+    return primary;
+  }
+
+  void send_fetch(std::uint64_t id, std::size_t attempt) {
+    const Migration& m = migrating_.at(id);
+    network_->send(self_, fetch_target(m, attempt), 0.0,
+                   FetchRequest{m.object, id});
+    if (!retries_armed()) return;
+    arm_timer(attempt, [this, id, attempt] {
+      if (migrating_.count(id) == 0 || !network_->site_up(self_)) return;
+      ++retry_.stats->timeouts;
+      if (attempt >= retry_.policy.max_retries) {
+        // Abandon; a retried directive from the monitor restarts us.
+        ++retry_.stats->give_ups;
+        migrating_.erase(id);
+        return;
+      }
+      ++retry_.stats->retries;
+      send_fetch(id, attempt + 1);
+    });
+  }
+
+  void on_fetched(const FetchResponse& resp) {
+    if (migrating_.erase(resp.id) == 0) {
+      ++retry_.stats->duplicates;
+      return;
+    }
+    completed_.insert(resp.id);
+    network_->send(self_, monitor_site_, 0.0, Ack{resp.id});
+  }
+
+  void on_drop(const DropReplica& drop) {
+    // Local deallocation is instantaneous and idempotent; always ack.
+    if (!completed_.insert(drop.id).second) ++retry_.stats->duplicates;
+    network_->send(self_, monitor_site_, 0.0, Ack{drop.id});
+  }
+
   SiteId self_;
   SiteId monitor_site_;
   const core::Problem* problem_;
   DesNetwork* network_;
+  RetryContext retry_;
+  bool stats_acked_ = false;
+  std::map<std::uint64_t, Migration> migrating_;
+  std::set<std::uint64_t> completed_;
 };
 
-/// The monitor-site endpoint: counts stats reports, then (once the caller
-/// performed the optimization) disseminates the scheme delta and waits for
-/// acks.
+/// The monitor-site endpoint: collects stats reports (with a give-up
+/// deadline under faults), then disseminates the scheme delta and shepherds
+/// every directive to an ack or a counted failure.
 class MonitorEndpoint final : public Node {
  public:
   using Trigger = std::function<void()>;
 
   MonitorEndpoint(SiteId self, const core::Problem& problem,
-                  DesNetwork& network, std::size_t expected_reports,
-                  Trigger trigger)
+                  DesNetwork& network, const RetryContext& retry,
+                  RetuneReport& report, Trigger trigger)
       : self_(self),
         problem_(&problem),
         network_(&network),
-        awaiting_reports_(expected_reports),
-        trigger_(std::move(trigger)) {}
+        retry_(retry),
+        report_(&report),
+        reported_(problem.sites(), false),
+        awaiting_reports_(problem.sites() - 1),
+        trigger_(std::move(trigger)) {
+    reported_[self_] = true;
+  }
 
   void handle(const Message& message) override {
     if (std::any_cast<StatsReport>(&message.payload) != nullptr) {
-      if (awaiting_reports_ > 0 && --awaiting_reports_ == 0) trigger_();
+      on_report(message.from);
     } else if (const auto* fetch =
                    std::any_cast<FetchRequest>(&message.payload)) {
       // The monitor site holds replicas like any other site: serve fetches.
       if (message.from != self_) {
         network_->send(self_, message.from,
                        problem_->object_size(fetch->object),
-                       FetchResponse{fetch->object});
+                       FetchResponse{fetch->object, fetch->id});
       }
-    } else if (std::any_cast<Ack>(&message.payload) != nullptr) {
-      if (awaiting_acks_ > 0) --awaiting_acks_;
+    } else if (const auto* resp =
+                   std::any_cast<FetchResponse>(&message.payload)) {
+      on_self_fetched(*resp);
+    } else if (const auto* ack = std::any_cast<Ack>(&message.payload)) {
+      on_ack(*ack);
     }
-    // FetchResponse (its own direct fetches) terminates here.
   }
 
-  void expect_acks(std::size_t count) { awaiting_acks_ += count; }
-  [[nodiscard]] SiteId site() const noexcept { return self_; }
+  /// Collection give-up horizon: one full retry ladder plus a round trip.
+  void arm_collection_deadline() {
+    network_->queue().schedule_in(
+        retry_.policy.give_up_time(retry_.base) + 2.0 * retry_.base, [this] {
+          if (triggered_) return;
+          report_->reports_missing = awaiting_reports_;
+          fire_trigger();
+        });
+  }
+
+  /// Queues a directive for `target` and shepherds it to an ack.
+  void direct(SiteId target, std::any payload) {
+    directives_.push_back({target, std::move(payload), false});
+    send_directive(directives_.size() - 1, 0);
+  }
+
+  /// The monitor's own replica additions fetch directly (no directive).
+  void self_fetch(ObjectId object, SiteId from) {
+    const std::uint64_t id = next_id_++;
+    self_fetches_.push_back({object, from, id, false});
+    send_self_fetch(self_fetches_.size() - 1, 0);
+  }
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+
+ private:
+  struct Directive {
+    SiteId target;
+    std::any payload;
+    bool acked;
+  };
+  struct SelfFetch {
+    ObjectId object;
+    SiteId from;
+    std::uint64_t id;
+    bool done;
+  };
+
+  [[nodiscard]] bool retries_armed() const { return network_->faults_armed(); }
+
+  void arm_timer(std::size_t attempt, std::function<void()> handler) {
+    network_->queue().schedule_in(
+        retry_.policy.timeout_for(retry_.base, attempt), std::move(handler));
+  }
+
+  void on_report(SiteId from) {
+    if (reported_[from]) {
+      ++retry_.stats->duplicates;
+    } else {
+      reported_[from] = true;
+      if (awaiting_reports_ > 0) --awaiting_reports_;
+      if (awaiting_reports_ == 0 && !triggered_) fire_trigger();
+    }
+    // Ack only when the sender runs a retry loop that needs stopping.
+    if (retries_armed()) network_->send(self_, from, 0.0, StatsAck{});
+  }
+
+  void fire_trigger() {
+    triggered_ = true;
+    trigger_();
+  }
+
+  void send_directive(std::size_t index, std::size_t attempt) {
+    const Directive& d = directives_[index];
+    network_->send(self_, d.target, 0.0, d.payload);
+    if (!retries_armed()) return;
+    arm_timer(attempt, [this, index, attempt] {
+      if (directives_[index].acked) return;
+      ++retry_.stats->timeouts;
+      if (attempt >= retry_.policy.max_retries) {
+        // Site presumed crashed: it keeps its stale replica set.
+        ++retry_.stats->give_ups;
+        ++report_->directives_failed;
+        return;
+      }
+      ++retry_.stats->retries;
+      send_directive(index, attempt + 1);
+    });
+  }
+
+  void on_ack(const Ack& ack) {
+    for (Directive& d : directives_) {
+      const std::uint64_t id = directive_id(d);
+      if (id == ack.id) {
+        if (d.acked)
+          ++retry_.stats->duplicates;
+        else
+          d.acked = true;
+        return;
+      }
+    }
+    ++retry_.stats->duplicates;  // ack for an unknown (stale) directive
+  }
+
+  static std::uint64_t directive_id(const Directive& d) {
+    if (const auto* add = std::any_cast<AddReplica>(&d.payload))
+      return add->id;
+    if (const auto* drop = std::any_cast<DropReplica>(&d.payload))
+      return drop->id;
+    return kNoId;
+  }
+
+  [[nodiscard]] SiteId self_fetch_target(const SelfFetch& f,
+                                         std::size_t attempt) const {
+    const SiteId primary = problem_->primary(f.object);
+    if (attempt <= retry_.policy.max_retries / 2 || f.from == primary)
+      return f.from;
+    return primary;
+  }
+
+  void send_self_fetch(std::size_t index, std::size_t attempt) {
+    const SelfFetch& f = self_fetches_[index];
+    network_->send(self_, self_fetch_target(f, attempt),
+                   0.0, FetchRequest{f.object, f.id});
+    if (!retries_armed()) return;
+    arm_timer(attempt, [this, index, attempt] {
+      if (self_fetches_[index].done) return;
+      ++retry_.stats->timeouts;
+      if (attempt >= retry_.policy.max_retries) {
+        ++retry_.stats->give_ups;
+        ++report_->directives_failed;
+        return;
+      }
+      ++retry_.stats->retries;
+      send_self_fetch(index, attempt + 1);
+    });
+  }
+
+  void on_self_fetched(const FetchResponse& resp) {
+    for (SelfFetch& f : self_fetches_) {
+      if (f.id == resp.id) {
+        if (f.done)
+          ++retry_.stats->duplicates;
+        else
+          f.done = true;
+        return;
+      }
+    }
+    ++retry_.stats->duplicates;
+  }
+
+ public:
+  std::uint64_t next_id_ = 1;
 
  private:
   SiteId self_;
   const core::Problem* problem_;
   DesNetwork* network_;
+  RetryContext retry_;
+  RetuneReport* report_;
+  std::vector<bool> reported_;
   std::size_t awaiting_reports_;
-  std::size_t awaiting_acks_ = 0;
+  bool triggered_ = false;
   Trigger trigger_;
+  std::vector<Directive> directives_;
+  std::vector<SelfFetch> self_fetches_;
 };
 
 }  // namespace
@@ -113,18 +393,43 @@ class MonitorEndpoint final : public Node {
 RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
                               net::SiteId monitor_site, bool nightly,
                               util::Rng& rng, double latency_per_cost) {
+  RetuneOptions options;
+  options.monitor_site = monitor_site;
+  options.nightly = nightly;
+  options.latency_per_cost = latency_per_cost;
+  return run_retune_round(observed, monitor, options, rng);
+}
+
+RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
+                              const RetuneOptions& options, util::Rng& rng) {
   const std::size_t m = observed.sites();
+  const net::SiteId monitor_site = options.monitor_site;
   if (monitor_site >= m)
     throw std::invalid_argument("run_retune_round: monitor site out of range");
 
-  DesNetwork network(observed.costs(), latency_per_cost);
+  DesNetwork network(observed.costs(), options.latency_per_cost);
   RetuneReport report;
+  if (options.faults) {
+    if (std::any_of(options.faults->crashes.begin(),
+                    options.faults->crashes.end(),
+                    [&](const CrashWindow& w) {
+                      return w.site == monitor_site;
+                    })) {
+      throw std::invalid_argument(
+          "run_retune_round: the fault plan crashes the monitor site");
+    }
+    network.set_faults(*options.faults);
+  }
+  RetryContext retry{options.retry,
+                     options.retry.resolve_base(network.worst_one_way_latency()),
+                     &report.retry_stats};
 
   const core::ReplicationScheme before(observed, monitor.current_scheme());
 
-  // The optimization itself runs when the last stats report lands.
+  // The optimization itself runs when the last stats report lands (or the
+  // collection deadline expires under faults).
   const auto optimize = [&] {
-    if (nightly) {
+    if (options.nightly) {
       monitor.reoptimize(observed, rng);
       report.objects_adapted = observed.objects();
     } else {
@@ -136,7 +441,7 @@ RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
   MonitorEndpoint* monitor_node = nullptr;
   {
     auto owned = std::make_unique<MonitorEndpoint>(
-        monitor_site, observed, network, m - 1, [&] {
+        monitor_site, observed, network, retry, report, [&] {
       optimize();
       // Disseminate the delta: additions fetch from the nearest previous
       // holder, deallocations are dropped locally.
@@ -149,19 +454,17 @@ RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
           if (is) {
             ++report.replicas_added;
             if (i == monitor_site) {
-              // The monitor's own additions fetch directly (no directive).
-              network.send(monitor_site, before.nearest(i, k), 0.0,
-                           FetchRequest{k});
+              monitor_node->self_fetch(k, before.nearest(i, k));
             } else {
-              network.send(monitor_site, i, 0.0,
-                           AddReplica{k, before.nearest(i, k)});
-              monitor_node->expect_acks(1);
+              monitor_node->direct(
+                  i, AddReplica{k, before.nearest(i, k),
+                                monitor_node->next_id_++});
             }
           } else {
             ++report.replicas_dropped;
             if (i != monitor_site) {
-              network.send(monitor_site, i, 0.0, DropReplica{k});
-              monitor_node->expect_acks(1);
+              monitor_node->direct(i,
+                                   DropReplica{k, monitor_node->next_id_++});
             }
           }
         }
@@ -171,19 +474,33 @@ RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
     monitor_node = owned.get();
     nodes[monitor_site] = std::move(owned);
   }
+  std::vector<SiteEndpoint*> sites(m, nullptr);
   for (SiteId i = 0; i < m; ++i) {
-    if (i != monitor_site)
-      nodes[i] = std::make_unique<SiteEndpoint>(i, monitor_site, observed,
-                                                network);
+    if (i != monitor_site) {
+      auto owned =
+          std::make_unique<SiteEndpoint>(i, monitor_site, observed, network,
+                                         retry);
+      sites[i] = owned.get();
+      nodes[i] = std::move(owned);
+    }
     network.attach(i, *nodes[i]);
   }
 
-  // Kick off: every site ships its observed pattern to the monitor.
+  // Kick off: every site ships its observed pattern to the monitor. Under
+  // faults the monitor also arms a collection deadline so crashed or
+  // unreachable sites cannot stall the round forever.
   for (SiteId i = 0; i < m; ++i) {
-    if (i != monitor_site) network.send(i, monitor_site, 0.0, StatsReport{});
+    if (i != monitor_site) sites[i]->start_report();
   }
+  if (network.faults_armed() && m > 1) monitor_node->arm_collection_deadline();
   if (m == 1) optimize();  // degenerate single-site network
   network.run();
+
+  DREP_COUNT("drep_retune_protocol_retries_total", report.retry_stats.retries);
+  DREP_COUNT("drep_retune_protocol_timeouts_total",
+             report.retry_stats.timeouts);
+  DREP_COUNT("drep_retune_reports_missing_total", report.reports_missing);
+  DREP_COUNT("drep_retune_directives_failed_total", report.directives_failed);
 
   report.traffic = network.stats();
   report.round_time = network.queue().now();

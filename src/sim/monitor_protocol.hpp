@@ -18,6 +18,24 @@
 // The report prices what the paper's Fig. 4 leaves out: the message count
 // and migration NTC of actually *rolling out* an adaptation, plus how long
 // the round takes in network time units.
+//
+// With a FaultPlan armed the round survives an imperfect network:
+//   * stats reports are acked by the monitor and retried by the sites;
+//     after a collection deadline (the retry give-up horizon) the monitor
+//     proceeds with whatever arrived, counting `reports_missing`;
+//   * directives carry sequence ids, are retried with bounded exponential
+//     backoff until acked, and are deduplicated (a completed directive is
+//     re-acked, not re-executed); a directive that exhausts its retries —
+//     its site presumably crashed — counts as `directives_failed`;
+//   * a migration fetch falls back from the designated holder to the
+//     object's primary when the holder stops answering.
+// The monitor site itself is assumed to stay up (it is the paper's always-on
+// coordinator); a plan that crashes it is rejected. `migration_traffic`
+// remains the *analytic* delta cost of the adopted scheme — under faults the
+// measured `traffic.data_traffic` can exceed it (retransmitted fetches) or
+// fall short (failed directives).
+
+#include <optional>
 
 #include "sim/des.hpp"
 #include "sim/monitor.hpp"
@@ -37,6 +55,25 @@ struct RetuneReport {
   double migration_traffic = 0.0;
   /// Network time from the first stats report to the last ack.
   SimTime round_time = 0.0;
+  /// Retry-layer counters (all zero on a perfect network).
+  RetryStats retry_stats;
+  /// Sites whose stats report never arrived before the collection deadline.
+  std::size_t reports_missing = 0;
+  /// Directives (or the monitor's own migrations) abandoned after
+  /// exhausting their retries — those sites keep their stale replica set.
+  std::size_t directives_failed = 0;
+};
+
+struct RetuneOptions {
+  net::SiteId monitor_site = 0;
+  /// True = full GRA re-optimization; false = threshold-triggered AGRA.
+  bool nightly = false;
+  double latency_per_cost = 1.0;
+  /// Fault injection; nullopt = perfect network (no acks or retry timers,
+  /// byte-identical traffic to the original round).
+  std::optional<FaultPlan> faults;
+  /// Timeout/backoff parameters; only consulted when `faults` is set.
+  RetryPolicy retry;
 };
 
 /// Runs one collection/adaptation/rollout round. `observed` carries the
@@ -49,5 +86,12 @@ struct RetuneReport {
                                             net::SiteId monitor_site,
                                             bool nightly, util::Rng& rng,
                                             double latency_per_cost = 1.0);
+
+/// Full-options variant. Throws std::invalid_argument when the monitor site
+/// is out of range or the fault plan crashes it.
+[[nodiscard]] RetuneReport run_retune_round(const core::Problem& observed,
+                                            Monitor& monitor,
+                                            const RetuneOptions& options,
+                                            util::Rng& rng);
 
 }  // namespace drep::sim

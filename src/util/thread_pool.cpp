@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace drep::util {
 
@@ -12,6 +13,15 @@ namespace {
 // inside a task run inline instead of re-entering the queue, which would risk
 // deadlock when every worker is itself waiting on nested blocks.
 thread_local bool g_inside_pool_worker = false;
+
+// RAII so the flag clears even when a task throws — a stuck flag would make
+// every later parallel_for on that worker run single-threaded.
+struct InsidePoolGuard {
+  InsidePoolGuard() { g_inside_pool_worker = true; }
+  ~InsidePoolGuard() { g_inside_pool_worker = false; }
+  InsidePoolGuard(const InsidePoolGuard&) = delete;
+  InsidePoolGuard& operator=(const InsidePoolGuard&) = delete;
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -54,9 +64,19 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       DREP_GAUGE_SET("drep_pool_queue_depth", queue_.size());
     }
-    g_inside_pool_worker = true;
-    task();
-    g_inside_pool_worker = false;
+    InsidePoolGuard guard;
+    // parallel_for wraps its blocks and rethrows in the caller; a bare
+    // submit() has no caller to rethrow into, and an exception escaping a
+    // worker thread is std::terminate. Park it: count, log, keep serving.
+    try {
+      task();
+    } catch (const std::exception& error) {
+      DREP_COUNT("drep_pool_task_exceptions_total", 1);
+      DREP_LOG(Error) << "thread pool task threw: " << error.what();
+    } catch (...) {
+      DREP_COUNT("drep_pool_task_exceptions_total", 1);
+      DREP_LOG(Error) << "thread pool task threw a non-std exception";
+    }
   }
 }
 

@@ -61,7 +61,11 @@ void strip_timing(obs::Json& value) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "drep_cli_test";
+    // Each test gets its own file family: ctest runs the cases as parallel
+    // processes, and a shared path would let one test's SetUp/TearDown race
+    // another's reads.
+    dir_ = ::testing::TempDir() + "drep_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     problem_ = dir_ + "_problem.drp";
     ASSERT_EQ(run_cli({"generate", "--sites=10", "--objects=12", "--seed=3",
                        "-o", problem_}),
@@ -170,6 +174,74 @@ TEST_F(CliTest, ReplayReportCarriesReplayMetrics) {
   EXPECT_GT(latency->find("count")->as_number(), 0.0);
 #endif
   std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, ReplayWithFaultsReportsFaultCounters) {
+  const std::string report_path = dir_ + "_faulty.json";
+  ASSERT_EQ(run_cli({"replay", "-i", problem_,
+                     "--faults=seed=7,drop=0.15,spike=0.05,crash=3@0..40",
+                     "--report=" + report_path}),
+            0);
+  const obs::Json report = load_json(report_path);
+  const obs::Json* result = report.find("result");
+  ASSERT_NE(result, nullptr);
+  for (const char* key : {"dropped_link", "retries", "timeouts", "give_ups",
+                          "degraded_reads", "failed_reads", "failed_writes",
+                          "stale_updates"}) {
+    ASSERT_NE(result->find(key), nullptr) << key;
+  }
+  // A 15% drop rate over a full trace must actually lose messages and
+  // trigger retransmissions.
+  EXPECT_GT(result->find("dropped_link")->as_number(), 0.0);
+  EXPECT_GT(result->find("retries")->as_number(), 0.0);
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, ZeroRateFaultPlanKeepsReplayTrafficExact) {
+  const std::string healthy_path = dir_ + "_healthy.json";
+  const std::string armed_path = dir_ + "_armed.json";
+  ASSERT_EQ(run_cli({"replay", "-i", problem_, "--report=" + healthy_path}),
+            0);
+  ASSERT_EQ(run_cli({"replay", "-i", problem_, "--faults=seed=3",
+                     "--report=" + armed_path}),
+            0);
+  const obs::Json healthy = load_json(healthy_path);
+  const obs::Json armed = load_json(armed_path);
+  EXPECT_EQ(armed.find("result")->find("data_traffic")->as_number(),
+            healthy.find("result")->find("data_traffic")->as_number());
+  EXPECT_EQ(armed.find("result")->find("retries")->as_number(), 0.0);
+  EXPECT_EQ(armed.find("result")->find("failed_reads")->as_number(), 0.0);
+  std::remove(healthy_path.c_str());
+  std::remove(armed_path.c_str());
+}
+
+TEST_F(CliTest, AdaptWithFaultsReportsAvailability) {
+  const std::string scheme = dir_ + "_adapt.drs";
+  const std::string adapted = dir_ + "_adapted.drs";
+  const std::string report_path = dir_ + "_adapt.json";
+  ASSERT_EQ(run_cli({"solve", "-i", problem_, "--algo=sra", "-o", scheme}), 0);
+  ASSERT_EQ(run_cli({"adapt", "-i", problem_, "-n", problem_, "-s", scheme,
+                     "-o", adapted, "--mini=2", "--faults=crash=1@0..",
+                     "--report=" + report_path}),
+            0);
+  const obs::Json report = load_json(report_path);
+  const obs::Json* result = report.find("result");
+  ASSERT_NE(result->find("read_availability"), nullptr);
+  const double read_availability =
+      result->find("read_availability")->as_number();
+  EXPECT_GT(read_availability, 0.0);
+  EXPECT_LE(read_availability, 1.0);
+  ASSERT_NE(result->find("write_availability"), nullptr);
+  ASSERT_NE(result->find("objects_lost"), nullptr);
+  std::remove(scheme.c_str());
+  std::remove(adapted.c_str());
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, MalformedFaultSpecExitsTwo) {
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--faults=bogus"}), 2);
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--faults=drop=2"}), 2);
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--faults=crash=1@9..3"}), 2);
 }
 
 TEST_F(CliTest, PromFlagWritesExpositionText) {

@@ -48,6 +48,52 @@ TEST(TwoPoint, CutDescriptorMatchesEffect) {
   }
 }
 
+TEST(TwoPoint, NeverDrawsADegenerateCut) {
+  // lo == hi and {0, size} both leave the pair with the parents' genomes
+  // (possibly wholesale-swapped) — a silent no-op crossover. The operator
+  // redraws those cuts for any chromosome with a non-degenerate cut (size
+  // >= 2), so every returned cut exchanges a strict, non-empty subset.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Chromosome a(5, 0), b(5, 1);
+    const CrossoverCut cut = two_point_crossover(a, b, rng);
+    EXPECT_NE(cut.lo, cut.hi) << "trial " << trial;
+    EXPECT_FALSE(cut.lo == 0 && cut.hi == 5) << "trial " << trial;
+  }
+}
+
+TEST(TwoPoint, AlwaysMixesFullyDifferingParents) {
+  // Complementary parents: a non-degenerate cut means each child must end
+  // up holding genes from BOTH parents.
+  util::Rng rng(18);
+  for (int trial = 0; trial < 500; ++trial) {
+    Chromosome a(8, 0), b(8, 1);
+    (void)two_point_crossover(a, b, rng);
+    int a_ones = 0, b_ones = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      a_ones += a[i];
+      b_ones += b[i];
+    }
+    EXPECT_GT(a_ones, 0) << "trial " << trial;
+    EXPECT_LT(a_ones, 8) << "trial " << trial;
+    EXPECT_GT(b_ones, 0) << "trial " << trial;
+    EXPECT_LT(b_ones, 8) << "trial " << trial;
+  }
+}
+
+TEST(TwoPoint, SizeOneChromosomesStillWork) {
+  // No non-degenerate cut exists for a single gene; the operator must not
+  // spin forever and must still conserve genes.
+  util::Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    Chromosome a(1, 0), b(1, 1);
+    const CrossoverCut cut = two_point_crossover(a, b, rng);
+    EXPECT_LE(cut.lo, cut.hi);
+    EXPECT_LE(cut.hi, 1u);
+    EXPECT_EQ(a[0] + b[0], 1);  // genes conserved
+  }
+}
+
 TEST(TwoPoint, BothSwapDirectionsOccur) {
   util::Rng rng(3);
   int middle = 0, outer = 0;

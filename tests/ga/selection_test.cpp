@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <numeric>
 
@@ -102,6 +103,53 @@ TEST(StochasticRemainder, LowerSamplingErrorThanRoulette) {
   }
   EXPECT_EQ(sr_sq_dev, 0.0);  // expectations are integral: no error at all
   EXPECT_GT(rl_sq_dev, 0.0);
+}
+
+TEST(StochasticRemainder, CountsStayWithinFloorAndCeilOfExpectation) {
+  // Goldberg's remainder raffle draws the fractional slots WITHOUT
+  // replacement: every candidate gets floor(e_i) copies for sure and at
+  // most one extra from the raffle, so counts are confined to
+  // {floor(e_i), ceil(e_i)} on every single draw. (The old with-replacement
+  // raffle let one lucky candidate win several fractional slots.)
+  const std::vector<double> fitness{1.25, 1.25, 0.75, 0.75};
+  const std::vector<double> expected{1.25, 1.25, 0.75, 0.75};
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Rng rng(seed);
+    const auto picks = stochastic_remainder_selection(fitness, 4, rng);
+    std::map<std::size_t, int> counts;
+    for (std::size_t p : picks) counts[p]++;
+    for (std::size_t i = 0; i < fitness.size(); ++i) {
+      const double floor_e = std::floor(expected[i]);
+      const double ceil_e = std::ceil(expected[i]);
+      EXPECT_GE(counts[i], static_cast<int>(floor_e)) << "seed " << seed;
+      EXPECT_LE(counts[i], static_cast<int>(ceil_e)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(StochasticRemainder, PureFractionsNeverDuplicateAPick) {
+  // Eight candidates at expectation 0.5 each over 4 slots: with the raffle
+  // drawn without replacement the four winners must be distinct.
+  const std::vector<double> fitness(8, 1.0);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    auto picks = stochastic_remainder_selection(fitness, 4, rng);
+    std::sort(picks.begin(), picks.end());
+    EXPECT_TRUE(std::adjacent_find(picks.begin(), picks.end()) == picks.end())
+        << "seed " << seed;
+  }
+}
+
+TEST(StochasticRemainder, RaffleStillFavorsLargerFractions) {
+  // Fractions 0.75 vs 0.25 (expectations 0.75/0.25 over 1 slot): the raffle
+  // share must track the fractional weight, not collapse to uniform.
+  const std::vector<double> fitness{3.0, 1.0};
+  util::Rng rng(42);
+  int zero_wins = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t)
+    zero_wins += stochastic_remainder_selection(fitness, 1, rng)[0] == 0;
+  EXPECT_NEAR(zero_wins / static_cast<double>(trials), 0.75, 0.02);
 }
 
 TEST(StochasticRemainder, DegenerateFitnessFallsBackToUniform) {

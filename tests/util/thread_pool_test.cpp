@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+
+#include "obs/metrics.hpp"
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -101,6 +103,51 @@ TEST(ThreadPool, SubmitRunsTask) {
   std::unique_lock lock(mutex);
   cv.wait_for(lock, std::chrono::seconds(5), [&] { return ran.load(); });
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionDoesNotKillWorker) {
+  // A directly-submitted task has no caller to rethrow into; an escaping
+  // exception used to std::terminate the process. The worker must park the
+  // exception (count + log) and keep serving.
+  ThreadPool pool(1);  // single worker: FIFO order, and the survivor IS the
+                       // thread that just threw
+#if !defined(DREP_OBS_DISABLED)
+  const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
+  const obs::MetricSample* sample =
+      before.find("drep_pool_task_exceptions_total");
+  const double parked_before = sample != nullptr ? sample->value : 0.0;
+#endif
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([] { throw 42; });  // non-std exceptions must park too
+
+  std::atomic<bool> ran{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  pool.submit([&] {
+    std::lock_guard task_lock(mutex);
+    ran = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock lock(mutex);
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return ran.load(); });
+  }
+  EXPECT_TRUE(ran.load());
+
+  // The inside-pool flag must have been cleared by the RAII guard despite
+  // the throws: a nested parallel_for from the worker still runs inline,
+  // and a top-level one still fans out and completes.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 64);
+
+#if !defined(DREP_OBS_DISABLED)
+  const obs::MetricsSnapshot after = obs::Registry::global().snapshot();
+  const obs::MetricSample* parked =
+      after.find("drep_pool_task_exceptions_total");
+  ASSERT_NE(parked, nullptr);
+  EXPECT_DOUBLE_EQ(parked->value, parked_before + 2.0);
+#endif
 }
 
 TEST(ThreadPool, SharedPoolIsUsable) {
