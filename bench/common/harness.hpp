@@ -14,7 +14,9 @@
 //        --seed=N          base RNG seed
 //        --csv             also emit CSV after the table
 //        --no-json         skip the BENCH_<name>.json artifact
-//        --json-dir=PATH   directory for BENCH_<name>.json (default ".")
+//        --json-dir=PATH   directory for BENCH_<name>.json (default: the
+//                          repo source root, so artifacts land in one place
+//                          no matter where the bench is invoked from)
 //
 // Besides the human-readable tables, every bench run maintains a
 // machine-readable artifact BENCH_<name>.json (schema_version 1): the
@@ -32,6 +34,12 @@
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 
+// CMake points this at the repo source root; the fallback keeps the header
+// usable in builds that don't define it.
+#ifndef DREP_BENCH_ARTIFACT_DIR
+#define DREP_BENCH_ARTIFACT_DIR "."
+#endif
+
 namespace drep::bench {
 
 struct Options {
@@ -43,7 +51,7 @@ struct Options {
   bool csv = false;
   /// Write BENCH_<bench_name>.json into json_dir after each emit().
   bool json = true;
-  std::string json_dir = ".";
+  std::string json_dir = DREP_BENCH_ARTIFACT_DIR;
   /// Basename of argv[0]; names the JSON artifact. Empty disables it.
   std::string bench_name;
 

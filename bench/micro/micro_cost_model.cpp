@@ -111,4 +111,5 @@ BENCHMARK(BM_ObjectCostMask);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() comes from micro_main.cpp, which lands the BENCH_<name>.json
+// artifact in the repo root.

@@ -151,4 +151,5 @@ BENCHMARK(BM_DeltaCostTouched)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() comes from micro_main.cpp, which lands the BENCH_<name>.json
+// artifact in the repo root.

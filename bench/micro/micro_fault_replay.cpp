@@ -92,4 +92,5 @@ BENCHMARK(BM_DistributedSraLossy)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() comes from micro_main.cpp, which lands the BENCH_<name>.json
+// artifact in the repo root.

@@ -77,4 +77,5 @@ BENCHMARK(BM_SraSolve)->Arg(20)->Arg(50)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() comes from micro_main.cpp, which lands the BENCH_<name>.json
+// artifact in the repo root.

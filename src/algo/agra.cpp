@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "audit/gate.hpp"
 #include "core/benefit.hpp"
 #include "ga/crossover.hpp"
 #include "ga/mutation.hpp"
@@ -325,6 +326,10 @@ AgraResult solve_agra(const core::Problem& problem,
     population.push_back({working[p], f});
   }
   core::ReplicationScheme scheme(problem, population[best_index].genes);
+  // Audit (compiled out unless DREP_AUDIT=ON): the scheme assembled from the
+  // winning chromosome must be internally consistent after the per-object
+  // transcription/repair churn above.
+  DREP_AUDIT_ENFORCE("agra/solve", ::drep::audit::check_scheme(scheme));
   return AgraResult{make_result(std::move(scheme), total_watch.seconds()),
                     std::move(population), micro_ga_seconds, 0.0, repairs};
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "algo/sra.hpp"
+#include "audit/gate.hpp"
 #include "ga/crossover.hpp"
 #include "ga/mutation.hpp"
 #include "ga/selection.hpp"
@@ -213,6 +214,15 @@ class GraEngine {
     for (auto& e : population) final_population.push_back(std::move(e.ind));
 
     core::ReplicationScheme scheme(problem_, best_ever.ind.genes);
+    // Audit (compiled out unless DREP_AUDIT=ON): the winner's inherited V_k
+    // cache must match a from-scratch evaluation of its genes, and the
+    // scheme built from them must be internally consistent.
+    DREP_AUDIT_ENFORCE(
+        "gra/run",
+        ::drep::audit::merge(
+            ::drep::audit::check_object_cost_cache(
+                evaluators_[0], best_ever.ind.genes, best_ever.v),
+            ::drep::audit::check_scheme(scheme)));
     return GraResult{make_result(std::move(scheme), watch.seconds()),
                      std::move(final_population), std::move(history),
                      evaluations_, full_equivalents};

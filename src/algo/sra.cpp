@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/gate.hpp"
 #include "core/benefit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -61,6 +62,11 @@ AlgorithmResult solve_sra(const core::Problem& problem,
     // One pass over L(site): find the best strictly-positive benefit and
     // prune candidates that became unprofitable or no longer fit. Benefits
     // are non-increasing over the run, so pruning is permanent.
+    //
+    // Tie-break: strict `>` keeps the FIRST maximal candidate. L(site) is
+    // built in ascending object order and compaction preserves it, so equal
+    // benefits deterministically resolve to the lowest object id — `>=`
+    // would pick the last one and make results depend on list order.
     double best_benefit = 0.0;
     core::ObjectId best_object = 0;
     bool found = false;
@@ -71,7 +77,7 @@ AlgorithmResult solve_sra(const core::Problem& problem,
       if (!scheme.fits(site, k)) continue;  // prune: b(i) < o_k
       const double benefit = core::local_benefit(scheme, site, k);
       if (benefit <= 0.0) continue;         // prune: non-positive benefit
-      if (!found || benefit >= best_benefit) {
+      if (!found || benefit > best_benefit) {
         best_benefit = benefit;
         best_object = k;
         found = true;
@@ -94,6 +100,14 @@ AlgorithmResult solve_sra(const core::Problem& problem,
       cursor = slot + 1;
     }
   }
+
+  // Audit (compiled out unless DREP_AUDIT=ON): the incremental scheme state
+  // must match a from-scratch recomputation, and candidate pruning must have
+  // been sound — at termination no pruned (site, object) pair may still fit
+  // with positive benefit.
+  DREP_AUDIT_ENFORCE("sra/solve",
+                     ::drep::audit::merge(::drep::audit::check_scheme(scheme),
+                                          ::drep::audit::check_sra_terminal(scheme)));
 
   DREP_COUNT("drep_sra_runs_total", 1);
   DREP_COUNT("drep_sra_site_visits_total", local_stats.site_visits);

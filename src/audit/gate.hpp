@@ -1,0 +1,41 @@
+#pragma once
+// Compile-time gate for the inline audit hooks (DESIGN.md Section 9).
+//
+// Building with -DDREP_AUDIT=ON defines DREP_AUDIT_ENABLED on every target
+// that links drep::audit; the macros below then expand to real code that
+// runs the audit/invariants.hpp validators at solver/simulator checkpoints
+// and throws drep::audit::AuditFailure on any violation. With the option
+// OFF (the default) every hook expands to nothing: no validator calls, no
+// extra state, bit-identical behavior.
+//
+// DREP_AUDIT_ENFORCE(where, expr)  — enforce(expr, where); `expr` yields a
+//                                    Violations list (commas inside are fine,
+//                                    it is variadic).
+// DREP_AUDIT_BLOCK(...)            — arbitrary statements compiled only when
+//                                    auditing; for hooks that need locals or
+//                                    state that should not exist otherwise.
+// DREP_AUDIT_ON                    — constant 1/0 for ordinary `if`s.
+
+#ifdef DREP_AUDIT_ENABLED
+
+#include "audit/invariants.hpp"
+
+#define DREP_AUDIT_ON 1
+#define DREP_AUDIT_ENFORCE(where, ...) \
+  ::drep::audit::enforce((__VA_ARGS__), (where))
+#define DREP_AUDIT_BLOCK(...) \
+  do {                        \
+    __VA_ARGS__               \
+  } while (false)
+
+#else
+
+#define DREP_AUDIT_ON 0
+#define DREP_AUDIT_ENFORCE(where, ...) \
+  do {                                 \
+  } while (false)
+#define DREP_AUDIT_BLOCK(...) \
+  do {                        \
+  } while (false)
+
+#endif

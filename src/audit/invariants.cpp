@@ -1,0 +1,288 @@
+#include "audit/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/benefit.hpp"
+
+namespace drep::audit {
+
+namespace {
+
+using core::ObjectId;
+using core::SiteId;
+
+/// Formats doubles with enough digits to distinguish any two distinct
+/// values (mismatch reports must not hide a 1-ulp divergence).
+std::string num(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+void add(Violations& out, std::string invariant, std::string detail) {
+  out.push_back({std::move(invariant), std::move(detail)});
+}
+
+}  // namespace
+
+AuditFailure::AuditFailure(const std::string& where, Violations violations)
+    : std::runtime_error([&] {
+        std::ostringstream message;
+        message << "audit failure at " << where << " (" << violations.size()
+                << " invariant(s) violated):";
+        for (const Violation& v : violations)
+          message << "\n  [" << v.invariant << "] " << v.detail;
+        return message.str();
+      }()),
+      violations_(std::move(violations)) {}
+
+void enforce(Violations violations, const std::string& where) {
+  if (!violations.empty()) throw AuditFailure(where, std::move(violations));
+}
+
+Violations merge(Violations a, Violations b) {
+  a.insert(a.end(), std::make_move_iterator(b.begin()),
+           std::make_move_iterator(b.end()));
+  return a;
+}
+
+Violations check_scheme(const core::ReplicationScheme& scheme) {
+  Violations out;
+  const core::Problem& p = scheme.problem();
+  const std::size_t m = p.sites();
+  const std::size_t n = p.objects();
+  const auto& matrix = scheme.matrix();
+
+  std::size_t total_replicas = 0;
+  for (ObjectId k = 0; k < n; ++k) {
+    // Ground truth: column k of the matrix, with the primary bit forced.
+    const SiteId sp = p.primary(k);
+    if (matrix[static_cast<std::size_t>(sp) * n + k] == 0)
+      add(out, "scheme.matrix",
+          "primary bit X[" + std::to_string(sp) + "][" + std::to_string(k) +
+              "] is 0 (primary copies are immovable)");
+    std::vector<SiteId> exact;
+    for (SiteId i = 0; i < m; ++i) {
+      if (matrix[static_cast<std::size_t>(i) * n + k] != 0) exact.push_back(i);
+    }
+    total_replicas += exact.size();
+
+    // replicas(k) must hold the same site set (insertion order is free).
+    std::vector<SiteId> listed(scheme.replicas(k));
+    std::sort(listed.begin(), listed.end());
+    if (listed != exact) {
+      add(out, "scheme.replica_list",
+          "replicas(" + std::to_string(k) + ") disagrees with matrix column (" +
+              std::to_string(listed.size()) + " listed vs " +
+              std::to_string(exact.size()) + " set bits)");
+      continue;  // nearest checks below would only cascade
+    }
+
+    // Nearest index: exact min over the column's cost entries. The index
+    // stores *copied* cost values (no arithmetic), so equality is exact.
+    for (SiteId i = 0; i < m; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const SiteId rep : exact) best = std::min(best, p.cost(i, rep));
+      const double cached = scheme.nearest_cost(i, k);
+      if (cached != best) {
+        add(out, "scheme.nearest_cost",
+            "nearest_cost(" + std::to_string(i) + "," + std::to_string(k) +
+                ") = " + num(cached) + ", exact min = " + num(best));
+      }
+      const SiteId site = scheme.nearest(i, k);
+      if (!std::binary_search(exact.begin(), exact.end(), site)) {
+        add(out, "scheme.nearest_site",
+            "nearest(" + std::to_string(i) + "," + std::to_string(k) + ") = " +
+                std::to_string(site) + " is not a replicator");
+      } else if (p.cost(i, site) != cached) {
+        add(out, "scheme.nearest_site",
+            "nearest(" + std::to_string(i) + "," + std::to_string(k) +
+                ") costs " + num(p.cost(i, site)) + ", cached nearest_cost is " +
+                num(cached));
+      }
+    }
+  }
+
+  if (scheme.total_replicas() != total_replicas) {
+    add(out, "scheme.replica_count",
+        "total_replicas() = " + std::to_string(scheme.total_replicas()) +
+            ", matrix holds " + std::to_string(total_replicas));
+  }
+
+  // Used-storage ledger: recompute from the matrix; the incremental += / -=
+  // bookkeeping may drift by rounding, bounded by the scheme's explicit
+  // epsilon policy (ReplicationScheme::capacity_slack).
+  for (SiteId i = 0; i < m; ++i) {
+    double exact_used = 0.0;
+    for (ObjectId k = 0; k < n; ++k) {
+      if (matrix[static_cast<std::size_t>(i) * n + k] != 0)
+        exact_used += p.object_size(k);
+    }
+    const double ledger = scheme.used(i);
+    if (std::abs(ledger - exact_used) > scheme.capacity_slack(i)) {
+      add(out, "scheme.used_ledger",
+          "used(" + std::to_string(i) + ") = " + num(ledger) +
+              " drifted from matrix sum " + num(exact_used) +
+              " beyond slack " + num(scheme.capacity_slack(i)));
+    }
+  }
+  return out;
+}
+
+Violations check_delta_evaluator(const core::DeltaEvaluator& delta) {
+  Violations out;
+  if (!delta.has_baseline()) return out;
+  const core::Problem& p = delta.problem();
+  const std::size_t n = p.objects();
+
+  // From-scratch evaluation of the adopted baseline. A fresh CostEvaluator
+  // re-snapshots the problem, so this also catches a missed refresh() after
+  // a pattern change.
+  core::CostEvaluator fresh(p);
+  std::vector<std::uint8_t> mask(p.sites(), 0);
+  double exact_total = 0.0;
+  const auto matrix = delta.matrix();
+  for (ObjectId k = 0; k < n; ++k) {
+    for (SiteId i = 0; i < p.sites(); ++i)
+      mask[i] = matrix[static_cast<std::size_t>(i) * n + k];
+    const double exact = fresh.object_cost(k, mask);
+    exact_total += exact;
+    const double cached = delta.object_cost(k);
+    if (cached != exact) {
+      add(out, "delta_eval.object_cost",
+          "cached V_" + std::to_string(k) + " = " + num(cached) +
+              ", from-scratch = " + num(exact));
+    }
+  }
+  if (delta.total() != exact_total) {
+    add(out, "delta_eval.total",
+        "cached total = " + num(delta.total()) + ", from-scratch = " +
+            num(exact_total));
+  }
+  return out;
+}
+
+Violations check_object_cost_cache(core::DeltaEvaluator& delta,
+                                   std::span<const std::uint8_t> matrix,
+                                   std::span<const double> v) {
+  Violations out;
+  const std::size_t n = delta.problem().objects();
+  if (v.size() != n) {
+    add(out, "ga.v_cache",
+        "V_k cache length " + std::to_string(v.size()) + " != objects " +
+            std::to_string(n));
+    return out;
+  }
+  std::vector<double> exact(n, 0.0);
+  const double exact_total = delta.full_cost(matrix, exact);
+  double cached_total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cached_total += v[k];
+    if (v[k] != exact[k]) {
+      add(out, "ga.v_cache",
+          "inherited V_" + std::to_string(k) + " = " + num(v[k]) +
+              ", from-scratch = " + num(exact[k]));
+    }
+  }
+  if (cached_total != exact_total) {
+    add(out, "ga.v_cache_total",
+        "Σ cached V_k = " + num(cached_total) + ", from-scratch total = " +
+            num(exact_total));
+  }
+  return out;
+}
+
+Violations check_sra_terminal(const core::ReplicationScheme& scheme) {
+  Violations out;
+  const core::Problem& p = scheme.problem();
+  for (SiteId i = 0; i < p.sites(); ++i) {
+    for (ObjectId k = 0; k < p.objects(); ++k) {
+      if (scheme.has_replica(i, k) || !scheme.fits(i, k)) continue;
+      const double benefit = core::local_benefit(scheme, i, k);
+      if (benefit > 0.0) {
+        add(out, "sra.terminal",
+            "object " + std::to_string(k) + " still fits site " +
+                std::to_string(i) + " with positive benefit " + num(benefit) +
+                " — candidate pruning was unsound");
+      }
+    }
+  }
+  return out;
+}
+
+Violations check_message_conservation(const MessageCounts& counts) {
+  Violations out;
+  const std::size_t accounted = counts.delivered_data +
+                                counts.delivered_control +
+                                counts.dropped_link +
+                                counts.dropped_site_down + counts.in_flight;
+  if (counts.sent != accounted) {
+    add(out, "des.message_conservation",
+        "sent " + std::to_string(counts.sent) + " != delivered(" +
+            std::to_string(counts.delivered_data) + " data + " +
+            std::to_string(counts.delivered_control) + " control) + dropped(" +
+            std::to_string(counts.dropped_link) + " link + " +
+            std::to_string(counts.dropped_site_down) + " site-down) + " +
+            std::to_string(counts.in_flight) + " in-flight");
+  }
+  return out;
+}
+
+namespace {
+void check_sum(Violations& out, const char* invariant, double total,
+               std::span<const double> parts) {
+  double sum = 0.0;
+  for (const double part : parts) sum += part;
+  // Totals are accumulated in the same order the per-epoch entries were
+  // recorded; a tiny relative tolerance keeps the check robust should a
+  // future refactor re-order the summation.
+  const double tolerance = 1e-12 * std::max(1.0, std::abs(sum));
+  if (std::abs(total - sum) > tolerance) {
+    out.push_back({invariant, "total " + num(total) +
+                                  " != Σ per-epoch charges " + num(sum)});
+  }
+}
+}  // namespace
+
+Violations check_epoch_accounting(double served_total,
+                                  std::span<const double> epoch_served,
+                                  double migration_total,
+                                  std::span<const double> epoch_migration) {
+  Violations out;
+  check_sum(out, "epochs.served_traffic", served_total, epoch_served);
+  check_sum(out, "epochs.migration_traffic", migration_total, epoch_migration);
+  return out;
+}
+
+Violations check_perfect_retune(const PerfectRetuneCounts& counts) {
+  Violations out;
+  const auto zero = [&](const char* name, std::size_t value) {
+    if (value != 0)
+      add(out, "retune.perfect_network",
+          std::string(name) + " = " + std::to_string(value) +
+              " on a fault-free network");
+  };
+  zero("retries", counts.retries);
+  zero("timeouts", counts.timeouts);
+  zero("give_ups", counts.give_ups);
+  zero("duplicates", counts.duplicates);
+  zero("reports_missing", counts.reports_missing);
+  zero("directives_failed", counts.directives_failed);
+  // Exactly-once rollout: each added replica fetched exactly once from its
+  // designated holder at o_k × C, so measured fetch traffic == analytic
+  // migration NTC. A double-executed directive would overshoot.
+  const double tolerance =
+      1e-9 * std::max(1.0, std::abs(counts.migration_traffic));
+  if (std::abs(counts.data_traffic - counts.migration_traffic) > tolerance) {
+    add(out, "retune.migration_traffic",
+        "measured fetch traffic " + num(counts.data_traffic) +
+            " != analytic migration NTC " + num(counts.migration_traffic));
+  }
+  return out;
+}
+
+}  // namespace drep::audit

@@ -1,0 +1,139 @@
+#pragma once
+// DREP_AUDIT invariant validators (DESIGN.md Section 9).
+//
+// Three PRs of incremental machinery — nearest-replica maps, capacity
+// ledgers, per-individual V_k caches, retry/dedup tables — maintain state
+// redundantly for speed. Every validator here cross-checks one such
+// structure against a from-scratch recomputation of the ground truth it is
+// supposed to mirror (ultimately Eq. 4), returning the list of violated
+// invariants instead of asserting, so callers can aggregate, log, or throw.
+//
+// The validators are always compiled (the fuzz driver and the audit tests
+// call them directly); the *inline hooks* in the solver/simulator hot paths
+// are compile-time gated behind -DDREP_AUDIT=ON via audit/gate.hpp. With the
+// option OFF the hooks vanish and library behavior is unchanged.
+//
+// Layering: this module sits directly above core (it needs ReplicationScheme,
+// DeltaEvaluator, and the benefit/cost kernels). Checks for sim-layer
+// aggregates (DES traffic conservation, epoch accounting, retune rounds)
+// deliberately take plain counters/spans instead of sim types so that sim
+// can link against audit without a dependency cycle.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/replication.hpp"
+
+namespace drep::audit {
+
+/// One violated invariant: a stable dotted name plus a human-readable
+/// mismatch description (expected vs found, with indices).
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+using Violations = std::vector<Violation>;
+
+/// Thrown by enforce(). Carries every violation found, not just the first,
+/// so one fuzz failure shows the whole divergence pattern.
+class AuditFailure : public std::runtime_error {
+ public:
+  AuditFailure(const std::string& where, Violations violations);
+  [[nodiscard]] const Violations& violations() const noexcept {
+    return violations_;
+  }
+
+ private:
+  Violations violations_;
+};
+
+/// Throws AuditFailure when `violations` is non-empty; no-op otherwise.
+void enforce(Violations violations, const std::string& where);
+
+/// Concatenates violation lists (for sites that run several checks).
+[[nodiscard]] Violations merge(Violations a, Violations b);
+
+// --- core structures ------------------------------------------------------
+
+/// ReplicationScheme internal consistency: the matrix is the ground truth,
+/// and the replica lists, nearest-replica index, nearest costs, used-storage
+/// ledger, and replica counters must all agree with it.
+///   * scheme.matrix        — primary bits set; replicas(k) == matrix column
+///   * scheme.nearest       — nearest(i,k) is a replicator of k and its cost
+///                            equals the exact min over the column (cost
+///                            entries are copied, never summed, so equality
+///                            is exact; ties may pick any minimal site)
+///   * scheme.used_ledger   — |used(i) - Σ matrix| <= capacity_slack(i)
+///                            (the explicit epsilon policy for += / -= churn)
+///   * scheme.replica_count — total_replicas() == Σ_k |R_k|
+[[nodiscard]] Violations check_scheme(const core::ReplicationScheme& scheme);
+
+/// DeltaEvaluator cache consistency: the cached per-object costs V_k and
+/// their sum must be bit-for-bit identical to a from-scratch
+/// CostEvaluator::total_cost of the adopted baseline matrix (the evaluator's
+/// documented exactness guarantee). No-op when no baseline is held.
+[[nodiscard]] Violations check_delta_evaluator(
+    const core::DeltaEvaluator& delta);
+
+/// GA cache check: a per-object cost vector `v` carried alongside chromosome
+/// `matrix` (the GRA incremental-evaluation path) must equal a from-scratch
+/// recomputation, per object and in total, bit-for-bit. `delta` supplies the
+/// request-pattern snapshot and scratch; its baseline is not consulted.
+[[nodiscard]] Violations check_object_cost_cache(
+    core::DeltaEvaluator& delta, std::span<const std::uint8_t> matrix,
+    std::span<const double> v);
+
+/// SRA candidate-pruning soundness, checked at termination: pruning a
+/// candidate (non-positive benefit, or it no longer fits) is only sound if
+/// the condition can never flip back — benefits are non-increasing and free
+/// capacity only shrinks while SRA runs. Terminal ground truth: no
+/// (site, object) pair without a replica may still fit with strictly
+/// positive Eq. 5 benefit.
+[[nodiscard]] Violations check_sra_terminal(
+    const core::ReplicationScheme& scheme);
+
+// --- sim aggregates (plain counters; see layering note above) -------------
+
+/// DES message conservation: sent = delivered + dropped + in-flight.
+struct MessageCounts {
+  std::size_t sent = 0;
+  std::size_t delivered_data = 0;
+  std::size_t delivered_control = 0;
+  std::size_t dropped_link = 0;
+  std::size_t dropped_site_down = 0;
+  /// Messages still queued (0 after a drained run()).
+  std::size_t in_flight = 0;
+};
+[[nodiscard]] Violations check_message_conservation(
+    const MessageCounts& counts);
+
+/// EpochReport traffic accounting: the served / migration totals must equal
+/// the sum of the per-epoch charges they were accumulated from.
+[[nodiscard]] Violations check_epoch_accounting(
+    double served_total, std::span<const double> epoch_served,
+    double migration_total, std::span<const double> epoch_migration);
+
+/// Monitor retune round on a *perfect* network: directive idempotence and
+/// exactly-once rollout imply the measured fetch traffic equals the analytic
+/// migration NTC, and every retry/failure counter is zero. (Under faults
+/// retransmitted fetches legitimately break the equality; the per-directive
+/// double-execution guard inside the protocol still applies.)
+struct PerfectRetuneCounts {
+  double data_traffic = 0.0;
+  double migration_traffic = 0.0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t give_ups = 0;
+  std::size_t duplicates = 0;
+  std::size_t reports_missing = 0;
+  std::size_t directives_failed = 0;
+};
+[[nodiscard]] Violations check_perfect_retune(
+    const PerfectRetuneCounts& counts);
+
+}  // namespace drep::audit

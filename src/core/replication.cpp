@@ -15,6 +15,7 @@ ReplicationScheme::ReplicationScheme(const Problem& problem)
   nearest_site_.assign(m * n, 0);
   nearest_cost_.assign(m * n, std::numeric_limits<double>::infinity());
   used_.assign(m, 0.0);
+  for (ObjectId k = 0; k < n; ++k) object_mass_ += problem.object_size(k);
   for (ObjectId k = 0; k < n; ++k) {
     const SiteId sp = problem.primary(k);
     matrix_[cell(sp, k)] = 1;
@@ -42,7 +43,7 @@ ReplicationScheme::ReplicationScheme(const Problem& problem,
 
 bool ReplicationScheme::is_valid() const {
   for (SiteId i = 0; i < problem_->sites(); ++i) {
-    if (used_[i] > problem_->capacity(i)) return false;
+    if (used_[i] > problem_->capacity(i) + capacity_slack(i)) return false;
   }
   return true;
 }

@@ -23,6 +23,14 @@ namespace drep::core {
 /// that the GA repair operators can inspect transiently invalid states.
 class ReplicationScheme {
  public:
+  /// Relative epsilon of the capacity policy: the used-storage ledger is
+  /// maintained by += / -= of object sizes, so after long add/remove churn
+  /// (AGRA retunes, epoch loops) it can drift from the exact matrix sum by
+  /// a few ulps per operation. Capacity comparisons therefore tolerate
+  /// capacity_slack(i) — anything the ledger could plausibly have accrued —
+  /// instead of demanding exact arithmetic.
+  static constexpr double kCapacityRelEps = 1e-9;
+
   /// Primary-copies-only scheme (the paper's initial allocation, D_prime).
   explicit ReplicationScheme(const Problem& problem);
 
@@ -61,11 +69,20 @@ class ReplicationScheme {
   [[nodiscard]] double free_capacity(SiteId i) const {
     return problem_->capacity(i) - used_.at(i);
   }
-  /// True when object k currently fits in site i's remaining capacity.
-  [[nodiscard]] bool fits(SiteId i, ObjectId k) const {
-    return free_capacity(i) >= problem_->object_size(k);
+  /// Absolute tolerance for capacity comparisons at site i:
+  /// kCapacityRelEps × (1 + s(i) + Σ_k o_k). Scales with the largest value
+  /// the ledger ever represents (a site can hold at most every object), so
+  /// it bounds the drift of any add/remove history.
+  [[nodiscard]] double capacity_slack(SiteId i) const {
+    return kCapacityRelEps * (1.0 + problem_->capacity(i) + object_mass_);
   }
-  /// True when no site exceeds its capacity.
+  /// True when object k currently fits in site i's remaining capacity,
+  /// within capacity_slack(i) — a shortfall smaller than the slack is
+  /// indistinguishable from ledger drift and must not flip the decision.
+  [[nodiscard]] bool fits(SiteId i, ObjectId k) const {
+    return free_capacity(i) >= problem_->object_size(k) - capacity_slack(i);
+  }
+  /// True when no site exceeds its capacity by more than capacity_slack.
   [[nodiscard]] bool is_valid() const;
 
   /// Adds a replica of k at i and updates the nearest index in O(M).
@@ -95,6 +112,7 @@ class ReplicationScheme {
   std::vector<SiteId> nearest_site_;      // row-major [site][object]
   std::vector<double> nearest_cost_;      // row-major [site][object]
   std::vector<double> used_;
+  double object_mass_ = 0.0;  // Σ_k o_k, fixed at construction
   std::size_t total_replicas_ = 0;
 };
 

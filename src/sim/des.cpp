@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "audit/gate.hpp"
 #include "obs/metrics.hpp"
 
 namespace drep::sim {
@@ -58,6 +59,7 @@ double DesNetwork::worst_one_way_latency() const noexcept {
 
 void DesNetwork::send(SiteId from, SiteId to, double size_units,
                       std::any payload) {
+  ++stats_.sent_messages;
   const double cost = costs_->at(from, to);
   double latency = latency_per_cost_ * cost;
   if (faults_) {
@@ -107,6 +109,18 @@ void DesNetwork::send(SiteId from, SiteId to, double size_units,
   });
 }
 
-void DesNetwork::run() { queue_.run(); }
+void DesNetwork::run() {
+  queue_.run();
+  // Audit (compiled out unless DREP_AUDIT=ON): after the queue drains, every
+  // message ever sent must be accounted for as delivered or dropped.
+  DREP_AUDIT_ENFORCE("des/run",
+                     ::drep::audit::check_message_conservation(
+                         {.sent = stats_.sent_messages,
+                          .delivered_data = stats_.data_messages,
+                          .delivered_control = stats_.control_messages,
+                          .dropped_link = stats_.dropped_link,
+                          .dropped_site_down = stats_.dropped_site_down,
+                          .in_flight = 0}));
+}
 
 }  // namespace drep::sim

@@ -55,6 +55,10 @@ class Node {
 struct TrafficStats {
   /// Σ size_units × C(from,to) over all delivered data messages.
   double data_traffic = 0.0;
+  /// Every send() attempt, counted before any fault can claim the message —
+  /// the conservation law sent = delivered + dropped + in-flight is audited
+  /// against this under DREP_AUDIT.
+  std::size_t sent_messages = 0;
   std::size_t data_messages = 0;
   std::size_t control_messages = 0;
   /// Fault-plan casualties: messages lost to link loss, messages discarded

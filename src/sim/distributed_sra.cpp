@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/replication.hpp"
 #include "obs/metrics.hpp"
 
 namespace drep::sim {
@@ -74,16 +75,22 @@ class SraNode final : public Node {
         nearest_site_(problem.objects()) {
     // Locally known statics: SP_k and the initial SN record (= SP_k).
     double pinned = 0.0;
+    double object_mass = 0.0;
     for (ObjectId k = 0; k < problem.objects(); ++k) {
       const SiteId sp = problem.primary(k);
       nearest_site_[k] = sp;
       nearest_cost_[k] = problem.cost(self_, sp);
       if (sp == self_) pinned += problem.object_size(k);
+      object_mass += problem.object_size(k);
     }
     remaining_ = problem.capacity(self_) - pinned;
+    // Mirror ReplicationScheme's capacity slack so local fit decisions match
+    // the centralized scheme.fits() bit-for-bit near the capacity boundary.
+    slack_ = core::ReplicationScheme::kCapacityRelEps *
+             (1.0 + problem.capacity(self_) + object_mass);
     for (ObjectId k = 0; k < problem.objects(); ++k) {
       if (problem.primary(k) != self_ &&
-          problem.object_size(k) <= remaining_) {
+          problem.object_size(k) <= remaining_ + slack_) {
         candidates_.push_back(k);
       }
     }
@@ -177,19 +184,20 @@ class SraNode final : public Node {
     serving_round_ = round;
     // One pass over L(self): find the best strictly-positive benefit and
     // prune unprofitable / non-fitting candidates — byte-for-byte the
-    // centralized SRA visit, computed from purely local state.
+    // centralized SRA visit, computed from purely local state. Strict `>`
+    // matches the centralized tie-break: first (lowest-id) maximal object.
     double best_benefit = 0.0;
     ObjectId best_object = 0;
     bool found = false;
     std::size_t write_pos = 0;
     for (const ObjectId k : candidates_) {
-      if (problem_->object_size(k) > remaining_) continue;
+      if (problem_->object_size(k) > remaining_ + slack_) continue;
       const double benefit =
           problem_->reads(self_, k) * nearest_cost_[k] -
           (problem_->total_writes(k) - problem_->writes(self_, k)) *
               problem_->cost(self_, problem_->primary(k));
       if (benefit <= 0.0) continue;
-      if (!found || benefit >= best_benefit) {
+      if (!found || benefit > best_benefit) {
         best_benefit = benefit;
         best_object = k;
         found = true;
@@ -456,6 +464,7 @@ class SraNode final : public Node {
   std::vector<SiteId> nearest_site_;
   std::vector<ObjectId> candidates_;
   double remaining_ = 0.0;
+  double slack_ = 0.0;  // ReplicationScheme::capacity_slack(self_)
 
   // Visit in flight at this site.
   bool serving_ = false;

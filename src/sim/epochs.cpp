@@ -1,5 +1,6 @@
 #include "sim/epochs.hpp"
 
+#include "audit/gate.hpp"
 #include "core/cost_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -19,6 +20,8 @@ EpochReport run_epochs(core::Problem problem, const EpochConfig& config,
 
   EpochReport report;
   report.stale_savings.reserve(config.epochs);
+  report.epoch_served.reserve(config.epochs);
+  report.epoch_migration.reserve(config.epochs + 1);
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     DREP_SPAN("sim/epoch");
@@ -29,20 +32,28 @@ EpochReport run_epochs(core::Problem problem, const EpochConfig& config,
     report.stale_savings.push_back(core::savings_percent(problem, current));
 
     std::size_t adapted = 0;
+    double epoch_migration = 0.0;
     if (config.policy == AdaptationPolicy::kAgraOnDrift) {
       adapted = monitor.adapt(problem, rng).size();
       if (adapted > 0) {
         core::ReplicationScheme next(problem, monitor.current_scheme());
-        const double migration = core::migration_cost(current, next);
-        report.migration_traffic += migration;
-        DREP_COUNT("drep_epochs_migration_traffic_units_total", migration);
+        epoch_migration = core::migration_cost(current, next);
+        report.migration_traffic += epoch_migration;
+        DREP_COUNT("drep_epochs_migration_traffic_units_total",
+                   epoch_migration);
         active = std::move(next);
       }
     }
     core::ReplicationScheme serving(problem, active.matrix());
+    // Audit (compiled out unless DREP_AUDIT=ON): the scheme serving this
+    // epoch must be internally consistent before its traffic is charged.
+    DREP_AUDIT_ENFORCE("epochs/epoch", ::drep::audit::check_scheme(serving));
     report.adapted_savings.push_back(core::savings_percent(problem, serving));
     report.objects_adapted.push_back(adapted);
-    report.served_traffic += core::total_cost(serving);
+    const double epoch_served = core::total_cost(serving);
+    report.epoch_served.push_back(epoch_served);
+    report.epoch_migration.push_back(epoch_migration);
+    report.served_traffic += epoch_served;
   }
 
   if (config.policy == AdaptationPolicy::kNightlyOnly) {
@@ -51,8 +62,16 @@ EpochReport run_epochs(core::Problem problem, const EpochConfig& config,
     monitor.reoptimize(problem, rng);
     core::ReplicationScheme current(problem, active.matrix());
     core::ReplicationScheme next(problem, monitor.current_scheme());
-    report.migration_traffic += core::migration_cost(current, next);
+    const double night_migration = core::migration_cost(current, next);
+    report.epoch_migration.push_back(night_migration);
+    report.migration_traffic += night_migration;
   }
+  // Audit: the traffic totals must equal the per-epoch charges they were
+  // accumulated from.
+  DREP_AUDIT_ENFORCE("epochs/run",
+                     ::drep::audit::check_epoch_accounting(
+                         report.served_traffic, report.epoch_served,
+                         report.migration_traffic, report.epoch_migration));
   return report;
 }
 

@@ -37,10 +37,17 @@ struct EpochReport {
   std::vector<double> adapted_savings;
   /// Objects the monitor re-tuned per epoch (0 for non-adaptive policies).
   std::vector<std::size_t> objects_adapted;
+  /// Per-epoch served traffic D of the scheme active that epoch.
+  std::vector<double> epoch_served;
+  /// Per-epoch migration NTC (0.0 when the policy did not move objects).
+  /// Under kNightlyOnly the final night run appends one extra trailing
+  /// entry, so the vector then has epochs+1 elements.
+  std::vector<double> epoch_migration;
   /// Total NTC spent moving objects between schemes (adaptations plus the
-  /// final nightly run, when applicable).
+  /// final nightly run, when applicable). Always Σ epoch_migration.
   double migration_traffic = 0.0;
   /// Σ per-epoch served traffic D of the scheme that was active.
+  /// Always Σ epoch_served.
   double served_traffic = 0.0;
   /// served + migration: the number to compare policies by.
   [[nodiscard]] double total_traffic() const {

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "audit/gate.hpp"
 #include "core/cost_model.hpp"
 #include "obs/metrics.hpp"
 
@@ -170,7 +171,20 @@ class SiteEndpoint final : public Node {
       ++retry_.stats->duplicates;
       return;
     }
-    completed_.insert(resp.id);
+    const bool first_completion = completed_.insert(resp.id).second;
+    // Audit (compiled out unless DREP_AUDIT=ON): a directive that completes
+    // twice means on_add re-admitted an already-completed id — the
+    // idempotence guard above it failed.
+    DREP_AUDIT_BLOCK(
+        if (!first_completion) {
+          ::drep::audit::enforce(
+              {{"retune.directive_idempotence",
+                "directive " + std::to_string(resp.id) +
+                    " completed a second time at site " +
+                    std::to_string(self_)}},
+              "monitor/on_fetched");
+        });
+    (void)first_completion;
     network_->send(self_, monitor_site_, 0.0, Ack{resp.id});
   }
 
@@ -504,6 +518,22 @@ RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
 
   report.traffic = network.stats();
   report.round_time = network.queue().now();
+  // Audit (compiled out unless DREP_AUDIT=ON): on a fault-free network the
+  // rollout is exactly-once, so the measured fetch traffic must equal the
+  // analytic migration NTC and every retry/failure counter must be zero.
+  if (!options.faults) {
+    DREP_AUDIT_ENFORCE(
+        "monitor/retune_round",
+        ::drep::audit::check_perfect_retune(
+            {.data_traffic = report.traffic.data_traffic,
+             .migration_traffic = report.migration_traffic,
+             .retries = report.retry_stats.retries,
+             .timeouts = report.retry_stats.timeouts,
+             .give_ups = report.retry_stats.give_ups,
+             .duplicates = report.retry_stats.duplicates,
+             .reports_missing = report.reports_missing,
+             .directives_failed = report.directives_failed}));
+  }
   return report;
 }
 

@@ -33,7 +33,15 @@ void clustered_updates(core::Problem& problem, core::ObjectId k, double count,
   const std::size_t m = problem.sites();
   const double centre = static_cast<double>(rng.index(m));
   const auto whole = static_cast<std::uint64_t>(count);
-  for (std::uint64_t req = 0; req < whole; ++req) {
+  const double frac = count - static_cast<double>(whole);
+  // Carry the fractional part stochastically (same policy as
+  // scatter_requests): truncating it would make small drifts — counts below
+  // one request — vanish entirely. The bernoulli draw happens only for a
+  // genuinely fractional count, so integral counts consume an unchanged RNG
+  // stream.
+  const std::uint64_t total =
+      whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
+  for (std::uint64_t req = 0; req < total; ++req) {
     const double drawn = std::round(rng.normal(centre, sigma));
     // Wrap modulo M so the cluster keeps its shape near the index edges.
     const double wrapped = drawn - std::floor(drawn / static_cast<double>(m)) *

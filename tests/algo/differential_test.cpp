@@ -11,6 +11,7 @@
 #include "algo/exhaustive.hpp"
 #include "algo/gra.hpp"
 #include "algo/sra.hpp"
+#include "core/benefit.hpp"
 #include "core/cost_model.hpp"
 #include "testing/builders.hpp"
 
@@ -79,6 +80,73 @@ TEST(Differential, HeuristicsNeverBeatExhaustiveOnTinyInstances) {
         expect_scheme_consistent(agra.best.scheme, optimal->cost);
       }
     }
+  }
+}
+
+// Walks a scheme through random insertions/removals, comparing each
+// insertion_delta/removal_delta prediction against the measured total_cost
+// change of actually applying the move.
+void expect_deltas_match_measured(core::Problem& p, util::Rng& rng,
+                                  int trials) {
+  core::ReplicationScheme scheme(p);
+  double cost = core::total_cost(scheme);
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto i = static_cast<core::SiteId>(rng.index(p.sites()));
+    const auto k = static_cast<core::ObjectId>(rng.index(p.objects()));
+    if (p.primary(k) == i) continue;
+    double predicted;
+    if (scheme.has_replica(i, k)) {
+      predicted = core::removal_delta(scheme, i, k);
+      scheme.remove(i, k);
+    } else {
+      predicted = core::insertion_delta(scheme, i, k);
+      scheme.add(i, k);
+    }
+    const double next_cost = core::total_cost(scheme);
+    const double measured = next_cost - cost;
+    EXPECT_NEAR(predicted, measured, 1e-9 * std::max(1.0, std::abs(cost)))
+        << "trial " << trial << " at (" << i << "," << k << ")";
+    cost = next_cost;
+  }
+}
+
+TEST(Differential, InsertionAndRemovalDeltasMatchMeasuredCostChange) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    core::Problem p = testing::small_random_problem(seed * 977, 6, 8);
+    util::Rng rng(seed);
+    expect_deltas_match_measured(p, rng, 120);
+  }
+}
+
+TEST(Differential, DeltasMatchOnCostTieTopologies) {
+  // Every inter-site cost identical: for any reader j, a new replica at i
+  // ties the current nearest (i_row[j] == current) whenever SN is remote.
+  // The strict `<` re-home boundary must still predict the measured change.
+  constexpr std::size_t kSites = 5;
+  constexpr std::size_t kObjects = 6;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    net::CostMatrix costs(kSites);
+    for (net::SiteId a = 0; a < kSites; ++a) {
+      for (net::SiteId b = static_cast<net::SiteId>(a + 1); b < kSites; ++b) {
+        costs.set(a, b, 1.0);  // uniform — all remote replicas tie
+      }
+    }
+    util::Rng rng(seed * 31);
+    std::vector<double> sizes(kObjects, 10.0);
+    std::vector<core::SiteId> primaries;
+    for (std::size_t k = 0; k < kObjects; ++k)
+      primaries.push_back(static_cast<core::SiteId>(rng.index(kSites)));
+    core::Problem p(std::move(costs), std::move(sizes), std::move(primaries),
+                    std::vector<double>(kSites, 1000.0));
+    for (core::SiteId i = 0; i < kSites; ++i) {
+      for (core::ObjectId k = 0; k < kObjects; ++k) {
+        p.set_reads(i, k, static_cast<double>(rng.uniform_u64(0, 30)));
+        p.set_writes(i, k, static_cast<double>(rng.uniform_u64(0, 8)));
+      }
+    }
+    expect_deltas_match_measured(p, rng, 150);
   }
 }
 

@@ -138,6 +138,38 @@ TEST(Sra, SavingsNeverExceedHundredPercent) {
   }
 }
 
+TEST(Sra, EqualBenefitTieBreaksToLowestObjectId) {
+  // Two identical objects tie on Eq. 5 benefit at site 1, which has room
+  // for only one of them. The documented tie-break is lowest object id:
+  // the old `>=` comparison silently kept the *last* maximal candidate, so
+  // this locks in object 0.
+  net::CostMatrix costs(2);
+  costs.set(0, 1, 1.0);
+  core::Problem p(std::move(costs), {10.0, 10.0}, {0, 0}, {100.0, 10.0});
+  p.set_reads(1, 0, 25.0);  // benefit at site 1: 25·1 = 25
+  p.set_reads(1, 1, 25.0);  // identical — a true tie
+  const AlgorithmResult result = solve_sra(p);
+  EXPECT_TRUE(result.scheme.has_replica(1, 0));
+  EXPECT_FALSE(result.scheme.has_replica(1, 1));
+}
+
+TEST(Sra, TieBreakIsIndependentOfSiteOrderMode) {
+  // The tie resolution must not depend on how the visiting site was picked.
+  net::CostMatrix costs(2);
+  costs.set(0, 1, 1.0);
+  core::Problem p(std::move(costs), {10.0, 10.0}, {0, 0}, {100.0, 10.0});
+  p.set_reads(1, 0, 25.0);
+  p.set_reads(1, 1, 25.0);
+  SraConfig random_order;
+  random_order.site_order = SraConfig::SiteOrder::kRandom;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const AlgorithmResult result = solve_sra(p, random_order, rng);
+    EXPECT_TRUE(result.scheme.has_replica(1, 0)) << "seed " << seed;
+    EXPECT_FALSE(result.scheme.has_replica(1, 1)) << "seed " << seed;
+  }
+}
+
 TEST(Sra, ZeroUpdateHighCapacityReplicatesEverywhere) {
   // With no writes and unconstrained storage, every (site, object) pair
   // with positive read benefit gets a replica: reads all become local.

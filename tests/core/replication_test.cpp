@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "testing/builders.hpp"
@@ -163,6 +164,45 @@ TEST(ReplicationScheme, UsedMatchesMatrixSum) {
     }
     EXPECT_DOUBLE_EQ(scheme.used(i), expected);
   }
+}
+
+// Regression: long add/remove churn of objects with non-representable sizes
+// (0.1, 0.2) drifts the += / -= ledger by a few ulps per cycle. Before the
+// explicit epsilon policy, that drift made fits() reject an object that
+// exactly fills the site and is_valid() reject the resulting scheme.
+TEST(ReplicationScheme, CapacityChurnDriftStaysWithinSlack) {
+  net::CostMatrix costs(2);
+  costs.set(0, 1, 1.0);
+  // Objects: two churn objects (0.1, 0.2) and one that exactly fills site
+  // 1's capacity. All primaries at site 0, which has room for everything.
+  const Problem p(std::move(costs), {0.1, 0.2, 10.0}, {0, 0, 0},
+                  {100.0, 10.0});
+  ReplicationScheme scheme(p);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    scheme.add(1, 0);
+    scheme.add(1, 1);
+    scheme.remove(1, 0);
+    scheme.remove(1, 1);
+  }
+  // The drift is real (the ledger is not exactly zero)...
+  EXPECT_NE(scheme.used(1), 0.0);
+  // ...but bounded by the documented slack,
+  EXPECT_LE(std::abs(scheme.used(1)), scheme.capacity_slack(1));
+  // and must not flip near-capacity decisions: object 2 exactly fills the
+  // empty site, so it still fits and the result is still valid.
+  EXPECT_TRUE(scheme.fits(1, 2));
+  scheme.add(1, 2);
+  EXPECT_TRUE(scheme.is_valid());
+  // A genuine violation is still a violation: no room for another object.
+  EXPECT_FALSE(scheme.fits(1, 0));
+}
+
+TEST(ReplicationScheme, CapacitySlackScalesWithProblemMass) {
+  const Problem p = testing::line3_problem(10.0, 1000.0);
+  const ReplicationScheme scheme(p);
+  // slack = eps × (1 + capacity + Σ object sizes).
+  EXPECT_DOUBLE_EQ(scheme.capacity_slack(0),
+                   ReplicationScheme::kCapacityRelEps * (1.0 + 1000.0 + 10.0));
 }
 
 }  // namespace

@@ -157,6 +157,56 @@ TEST(ClusteredUpdates, AllSitesInRange) {
   EXPECT_NO_THROW(clustered_updates(p, 1, 200.0, 100.0, rng));
 }
 
+// Regression: the fractional part of `count` used to be truncated, so a
+// drift smaller than one request silently added nothing. It is now carried
+// stochastically — the total added matches the requested count in
+// expectation.
+TEST(ClusteredUpdates, FractionalCountMatchesRequestInExpectation) {
+  constexpr double kCount = 2.3;
+  constexpr int kTrials = 2000;
+  double added = 0.0;
+  util::Rng rng(19);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    core::Problem p = make_problem(20);
+    const double before = p.total_writes(0);
+    clustered_updates(p, 0, kCount, /*sigma=*/2.0, rng);
+    added += p.total_writes(0) - before;
+  }
+  // Per trial the total is 2 + Bernoulli(0.3): mean 2.3, variance 0.21.
+  // 2000 trials put the sample mean within ±0.04 of 2.3 at ~4 sigma.
+  EXPECT_NEAR(added / kTrials, kCount, 0.04);
+}
+
+TEST(ClusteredUpdates, SubUnitCountIsNotSilentlyDropped) {
+  // count = 0.7 must land a request ~70% of the time; pre-fix it was
+  // always truncated to zero.
+  int landed = 0;
+  util::Rng rng(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    core::Problem p = make_problem(22);
+    const double before = p.total_writes(1);
+    clustered_updates(p, 1, 0.7, /*sigma=*/2.0, rng);
+    if (p.total_writes(1) > before) ++landed;
+  }
+  EXPECT_GT(landed, 280);  // 0.7·500 = 350, ~4 sigma below
+  EXPECT_LT(landed, 420);
+}
+
+TEST(ClusteredUpdates, IntegralCountConsumesUnchangedRngStream) {
+  // The carry draw happens only for fractional counts, so integral counts
+  // must produce bit-identical patterns to the pre-fix behavior — the
+  // OFF-path bit-compatibility guarantee for apply_pattern_change.
+  core::Problem a = make_problem(23);
+  core::Problem b = make_problem(23);
+  util::Rng rng_a(24), rng_b(24);
+  clustered_updates(a, 0, 100.0, /*sigma=*/3.0, rng_a);
+  clustered_updates(b, 0, 100.0, /*sigma=*/3.0, rng_b);
+  // Both streams drew identically; follow-up draws stay aligned too.
+  EXPECT_EQ(rng_a.uniform_u64(0, 1000000), rng_b.uniform_u64(0, 1000000));
+  for (core::SiteId i = 0; i < a.sites(); ++i)
+    EXPECT_DOUBLE_EQ(a.writes(i, 0), b.writes(i, 0));
+}
+
 TEST(PatternChange, DeterministicGivenSeed) {
   core::Problem a = make_problem(17);
   core::Problem b = make_problem(17);

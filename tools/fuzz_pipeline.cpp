@@ -1,0 +1,392 @@
+// Seeded end-to-end pipeline fuzzer (DESIGN.md Section 9).
+//
+// Each case is a pure function of {seed, sites, objects, epochs}: a problem
+// is generated, driven through SRA → GRA (+ DeltaEvaluator churn) → the
+// epoch simulation (all three adaptation policies) → distributed SRA
+// (perfect and faulty) → trace replay (perfect and faulty) → a monitor
+// retune round, and after every stage the audit::check_* validators
+// cross-check the incremental state against from-scratch recomputation. The
+// validators are called explicitly, so the fuzzer finds divergence in any
+// build; compiling with -DDREP_AUDIT=ON additionally arms the inline hooks
+// inside the solvers and catches mid-run corruption at its source.
+//
+// On failure the case is shrunk (halve sites, halve objects, collapse the
+// epochs) while it still fails, and a replayable repro line is printed:
+//
+//   tools/fuzz_pipeline --seed=S --sites=M --objects=N --epochs=E
+//
+// Exit status: 0 = every case clean, 1 = violations found, 2 = usage error.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algo/gra.hpp"
+#include "algo/sra.hpp"
+#include "audit/invariants.hpp"
+#include "core/benefit.hpp"
+#include "core/cost_model.hpp"
+#include "sim/access_replay.hpp"
+#include "sim/distributed_sra.hpp"
+#include "sim/epochs.hpp"
+#include "sim/monitor_protocol.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/pattern_change.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace drep;
+
+struct FuzzCase {
+  std::uint64_t seed = 1;
+  std::size_t sites = 0;    // 0 = derive from seed
+  std::size_t objects = 0;  // 0 = derive from seed
+  std::size_t epochs = 0;   // 0 = derive from seed
+};
+
+constexpr std::size_t kMinSites = 3;
+constexpr std::size_t kMinObjects = 2;
+
+/// Fills in unspecified dimensions from the seed, so `--seed=S` alone is a
+/// complete repro and the sweep covers a range of shapes.
+FuzzCase resolve(FuzzCase c) {
+  util::Rng shape(c.seed ^ 0x5A17F00DULL);
+  if (c.sites == 0) c.sites = 4 + shape.index(11);     // 4..14
+  if (c.objects == 0) c.objects = 6 + shape.index(15); // 6..20
+  if (c.epochs == 0) c.epochs = 1 + shape.index(3);    // 1..3
+  return c;
+}
+
+std::string repro_line(const FuzzCase& c) {
+  std::ostringstream out;
+  out << "tools/fuzz_pipeline --seed=" << c.seed << " --sites=" << c.sites
+      << " --objects=" << c.objects << " --epochs=" << c.epochs;
+  return out.str();
+}
+
+void note(audit::Violations& out, const std::string& stage,
+          audit::Violations found) {
+  for (auto& v : found)
+    out.push_back({stage + ": " + v.invariant, std::move(v.detail)});
+}
+
+audit::MessageCounts message_counts(const sim::TrafficStats& t) {
+  return {.sent = t.sent_messages,
+          .delivered_data = t.data_messages,
+          .delivered_control = t.control_messages,
+          .dropped_link = t.dropped_link,
+          .dropped_site_down = t.dropped_site_down,
+          .in_flight = 0};
+}
+
+/// A fault plan sized to the case: lossy links, latency spikes, and a crash
+/// window on the highest site id (never the leader/monitor at site 0).
+sim::FaultPlan make_faults(const FuzzCase& c) {
+  sim::FaultPlan plan;
+  plan.seed = c.seed * 2654435761ULL + 17;
+  plan.drop_probability = 0.12;
+  plan.spike_probability = 0.05;
+  if (c.sites > 2)
+    plan.crashes.push_back(
+        {static_cast<net::SiteId>(c.sites - 1), 0.0, 200.0});
+  return plan;
+}
+
+/// Runs the whole pipeline for one case; returns the violation list (empty
+/// = clean). Audit hooks inside the libraries throw AuditFailure when armed;
+/// those are folded into the list too.
+audit::Violations run_case(const FuzzCase& c) {
+  audit::Violations out;
+  try {
+    util::Rng rng(c.seed);
+
+    // --- generate -------------------------------------------------------
+    workload::GeneratorConfig gen;
+    gen.sites = c.sites;
+    gen.objects = c.objects;
+    gen.update_ratio_percent = rng.uniform_real(2.0, 30.0);
+    gen.capacity_percent = rng.uniform_real(12.0, 45.0);
+    util::Rng gen_rng = rng.fork(1);
+    core::Problem problem = workload::generate(gen, gen_rng);
+
+    // --- SRA ------------------------------------------------------------
+    util::Rng sra_rng = rng.fork(2);
+    algo::AlgorithmResult sra =
+        algo::solve_sra(problem, algo::SraConfig{}, sra_rng);
+    note(out, "sra", audit::check_scheme(sra.scheme));
+    note(out, "sra", audit::check_sra_terminal(sra.scheme));
+
+    // --- GRA + DeltaEvaluator churn -------------------------------------
+    algo::GraConfig gra_cfg;
+    gra_cfg.population = 8;
+    gra_cfg.generations = 6;
+    util::Rng gra_rng = rng.fork(3);
+    algo::GraResult gra = algo::solve_gra(problem, gra_cfg, gra_rng);
+    note(out, "gra", audit::check_scheme(gra.best.scheme));
+
+    core::DeltaEvaluator delta(problem);
+    (void)delta.rebase(gra.best.scheme.matrix());
+    note(out, "gra/rebase", audit::check_delta_evaluator(delta));
+
+    // Long random add/remove churn: the incremental scheme state and the
+    // delta caches must track through it without drifting.
+    core::ReplicationScheme churn(problem, gra.best.scheme.matrix());
+    util::Rng churn_rng = rng.fork(4);
+    for (int step = 0; step < 300; ++step) {
+      const auto i = static_cast<core::SiteId>(churn_rng.index(c.sites));
+      const auto k = static_cast<core::ObjectId>(churn_rng.index(c.objects));
+      if (problem.primary(k) == i) continue;
+      if (churn.has_replica(i, k)) {
+        churn.remove(i, k);
+      } else {
+        churn.add(i, k);
+      }
+      (void)delta.apply_flip(i, k);
+    }
+    note(out, "churn", audit::check_scheme(churn));
+    note(out, "churn", audit::check_delta_evaluator(delta));
+
+    // --- epochs (drift + adaptation, all three policies) ----------------
+    sim::EpochConfig epoch_cfg;
+    epoch_cfg.epochs = c.epochs;
+    epoch_cfg.monitor.gra = gra_cfg;
+    epoch_cfg.monitor.agra.population = 6;
+    epoch_cfg.monitor.agra.generations = 8;
+    epoch_cfg.monitor.agra.mini_gra = gra_cfg;
+    for (const auto policy :
+         {sim::AdaptationPolicy::kStatic, sim::AdaptationPolicy::kAgraOnDrift,
+          sim::AdaptationPolicy::kNightlyOnly}) {
+      epoch_cfg.policy = policy;
+      util::Rng epoch_rng = rng.fork(5 + static_cast<std::uint64_t>(policy));
+      const sim::EpochReport report =
+          sim::run_epochs(problem, epoch_cfg, epoch_rng);
+      note(out, "epochs",
+           audit::check_epoch_accounting(
+               report.served_traffic, report.epoch_served,
+               report.migration_traffic, report.epoch_migration));
+    }
+
+    // --- distributed SRA: perfect network must equal centralized --------
+    sim::DistributedSraResult dsra = sim::run_distributed_sra(problem);
+    note(out, "dsra", audit::check_scheme(dsra.scheme));
+    note(out, "dsra", audit::check_message_conservation(
+                          message_counts(dsra.traffic)));
+    if (dsra.scheme.matrix() != sra.scheme.matrix()) {
+      out.push_back({"dsra: protocol.equivalence",
+                     "distributed SRA scheme differs from centralized SRA"});
+    }
+
+    // --- distributed SRA under faults: conservation must still hold -----
+    sim::DistributedSraOptions dsra_opt;
+    dsra_opt.faults = make_faults(c);
+    sim::DistributedSraResult faulty_dsra =
+        sim::run_distributed_sra(problem, dsra_opt);
+    note(out, "dsra/faulty", audit::check_scheme(faulty_dsra.scheme));
+    note(out, "dsra/faulty", audit::check_message_conservation(
+                                 message_counts(faulty_dsra.traffic)));
+
+    // --- trace replay: perfect traffic equals analytic D ----------------
+    util::Rng trace_rng = rng.fork(9);
+    const std::vector<workload::Request> trace =
+        workload::build_trace(problem, trace_rng);
+    const sim::ReplayResult replay = sim::replay_trace(sra.scheme, trace);
+    note(out, "replay", audit::check_message_conservation(
+                            message_counts(replay.traffic)));
+    const double analytic = core::total_cost(sra.scheme);
+    const double measured = replay.traffic.data_traffic;
+    if (std::abs(measured - analytic) >
+        1e-9 * std::max(1.0, std::abs(analytic))) {
+      out.push_back({"replay: traffic.analytic",
+                     "perfect-network replay traffic " +
+                         std::to_string(measured) + " != analytic D " +
+                         std::to_string(analytic)});
+    }
+
+    sim::ReplayOptions replay_opt;
+    replay_opt.faults = make_faults(c);
+    const sim::ReplayResult faulty_replay =
+        sim::replay_trace(sra.scheme, trace, replay_opt);
+    note(out, "replay/faulty", audit::check_message_conservation(
+                                   message_counts(faulty_replay.traffic)));
+
+    // --- monitor retune round on a perfect network ----------------------
+    util::Rng monitor_rng = rng.fork(10);
+    sim::MonitorConfig mon_cfg;
+    mon_cfg.gra = gra_cfg;
+    mon_cfg.agra.population = 6;
+    mon_cfg.agra.generations = 8;
+    sim::Monitor monitor(problem, mon_cfg, monitor_rng);
+    core::Problem drifted = problem;
+    workload::PatternChangeConfig drift;
+    util::Rng drift_rng = rng.fork(11);
+    (void)workload::apply_pattern_change(drifted, drift, drift_rng);
+    const sim::RetuneReport retune = sim::run_retune_round(
+        drifted, monitor, /*monitor_site=*/0, /*nightly=*/false, monitor_rng);
+    note(out, "retune", audit::check_message_conservation(
+                            message_counts(retune.traffic)));
+    note(out, "retune",
+         audit::check_perfect_retune(
+             {.data_traffic = retune.traffic.data_traffic,
+              .migration_traffic = retune.migration_traffic,
+              .retries = retune.retry_stats.retries,
+              .timeouts = retune.retry_stats.timeouts,
+              .give_ups = retune.retry_stats.give_ups,
+              .duplicates = retune.retry_stats.duplicates,
+              .reports_missing = retune.reports_missing,
+              .directives_failed = retune.directives_failed}));
+    core::ReplicationScheme adopted(drifted, monitor.current_scheme());
+    note(out, "retune", audit::check_scheme(adopted));
+  } catch (const audit::AuditFailure& failure) {
+    note(out, "hook", failure.violations());
+  } catch (const std::exception& e) {
+    out.push_back({"pipeline.exception", e.what()});
+  }
+  return out;
+}
+
+/// Greedy shrink: repeatedly try the smaller variants and keep any that
+/// still fails. Bounded by the monotone decrease of sites/objects/epochs.
+FuzzCase shrink(FuzzCase c) {
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<FuzzCase> candidates;
+    if (c.sites / 2 >= kMinSites) {
+      FuzzCase cand = c;
+      cand.sites /= 2;
+      candidates.push_back(cand);
+    }
+    if (c.objects / 2 >= kMinObjects) {
+      FuzzCase cand = c;
+      cand.objects /= 2;
+      candidates.push_back(cand);
+    }
+    if (c.epochs > 1) {
+      FuzzCase cand = c;
+      cand.epochs = 1;
+      candidates.push_back(cand);
+    }
+    for (const FuzzCase& cand : candidates) {
+      if (!run_case(cand).empty()) {
+        c = cand;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& value) {
+  if (text.empty()) return false;
+  std::uint64_t parsed = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    parsed = parsed * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  value = parsed;
+  return true;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds=N] [--seed=S] [--sites=M] [--objects=N]\n"
+      "          [--epochs=E] [--no-shrink]\n"
+      "  --seeds=N     sweep seeds 1..N (default 20); ignored with --seed\n"
+      "  --seed=S      run the single case S (a repro line re-runs exactly)\n"
+      "  --sites/--objects/--epochs   pin a dimension (default: from seed)\n"
+      "  --no-shrink   print the original failing case, skip minimization\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 20;
+  std::optional<std::uint64_t> single_seed;
+  FuzzCase pinned;
+  bool do_shrink = true;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    const auto eat = [&](std::string_view prefix, std::uint64_t& value) {
+      return arg.substr(0, prefix.size()) == prefix &&
+             parse_u64(arg.substr(prefix.size()), value);
+    };
+    std::uint64_t value = 0;
+    if (eat("--seeds=", value)) {
+      seeds = value;
+    } else if (eat("--seed=", value)) {
+      single_seed = value;
+    } else if (eat("--sites=", value)) {
+      pinned.sites = value;
+    } else if (eat("--objects=", value)) {
+      pinned.objects = value;
+    } else if (eat("--epochs=", value)) {
+      pinned.epochs = value;
+    } else if (arg == "--no-shrink") {
+      do_shrink = false;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (pinned.sites != 0 && pinned.sites < kMinSites) {
+    std::fprintf(stderr, "fuzz_pipeline: --sites must be >= %zu\n", kMinSites);
+    return 2;
+  }
+  if (pinned.objects != 0 && pinned.objects < kMinObjects) {
+    std::fprintf(stderr, "fuzz_pipeline: --objects must be >= %zu\n",
+                 kMinObjects);
+    return 2;
+  }
+
+  std::vector<std::uint64_t> seed_list;
+  if (single_seed) {
+    seed_list.push_back(*single_seed);
+  } else {
+    for (std::uint64_t s = 1; s <= seeds; ++s) seed_list.push_back(s);
+  }
+
+  std::size_t failures = 0;
+  for (const std::uint64_t seed : seed_list) {
+    FuzzCase c = pinned;
+    c.seed = seed;
+    c = resolve(c);
+    const audit::Violations violations = run_case(c);
+    if (violations.empty()) {
+      std::printf("seed %llu ok (%zu sites, %zu objects, %zu epochs)\n",
+                  static_cast<unsigned long long>(seed), c.sites, c.objects,
+                  c.epochs);
+      continue;
+    }
+    ++failures;
+    FuzzCase minimal = do_shrink ? shrink(c) : c;
+    const audit::Violations final_violations =
+        do_shrink ? run_case(minimal) : violations;
+    std::printf("seed %llu FAILED (%zu violation(s))\n",
+                static_cast<unsigned long long>(seed),
+                final_violations.size());
+    for (const audit::Violation& v : final_violations)
+      std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+    std::printf("  repro: %s\n", repro_line(minimal).c_str());
+  }
+
+  if (failures != 0) {
+    std::printf("fuzz_pipeline: %zu/%zu case(s) failed\n", failures,
+                seed_list.size());
+    return 1;
+  }
+  std::printf("fuzz_pipeline: all %zu case(s) clean\n", seed_list.size());
+  return 0;
+}
