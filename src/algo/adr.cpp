@@ -129,7 +129,9 @@ AlgorithmResult solve_adr(const core::Problem& problem, const net::Graph& tree,
   }
 
   if (stats != nullptr) *stats = local;
-  return make_result(std::move(scheme), watch.seconds());
+  AlgorithmResult result = make_result(std::move(scheme), watch.seconds());
+  result.iterations = local.rounds;
+  return result;
 }
 
 AlgorithmResult solve_adr_mst(const core::Problem& problem,

@@ -12,6 +12,7 @@
 #include "ga/selection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace drep::algo {
@@ -25,6 +26,7 @@ void AgraConfig::validate() const {
     throw std::invalid_argument("AgraConfig: mutation_rate outside [0,1]");
   if (elite_interval == 0)
     throw std::invalid_argument("AgraConfig: elite_interval must be >= 1");
+  common.validate();
   if (mini_gra_generations > 0) mini_gra.validate();
 }
 
@@ -54,6 +56,11 @@ struct MaskIndividual {
   ga::Chromosome mask;
   double fitness = 0.0;
 };
+
+/// Fixed stream key the per-object micro-GA RNG children are forked under
+/// (keyed by index in the changed-object list); part of the deterministic
+/// contract, distinct from GRA's island stream base.
+constexpr std::uint64_t kObjectStreamBase = 0x2A;
 
 }  // namespace
 
@@ -270,26 +277,87 @@ AgraResult solve_agra(const core::Problem& problem,
   std::size_t repairs = 0;
   util::Stopwatch micro_watch;
   const std::size_t half = std::max<std::size_t>(working.size() / 2, 1);
-  for (const core::ObjectId k : changed_objects) {
+
+  // Batched micro-GAs (header comment): each changed object is a task that
+  // only READS the shared working population (its column-k seed extracts
+  // cannot be affected by any other object's transcription) and writes its
+  // own MicroTask slot. Every task gets a forked RNG child stream keyed by
+  // its index in `changed_objects` and draws its transcription picks from
+  // that stream too, so the outcome is a pure function of (problem, config,
+  // parent rng) — identical for serial and pooled execution.
+  struct MicroTask {
+    core::ObjectId object = 0;
+    util::Rng rng{0};
+    MicroGaResult micro;
+    std::vector<std::size_t> picks;  // final-population mask per 2nd-half slot
+    bool ran = false;
+  };
+  std::vector<MicroTask> tasks(changed_objects.size());
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    const core::ObjectId k = changed_objects[j];
     if (k >= n) throw std::out_of_range("solve_agra: changed object out of range");
-    // Seed masks: column extracts of the retained solutions.
+    tasks[j].object = k;
+    tasks[j].rng = rng.fork(kObjectStreamBase + j);
+  }
+  // The parent advances exactly once so back-to-back calls see fresh streams.
+  if (!tasks.empty()) (void)rng.next();
+
+  const auto run_task = [&](MicroTask& task) {
+    // CostEvaluator is not thread-safe; every task owns one.
+    core::CostEvaluator task_evaluator(problem);
     std::vector<ga::Chromosome> seeds;
     seeds.reserve(working.size());
     for (const auto& genes : working)
-      seeds.push_back(column_mask(problem, genes, k));
-    const ga::Chromosome current_mask = column_mask(problem, current_scheme, k);
+      seeds.push_back(column_mask(problem, genes, task.object));
+    const ga::Chromosome current_mask =
+        column_mask(problem, current_scheme, task.object);
+    task.micro = micro_ga(problem, task_evaluator, task.object, current_mask,
+                          seeds, config, task.rng);
+    task.picks.reserve(working.size() - half);
+    for (std::size_t p = half; p < working.size(); ++p)
+      task.picks.push_back(task.rng.index(task.micro.population.size()));
+    task.ran = true;
+  };
 
-    MicroGaResult micro =
-        micro_ga(problem, evaluator, k, current_mask, seeds, config, rng);
-
-    // Transcription: best mask into the first half (slot 0 = elite
-    // included); random final-population masks into the second half.
-    for (std::size_t p = 0; p < half; ++p)
-      store_column(problem, working[p], k, micro.best_mask);
-    for (std::size_t p = half; p < working.size(); ++p) {
-      const auto& mask = micro.population[rng.index(micro.population.size())];
-      store_column(problem, working[p], k, mask);
+  // Dispatch: strictly serial with threads==1, otherwise waves of at most
+  // `threads` tasks on the shared pool (0 = one wave with everything). The
+  // time budget is checked between tasks/waves; objects past the cut keep
+  // their current columns.
+  const double limit = config.common.time_limit_seconds;
+  if (config.common.threads == 1 || tasks.size() <= 1) {
+    for (auto& task : tasks) {
+      if (limit > 0.0 && total_watch.seconds() >= limit) break;
+      run_task(task);
     }
+  } else {
+    util::ThreadPool& pool = util::ThreadPool::shared();
+    const std::size_t wave = config.common.threads == 0
+                                 ? tasks.size()
+                                 : std::min(config.common.threads, tasks.size());
+    for (std::size_t lo = 0; lo < tasks.size(); lo += wave) {
+      if (limit > 0.0 && total_watch.seconds() >= limit) break;
+      DREP_COUNT("drep_agra_parallel_batches_total", 1);
+      const std::size_t hi = std::min(tasks.size(), lo + wave);
+      util::WaitGroup group(pool);
+      for (std::size_t j = lo + 1; j < hi; ++j)
+        group.submit([&run_task, &tasks, j] { run_task(tasks[j]); });
+      group.run_inline([&run_task, &tasks, lo] { run_task(tasks[lo]); });
+      group.wait();
+    }
+  }
+
+  // Deterministic commit, in changed-object order: best mask into the first
+  // half (slot 0 = elite included); the task's picked final-population
+  // masks into the second half.
+  std::size_t adapted = 0;
+  for (const MicroTask& task : tasks) {
+    if (!task.ran) continue;
+    ++adapted;
+    for (std::size_t p = 0; p < half; ++p)
+      store_column(problem, working[p], task.object, task.micro.best_mask);
+    for (std::size_t p = half; p < working.size(); ++p)
+      store_column(problem, working[p], task.object,
+                   task.micro.population[task.picks[p - half]]);
   }
   const double micro_ga_seconds = micro_watch.seconds();
 
@@ -308,6 +376,7 @@ AgraResult solve_agra(const core::Problem& problem,
     GraResult polished = evolve_population(problem, std::move(working), mini, rng);
     const double mini_gra_seconds = mini_watch.seconds();
     polished.best.elapsed_seconds = total_watch.seconds();
+    polished.best.iterations = adapted;
     return AgraResult{std::move(polished.best), std::move(polished.population),
                       micro_ga_seconds, mini_gra_seconds, repairs};
   }
@@ -330,8 +399,10 @@ AgraResult solve_agra(const core::Problem& problem,
   // winning chromosome must be internally consistent after the per-object
   // transcription/repair churn above.
   DREP_AUDIT_ENFORCE("agra/solve", ::drep::audit::check_scheme(scheme));
-  return AgraResult{make_result(std::move(scheme), total_watch.seconds()),
-                    std::move(population), micro_ga_seconds, 0.0, repairs};
+  AlgorithmResult best = make_result(std::move(scheme), total_watch.seconds());
+  best.iterations = adapted;
+  return AgraResult{std::move(best), std::move(population), micro_ga_seconds,
+                    0.0, repairs};
 }
 
 }  // namespace drep::algo

@@ -14,15 +14,33 @@
 // by transcription are repaired by deallocating, at each over-full site,
 // the object with the smallest replica-benefit estimate E_k(i) (Eq. 6).
 // Optionally a few generations of "mini-GRA" then polish the population.
+//
+// Batched execution (DESIGN.md Section 10): the per-object micro-GAs are
+// independent of one another — transcription of object j only writes column
+// j of the working chromosomes, so object k's seed extracts (column k) do
+// not depend on any other object's outcome. solve_agra therefore runs each
+// changed object as its own task on a snapshot of the working population,
+// with a per-object forked RNG stream and a per-task CostEvaluator, and
+// commits the transcriptions serially in changed-object order. Parallel and
+// serial execution are bit-identical by construction; capacity repair runs
+// after all commits, in population order, as the deterministic resolution
+// of the per-object capacity claims.
 
 #include <span>
 
+#include "algo/common.hpp"
 #include "algo/gra.hpp"
 #include "algo/result.hpp"
 
 namespace drep::algo {
 
 struct AgraConfig {
+  /// Uniform solver knobs (seed/threads/audit/time limit); see
+  /// algo/common.hpp. `common.threads == 1` keeps the micro-GA batch on the
+  /// calling thread; any other value schedules it on the shared pool. The
+  /// result is identical either way.
+  CommonOptions common{};
+
   std::size_t population = 10;   // Ap
   std::size_t generations = 50;  // Ag
   double crossover_rate = 0.8;   // single-point
@@ -95,6 +113,11 @@ struct AgraResult {
 /// replication chromosome (becomes the elite); `gra_population` is the
 /// retained population of the last static GRA run (when empty, a population
 /// is synthesized from perturbed copies of the current scheme).
+///
+/// Deprecated for runtime algorithm selection: new call sites should
+/// dispatch through `solver_registry().at("agra")` (algo/solver.hpp) with an
+/// AdaptContext, which wraps this function behind the uniform
+/// SolveRequest/SolveResponse API.
 [[nodiscard]] AgraResult solve_agra(
     const core::Problem& problem, const ga::Chromosome& current_scheme,
     std::span<const ga::Chromosome> gra_population,

@@ -1,0 +1,47 @@
+#pragma once
+// Options shared by every replication solver.
+//
+// Each algorithm config (SraConfig, GraConfig, AgraConfig, AdrConfig …)
+// embeds a CommonOptions so that the uniform knobs — seed, threads, audit,
+// time limit — spell the same everywhere and the drep::Solver registry can
+// forward them without per-algorithm special cases.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace drep::algo {
+
+struct CommonOptions {
+  /// Seed for the solver's RNG stream. Consulted only by the Solver-registry
+  /// path (algo/solver.hpp); the legacy free functions take an explicit
+  /// util::Rng and ignore this field.
+  std::uint64_t seed = 1;
+
+  /// Worker-thread budget. 0 = use the shared pool at its configured size;
+  /// 1 = run strictly serially (no pool hand-off at all); K > 1 = cap this
+  /// solve to at most K concurrent tasks. Results never depend on this value
+  /// — every parallel path in the solvers is scheduled so that the output is
+  /// a pure function of (problem, config, seed).
+  std::size_t threads = 0;
+
+  /// Run the always-built audit validators (audit/invariants.hpp) on the
+  /// final scheme and throw audit::AuditFailure on any violation. Cheaper
+  /// and coarser than the compile-time DREP_AUDIT=ON hooks, which audit
+  /// mid-run state as well; both can be on at once.
+  bool audit = false;
+
+  /// Wall-clock budget in seconds; 0 = unlimited. Iterative solvers (GRA,
+  /// AGRA) stop early at the next generation/batch boundary once exceeded.
+  /// A nonzero limit makes results timing-dependent, so leave it 0 whenever
+  /// determinism matters.
+  double time_limit_seconds = 0.0;
+
+  void validate() const {
+    if (time_limit_seconds < 0.0)
+      throw std::invalid_argument(
+          "CommonOptions: time_limit_seconds must be >= 0");
+  }
+};
+
+}  // namespace drep::algo

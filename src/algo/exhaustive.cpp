@@ -94,7 +94,9 @@ std::optional<AlgorithmResult> solve_exhaustive(const core::Problem& problem,
   search.run();
   if (stats != nullptr) *stats = search.stats();
   core::ReplicationScheme scheme(problem, search.best_matrix());
-  return make_result(std::move(scheme), watch.seconds());
+  AlgorithmResult result = make_result(std::move(scheme), watch.seconds());
+  result.iterations = search.stats().nodes_visited;
+  return result;
 }
 
 }  // namespace drep::algo

@@ -1,6 +1,8 @@
 #include "algo/gra.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 
 #include "algo/sra.hpp"
@@ -28,6 +30,21 @@ void GraConfig::validate() const {
     throw std::invalid_argument("GraConfig: perturb_fraction outside [0,1]");
   if (tournament_arity == 0)
     throw std::invalid_argument("GraConfig: tournament_arity must be >= 1");
+  common.validate();
+  if (islands == 0)
+    throw std::invalid_argument("GraConfig: islands must be >= 1");
+  if (islands > 1) {
+    if (population / islands < 2)
+      throw std::invalid_argument(
+          "GraConfig: each island needs a population share of at least 2");
+    if (migration_interval == 0)
+      throw std::invalid_argument(
+          "GraConfig: migration_interval must be >= 1");
+    if (migration_count >= population / islands)
+      throw std::invalid_argument(
+          "GraConfig: migration_count must be smaller than the smallest "
+          "island share");
+  }
 }
 
 ga::Chromosome primary_chromosome(const core::Problem& problem) {
@@ -169,66 +186,15 @@ class GraEngine {
     (void)evaluators_[0].full_cost(primary_, primary_v_);
   }
 
+  /// The classic single-population run: the stepping API below composed
+  /// end to end, bit-identical to the pre-island GRA.
   GraResult run(std::vector<ga::Chromosome> initial) {
     DREP_SPAN("gra/solve");
-    util::Stopwatch watch;
-    std::vector<EvalIndividual> population = adopt(std::move(initial));
-    evaluate(population);
-
-    EvalIndividual best_ever =
-        population[ga::best_index(fitness_of(population))];
-    std::vector<double> history;
-    history.reserve(config_.generations + 1);
-    history.push_back(best_ever.ind.fitness);
-
-    for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
-      DREP_SPAN("gra/generation");
-      DREP_COUNT("drep_gra_generations_total", 1);
-      if (config_.selection == GraConfig::SelectionScheme::kSgaRoulette) {
-        population = sga_generation(population);
-      } else {
-        population = mu_plus_lambda_generation(population);
-      }
-      const auto fit = fitness_of(population);
-      const std::size_t best_now = ga::best_index(fit);
-      if (population[best_now].ind.fitness > best_ever.ind.fitness)
-        best_ever = population[best_now];
-      double fitness_sum = 0.0;
-      for (const double f : fit) fitness_sum += f;
-      DREP_GAUGE_SET("drep_gra_best_fitness", best_ever.ind.fitness);
-      DREP_GAUGE_SET("drep_gra_mean_fitness",
-                     fitness_sum / static_cast<double>(fit.size()));
-      // Elitism: the best-found-so-far chromosome replaces the current
-      // worst, once every elite_interval generations (paper: 5, to avoid
-      // premature convergence).
-      if (gen % config_.elite_interval == 0)
-        population[ga::worst_index(fit)] = best_ever;
-      history.push_back(best_ever.ind.fitness);
-    }
-
-    double full_equivalents = 0.0;
-    for (const auto& evaluator : evaluators_)
-      full_equivalents += evaluator.full_equivalents();
-    std::vector<Individual> final_population;
-    final_population.reserve(population.size());
-    for (auto& e : population) final_population.push_back(std::move(e.ind));
-
-    core::ReplicationScheme scheme(problem_, best_ever.ind.genes);
-    // Audit (compiled out unless DREP_AUDIT=ON): the winner's inherited V_k
-    // cache must match a from-scratch evaluation of its genes, and the
-    // scheme built from them must be internally consistent.
-    DREP_AUDIT_ENFORCE(
-        "gra/run",
-        ::drep::audit::merge(
-            ::drep::audit::check_object_cost_cache(
-                evaluators_[0], best_ever.ind.genes, best_ever.v),
-            ::drep::audit::check_scheme(scheme)));
-    return GraResult{make_result(std::move(scheme), watch.seconds()),
-                     std::move(final_population), std::move(history),
-                     evaluations_, full_equivalents};
+    init(std::move(initial));
+    advance(config_.generations);
+    return finish();
   }
 
- private:
   /// An Individual plus the incremental-evaluation state that backs it: the
   /// per-object costs V_k of the last evaluated genes (empty = never
   /// evaluated) and the objects whose bits changed since ("touched").
@@ -237,6 +203,121 @@ class GraEngine {
     std::vector<double> v;
     std::vector<core::ObjectId> touched;
   };
+
+  /// Adopts and evaluates the initial population; generation 0 of the
+  /// history. Restarts the engine's wall clock.
+  void init(std::vector<ga::Chromosome> initial) {
+    watch_.reset();
+    population_ = adopt(std::move(initial));
+    evaluate(population_);
+    best_ever_ = population_[ga::best_index(fitness_of(population_))];
+    history_.clear();
+    history_.reserve(config_.generations + 1);
+    history_.push_back(best_ever_.ind.fitness);
+  }
+
+  /// Runs up to `generations` more generations (stopping early at the
+  /// common.time_limit_seconds budget); returns the number actually run.
+  std::size_t advance(std::size_t generations) {
+    const double limit = config_.common.time_limit_seconds;
+    std::size_t run_count = 0;
+    for (; run_count < generations; ++run_count) {
+      if (limit > 0.0 && watch_.seconds() >= limit) break;
+      step_generation();
+    }
+    return run_count;
+  }
+
+  /// Copies of the `count` fittest individuals (ties break to the lowest
+  /// index), fittest first — the island's emigrants.
+  std::vector<EvalIndividual> emigrants(std::size_t count) const {
+    count = std::min(count, population_.size());
+    std::vector<std::size_t> order(population_.size());
+    for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return population_[a].ind.fitness >
+                              population_[b].ind.fitness;
+                     });
+    std::vector<EvalIndividual> out;
+    out.reserve(count);
+    for (std::size_t p = 0; p < count; ++p) out.push_back(population_[order[p]]);
+    return out;
+  }
+
+  /// Replaces the population's weakest individuals with the migrants (one
+  /// per migrant, weakest first, ties to the lowest index). Migrant V_k
+  /// caches stay valid: DeltaEvaluator totals are bit-exact regardless of
+  /// which island's evaluator produced them.
+  void immigrate(std::vector<EvalIndividual> migrants) {
+    std::vector<std::size_t> order(population_.size());
+    for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return population_[a].ind.fitness <
+                              population_[b].ind.fitness;
+                     });
+    const std::size_t count = std::min(migrants.size(), population_.size());
+    for (std::size_t m = 0; m < count; ++m) {
+      if (migrants[m].ind.fitness > best_ever_.ind.fitness)
+        best_ever_ = migrants[m];
+      population_[order[m]] = std::move(migrants[m]);
+    }
+    DREP_COUNT("drep_gra_migrants_total", count);
+  }
+
+  /// Builds the result from the current state; audits the winner's V_k
+  /// cache (per island when used by the island driver).
+  GraResult finish() {
+    double full_equivalents = 0.0;
+    for (const auto& evaluator : evaluators_)
+      full_equivalents += evaluator.full_equivalents();
+    std::vector<Individual> final_population;
+    final_population.reserve(population_.size());
+    for (auto& e : population_) final_population.push_back(std::move(e.ind));
+
+    core::ReplicationScheme scheme(problem_, best_ever_.ind.genes);
+    // Audit (compiled out unless DREP_AUDIT=ON): the winner's inherited V_k
+    // cache must match a from-scratch evaluation of its genes, and the
+    // scheme built from them must be internally consistent.
+    DREP_AUDIT_ENFORCE(
+        "gra/run",
+        ::drep::audit::merge(
+            ::drep::audit::check_object_cost_cache(
+                evaluators_[0], best_ever_.ind.genes, best_ever_.v),
+            ::drep::audit::check_scheme(scheme)));
+    AlgorithmResult best = make_result(std::move(scheme), watch_.seconds());
+    best.iterations = generation_;
+    return GraResult{std::move(best), std::move(final_population),
+                     std::move(history_), evaluations_, full_equivalents};
+  }
+
+ private:
+  void step_generation() {
+    ++generation_;
+    DREP_SPAN("gra/generation");
+    DREP_COUNT("drep_gra_generations_total", 1);
+    if (config_.selection == GraConfig::SelectionScheme::kSgaRoulette) {
+      population_ = sga_generation(population_);
+    } else {
+      population_ = mu_plus_lambda_generation(population_);
+    }
+    const auto fit = fitness_of(population_);
+    const std::size_t best_now = ga::best_index(fit);
+    if (population_[best_now].ind.fitness > best_ever_.ind.fitness)
+      best_ever_ = population_[best_now];
+    double fitness_sum = 0.0;
+    for (const double f : fit) fitness_sum += f;
+    DREP_GAUGE_SET("drep_gra_best_fitness", best_ever_.ind.fitness);
+    DREP_GAUGE_SET("drep_gra_mean_fitness",
+                   fitness_sum / static_cast<double>(fit.size()));
+    // Elitism: the best-found-so-far chromosome replaces the current
+    // worst, once every elite_interval generations (paper: 5, to avoid
+    // premature convergence).
+    if (generation_ % config_.elite_interval == 0)
+      population_[ga::worst_index(fit)] = best_ever_;
+    history_.push_back(best_ever_.ind.fitness);
+  }
 
   std::vector<EvalIndividual> adopt(std::vector<ga::Chromosome> initial) {
     const std::size_t length = problem_.sites() * problem_.objects();
@@ -522,13 +603,172 @@ class GraEngine {
   std::vector<double> primary_v_;
   std::vector<std::size_t> flip_positions_;  // mutated() scratch, main thread
   std::size_t evaluations_ = 0;
+
+  // Stepping state (init / advance / finish).
+  util::Stopwatch watch_;
+  std::vector<EvalIndividual> population_;
+  EvalIndividual best_ever_;
+  std::vector<double> history_;
+  std::size_t generation_ = 0;
 };
+
+/// Fixed stream key island RNG children are forked under; any constant works
+/// as long as it never changes (it is part of the deterministic contract).
+constexpr std::uint64_t kIslandStreamBase = 0x15;
+
+/// The island-model driver (DESIGN.md Section 10). Pass an empty `initial`
+/// to let every island seed itself (solve_gra), or a caller population to
+/// split into contiguous island shares (evolve_population).
+///
+/// Determinism: each island runs single-threaded on its own forked RNG
+/// stream and its own evaluators; islands synchronize at epoch barriers
+/// (every migration_interval generations) where the ring exchange happens
+/// on the driver thread in island order. Nothing an island computes depends
+/// on scheduling, so the result is a pure function of (problem, config,
+/// seed) for every thread count.
+GraResult solve_gra_islands(const core::Problem& problem,
+                            const GraConfig& config, util::Rng& rng,
+                            std::vector<ga::Chromosome> initial) {
+  DREP_SPAN("gra/solve");
+  util::Stopwatch watch;
+  const std::size_t k = config.islands;
+
+  // Per-island RNG child streams, forked before the parent advances; the
+  // parent then steps exactly once so back-to-back solves differ.
+  std::vector<util::Rng> rngs;
+  rngs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    rngs.push_back(rng.fork(kIslandStreamBase + i));
+  (void)rng.next();
+
+  // Per-island configs: the population share, islands=1, internally serial
+  // evaluation (the island task is the unit of parallelism), and no
+  // per-island time limit — the driver enforces the budget at epoch
+  // barriers so the island histories stay aligned.
+  std::vector<GraConfig> configs(k, config);
+  const std::size_t base = config.population / k;
+  const std::size_t extra = config.population % k;
+  for (std::size_t i = 0; i < k; ++i) {
+    configs[i].islands = 1;
+    configs[i].population = base + (i < extra ? 1 : 0);
+    configs[i].parallel_evaluation = false;
+    configs[i].common.time_limit_seconds = 0.0;
+  }
+
+  // Contiguous split of a caller-supplied initial population.
+  std::vector<std::vector<ga::Chromosome>> initials(k);
+  if (!initial.empty()) {
+    const std::size_t seed_base = initial.size() / k;
+    const std::size_t seed_extra = initial.size() % k;
+    auto next = initial.begin();
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto share =
+          static_cast<std::ptrdiff_t>(seed_base + (i < seed_extra ? 1 : 0));
+      initials[i].assign(std::make_move_iterator(next),
+                         std::make_move_iterator(next + share));
+      next += share;
+    }
+  }
+
+  std::vector<std::optional<GraEngine>> engines(k);
+
+  // One task per island; common.threads==1 keeps everything on this thread,
+  // K>1 caps each wave, 0 lets the shared pool take all islands at once.
+  // WaitGroup already degrades to inline execution on a single-worker pool.
+  const std::size_t threads = config.common.threads;
+  const auto for_each_island =
+      [&](const std::function<void(std::size_t)>& body) {
+        if (threads == 1 || k == 1) {
+          for (std::size_t i = 0; i < k; ++i) body(i);
+          return;
+        }
+        util::ThreadPool& pool = util::ThreadPool::shared();
+        const std::size_t wave = threads == 0 ? k : std::min(threads, k);
+        for (std::size_t lo = 0; lo < k; lo += wave) {
+          const std::size_t hi = std::min(k, lo + wave);
+          util::WaitGroup group(pool);
+          for (std::size_t i = lo + 1; i < hi; ++i)
+            group.submit([&body, i] { body(i); });
+          group.run_inline([&body, lo] { body(lo); });
+          group.wait();
+        }
+      };
+
+  // Seed + evaluate generation 0, one task per island.
+  for_each_island([&](std::size_t i) {
+    std::vector<ga::Chromosome> seed = std::move(initials[i]);
+    if (seed.empty()) {
+      DREP_SPAN("gra/seed");
+      seed = configs[i].init == GraConfig::Init::kSraSeeded
+                 ? sra_seeded_population(problem, configs[i].population,
+                                         configs[i].perturb_fraction, rngs[i])
+                 : random_population(problem, configs[i].population, rngs[i]);
+    }
+    engines[i].emplace(problem, configs[i], rngs[i]);
+    engines[i]->init(std::move(seed));
+  });
+
+  // Epochs: all islands advance migration_interval generations in parallel,
+  // then the driver runs the ring exchange i -> (i+1) mod k.
+  const double limit = config.common.time_limit_seconds;
+  std::size_t done = 0;
+  while (done < config.generations) {
+    if (limit > 0.0 && watch.seconds() >= limit) break;
+    const std::size_t step =
+        std::min(config.migration_interval, config.generations - done);
+    for_each_island([&](std::size_t i) { (void)engines[i]->advance(step); });
+    done += step;
+    DREP_COUNT("drep_gra_island_generations_total", step * k);
+    if (done >= config.generations || config.migration_count == 0) continue;
+    // Simultaneous exchange: collect every island's emigrants before any
+    // island accepts immigrants, so the ring sees one coherent snapshot.
+    std::vector<std::vector<GraEngine::EvalIndividual>> migrants(k);
+    for (std::size_t i = 0; i < k; ++i)
+      migrants[i] = engines[i]->emigrants(config.migration_count);
+    for (std::size_t i = 0; i < k; ++i)
+      engines[(i + 1) % k]->immigrate(std::move(migrants[i]));
+    DREP_COUNT("drep_gra_migrations_total", 1);
+  }
+
+  // Merge: winner by lowest cost (ties to the lowest island id), populations
+  // concatenated in island order, history entrywise max across islands.
+  std::vector<std::optional<GraResult>> results(k);
+  for_each_island([&](std::size_t i) { results[i] = engines[i]->finish(); });
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < k; ++i) {
+    if (results[i]->best.cost < results[winner]->best.cost) winner = i;
+  }
+  GraResult merged{std::move(results[winner]->best),
+                   {},
+                   std::move(results[0]->best_fitness_history),
+                   0,
+                   0.0};
+  merged.best.elapsed_seconds = watch.seconds();
+  merged.best.iterations = done;
+  merged.population.reserve(config.population);
+  for (std::size_t i = 0; i < k; ++i) {
+    GraResult& r = *results[i];
+    merged.population.insert(merged.population.end(),
+                             std::make_move_iterator(r.population.begin()),
+                             std::make_move_iterator(r.population.end()));
+    merged.evaluations += r.evaluations;
+    merged.full_equivalent_evaluations += r.full_equivalent_evaluations;
+    if (i > 0) {
+      for (std::size_t g = 0; g < merged.best_fitness_history.size(); ++g) {
+        merged.best_fitness_history[g] = std::max(
+            merged.best_fitness_history[g], r.best_fitness_history[g]);
+      }
+    }
+  }
+  return merged;
+}
 
 }  // namespace
 
 GraResult solve_gra(const core::Problem& problem, const GraConfig& config,
                     util::Rng& rng) {
   config.validate();
+  if (config.islands > 1) return solve_gra_islands(problem, config, rng, {});
   std::vector<ga::Chromosome> initial;
   {
     DREP_SPAN("gra/seed");
@@ -545,6 +785,12 @@ GraResult evolve_population(const core::Problem& problem,
                             std::vector<ga::Chromosome> initial,
                             const GraConfig& config, util::Rng& rng) {
   config.validate();
+  if (config.islands > 1) {
+    if (initial.size() < 2 * config.islands)
+      throw std::invalid_argument(
+          "evolve_population: need at least 2 chromosomes per island");
+    return solve_gra_islands(problem, config, rng, std::move(initial));
+  }
   if (initial.size() < 2)
     throw std::invalid_argument("evolve_population: need at least 2 chromosomes");
   GraEngine engine(problem, config, rng);

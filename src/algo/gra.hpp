@@ -24,15 +24,33 @@
 // Ablation knobs (init/selection/crossover kind) cover the design choices
 // benchmarked in bench/abl_gra_*.
 
+// Island model (DESIGN.md Section 10): with `islands = K > 1` the
+// population is split into K sub-populations, each evolving the identical
+// generation loop on its own deterministic RNG child stream (util::Rng
+// fork keyed by island id) with its own DeltaEvaluator cache. Every
+// `migration_interval` generations the islands synchronize and exchange
+// their `migration_count` fittest individuals along a ring (island i's
+// elites replace the worst of island (i+1) mod K). Islands are scheduled
+// as one task each on util::ThreadPool, so the run scales with cores while
+// staying a pure function of (problem, config, seed): islands=1 reproduces
+// the single-population GRA bit-for-bit, and islands=K is bit-identical
+// across runs and across any thread count.
+
 #include <optional>
 
+#include "algo/common.hpp"
 #include "algo/result.hpp"
 #include "util/rng.hpp"
 
 namespace drep::algo {
 
 struct GraConfig {
-  std::size_t population = 50;   // Np
+  /// Uniform solver knobs (seed/threads/audit/time limit); see
+  /// algo/common.hpp. `common.seed` is only consulted by the Solver
+  /// registry path.
+  CommonOptions common{};
+
+  std::size_t population = 50;   // Np, totalled across all islands
   std::size_t generations = 80;  // Ng
   double crossover_rate = 0.9;   // µc
   double mutation_rate = 0.01;   // µm
@@ -57,6 +75,17 @@ struct GraConfig {
   enum class CrossoverKind { kTwoPointRepair, kOnePoint, kUniform };
   CrossoverKind crossover = CrossoverKind::kTwoPointRepair;
 
+  /// Number of islands. 1 = the classic single-population GRA (bit-exactly
+  /// the pre-island behavior). K > 1 splits `population` into K near-equal
+  /// shares (each must hold at least 2 individuals).
+  std::size_t islands = 1;
+  /// Generations between island synchronization/migration points.
+  std::size_t migration_interval = 10;
+  /// Elites each island emits per migration (ring topology). Must be
+  /// smaller than the smallest island share; 0 disables migration (islands
+  /// then evolve fully independently until the final merge).
+  std::size_t migration_count = 2;
+
   /// Evaluate populations on the shared thread pool. Fitness is computed
   /// per individual with no cross-individual floating-point accumulation
   /// and no per-block state that can affect results, so for a fixed seed
@@ -75,9 +104,13 @@ struct GraResult {
   AlgorithmResult best;
   /// Final population (schemes + fitness), retained because AGRA's
   /// transcription and the Current+GRA adaptive policies evolve it further.
+  /// With islands > 1 this is the concatenation of the island populations
+  /// in island order (total size = config.population).
   std::vector<Individual> population;
-  /// Best-ever fitness after initialization and after each generation
-  /// (length generations+1); non-decreasing.
+  /// Best-ever fitness after initialization and after each generation;
+  /// non-decreasing. Length generations+1, or fewer when a
+  /// common.time_limit_seconds stop cut the run short. With islands > 1
+  /// entry g is the maximum across islands at generation g.
   std::vector<double> best_fitness_history;
   /// Number of chromosome evaluations performed (full and incremental
   /// alike — each evaluated chromosome counts once).
@@ -92,13 +125,23 @@ struct GraResult {
 };
 
 /// Full GRA run: build the initial population, evolve, return the best.
+/// With islands > 1 the seeding, evolution, and evaluation all happen on
+/// per-island RNG child streams; `rng` is advanced exactly once so
+/// back-to-back calls still see fresh streams.
+///
+/// Deprecated entry point for new call sites: prefer dispatching through
+/// the name-keyed registry in algo/solver.hpp (`solver_registry()`), which
+/// wraps this function behind the uniform drep::Solver interface.
 [[nodiscard]] GraResult solve_gra(const core::Problem& problem,
                                   const GraConfig& config, util::Rng& rng);
 
 /// Evolves a caller-supplied initial population (AGRA's transcription and
 /// the Current+N·GRA policies of Section 6.3). Primary bits are forced on;
 /// throws std::invalid_argument when a chromosome has the wrong length or
-/// violates a capacity constraint.
+/// violates a capacity constraint. With islands > 1 the initial population
+/// is split into contiguous island shares.
+///
+/// Deprecated entry point for new call sites: prefer algo/solver.hpp.
 [[nodiscard]] GraResult evolve_population(const core::Problem& problem,
                                           std::vector<ga::Chromosome> initial,
                                           const GraConfig& config,

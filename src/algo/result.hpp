@@ -20,6 +20,10 @@ struct AlgorithmResult {
   std::size_t extra_replicas = 0;
   /// Wall-clock seconds spent inside the solver.
   double elapsed_seconds = 0.0;
+  /// Algorithm-specific progress unit, filled so every solver reports the
+  /// same result shape: generations run (GRA), site visits (SRA), objects
+  /// re-optimized (AGRA), rounds (ADR), nodes visited (exhaustive).
+  std::size_t iterations = 0;
 };
 
 /// Builds the common result fields from a finished scheme.

@@ -115,7 +115,9 @@ AlgorithmResult solve_sra(const core::Problem& problem,
              local_stats.benefit_evaluations);
   DREP_COUNT("drep_sra_replicas_created_total", local_stats.replicas_created);
   if (stats != nullptr) *stats = local_stats;
-  return make_result(std::move(scheme), watch.seconds());
+  AlgorithmResult result = make_result(std::move(scheme), watch.seconds());
+  result.iterations = local_stats.site_visits;
+  return result;
 }
 
 AlgorithmResult solve_sra(const core::Problem& problem) {

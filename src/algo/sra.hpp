@@ -10,12 +10,18 @@
 // as replicas appear (nearest-replica distances shrink; update costs are
 // constant), so pruning is safe and the loop terminates.
 
+#include "algo/common.hpp"
 #include "algo/result.hpp"
 #include "util/rng.hpp"
 
 namespace drep::algo {
 
 struct SraConfig {
+  /// Uniform solver knobs (seed/threads/audit/time limit); see
+  /// algo/common.hpp. SRA is single-pass and serial, so only `seed` (via the
+  /// Solver registry) and `audit` have an effect.
+  CommonOptions common{};
+
   enum class SiteOrder {
     kRoundRobin,  // the paper's deterministic order (step 4)
     kRandom,      // randomized start-up sites, used to diversify GRA seeds
@@ -35,6 +41,10 @@ struct SraStats {
 /// Runs SRA on `problem`. `rng` is only consulted for kRandom site order.
 /// The returned scheme always satisfies the capacity and primary-copy
 /// constraints.
+///
+/// Deprecated for runtime algorithm selection: new call sites should
+/// dispatch through `solver_registry().at("sra")` (algo/solver.hpp), which
+/// wraps this function behind the uniform SolveRequest/SolveResponse API.
 [[nodiscard]] AlgorithmResult solve_sra(const core::Problem& problem,
                                         const SraConfig& config, util::Rng& rng,
                                         SraStats* stats = nullptr);

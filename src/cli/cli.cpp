@@ -11,11 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "algo/agra.hpp"
-#include "algo/baselines.hpp"
-#include "algo/exhaustive.hpp"
-#include "algo/gra.hpp"
-#include "algo/sra.hpp"
+#include "algo/solver.hpp"
 #include "core/cost_model.hpp"
 #include "io/serialize.hpp"
 #include "obs/export.hpp"
@@ -25,6 +21,7 @@
 #include "sim/access_replay.hpp"
 #include "sim/failures.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace drep::cli {
@@ -158,71 +155,65 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+/// Builds SolverOptions from the shared solve/adapt flags. --threads also
+/// resizes the shared pool so the flag takes effect immediately.
+algo::SolverOptions solver_options_from(const Args& args) {
+  algo::SolverOptions options;
+  options.common.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  options.common.threads =
+      static_cast<std::size_t>(args.number("threads", 0));
+  if (args.has("threads"))
+    util::ThreadPool::configure_shared(options.common.threads);
+  options.gra.generations =
+      static_cast<std::size_t>(args.number("generations", 80));
+  options.gra.population =
+      static_cast<std::size_t>(args.number("population", 50));
+  options.gra.islands = static_cast<std::size_t>(args.number("islands", 1));
+  options.agra.mini_gra_generations =
+      static_cast<std::size_t>(args.number("mini", 5));
+  options.agra.common.threads = options.common.threads;
+  return options;
+}
+
+/// "sra|gra|…" — the registered names for usage messages.
+std::string solver_names_joined() {
+  std::string joined;
+  for (const std::string_view name : algo::solver_registry().names()) {
+    if (!joined.empty()) joined += "|";
+    joined += name;
+  }
+  return joined;
+}
+
 int cmd_solve(const Args& args) {
   const core::Problem problem = io::load_problem(args.require("in"));
   const std::string algo_name = args.get("algo", "gra");
-  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  const algo::Solver* solver = algo::solver_registry().find(algo_name);
+  if (solver == nullptr)
+    throw UsageError("unknown --algo=" + algo_name + " (" +
+                     solver_names_joined() + ")");
 
   obs::Json result_json = obs::Json::object();
   result_json["algo"] = obs::Json(algo_name);
-  std::optional<algo::AlgorithmResult> result;
+  std::optional<algo::SolveResponse> response;
   {
     DREP_SPAN("cli/solve");
-    if (algo_name == "sra") {
-      result = algo::solve_sra(problem, algo::SraConfig{}, rng);
-    } else if (algo_name == "gra") {
-      algo::GraConfig config;
-      config.generations =
-          static_cast<std::size_t>(args.number("generations", 80));
-      config.population =
-          static_cast<std::size_t>(args.number("population", 50));
-      algo::GraResult gra = algo::solve_gra(problem, config, rng);
-      result_json["evaluations"] = obs::Json(gra.evaluations);
-      result_json["full_equivalent_evaluations"] =
-          obs::Json(gra.full_equivalent_evaluations);
-      obs::Json history = obs::Json::array();
-      for (const double fitness : gra.best_fitness_history)
-        history.push_back(obs::Json(fitness));
-      result_json["best_fitness_history"] = std::move(history);
-      result = std::move(gra.best);
-    } else if (algo_name == "agra") {
-      // Adapt-from-scratch: treat every object as changed and the
-      // primary-only allocation as the current scheme; the micro-GAs place
-      // each object, transcription assembles the population.
-      algo::AgraConfig config;
-      config.mini_gra_generations =
-          static_cast<std::size_t>(args.number("mini", 5));
-      std::vector<core::ObjectId> changed(problem.objects());
-      std::iota(changed.begin(), changed.end(), core::ObjectId{0});
-      algo::AgraResult agra =
-          algo::solve_agra(problem, algo::primary_chromosome(problem), {},
-                           changed, config, rng);
-      result_json["transcription_repairs"] = obs::Json(agra.repairs);
-      result = std::move(agra.best);
-    } else if (algo_name == "hillclimb") {
-      result = algo::hill_climb(problem);
-    } else if (algo_name == "exhaustive") {
-      auto optimal = algo::solve_exhaustive(problem);
-      if (!optimal) {
-        std::cerr << "exhaustive: instance too large (use a tiny problem)\n";
-        return 1;
-      }
-      result = std::move(*optimal);
-    } else {
-      throw UsageError("unknown --algo=" + algo_name +
-                       " (sra|gra|agra|hillclimb|exhaustive)");
-    }
+    response = solver->solve({problem, solver_options_from(args)});
   }
 
-  if (args.has("out")) io::save_scheme(args.require("out"), result->scheme);
-  result_json["cost"] = obs::Json(result->cost);
-  result_json["savings_percent"] = obs::Json(result->savings_percent);
-  result_json["extra_replicas"] = obs::Json(result->extra_replicas);
-  result_json["elapsed_seconds"] = obs::Json(result->elapsed_seconds);
-  std::cout << algo_name << ": cost " << result->cost << ", savings "
-            << util::format_double(result->savings_percent, 2) << "%, +"
-            << result->extra_replicas << " replicas, "
-            << util::format_double(result->elapsed_seconds, 4) << "s\n";
+  const algo::AlgorithmResult& result = response->result;
+  if (args.has("out")) io::save_scheme(args.require("out"), result.scheme);
+  result_json["cost"] = obs::Json(result.cost);
+  result_json["savings_percent"] = obs::Json(result.savings_percent);
+  result_json["extra_replicas"] = obs::Json(result.extra_replicas);
+  result_json["elapsed_seconds"] = obs::Json(result.elapsed_seconds);
+  result_json["iterations"] = obs::Json(result.iterations);
+  for (auto& [key, value] : response->details.as_object())
+    result_json[key] = std::move(value);
+  std::cout << algo_name << ": cost " << result.cost << ", savings "
+            << util::format_double(result.savings_percent, 2) << "%, +"
+            << result.extra_replicas << " replicas, "
+            << util::format_double(result.elapsed_seconds, 4) << "s\n";
   maybe_write_reports(args, "solve", std::move(result_json));
   return 0;
 }
@@ -334,7 +325,6 @@ int cmd_adapt(const Args& args) {
   const core::Problem new_problem = io::load_problem(args.require("new"));
   const core::ReplicationScheme scheme =
       io::load_scheme(args.require("scheme"), old_problem);
-  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
 
   // Detect which objects shifted beyond the threshold, then run AGRA.
   const double threshold = args.number("threshold", 100.0);
@@ -350,33 +340,33 @@ int cmd_adapt(const Args& args) {
       changed.push_back(k);
     }
   }
-  algo::AgraConfig config;
-  config.mini_gra_generations =
-      static_cast<std::size_t>(args.number("mini", 5));
-  std::optional<algo::AgraResult> result;
+  algo::SolveRequest request{new_problem, solver_options_from(args)};
+  request.adapt =
+      algo::AdaptContext{&scheme.matrix(), /*retained_population=*/{}, changed};
+  std::optional<algo::SolveResponse> response;
   {
     DREP_SPAN("cli/adapt");
-    result = algo::solve_agra(new_problem, scheme.matrix(), {}, changed,
-                              config, rng);
+    response = algo::solver_registry().at("agra").solve(request);
   }
-  io::save_scheme(args.require("out"), result->best.scheme);
+  const algo::AlgorithmResult& result = response->result;
+  io::save_scheme(args.require("out"), result.scheme);
 
   core::ReplicationScheme stale(new_problem, scheme.matrix());
   const double stale_savings = core::savings_percent(new_problem, stale);
   std::cout << changed.size() << " objects changed; stale savings "
             << util::format_double(stale_savings, 2) << "% -> adapted "
-            << util::format_double(result->best.savings_percent, 2) << "% in "
-            << util::format_double(result->best.elapsed_seconds, 4) << "s\n";
+            << util::format_double(result.savings_percent, 2) << "% in "
+            << util::format_double(result.elapsed_seconds, 4) << "s\n";
 
   // --faults: static what-if analysis of the adapted scheme under the
   // plan's crash windows — worst case over every window-opening instant.
   std::optional<sim::DegradedService> degraded;
   if (args.has("faults")) {
     const sim::FaultPlan plan = parse_fault_plan(args);
-    degraded = sim::evaluate_with_failures(result->best.scheme, plan, 0.0);
+    degraded = sim::evaluate_with_failures(result.scheme, plan, 0.0);
     for (const sim::CrashWindow& window : plan.crashes) {
       const sim::DegradedService at_window = sim::evaluate_with_failures(
-          result->best.scheme, plan, window.from);
+          result.scheme, plan, window.from);
       if (at_window.read_availability < degraded->read_availability)
         degraded = at_window;
     }
@@ -398,13 +388,12 @@ int cmd_adapt(const Args& args) {
   }
   result_json["changed_objects"] = obs::Json(changed.size());
   result_json["stale_savings_percent"] = obs::Json(stale_savings);
-  result_json["adapted_savings_percent"] =
-      obs::Json(result->best.savings_percent);
-  result_json["cost"] = obs::Json(result->best.cost);
-  result_json["transcription_repairs"] = obs::Json(result->repairs);
-  result_json["micro_ga_seconds"] = obs::Json(result->micro_ga_seconds);
-  result_json["mini_gra_seconds"] = obs::Json(result->mini_gra_seconds);
-  result_json["elapsed_seconds"] = obs::Json(result->best.elapsed_seconds);
+  result_json["adapted_savings_percent"] = obs::Json(result.savings_percent);
+  result_json["cost"] = obs::Json(result.cost);
+  result_json["iterations"] = obs::Json(result.iterations);
+  result_json["elapsed_seconds"] = obs::Json(result.elapsed_seconds);
+  for (auto& [key, value] : response->details.as_object())
+    result_json[key] = std::move(value);
   maybe_write_reports(args, "adapt", std::move(result_json));
   return 0;
 }
@@ -412,13 +401,17 @@ int cmd_adapt(const Args& args) {
 void usage(std::ostream& out) {
   out << "drep <command> [flags]\n"
          "  generate --sites=N --objects=N [--update=%] [--capacity=%] [--seed=N] -o FILE\n"
-         "  solve    -i FILE [-o FILE] --algo=sra|gra|agra|hillclimb|exhaustive\n"
-         "           [--generations=N] [--population=N] [--mini=N] [--seed=N]\n"
+         "  solve    -i FILE [-o FILE] --algo=" << solver_names_joined() << "\n"
+         "           [--generations=N] [--population=N] [--islands=N] [--mini=N]\n"
+         "           [--seed=N] [--threads=N]\n"
          "  evaluate -i FILE [-s SCHEME]\n"
          "  replay   -i FILE [-s SCHEME] [--seed=N] [--faults=SPEC]\n"
          "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
-         "           [--faults=SPEC]\n"
+         "           [--threads=N] [--faults=SPEC]\n"
          "  help\n"
+         "--threads=N sizes the shared worker pool (0 = all cores, 1 = serial);\n"
+         "--islands=N runs GRA as N parallel islands with ring migration. Results\n"
+         "are identical for every --threads value; see DESIGN.md Section 10.\n"
          "solve/evaluate/replay/adapt also take --report=FILE.json (machine-readable\n"
          "run report: config, result, metrics, span timings) and --prom=FILE\n"
          "(Prometheus text exposition of the metric snapshot).\n"
@@ -432,16 +425,15 @@ void usage(std::ostream& out) {
 const std::set<std::string> kGenerateFlags = {"sites",    "objects", "update",
                                               "capacity", "seed",    "out"};
 const std::set<std::string> kSolveFlags = {
-    "in",   "out",  "algo",   "generations", "population",
-    "mini", "seed", "report", "prom"};
+    "in",      "out",  "algo",   "generations", "population", "islands",
+    "threads", "mini", "seed",   "report",      "prom"};
 const std::set<std::string> kEvaluateFlags = {"in", "scheme", "report",
                                               "prom"};
 const std::set<std::string> kReplayFlags = {"in",     "scheme", "seed",
                                             "report", "prom",   "faults"};
-const std::set<std::string> kAdaptFlags = {"in",        "new",  "scheme",
-                                           "out",       "threshold",
-                                           "mini",      "seed", "report",
-                                           "prom",      "faults"};
+const std::set<std::string> kAdaptFlags = {
+    "in",   "new",  "scheme", "out",  "threshold", "mini",
+    "seed", "threads", "report", "prom", "faults"};
 
 }  // namespace
 

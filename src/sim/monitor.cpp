@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "algo/solver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -14,6 +15,19 @@ std::vector<double> totals(const core::Problem& problem, bool writes) {
   for (core::ObjectId k = 0; k < problem.objects(); ++k)
     result[k] = writes ? problem.total_writes(k) : problem.total_reads(k);
   return result;
+}
+
+/// Registry dispatch for the monitor's GRA runs. The monitor owns
+/// long-lived deterministic RNG streams, so they ride in options.rng — the
+/// registry path then consumes the stream exactly like a direct solve_gra
+/// call would.
+algo::SolveResponse run_gra(const core::Problem& problem,
+                            const algo::GraConfig& config, util::Rng& rng) {
+  algo::SolverOptions options;
+  options.gra = config;
+  options.common = config.common;
+  options.rng = &rng;
+  return algo::solver_registry().at("gra").solve({problem, options});
 }
 
 /// Relative deviation in percent, treating a zero baseline with non-zero
@@ -30,8 +44,9 @@ Monitor::Monitor(const core::Problem& baseline, const MonitorConfig& config,
     : config_(config) {
   config_.gra.validate();
   config_.agra.validate();
-  algo::GraResult initial = algo::solve_gra(baseline, config_.gra, rng);
-  adopt(baseline, initial.best.scheme.matrix(), std::move(initial.population));
+  algo::SolveResponse initial = run_gra(baseline, config_.gra, rng);
+  adopt(baseline, initial.result.scheme.matrix(),
+        std::move(initial.population));
 }
 
 std::vector<core::ObjectId> Monitor::detect_changes(
@@ -62,17 +77,24 @@ std::vector<core::ObjectId> Monitor::adapt(const core::Problem& observed,
   std::vector<ga::Chromosome> retained;
   retained.reserve(population_.size());
   for (const auto& ind : population_) retained.push_back(ind.genes);
-  algo::AgraResult result = algo::solve_agra(
-      observed, current_scheme_, retained, changed, config_.agra, rng);
-  adopt(observed, result.best.scheme.matrix(), std::move(result.population));
+  algo::SolverOptions options;
+  options.agra = config_.agra;
+  options.common = config_.agra.common;
+  options.rng = &rng;
+  algo::SolveRequest request{observed, std::move(options)};
+  request.adapt = algo::AdaptContext{&current_scheme_, retained, changed};
+  algo::SolveResponse result =
+      algo::solver_registry().at("agra").solve(request);
+  adopt(observed, result.result.scheme.matrix(), std::move(result.population));
   return changed;
 }
 
 void Monitor::reoptimize(const core::Problem& observed, util::Rng& rng) {
   DREP_SPAN("monitor/reoptimize");
   DREP_COUNT("drep_monitor_reoptimizations_total", 1);
-  algo::GraResult result = algo::solve_gra(observed, config_.gra, rng);
-  adopt(observed, result.best.scheme.matrix(), std::move(result.population));
+  algo::SolveResponse result = run_gra(observed, config_.gra, rng);
+  adopt(observed, result.result.scheme.matrix(),
+        std::move(result.population));
 }
 
 double Monitor::current_savings_percent(const core::Problem& observed) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
@@ -134,9 +135,92 @@ void ThreadPool::parallel_for_blocked(
   if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
+namespace {
+// The shared pool lives behind a pointer (not a function-local static) so
+// configure_shared can tear it down and rebuild at a different size.
+std::mutex g_shared_pool_mutex;
+std::unique_ptr<ThreadPool> g_shared_pool;
+std::size_t g_shared_pool_threads = 0;  // 0 = hardware
+}  // namespace
+
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
-  return pool;
+  std::lock_guard lock(g_shared_pool_mutex);
+  if (!g_shared_pool)
+    g_shared_pool = std::make_unique<ThreadPool>(g_shared_pool_threads);
+  return *g_shared_pool;
+}
+
+void ThreadPool::configure_shared(std::size_t threads) {
+  std::lock_guard lock(g_shared_pool_mutex);
+  g_shared_pool_threads = threads;
+  if (!g_shared_pool) return;  // not built yet; next shared() uses the size
+  const std::size_t target =
+      threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : threads;
+  // Rebuild lazily: the destructor drains the queue and joins the workers.
+  if (g_shared_pool->size() != target) g_shared_pool.reset();
+}
+
+WaitGroup::~WaitGroup() {
+  // A destroyed-while-pending WaitGroup would leave tasks referencing freed
+  // state; block (without rethrowing) until they finish.
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void WaitGroup::submit(std::function<void()> task) {
+  if (g_inside_pool_worker || pool_.size() <= 1) {
+    run_inline(task);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish(error);
+  });
+}
+
+void WaitGroup::run_inline(const std::function<void()>& task) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  finish(error);
+}
+
+void WaitGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;  // rethrow once; later wait() calls return clean
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void WaitGroup::finish(std::exception_ptr error) {
+  std::lock_guard lock(mutex_);
+  if (error) {
+    ++failed_;
+    if (!first_error_) first_error_ = error;
+  }
+  if (--pending_ == 0) done_cv_.notify_all();
 }
 
 }  // namespace drep::util

@@ -48,8 +48,15 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t block, std::size_t i)>& body);
 
-  /// Process-wide shared pool (lazily constructed, sized to the hardware).
+  /// Process-wide shared pool (lazily constructed, sized to the hardware or
+  /// to the last configure_shared() call that preceded first use).
   static ThreadPool& shared();
+
+  /// Sets the shared pool's worker count (0 = hardware). If the pool was
+  /// already constructed at a different size it is torn down (after its
+  /// queue drains) and rebuilt. Call from one thread at startup — e.g. the
+  /// CLI's --threads flag — never concurrently with tasks in flight.
+  static void configure_shared(std::size_t threads);
 
  private:
   void worker_loop();
@@ -59,6 +66,53 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// Tracks a batch of tasks submitted to a pool and lets the caller block
+/// until every one of them finished — the bulk-submit counterpart of
+/// parallel_for for heterogeneous or nested work (e.g. one task per GA
+/// island). Exceptions thrown by a task are captured here instead of being
+/// parked in the worker (see ThreadPool::worker_loop), and the first one is
+/// rethrown from wait(); the rest are counted.
+///
+/// wait() establishes a happens-before edge with every completed task, so
+/// results written by tasks may be read without further synchronization
+/// after wait() returns. A WaitGroup is single-batch: submit, wait, discard.
+class WaitGroup {
+ public:
+  explicit WaitGroup(ThreadPool& pool) : pool_(pool) {}
+  ~WaitGroup();
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// Enqueues `task` on the pool. When the pool has a single worker or the
+  /// caller is itself a pool worker (nested batch), runs it inline instead —
+  /// the same no-deadlock rule parallel_for follows.
+  void submit(std::function<void()> task);
+
+  /// Runs `task` on the calling thread, with the same exception capture as
+  /// pooled tasks. Callers alternate submit()/run_inline() to keep one
+  /// share of the batch on their own thread.
+  void run_inline(const std::function<void()>& task);
+
+  /// Blocks until all submitted tasks finished, then rethrows the first
+  /// captured exception, if any. Idempotent.
+  void wait();
+
+  /// Tasks that threw, including the rethrown first one (valid after the
+  /// tasks finished; call wait() first).
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+
+ private:
+  void finish(std::exception_ptr error);
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::size_t failed_ = 0;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace drep::util

@@ -1,0 +1,260 @@
+// Determinism suite for the island-model GRA and the batched AGRA
+// micro-GA pass (DESIGN.md Section 10).
+//
+// The contract under test: every solve is a pure function of
+// (problem, config, seed) — islands=1 reproduces the single-population GRA
+// bit-for-bit (pinned against pre-island golden values), and islands=K /
+// batched AGRA are bit-identical across runs and across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algo/agra.hpp"
+#include "algo/gra.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+/// FNV-1a over the scheme matrix — a compact bit-exact fingerprint.
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t population_hash(const std::vector<Individual>& population) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Individual& ind : population) {
+    for (const std::uint8_t b : ind.genes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+GraConfig island_config() {
+  GraConfig config;
+  config.population = 16;
+  config.generations = 15;
+  config.islands = 4;
+  config.migration_interval = 5;
+  config.migration_count = 1;
+  return config;
+}
+
+// islands=1 must stay bit-exactly the pre-island single-population GRA.
+// Golden values were recorded on the commit before the island driver landed
+// (same problem, config, and seed); any drift here is a compat break.
+TEST(IslandGra, IslandsOneReproducesLegacyGolden) {
+  const core::Problem problem = testing::small_random_problem(13);
+  GraConfig config;
+  config.population = 12;
+  config.generations = 15;
+  util::Rng rng(14);
+  const GraResult result = solve_gra(problem, config, rng);
+
+  EXPECT_DOUBLE_EQ(result.best.cost, 197401.0);
+  EXPECT_EQ(result.evaluations, 356u);
+  EXPECT_DOUBLE_EQ(result.full_equivalent_evaluations, 100.73333333333333);
+  EXPECT_EQ(fnv1a(result.best.scheme.matrix()), 16513427745741207910ULL);
+  ASSERT_EQ(result.best_fitness_history.size(), 16u);
+  for (const double f : result.best_fitness_history)
+    EXPECT_DOUBLE_EQ(f, 0.51463465009122067);
+  EXPECT_EQ(result.best.iterations, 15u);
+}
+
+// Same seed, same config -> identical everything, run to run.
+TEST(IslandGra, SameSeedIsBitIdenticalAcrossRuns) {
+  const core::Problem problem = testing::small_random_problem(13);
+  const GraConfig config = island_config();
+  util::Rng rng_a(14);
+  util::Rng rng_b(14);
+  const GraResult a = solve_gra(problem, config, rng_a);
+  const GraResult b = solve_gra(problem, config, rng_b);
+
+  EXPECT_DOUBLE_EQ(a.best.cost, b.best.cost);
+  EXPECT_EQ(a.best.scheme.matrix(), b.best.scheme.matrix());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.best_fitness_history, b.best_fitness_history);
+  ASSERT_EQ(a.population.size(), b.population.size());
+  EXPECT_EQ(population_hash(a.population), population_hash(b.population));
+  // Both runs must advance the caller's stream identically too.
+  EXPECT_EQ(rng_a.next(), rng_b.next());
+}
+
+// The thread count is pure scheduling: serial (threads=1), capped waves
+// (threads=2), and the full pool (threads=0) all produce the same bits.
+TEST(IslandGra, ThreadCountDoesNotChangeResults) {
+  const core::Problem problem = testing::small_random_problem(13);
+  std::vector<GraResult> results;
+  for (const std::size_t threads : {1u, 2u, 0u}) {
+    GraConfig config = island_config();
+    config.common.threads = threads;
+    util::Rng rng(14);
+    results.push_back(solve_gra(problem, config, rng));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].best.cost, results[0].best.cost);
+    EXPECT_EQ(results[i].best.scheme.matrix(),
+              results[0].best.scheme.matrix());
+    EXPECT_EQ(results[i].evaluations, results[0].evaluations);
+    EXPECT_EQ(results[i].best_fitness_history,
+              results[0].best_fitness_history);
+    EXPECT_EQ(population_hash(results[i].population),
+              population_hash(results[0].population));
+  }
+}
+
+// The merged result must carry the full population (all islands, in island
+// order) and a non-decreasing history of length generations+1.
+TEST(IslandGra, MergeKeepsPopulationAndHistoryShape) {
+  const core::Problem problem = testing::small_random_problem(13);
+  const GraConfig config = island_config();
+  util::Rng rng(14);
+  const GraResult result = solve_gra(problem, config, rng);
+
+  EXPECT_EQ(result.population.size(), config.population);
+  ASSERT_EQ(result.best_fitness_history.size(), config.generations + 1);
+  for (std::size_t g = 1; g < result.best_fitness_history.size(); ++g) {
+    EXPECT_GE(result.best_fitness_history[g],
+              result.best_fitness_history[g - 1]);
+  }
+  // The winner's fitness is the history's final entry.
+  EXPECT_EQ(result.best.iterations, config.generations);
+}
+
+// Migration disabled (migration_count = 0): islands evolve independently
+// and the run is still deterministic.
+TEST(IslandGra, ZeroMigrationIsDeterministic) {
+  const core::Problem problem = testing::small_random_problem(13);
+  GraConfig config = island_config();
+  config.migration_count = 0;
+  util::Rng rng_a(14);
+  util::Rng rng_b(14);
+  const GraResult a = solve_gra(problem, config, rng_a);
+  const GraResult b = solve_gra(problem, config, rng_b);
+  EXPECT_EQ(a.best.scheme.matrix(), b.best.scheme.matrix());
+  EXPECT_EQ(a.best_fitness_history, b.best_fitness_history);
+}
+
+TEST(IslandGra, ConfigValidation) {
+  GraConfig config = island_config();
+  config.islands = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = island_config();
+  config.population = 6;  // 6/4 = 1 per island: too small
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = island_config();
+  config.migration_interval = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = island_config();
+  config.migration_count = 4;  // == share of 16/4: would replace everyone
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(island_config().validate());
+}
+
+TEST(IslandGra, EvolvePopulationNeedsTwoChromosomesPerIsland) {
+  const core::Problem problem = testing::small_random_problem(13);
+  GraConfig config = island_config();
+  config.population = 16;
+  util::Rng seed_rng(5);
+  std::vector<ga::Chromosome> tiny =
+      random_population(problem, 2 * config.islands - 1, seed_rng);
+  util::Rng rng(14);
+  EXPECT_THROW((void)evolve_population(problem, tiny, config, rng),
+               std::invalid_argument);
+}
+
+// evolve_population with islands: deterministic and bit-identical across
+// thread counts, same contract as solve_gra.
+TEST(IslandGra, EvolvePopulationIslandsDeterministic) {
+  const core::Problem problem = testing::small_random_problem(13);
+  GraConfig config = island_config();
+  util::Rng seed_rng(5);
+  const std::vector<ga::Chromosome> initial =
+      random_population(problem, config.population, seed_rng);
+
+  std::vector<GraResult> results;
+  for (const std::size_t threads : {1u, 0u}) {
+    config.common.threads = threads;
+    util::Rng rng(14);
+    results.push_back(evolve_population(problem, initial, config, rng));
+  }
+  EXPECT_EQ(results[0].best.scheme.matrix(), results[1].best.scheme.matrix());
+  EXPECT_EQ(results[0].best_fitness_history,
+            results[1].best_fitness_history);
+  EXPECT_EQ(population_hash(results[0].population),
+            population_hash(results[1].population));
+}
+
+// Batched AGRA: the parallel micro-GA batch (threads=0/2) must be
+// bit-identical to the sequential pass (threads=1) on a capacity-tight
+// problem where transcription repairs actually fire.
+TEST(AgraBatch, ThreadCountDoesNotChangeResults) {
+  const core::Problem problem = testing::small_random_problem(
+      21, /*sites=*/10, /*objects=*/12, /*update_percent=*/5.0,
+      /*capacity_percent=*/12.0);
+  const ga::Chromosome current = primary_chromosome(problem);
+  std::vector<core::ObjectId> changed(problem.objects());
+  std::iota(changed.begin(), changed.end(), core::ObjectId{0});
+
+  AgraConfig config;
+  config.population = 6;
+  config.generations = 8;
+
+  std::vector<AgraResult> results;
+  for (const std::size_t threads : {1u, 0u, 2u}) {
+    config.common.threads = threads;
+    util::Rng rng(7);
+    results.push_back(
+        solve_agra(problem, current, {}, changed, config, rng));
+  }
+  ASSERT_GT(results[0].repairs, 0u) << "problem not tight enough to repair";
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].best.cost, results[0].best.cost);
+    EXPECT_EQ(results[i].best.scheme.matrix(),
+              results[0].best.scheme.matrix());
+    EXPECT_EQ(results[i].repairs, results[0].repairs);
+    EXPECT_EQ(results[i].best.iterations, results[0].best.iterations);
+    EXPECT_EQ(population_hash(results[i].population),
+              population_hash(results[0].population));
+  }
+}
+
+// The caller's RNG stream must advance identically regardless of threads —
+// otherwise downstream draws (the monitor's next adapt) would diverge.
+TEST(AgraBatch, CallerStreamAdvancesIdentically) {
+  const core::Problem problem = testing::small_random_problem(
+      21, /*sites=*/10, /*objects=*/12, /*update_percent=*/5.0,
+      /*capacity_percent=*/12.0);
+  const ga::Chromosome current = primary_chromosome(problem);
+  std::vector<core::ObjectId> changed(problem.objects());
+  std::iota(changed.begin(), changed.end(), core::ObjectId{0});
+
+  AgraConfig config;
+  config.population = 6;
+  config.generations = 8;
+
+  std::vector<std::uint64_t> next_draws;
+  for (const std::size_t threads : {1u, 0u}) {
+    config.common.threads = threads;
+    util::Rng rng(7);
+    (void)solve_agra(problem, current, {}, changed, config, rng);
+    next_draws.push_back(rng.next());
+  }
+  EXPECT_EQ(next_draws[0], next_draws[1]);
+}
+
+}  // namespace
+}  // namespace drep::algo

@@ -157,6 +157,76 @@ TEST(ThreadPool, SharedPoolIsUsable) {
   EXPECT_GE(ThreadPool::shared().size(), 1u);
 }
 
+TEST(WaitGroup, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  WaitGroup group(pool);
+  for (int i = 0; i < 32; ++i) group.submit([&] { count++; });
+  group.run_inline([&] { count++; });
+  group.wait();
+  EXPECT_EQ(count.load(), 33);
+  EXPECT_EQ(group.failed(), 0u);
+}
+
+TEST(WaitGroup, SingleWorkerPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // no mutex needed: everything runs on this thread
+  WaitGroup group(pool);
+  for (int i = 0; i < 8; ++i) group.submit([&, i] { order.push_back(i); });
+  group.wait();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(WaitGroup, WaitRethrowsFirstExceptionOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  WaitGroup group(pool);
+  for (int i = 0; i < 16; ++i) {
+    group.submit([&, i] {
+      count++;
+      if (i % 4 == 0) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // Every task ran (a throwing task doesn't cancel its siblings), every
+  // thrower was counted, and a second wait() returns clean.
+  EXPECT_EQ(count.load(), 16);
+  EXPECT_EQ(group.failed(), 4u);
+  EXPECT_NO_THROW(group.wait());
+
+  // The pool's workers survived the exceptions (PR 3's park-on-exception
+  // path hands the error to the WaitGroup instead of the worker).
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { after++; });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(WaitGroup, RunInlineCapturesExceptions) {
+  ThreadPool pool(2);
+  WaitGroup group(pool);
+  group.run_inline([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(group.failed(), 1u);
+}
+
+TEST(WaitGroup, DestructorDrainsWithoutRethrow) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  {
+    WaitGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.submit([&] {
+        count++;
+        throw std::runtime_error("boom");
+      });
+    }
+    // No wait(): the destructor must block until all 8 finished and must
+    // swallow the captured exception instead of throwing from ~WaitGroup.
+  }
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(ThreadPool, ParallelSumMatchesSequential) {
   ThreadPool pool(8);
   std::vector<double> values(10000);

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "algo/gra.hpp"
-#include "algo/sra.hpp"
+#include "algo/solver.hpp"
 #include "audit/invariants.hpp"
 #include "core/benefit.hpp"
 #include "core/cost_model.hpp"
@@ -118,10 +118,14 @@ audit::Violations run_case(const FuzzCase& c) {
     util::Rng gen_rng = rng.fork(1);
     core::Problem problem = workload::generate(gen, gen_rng);
 
-    // --- SRA ------------------------------------------------------------
+    // --- SRA (through the Solver registry) ------------------------------
+    // options.rng keeps the forked stream, so the registry path draws the
+    // exact numbers a direct solve_sra call would.
     util::Rng sra_rng = rng.fork(2);
-    algo::AlgorithmResult sra =
-        algo::solve_sra(problem, algo::SraConfig{}, sra_rng);
+    algo::SolverOptions sra_opt;
+    sra_opt.rng = &sra_rng;
+    const algo::AlgorithmResult sra = std::move(
+        algo::solver_registry().at("sra").solve({problem, sra_opt}).result);
     note(out, "sra", audit::check_scheme(sra.scheme));
     note(out, "sra", audit::check_sra_terminal(sra.scheme));
 
@@ -130,16 +134,20 @@ audit::Violations run_case(const FuzzCase& c) {
     gra_cfg.population = 8;
     gra_cfg.generations = 6;
     util::Rng gra_rng = rng.fork(3);
-    algo::GraResult gra = algo::solve_gra(problem, gra_cfg, gra_rng);
-    note(out, "gra", audit::check_scheme(gra.best.scheme));
+    algo::SolverOptions gra_opt;
+    gra_opt.gra = gra_cfg;
+    gra_opt.rng = &gra_rng;
+    const algo::SolveResponse gra =
+        algo::solver_registry().at("gra").solve({problem, gra_opt});
+    note(out, "gra", audit::check_scheme(gra.result.scheme));
 
     core::DeltaEvaluator delta(problem);
-    (void)delta.rebase(gra.best.scheme.matrix());
+    (void)delta.rebase(gra.result.scheme.matrix());
     note(out, "gra/rebase", audit::check_delta_evaluator(delta));
 
     // Long random add/remove churn: the incremental scheme state and the
     // delta caches must track through it without drifting.
-    core::ReplicationScheme churn(problem, gra.best.scheme.matrix());
+    core::ReplicationScheme churn(problem, gra.result.scheme.matrix());
     util::Rng churn_rng = rng.fork(4);
     for (int step = 0; step < 300; ++step) {
       const auto i = static_cast<core::SiteId>(churn_rng.index(c.sites));
