@@ -12,6 +12,15 @@
 
 namespace drep::algo {
 
+/// Thrown by the exact solvers (exhaustive, constclients) when an instance
+/// exceeds their enumeration budget: the caller asked for a provable optimum
+/// the solver cannot deliver in bounded time, which is a request error, not
+/// a runtime failure. The CLI maps it to a usage error (exit 2).
+class InstanceTooLarge : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 struct CommonOptions {
   /// Seed for the solver's RNG stream. Consulted only by the Solver-registry
   /// path (algo/solver.hpp); the legacy free functions take an explicit

@@ -1,6 +1,7 @@
 #include "algo/exhaustive.hpp"
 
 #include <limits>
+#include <string>
 
 #include "util/timer.hpp"
 
@@ -15,9 +16,13 @@ struct FreeCell {
 
 class Search {
  public:
-  Search(const core::Problem& problem, std::vector<FreeCell> cells)
+  Search(const core::Problem& problem, std::vector<FreeCell> cells,
+         const core::AvailabilityConstraint* availability,
+         std::size_t max_nodes)
       : problem_(problem),
         cells_(std::move(cells)),
+        availability_(availability),
+        max_nodes_(max_nodes),
         evaluator_(problem),
         matrix_(problem.sites() * problem.objects(), 0),
         loads_(problem.sites(), 0.0) {
@@ -38,9 +43,36 @@ class Search {
   [[nodiscard]] ExhaustiveStats stats() const { return stats_; }
 
  private:
+  /// Every object must reach A_k = 1 - Π_{i∈R_k}(1 - a_i) >= target.
+  /// Recomputed from the matrix columns at each leaf: O(M·N), the same
+  /// order as the leaf cost evaluation, and free of incremental FP drift.
+  [[nodiscard]] bool leaf_meets_availability() const {
+    const std::size_t n = problem_.objects();
+    for (core::ObjectId k = 0; k < n; ++k) {
+      double miss = 1.0;
+      for (core::SiteId i = 0; i < problem_.sites(); ++i) {
+        if (matrix_[static_cast<std::size_t>(i) * n + k] != 0)
+          miss *= 1.0 - availability_->site_availability[i];
+      }
+      if (1.0 - miss <
+          availability_->target - core::AvailabilityConstraint::kEps)
+        return false;
+    }
+    return true;
+  }
+
   void descend(std::size_t depth) {
-    ++stats_.nodes_visited;
+    if (++stats_.nodes_visited > max_nodes_) {
+      throw InstanceTooLarge(
+          "exhaustive: node budget of " + std::to_string(max_nodes_) +
+          " exceeded — the M·2^N search space is too large for a provable "
+          "optimum; shrink the instance or use a heuristic solver");
+    }
     if (depth == cells_.size()) {
+      if (availability_ != nullptr && !leaf_meets_availability()) {
+        ++stats_.availability_rejected;
+        return;
+      }
       const double cost = evaluator_.total_cost(matrix_);
       if (cost < best_cost_) {
         best_cost_ = cost;
@@ -68,6 +100,8 @@ class Search {
 
   const core::Problem& problem_;
   std::vector<FreeCell> cells_;
+  const core::AvailabilityConstraint* availability_;
+  std::size_t max_nodes_;
   core::CostEvaluator evaluator_;
   std::vector<std::uint8_t> matrix_;
   std::vector<double> loads_;
@@ -78,10 +112,26 @@ class Search {
 
 }  // namespace
 
-std::optional<AlgorithmResult> solve_exhaustive(const core::Problem& problem,
-                                                std::size_t max_free_cells,
-                                                ExhaustiveStats* stats) {
+std::optional<AlgorithmResult> solve_exhaustive(
+    const core::Problem& problem, std::size_t max_free_cells,
+    ExhaustiveStats* stats, const core::AvailabilityConstraint* availability,
+    std::size_t max_nodes) {
   util::Stopwatch watch;
+  if (availability != nullptr) {
+    availability->validate(problem.sites());
+    // Feasibility precheck: even replicating an object everywhere cannot
+    // beat 1 - Π_i(1 - a_i). (Capacity can only lower the achievable value;
+    // the search below reports that case as "no conforming scheme".)
+    const double ceiling =
+        core::max_object_availability(availability->site_availability);
+    if (ceiling < availability->target - core::AvailabilityConstraint::kEps) {
+      throw std::runtime_error(
+          "exhaustive: availability target " +
+          std::to_string(availability->target) +
+          " is unreachable — replicating on every site only achieves " +
+          std::to_string(ceiling));
+    }
+  }
   std::vector<FreeCell> cells;
   for (core::SiteId i = 0; i < problem.sites(); ++i) {
     for (core::ObjectId k = 0; k < problem.objects(); ++k) {
@@ -90,9 +140,19 @@ std::optional<AlgorithmResult> solve_exhaustive(const core::Problem& problem,
   }
   if (cells.size() > max_free_cells) return std::nullopt;
 
-  Search search(problem, std::move(cells));
-  search.run();
+  Search search(problem, std::move(cells), availability, max_nodes);
+  try {
+    search.run();
+  } catch (...) {
+    if (stats != nullptr) *stats = search.stats();
+    throw;
+  }
   if (stats != nullptr) *stats = search.stats();
+  if (search.best_matrix().empty()) {
+    throw std::runtime_error(
+        "exhaustive: no scheme meets the availability target within the "
+        "site capacities");
+  }
   core::ReplicationScheme scheme(problem, search.best_matrix());
   AlgorithmResult result = make_result(std::move(scheme), watch.seconds());
   result.iterations = search.stats().nodes_visited;

@@ -4,25 +4,47 @@
 // DRP is NP-complete, so this only exists to measure the optimality gap of
 // the heuristics in tests and in the abl_* benches: it enumerates every
 // assignment of the free (non-primary) cells of X with capacity-based
-// pruning. The number of free cells is capped; beyond the cap the solver
-// refuses rather than silently burning CPU.
+// pruning. Two budgets guard it:
+//   * max_free_cells — refused up front with std::nullopt (a cheap static
+//     check callers can probe without try/catch);
+//   * max_nodes — a hard mid-search budget on visited nodes; exceeding it
+//     throws InstanceTooLarge instead of silently grinding through an
+//     M·2^N explosion that the free-cell count alone under-predicted.
+//
+// Optionally enforces an availability constraint (core/availability.hpp):
+// leaves whose schemes miss the per-object target are rejected, so the
+// returned optimum is the cheapest *conforming* scheme. Infeasible targets
+// (unreachable even replicating everywhere) throw std::runtime_error.
 
 #include <optional>
 
+#include "algo/common.hpp"
 #include "algo/result.hpp"
+#include "core/availability.hpp"
 
 namespace drep::algo {
 
 struct ExhaustiveStats {
   std::size_t nodes_visited = 0;
   std::size_t pruned = 0;
+  /// Leaves rejected because some object missed the availability target.
+  std::size_t availability_rejected = 0;
 };
+
+/// Default hard budget on visited search nodes (~7e7: under a second of
+/// leaf evaluations on tiny instances, far beyond any test-sized sweep).
+inline constexpr std::size_t kExhaustiveDefaultMaxNodes = std::size_t{1}
+                                                          << 26;
 
 /// Returns the optimal scheme, or std::nullopt when the instance has more
 /// than `max_free_cells` free cells (default 24 → at most 2^24 leaves before
-/// pruning).
+/// pruning). Throws InstanceTooLarge once the search visits more than
+/// `max_nodes` nodes. With `availability`, returns the cheapest scheme
+/// meeting the per-object target (std::runtime_error when none exists).
 [[nodiscard]] std::optional<AlgorithmResult> solve_exhaustive(
     const core::Problem& problem, std::size_t max_free_cells = 24,
-    ExhaustiveStats* stats = nullptr);
+    ExhaustiveStats* stats = nullptr,
+    const core::AvailabilityConstraint* availability = nullptr,
+    std::size_t max_nodes = kExhaustiveDefaultMaxNodes);
 
 }  // namespace drep::algo

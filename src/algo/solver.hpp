@@ -17,7 +17,8 @@
 // rows are schema-identical across algorithms; algorithm-specific extras
 // ride in `details` as a flat JSON object.
 //
-// Built-in names: "sra", "gra", "agra", "adr", "hillclimb", "exhaustive".
+// Built-in names: "sra", "gra", "agra", "adr", "hillclimb", "exhaustive",
+// "treedp", "constclients".
 
 #include <memory>
 #include <optional>
@@ -29,9 +30,12 @@
 #include "algo/adr.hpp"
 #include "algo/agra.hpp"
 #include "algo/common.hpp"
+#include "algo/exhaustive.hpp"
 #include "algo/gra.hpp"
 #include "algo/result.hpp"
 #include "algo/sra.hpp"
+#include "algo/tree_dp.hpp"
+#include "core/availability.hpp"
 #include "obs/json.hpp"
 #include "util/rng.hpp"
 
@@ -48,8 +52,21 @@ struct SolverOptions {
   GraConfig gra{};
   AgraConfig agra{};
   AdrConfig adr{};
+  TreeDpConfig treedp{};
+  ConstClientsConfig constclients{};
   /// Exhaustive search refuses instances with more free cells than this.
   std::size_t exhaustive_max_free_cells = 24;
+  /// Exhaustive search aborts (InstanceTooLarge) past this many nodes.
+  std::size_t exhaustive_max_nodes = kExhaustiveDefaultMaxNodes;
+
+  /// Availability-constrained objective: when set, every returned scheme
+  /// must reach A_k = 1 - Π_{i∈R_k}(1 - a_i) >= target for every object.
+  /// Heuristic solvers finish with a greedy repair pass
+  /// (core::repair_availability); "exhaustive" enforces the constraint
+  /// inside the search and stays exact; the tree/const-clients oracles
+  /// refuse (their decoupled optimality argument does not survive the
+  /// extra constraint). Infeasible targets throw std::runtime_error.
+  std::optional<core::AvailabilityConstraint> availability{};
 
   /// External RNG stream override. When set, the solver draws from this
   /// stream (advancing it exactly as the underlying free function would)

@@ -1,0 +1,367 @@
+#include "algo/tree_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/tree_metric.hpp"
+#include "util/timer.hpp"
+
+namespace drep::algo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-object reduced UFL instance: demand r_i = r_k(i)·o_k and fee
+/// f_i = (TW_k - w_k(i))·o_k·C(i,ρ). The constant write term
+/// Σ_i w_k(i)·o_k·C(i,ρ) shifts every candidate equally and is dropped.
+struct ObjectUfl {
+  std::vector<double> demand;
+  std::vector<double> fee;
+};
+
+ObjectUfl reduce_object(const core::Problem& p, core::ObjectId k) {
+  const std::size_t m = p.sites();
+  const core::SiteId rho = p.primary(k);
+  const double o = p.object_size(k);
+  const double w_total = p.total_writes(k);
+  ObjectUfl ufl;
+  ufl.demand.resize(m);
+  ufl.fee.resize(m);
+  for (core::SiteId i = 0; i < m; ++i) {
+    ufl.demand[i] = p.reads(i, k) * o;
+    ufl.fee[i] = (w_total - p.writes(i, k)) * o * p.cost(i, rho);
+  }
+  return ufl;
+}
+
+/// Kolen's O(M²) UFL-on-a-tree dynamic program over one rooted orientation.
+/// Tables are reused across runs (the lex refinement reruns the DP O(M)
+/// times per object).
+class KolenDp {
+ public:
+  KolenDp(const core::Problem& p, const net::RootedTree& rooted)
+      : p_(p),
+        rooted_(rooted),
+        m_(p.sites()),
+        g_(m_ * m_, 0.0),
+        ghat_(m_, 0.0),
+        best_u_(m_, 0) {}
+
+  /// DP value of the reduced objective. `closed[u]` removes u from the
+  /// facility set; `open_out`, when non-null, receives the reconstructed
+  /// facility set (which may omit the zero-fee root — callers add it).
+  double run(const std::vector<double>& demand, const std::vector<double>& fee,
+             const std::vector<std::uint8_t>& closed,
+             std::vector<core::SiteId>* open_out) {
+    // Leaves first (reverse preorder). G[v][u]: optimal cost of subtree T_v
+    // when v routes to open facility u; f_u charged iff u ∈ T_v. The child
+    // subtree containing u must keep using u (its table charged f_u on that
+    // path); every other child takes the cheaper of its own best facility
+    // or free-riding on u.
+    for (auto it = rooted_.order.rbegin(); it != rooted_.order.rend(); ++it) {
+      const core::SiteId v = *it;
+      const auto& kids = rooted_.children[v];
+      for (core::SiteId u = 0; u < m_; ++u) {
+        if (closed[u]) {
+          g(v, u) = kInf;
+          continue;
+        }
+        double total = demand[v] * p_.cost(v, u) + (u == v ? fee[v] : 0.0);
+        for (const core::SiteId c : kids) {
+          const double child_on_u = g(c, u);
+          total += rooted_.in_subtree(u, c)
+                       ? child_on_u
+                       : std::min(ghat_[c], child_on_u);
+        }
+        g(v, u) = total;
+      }
+      // Ĝ[v] = min over u ∈ T_v (the preorder slice [tin, tout)); ties keep
+      // the lowest site id so reconstruction is deterministic.
+      double best = kInf;
+      core::SiteId arg = v;
+      for (std::size_t rank = rooted_.tin[v]; rank < rooted_.tout[v]; ++rank) {
+        const core::SiteId u = rooted_.order[rank];
+        const double value = g(v, u);
+        if (value < best || (value == best && u < arg)) {
+          best = value;
+          arg = u;
+        }
+      }
+      ghat_[v] = best;
+      best_u_[v] = arg;
+    }
+
+    const double value = ghat_[rooted_.root];
+    if (open_out != nullptr) {
+      open_out->clear();
+      if (value < kInf) reconstruct(*open_out);
+    }
+    return value;
+  }
+
+ private:
+  [[nodiscard]] double& g(core::SiteId v, core::SiteId u) {
+    return g_[static_cast<std::size_t>(v) * m_ + u];
+  }
+
+  void reconstruct(std::vector<core::SiteId>& open) {
+    std::vector<std::pair<core::SiteId, core::SiteId>> stack;
+    stack.push_back({rooted_.root, best_u_[rooted_.root]});
+    while (!stack.empty()) {
+      const auto [v, u] = stack.back();
+      stack.pop_back();
+      if (u == v) open.push_back(v);
+      for (const core::SiteId c : rooted_.children[v]) {
+        if (rooted_.in_subtree(u, c)) {
+          stack.push_back({c, u});  // mandatory: u's fee lives in this table
+        } else if (ghat_[c] < g(c, u)) {
+          stack.push_back({c, best_u_[c]});
+        } else {
+          stack.push_back({c, u});  // tie → reuse u (same value, fewer opens)
+        }
+      }
+    }
+    std::sort(open.begin(), open.end());
+  }
+
+  const core::Problem& p_;
+  const net::RootedTree& rooted_;
+  std::size_t m_;
+  std::vector<double> g_;
+  std::vector<double> ghat_;
+  std::vector<core::SiteId> best_u_;
+};
+
+/// The replica set of one object: plain DP reconstruction, or the
+/// lexicographically-smallest optimal set via per-site refinement. Returned
+/// sorted and always containing the root/primary.
+std::vector<core::SiteId> solve_object(KolenDp& dp, const ObjectUfl& ufl,
+                                       const net::RootedTree& rooted,
+                                       bool lex_smallest, TreeDpStats& stats) {
+  const std::size_t m = ufl.demand.size();
+  const core::SiteId rho = rooted.root;
+  std::vector<std::uint8_t> closed(m, 0);
+  std::vector<core::SiteId> open;
+  const double best = dp.run(ufl.demand, ufl.fee, closed, &open);
+  // ρ has fee 0 and d(ρ,ρ) = 0, so including it never costs anything; the
+  // primary copy is pinned regardless of whether the DP opened it.
+  if (!std::binary_search(open.begin(), open.end(), rho)) {
+    open.push_back(rho);
+    std::sort(open.begin(), open.end());
+  }
+  if (!lex_smallest) return open;
+
+  // Lex refinement, matching solve_exhaustive's site-major 0-before-1
+  // order: walk sites ascending, keep a site closed whenever some optimum
+  // avoids it given the decisions so far, else force it open (fee zeroed;
+  // the original fee is credited back when comparing against the optimum).
+  // Value comparisons use exact == — sound because tree instances are
+  // integral, so every DP cell is an exactly-represented integer.
+  std::vector<double> fee = ufl.fee;
+  double fee_credit = 0.0;
+  std::vector<core::SiteId> forced;
+  for (core::SiteId s = 0; s < m; ++s) {
+    if (s == rho) continue;
+    closed[s] = 1;
+    const double value = dp.run(ufl.demand, fee, closed, nullptr);
+    ++stats.dp_runs;
+    if (value + fee_credit == best) continue;  // an optimum avoids s
+    closed[s] = 0;
+    fee_credit += ufl.fee[s];
+    fee[s] = 0.0;
+    forced.push_back(s);
+  }
+  // Self-check: with every undecided site closed, the surviving set must
+  // reproduce the optimal value exactly. A mismatch means the == tie
+  // detection was unsound (non-integral instance).
+  const double final_value = dp.run(ufl.demand, fee, closed, nullptr);
+  ++stats.dp_runs;
+  if (final_value + fee_credit != best) {
+    throw std::runtime_error(
+        "treedp: lex_smallest refinement lost exactness — the instance is "
+        "not integral (use workload::generate_tree instances)");
+  }
+
+  std::vector<core::SiteId> refined = std::move(forced);
+  refined.push_back(rho);
+  std::sort(refined.begin(), refined.end());
+  if (refined != open) ++stats.refined_objects;
+  return refined;
+}
+
+}  // namespace
+
+AlgorithmResult solve_tree_dp(const core::Problem& problem,
+                              const TreeDpConfig& config, TreeDpStats* stats) {
+  util::Stopwatch watch;
+  config.common.validate();
+  const std::optional<net::TreeMetric> metric =
+      net::TreeMetric::extract(problem.costs());
+  if (!metric) {
+    throw std::invalid_argument(
+        "treedp: the cost matrix is not a tree metric; the DP optimum is "
+        "only defined on tree topologies (generate one with "
+        "workload::generate_tree / drep generate --topology=tree)");
+  }
+
+  TreeDpStats local;
+  core::ReplicationScheme scheme(problem);
+  // Objects sharing a primary share the rooted orientation and DP scratch.
+  std::vector<std::optional<net::RootedTree>> rooted(problem.sites());
+  std::vector<std::optional<KolenDp>> dp(problem.sites());
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    const core::SiteId rho = problem.primary(k);
+    if (!rooted[rho]) {
+      rooted[rho] = metric->rooted_at(rho);
+      dp[rho].emplace(problem, *rooted[rho]);
+    }
+    const ObjectUfl ufl = reduce_object(problem, k);
+    ++local.dp_runs;
+    const std::vector<core::SiteId> replicas =
+        solve_object(*dp[rho], ufl, *rooted[rho], config.lex_smallest, local);
+    for (const core::SiteId i : replicas) {
+      if (i != rho) scheme.add(i, k);
+    }
+  }
+
+  // The per-object decoupled optimum is a lower bound; it is the global
+  // optimum exactly when it fits the capacities. Refuse rather than return
+  // a scheme that is merely feasible-ish or silently sub-optimal.
+  if (!scheme.is_valid()) {
+    throw std::runtime_error(
+        "treedp: capacity binds this instance — the decoupled tree optimum "
+        "does not fit, so an exact answer is unavailable (regenerate with "
+        "ample capacity, e.g. tree instances with capacity_percent = 0)");
+  }
+  if (stats != nullptr) *stats = local;
+  AlgorithmResult result = make_result(std::move(scheme), watch.seconds());
+  result.iterations = local.dp_runs;
+  return result;
+}
+
+namespace {
+
+/// Restricted-growth-string enumeration of the set partitions of
+/// {0, …, n-1}: a[i] is element i's block, a[0] = 0,
+/// a[i] <= max(a[0..i-1]) + 1. Calls fn(a) once per partition.
+template <typename Fn>
+void for_each_partition(std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  std::vector<std::size_t> a(n, 0);
+  while (true) {
+    fn(a);
+    std::size_t i = n - 1;
+    for (; i > 0; --i) {
+      std::size_t max_prefix = 0;
+      for (std::size_t j = 0; j < i; ++j)
+        max_prefix = std::max(max_prefix, a[j]);
+      if (a[i] <= max_prefix) break;  // a[i] may still grow at this slot
+    }
+    if (i == 0) return;
+    ++a[i];
+    for (std::size_t j = i + 1; j < n; ++j) a[j] = 0;
+  }
+}
+
+/// Exact reduced cost of replica set R (sorted, contains ρ):
+/// Σ_{j∈R} f_j + Σ_i r_i·min_{j∈R} d(i,j).
+double evaluate_replica_set(const core::Problem& p, const ObjectUfl& ufl,
+                            const std::vector<core::SiteId>& replicas) {
+  double total = 0.0;
+  for (const core::SiteId j : replicas) total += ufl.fee[j];
+  for (core::SiteId i = 0; i < p.sites(); ++i) {
+    if (ufl.demand[i] == 0.0) continue;
+    double nearest = kInf;
+    for (const core::SiteId j : replicas)
+      nearest = std::min(nearest, p.cost(i, j));
+    total += ufl.demand[i] * nearest;
+  }
+  return total;
+}
+
+}  // namespace
+
+AlgorithmResult solve_const_clients(const core::Problem& problem,
+                                    const ConstClientsConfig& config,
+                                    ConstClientsStats* stats) {
+  util::Stopwatch watch;
+  config.common.validate();
+  const std::size_t m = problem.sites();
+  ConstClientsStats local;
+  core::ReplicationScheme scheme(problem);
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    const core::SiteId rho = problem.primary(k);
+    const ObjectUfl ufl = reduce_object(problem, k);
+    std::vector<core::SiteId> clients;
+    for (core::SiteId i = 0; i < m; ++i) {
+      if (problem.reads(i, k) > 0.0) clients.push_back(i);
+    }
+    local.max_clients_seen = std::max(local.max_clients_seen, clients.size());
+    if (clients.size() > config.max_clients) {
+      throw InstanceTooLarge(
+          "constclients: object " + std::to_string(k) + " is read by " +
+          std::to_string(clients.size()) + " sites (> max_clients = " +
+          std::to_string(config.max_clients) +
+          "; Bell-number enumeration would explode) — use treedp or a "
+          "heuristic solver");
+    }
+
+    // Every partition of the clients yields a candidate: each block opens
+    // its cheapest facility, the union (plus ρ) is evaluated exactly. The
+    // partition induced by the true optimum's nearest-replica assignment is
+    // among the candidates and evaluates to the optimal cost, so the best
+    // candidate IS the optimum.
+    std::vector<core::SiteId> best_set{rho};
+    double best_value = evaluate_replica_set(problem, ufl, best_set);
+    for_each_partition(clients.size(), [&](const std::vector<std::size_t>& a) {
+      ++local.partitions_evaluated;
+      std::size_t blocks = 0;
+      for (const std::size_t block : a) blocks = std::max(blocks, block + 1);
+      std::vector<core::SiteId> chosen{rho};
+      for (std::size_t block = 0; block < blocks; ++block) {
+        core::SiteId arg = 0;
+        double best_block = kInf;
+        for (core::SiteId j = 0; j < m; ++j) {
+          double value = ufl.fee[j];
+          for (std::size_t c = 0; c < a.size(); ++c) {
+            if (a[c] == block)
+              value += ufl.demand[clients[c]] * problem.cost(clients[c], j);
+          }
+          if (value < best_block) {
+            best_block = value;
+            arg = j;
+          }
+        }
+        chosen.push_back(arg);
+      }
+      std::sort(chosen.begin(), chosen.end());
+      chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+      const double value = evaluate_replica_set(problem, ufl, chosen);
+      if (value < best_value) {
+        best_value = value;
+        best_set = std::move(chosen);
+      }
+    });
+    for (const core::SiteId i : best_set) {
+      if (i != rho) scheme.add(i, k);
+    }
+  }
+
+  if (!scheme.is_valid()) {
+    throw std::runtime_error(
+        "constclients: capacity binds this instance — the decoupled optimum "
+        "does not fit, so an exact answer is unavailable");
+  }
+  if (stats != nullptr) *stats = local;
+  AlgorithmResult result = make_result(std::move(scheme), watch.seconds());
+  result.iterations = local.partitions_evaluated;
+  return result;
+}
+
+}  // namespace drep::algo

@@ -1,0 +1,92 @@
+#pragma once
+// Exact-optimum oracles for tree topologies.
+//
+// Per object, the DRP cost (Eq. 4) reduces to uncapacitated facility
+// location. With ρ = SP_k, W = TW_k, and d = C the tree metric:
+//
+//   V_k(R)/o_k = Σ_i w_k(i)·d(i,ρ)                      (constant)
+//              + Σ_i r_k(i)·d(i,R)                      (reads to nearest)
+//              + Σ_{i∈R} (W - w_k(i))·d(i,ρ)            (replica "fee" f_i)
+//
+// since every replica receives the full update broadcast W while saving its
+// own writes w_k(i). All fees are non-negative and f_ρ = 0, so forcing the
+// primary open is free and per-object minimization over R ∋ ρ equals the
+// unconstrained UFL optimum.
+//
+// solve_tree_dp implements the O(M²)-per-object dynamic program for UFL on
+// trees (the classic left/right tables of Kolen's algorithm, the basis of
+// the tree-networks replica-placement paper in PAPERS.md): G[v][u] is the
+// optimal cost of subtree T_v when v itself is served by an open facility u
+// (f_u charged iff u ∈ T_v), Ĝ[v] = min_{u∈T_v} G[v][u]; the child subtree
+// containing u must keep routing to u (no Ĝ shortcut — u's fee was charged
+// on that path), every other child picks the cheaper of its own best
+// facility or u. Correctness rests on the tree path property: a client
+// served from outside its subtree can be re-served by whatever facility
+// serves its parent at no extra cost.
+//
+// Capacity: the per-object decoupled optimum is a lower bound on the
+// capacity-constrained optimum; when the assembled scheme satisfies every
+// capacity (always true in the tree generator's ample-capacity mode) it IS
+// the global optimum. When capacity binds, solve_tree_dp refuses with
+// std::runtime_error rather than return a non-optimal scheme.
+//
+// solve_const_clients is the second oracle family: when each object is read
+// by at most `max_clients` sites (the constant-number-of-clients regime),
+// the optimum on ANY topology is found by enumerating the Bell(n) set
+// partitions of the clients, placing each block at its cheapest facility,
+// and evaluating the deduplicated replica set exactly.
+
+#include "algo/common.hpp"
+#include "algo/result.hpp"
+
+namespace drep::algo {
+
+struct TreeDpConfig {
+  /// Uniform solver knobs; the DP is deterministic and serial, so only
+  /// `audit` (via the Solver registry) has an effect.
+  CommonOptions common{};
+
+  /// Refine each object's optimal replica set to the lexicographically
+  /// smallest optimal matrix (site-major cell order, 0 before 1) — exactly
+  /// the matrix solve_exhaustive returns — at O(M) extra DP runs per
+  /// object. Tie detection compares DP values with exact ==, which is only
+  /// sound on integral instances (workload::generate_tree produces them).
+  bool lex_smallest = false;
+};
+
+struct TreeDpStats {
+  /// Single-object DP evaluations (N without lex refinement, O(N·M) with).
+  std::size_t dp_runs = 0;
+  /// Objects whose lex refinement forced at least one extra facility open.
+  std::size_t refined_objects = 0;
+};
+
+/// Exact optimum on a tree-metric instance. Throws std::invalid_argument
+/// when the cost matrix is not a tree metric (net::TreeMetric::extract),
+/// std::runtime_error when capacity binds the decoupled optimum.
+[[nodiscard]] AlgorithmResult solve_tree_dp(const core::Problem& problem,
+                                            const TreeDpConfig& config = {},
+                                            TreeDpStats* stats = nullptr);
+
+struct ConstClientsConfig {
+  CommonOptions common{};
+  /// Refuse objects read by more than this many sites (Bell(6) = 203
+  /// partitions per object; Bell grows super-exponentially).
+  std::size_t max_clients = 6;
+};
+
+struct ConstClientsStats {
+  std::size_t partitions_evaluated = 0;
+  /// Largest per-object client count seen.
+  std::size_t max_clients_seen = 0;
+};
+
+/// Exact optimum for instances where every object has at most
+/// `config.max_clients` reading sites — any topology. Throws
+/// InstanceTooLarge when an object has more clients than that,
+/// std::runtime_error when capacity binds the decoupled optimum.
+[[nodiscard]] AlgorithmResult solve_const_clients(
+    const core::Problem& problem, const ConstClientsConfig& config = {},
+    ConstClientsStats* stats = nullptr);
+
+}  // namespace drep::algo

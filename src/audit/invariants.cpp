@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/availability.hpp"
 #include "core/benefit.hpp"
 
 namespace drep::audit {
@@ -209,6 +210,28 @@ Violations check_sra_terminal(const core::ReplicationScheme& scheme) {
                 std::to_string(i) + " with positive benefit " + num(benefit) +
                 " — candidate pruning was unsound");
       }
+    }
+  }
+  return out;
+}
+
+Violations check_availability(const core::ReplicationScheme& scheme,
+                              const core::AvailabilityConstraint& constraint) {
+  Violations out;
+  const core::Problem& p = scheme.problem();
+  constraint.validate(p.sites());
+  for (ObjectId k = 0; k < p.objects(); ++k) {
+    const auto& replicas = scheme.replicas(k);
+    const double achieved =
+        core::object_availability(constraint.site_availability, replicas);
+    if (achieved < constraint.target - core::AvailabilityConstraint::kEps) {
+      std::string sites;
+      for (const SiteId i : replicas)
+        sites += (sites.empty() ? "" : ",") + std::to_string(i);
+      add(out, "scheme.availability",
+          "object " + std::to_string(k) + " reaches availability " +
+              num(achieved) + " < target " + num(constraint.target) +
+              " with replicas {" + sites + "}");
     }
   }
   return out;

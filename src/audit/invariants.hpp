@@ -97,6 +97,14 @@ void enforce(Violations violations, const std::string& where);
 [[nodiscard]] Violations check_sra_terminal(
     const core::ReplicationScheme& scheme);
 
+/// Availability-constraint conformance (core/availability.hpp): every
+/// object's replica set must reach the target A_k = 1 - Π_{i∈R}(1 - a_i)
+/// within the constraint's epsilon. Reports scheme.availability per
+/// violating object (expected target vs achieved, with the replica list).
+[[nodiscard]] Violations check_availability(
+    const core::ReplicationScheme& scheme,
+    const core::AvailabilityConstraint& constraint);
+
 // --- sim aggregates (plain counters; see layering note above) -------------
 
 /// DES message conservation: sent = delivered + dropped + in-flight.

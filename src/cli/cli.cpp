@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "algo/common.hpp"
 #include "algo/solver.hpp"
+#include "core/availability.hpp"
 #include "core/cost_model.hpp"
 #include "io/serialize.hpp"
 #include "obs/export.hpp"
@@ -23,6 +25,7 @@
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
+#include "workload/tree_instance.hpp"
 
 namespace drep::cli {
 
@@ -140,14 +143,57 @@ sim::FaultPlan parse_fault_plan(const Args& args) {
   }
 }
 
-int cmd_generate(const Args& args) {
-  workload::GeneratorConfig config;
+/// Tree-topology generation (--topology=tree): the oracle workloads of
+/// workload/tree_instance.hpp. Defaults to ample capacity (0) so that
+/// --algo=treedp is exact on the result.
+core::Problem generate_tree_problem(const Args& args, util::Rng& rng) {
+  workload::TreeInstanceConfig config;
   config.sites = static_cast<std::size_t>(args.number("sites", 50));
   config.objects = static_cast<std::size_t>(args.number("objects", 200));
   config.update_ratio_percent = args.number("update", 5.0);
-  config.capacity_percent = args.number("capacity", 15.0);
+  config.capacity_percent = args.number("capacity", 0.0);
+  const std::string shape = args.get("shape", "random");
+  if (shape == "random") {
+    config.shape = workload::TreeInstanceConfig::Shape::kRandom;
+  } else if (shape == "chain") {
+    config.shape = workload::TreeInstanceConfig::Shape::kChain;
+  } else if (shape == "star") {
+    config.shape = workload::TreeInstanceConfig::Shape::kStar;
+  } else {
+    throw UsageError("--shape expects random|chain|star, got '" + shape + "'");
+  }
+  config.fanout = static_cast<std::size_t>(args.number("fanout", 3));
+  config.depth_skew = args.number("skew", 0.0);
+  config.clients_per_object =
+      static_cast<std::size_t>(args.number("clients", 0));
+  try {
+    config.validate();
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(error.what());
+  }
+  return workload::generate_tree(config, rng);
+}
+
+int cmd_generate(const Args& args) {
+  const std::string topology = args.get("topology", "complete");
   util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
-  const core::Problem problem = workload::generate(config, rng);
+  core::Problem problem = [&]() -> core::Problem {
+    if (topology == "tree") return generate_tree_problem(args, rng);
+    if (topology != "complete")
+      throw UsageError("--topology expects complete|tree, got '" + topology +
+                       "'");
+    for (const char* tree_only : {"shape", "fanout", "skew", "clients"}) {
+      if (args.has(tree_only))
+        throw UsageError("--" + std::string(tree_only) +
+                         " requires --topology=tree");
+    }
+    workload::GeneratorConfig config;
+    config.sites = static_cast<std::size_t>(args.number("sites", 50));
+    config.objects = static_cast<std::size_t>(args.number("objects", 200));
+    config.update_ratio_percent = args.number("update", 5.0);
+    config.capacity_percent = args.number("capacity", 15.0);
+    return workload::generate(config, rng);
+  }();
   io::save_problem(args.require("out"), problem);
   std::cout << "wrote " << args.require("out") << ": " << problem.sites()
             << " sites, " << problem.objects() << " objects, D' = "
@@ -185,6 +231,31 @@ std::string solver_names_joined() {
   return joined;
 }
 
+/// --avail-target=P turns the per-object availability floor on; the site
+/// availabilities come from the --faults crash windows, so the flag requires
+/// a --faults spec. Malformed targets are usage errors.
+std::optional<core::AvailabilityConstraint> availability_from(
+    const Args& args, const core::Problem& problem) {
+  if (!args.has("avail-target")) {
+    if (args.has("faults"))
+      throw UsageError("solve --faults requires --avail-target=P");
+    return std::nullopt;
+  }
+  core::AvailabilityConstraint constraint;
+  constraint.target = args.number("avail-target", 0.0);
+  if (!args.has("faults"))
+    throw UsageError(
+        "--avail-target requires --faults=SPEC to derive site availability");
+  constraint.site_availability =
+      parse_fault_plan(args).site_availability(problem.sites());
+  try {
+    constraint.validate(problem.sites());
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(std::string("--avail-target: ") + error.what());
+  }
+  return constraint;
+}
+
 int cmd_solve(const Args& args) {
   const core::Problem problem = io::load_problem(args.require("in"));
   const std::string algo_name = args.get("algo", "gra");
@@ -193,12 +264,15 @@ int cmd_solve(const Args& args) {
     throw UsageError("unknown --algo=" + algo_name + " (" +
                      solver_names_joined() + ")");
 
+  algo::SolverOptions options = solver_options_from(args);
+  options.availability = availability_from(args, problem);
+
   obs::Json result_json = obs::Json::object();
   result_json["algo"] = obs::Json(algo_name);
   std::optional<algo::SolveResponse> response;
   {
     DREP_SPAN("cli/solve");
-    response = solver->solve({problem, solver_options_from(args)});
+    response = solver->solve({problem, std::move(options)});
   }
 
   const algo::AlgorithmResult& result = response->result;
@@ -401,9 +475,11 @@ int cmd_adapt(const Args& args) {
 void usage(std::ostream& out) {
   out << "drep <command> [flags]\n"
          "  generate --sites=N --objects=N [--update=%] [--capacity=%] [--seed=N] -o FILE\n"
+         "           [--topology=complete|tree] [--shape=random|chain|star]\n"
+         "           [--fanout=N] [--skew=F] [--clients=N]\n"
          "  solve    -i FILE [-o FILE] --algo=" << solver_names_joined() << "\n"
          "           [--generations=N] [--population=N] [--islands=N] [--mini=N]\n"
-         "           [--seed=N] [--threads=N]\n"
+         "           [--seed=N] [--threads=N] [--avail-target=P --faults=SPEC]\n"
          "  evaluate -i FILE [-s SCHEME]\n"
          "  replay   -i FILE [-s SCHEME] [--seed=N] [--faults=SPEC]\n"
          "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
@@ -419,14 +495,24 @@ void usage(std::ostream& out) {
          "  --faults=seed=7,drop=0.1,spike=0.05,spikex=4,crash=2@10..500\n"
          "(drop/spike probabilities, spike factor, crash=SITE@FROM..UNTIL with\n"
          "empty UNTIL meaning forever). replay drives the DES through the plan;\n"
-         "adapt reports the adapted scheme's worst-case availability under it.\n";
+         "adapt reports the adapted scheme's worst-case availability under it.\n"
+         "generate --topology=tree draws a tree-metric oracle instance (ample\n"
+         "capacity by default) on which --algo=treedp is the provable optimum.\n"
+         "solve --avail-target=P adds the per-object availability floor A_k >= P,\n"
+         "with site availabilities derived from the --faults crash windows; the\n"
+         "heuristics repair their schemes to meet it, the exact solvers optimize\n"
+         "under it. Exact solvers (treedp, constclients, exhaustive) exit 2 when\n"
+         "an instance exceeds their enumeration budget.\n";
 }
 
-const std::set<std::string> kGenerateFlags = {"sites",    "objects", "update",
-                                              "capacity", "seed",    "out"};
+const std::set<std::string> kGenerateFlags = {
+    "sites", "objects", "update", "capacity", "seed",
+    "out",   "topology", "shape", "fanout",   "skew",
+    "clients"};
 const std::set<std::string> kSolveFlags = {
     "in",      "out",  "algo",   "generations", "population", "islands",
-    "threads", "mini", "seed",   "report",      "prom"};
+    "threads", "mini", "seed",   "report",      "prom",
+    "avail-target", "faults"};
 const std::set<std::string> kEvaluateFlags = {"in", "scheme", "report",
                                               "prom"};
 const std::set<std::string> kReplayFlags = {"in",     "scheme", "seed",
@@ -468,6 +554,11 @@ int run(int argc, char** argv) {
     std::cerr << "drep: " << error.what() << "\n"
               << "usage: drep <generate|solve|evaluate|replay|adapt|help> "
                  "[flags] -- run 'drep help' for details\n";
+    return 2;
+  } catch (const algo::InstanceTooLarge& error) {
+    // An exact solver refused an instance beyond its enumeration budget:
+    // the request (not the run) was at fault, same exit code as UsageError.
+    std::cerr << "drep " << command << ": " << error.what() << '\n';
     return 2;
   } catch (const std::exception& error) {
     std::cerr << "drep " << command << ": " << error.what() << '\n';

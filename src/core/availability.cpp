@@ -1,0 +1,97 @@
+#include "core/availability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/benefit.hpp"
+
+namespace drep::core {
+
+void AvailabilityConstraint::validate(std::size_t sites) const {
+  if (!(target >= 0.0 && target <= 1.0))
+    throw std::invalid_argument(
+        "AvailabilityConstraint: target must be in [0, 1]");
+  if (site_availability.size() != sites)
+    throw std::invalid_argument(
+        "AvailabilityConstraint: site_availability has " +
+        std::to_string(site_availability.size()) + " entries for " +
+        std::to_string(sites) + " sites");
+  for (const double a : site_availability) {
+    if (!(a >= 0.0 && a <= 1.0))
+      throw std::invalid_argument(
+          "AvailabilityConstraint: site availability outside [0, 1]");
+  }
+}
+
+double object_availability(std::span<const double> site_availability,
+                           std::span<const SiteId> replicas) {
+  double miss = 1.0;
+  for (const SiteId i : replicas) miss *= 1.0 - site_availability[i];
+  return replicas.empty() ? 0.0 : 1.0 - miss;
+}
+
+double max_object_availability(std::span<const double> site_availability) {
+  double miss = 1.0;
+  for (const double a : site_availability) miss *= 1.0 - a;
+  return 1.0 - miss;
+}
+
+bool meets_availability(const ReplicationScheme& scheme,
+                        const AvailabilityConstraint& constraint, ObjectId k) {
+  return object_availability(constraint.site_availability,
+                             scheme.replicas(k)) >=
+         constraint.target - AvailabilityConstraint::kEps;
+}
+
+bool ReplicationScheme::is_valid(const AvailabilityConstraint& constraint) const {
+  if (!is_valid()) return false;
+  constraint.validate(problem_->sites());
+  for (ObjectId k = 0; k < problem_->objects(); ++k) {
+    if (!meets_availability(*this, constraint, k)) return false;
+  }
+  return true;
+}
+
+std::size_t repair_availability(ReplicationScheme& scheme,
+                                const AvailabilityConstraint& constraint) {
+  const Problem& problem = scheme.problem();
+  constraint.validate(problem.sites());
+  const std::span<const double> avail = constraint.site_availability;
+  std::size_t added = 0;
+  for (ObjectId k = 0; k < problem.objects(); ++k) {
+    while (!meets_availability(scheme, constraint, k)) {
+      SiteId best = 0;
+      bool found = false;
+      double best_delta = 0.0;
+      for (SiteId i = 0; i < problem.sites(); ++i) {
+        if (scheme.has_replica(i, k) || !scheme.fits(i, k)) continue;
+        if (found && avail[i] < avail[best]) continue;
+        if (found && avail[i] == avail[best]) {
+          // Same availability gain: prefer the cheaper insertion, then the
+          // lower site id (the strict < keeps the first/lowest id on ties).
+          const double delta = insertion_delta(scheme, i, k);
+          if (delta >= best_delta) continue;
+          best = i;
+          best_delta = delta;
+          continue;
+        }
+        best = i;
+        best_delta = insertion_delta(scheme, i, k);
+        found = true;
+      }
+      if (!found || avail[best] <= 0.0) {
+        throw std::runtime_error(
+            "repair_availability: object " + std::to_string(k) +
+            " cannot reach availability target " +
+            std::to_string(constraint.target) +
+            " (no fitting site with positive availability left)");
+      }
+      scheme.add(best, k);
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace drep::core

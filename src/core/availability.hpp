@@ -1,0 +1,63 @@
+#pragma once
+// Availability-constrained objective mode (Availability Aware Continuous
+// Replica Placement, PAPERS.md).
+//
+// The fault layer (sim::FaultPlan crash windows) induces a per-site
+// availability a_i — the fraction of the horizon the site is up. Replicas
+// fail independently, so an object replicated at R is reachable with
+// probability A_k(R) = 1 - Π_{i∈R} (1 - a_i). The availability mode turns
+// that from a reporting metric into a constraint: minimize NTC subject to
+// A_k(R_k) >= target for every object. It is enforced by
+// ReplicationScheme::is_valid(constraint) and audit::check_availability, and
+// honored by the solver wrappers through repair_availability — a greedy pass
+// that adds the most-available fitting replicas (ties broken by exact
+// insertion ΔD, then lowest site id) until every object meets the target.
+
+#include <span>
+#include <vector>
+
+#include "core/replication.hpp"
+
+namespace drep::core {
+
+struct AvailabilityConstraint {
+  /// Per-object availability floor P in [0, 1].
+  double target = 0.0;
+  /// Per-site availability a_i in [0, 1], size M (from
+  /// sim::FaultPlan::site_availability or supplied directly).
+  std::vector<double> site_availability;
+
+  /// Comparison slack: availabilities are products of measured fractions,
+  /// so the constraint tolerates a shortfall indistinguishable from
+  /// floating-point noise.
+  static constexpr double kEps = 1e-12;
+
+  /// Throws std::invalid_argument on a target/availability outside [0, 1]
+  /// or a site count mismatch.
+  void validate(std::size_t sites) const;
+};
+
+/// A_k of a replica set: 1 - Π_{i∈R} (1 - a_i). An empty set has
+/// availability 0.
+[[nodiscard]] double object_availability(
+    std::span<const double> site_availability, std::span<const SiteId> replicas);
+
+/// Best achievable availability: every site holds a replica.
+[[nodiscard]] double max_object_availability(
+    std::span<const double> site_availability);
+
+/// True when object k's replica set meets the constraint's target.
+[[nodiscard]] bool meets_availability(const ReplicationScheme& scheme,
+                                      const AvailabilityConstraint& constraint,
+                                      ObjectId k);
+
+/// Greedy availability repair: for each object (ascending id) below target,
+/// add replicas at the non-replica site with the highest a_i among those the
+/// object fits into (ties: smallest exact insertion ΔD, then lowest site
+/// id) until the target is met. Returns the number of replicas added.
+/// Throws std::runtime_error when some object cannot reach the target with
+/// the sites that fit.
+std::size_t repair_availability(ReplicationScheme& scheme,
+                                const AvailabilityConstraint& constraint);
+
+}  // namespace drep::core

@@ -12,6 +12,8 @@
 
 namespace drep::core {
 
+struct AvailabilityConstraint;  // core/availability.hpp
+
 /// A (mutable) replication scheme bound to a Problem instance. The scheme
 /// holds a reference to the problem; it must not outlive it.
 ///
@@ -84,6 +86,11 @@ class ReplicationScheme {
   }
   /// True when no site exceeds its capacity by more than capacity_slack.
   [[nodiscard]] bool is_valid() const;
+  /// Capacity validity AND every object meets the availability target
+  /// (core/availability.hpp; defined in availability.cpp). Throws
+  /// std::invalid_argument when the constraint is malformed for this
+  /// problem.
+  [[nodiscard]] bool is_valid(const AvailabilityConstraint& constraint) const;
 
   /// Adds a replica of k at i and updates the nearest index in O(M).
   /// No-op when the replica already exists. Does not check capacity.

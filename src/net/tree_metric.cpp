@@ -1,0 +1,110 @@
+#include "net/tree_metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/shortest_paths.hpp"
+
+namespace drep::net {
+
+namespace {
+
+/// Single-source distances along the tree by DFS edge-weight accumulation;
+/// O(M) per source.
+void tree_distances(const Graph& tree, SiteId source, std::vector<double>& out,
+                    std::vector<SiteId>& stack) {
+  const std::size_t m = tree.sites();
+  out.assign(m, -1.0);
+  stack.clear();
+  stack.push_back(source);
+  out[source] = 0.0;
+  while (!stack.empty()) {
+    const SiteId v = stack.back();
+    stack.pop_back();
+    for (const Edge& edge : tree.neighbors(v)) {
+      if (out[edge.to] >= 0.0) continue;
+      out[edge.to] = out[v] + edge.weight;
+      stack.push_back(edge.to);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<TreeMetric> TreeMetric::extract(const CostMatrix& costs,
+                                              double rel_eps) {
+  const std::size_t m = costs.sites();
+  if (m == 0) return std::nullopt;
+  for (SiteId i = 0; i < m; ++i) {
+    for (SiteId j = 0; j < m; ++j) {
+      if (!std::isfinite(costs.at(i, j))) return std::nullopt;
+      if (i != j && costs.at(i, j) <= 0.0) return std::nullopt;
+    }
+  }
+  if (m == 1) return TreeMetric(Graph(1));
+
+  Graph tree = minimum_spanning_tree(costs);
+  if (!tree.connected()) return std::nullopt;
+
+  // Every pairwise tree distance must reproduce the matrix entry.
+  std::vector<double> dist;
+  std::vector<SiteId> stack;
+  for (SiteId i = 0; i < m; ++i) {
+    tree_distances(tree, i, dist, stack);
+    for (SiteId j = 0; j < m; ++j) {
+      const double expected = costs.at(i, j);
+      const double tolerance = rel_eps * std::max(1.0, std::abs(expected));
+      if (std::abs(dist[j] - expected) > tolerance) return std::nullopt;
+    }
+  }
+  return TreeMetric(std::move(tree));
+}
+
+RootedTree TreeMetric::rooted_at(SiteId root) const {
+  const std::size_t m = tree_.sites();
+  if (root >= m) throw std::invalid_argument("TreeMetric: root out of range");
+  RootedTree rooted;
+  rooted.root = root;
+  rooted.parent.assign(m, root);
+  rooted.children.assign(m, {});
+  rooted.tin.assign(m, 0);
+  rooted.tout.assign(m, 0);
+  rooted.order.reserve(m);
+
+  // Iterative DFS; pushing sorted neighbors in reverse keeps the visit
+  // order (and so the preorder/Euler intervals) ascending by site id.
+  std::vector<std::uint8_t> seen(m, 0);
+  std::vector<SiteId> stack{root};
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const SiteId v = stack.back();
+    stack.pop_back();
+    rooted.order.push_back(v);
+    std::vector<SiteId> next;
+    for (const Edge& edge : tree_.neighbors(v)) {
+      if (!seen[edge.to]) next.push_back(edge.to);
+    }
+    std::sort(next.begin(), next.end());
+    for (const SiteId child : next) {
+      seen[child] = 1;
+      rooted.parent[child] = v;
+      rooted.children[v].push_back(child);
+    }
+    for (auto it = next.rbegin(); it != next.rend(); ++it) stack.push_back(*it);
+  }
+
+  // tin = preorder rank; tout[v] = one past the last descendant's tin,
+  // derived by a reverse-preorder sweep (children close before parents).
+  for (std::size_t rank = 0; rank < rooted.order.size(); ++rank)
+    rooted.tin[rooted.order[rank]] = rank;
+  for (auto it = rooted.order.rbegin(); it != rooted.order.rend(); ++it) {
+    const SiteId v = *it;
+    rooted.tout[v] = rooted.tin[v] + 1;
+    for (const SiteId child : rooted.children[v])
+      rooted.tout[v] = std::max(rooted.tout[v], rooted.tout[child]);
+  }
+  return rooted;
+}
+
+}  // namespace drep::net

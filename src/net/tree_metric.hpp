@@ -1,0 +1,63 @@
+#pragma once
+// Tree-metric recognition and rooted-tree views.
+//
+// The tree-DP optimum (algo/tree_dp.*) is only exact when the cost matrix
+// C(i,j) *is* the shortest-path metric of a weighted tree. TreeMetric
+// recognizes that case: take the minimum spanning tree of C (for a tree
+// metric the realizing tree is its own MST — every tree edge is the unique
+// cheapest connection between the components it joins) and verify that the
+// tree's path distances reproduce every C(i,j). Matrices that fail the check
+// (e.g. the all-costs-equal matrix with M >= 3, or the paper's dense random
+// closures) are rejected with std::nullopt so callers can fail with a clear
+// error instead of reporting a wrong "optimum".
+
+#include <optional>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace drep::net {
+
+/// One orientation of the tree: parents/children/preorder from a chosen
+/// root, plus Euler intervals for O(1) subtree-membership tests.
+struct RootedTree {
+  SiteId root = 0;
+  /// parent[root] == root.
+  std::vector<SiteId> parent;
+  /// Vertices in preorder (parents before children), order[0] == root.
+  std::vector<SiteId> order;
+  std::vector<std::vector<SiteId>> children;
+  /// Euler intervals: u lies in the subtree of v iff
+  /// tin[v] <= tin[u] && tin[u] < tout[v].
+  std::vector<std::size_t> tin;
+  std::vector<std::size_t> tout;
+
+  [[nodiscard]] bool in_subtree(SiteId u, SiteId v) const {
+    return tin[v] <= tin[u] && tin[u] < tout[v];
+  }
+};
+
+/// The tree realizing a tree metric, kept as an adjacency Graph with M-1
+/// weighted edges.
+class TreeMetric {
+ public:
+  /// Recognizes `costs` as a tree metric. Returns std::nullopt when any
+  /// entry is non-finite or when no tree reproduces the matrix within
+  /// rel_eps relative tolerance per entry.
+  [[nodiscard]] static std::optional<TreeMetric> extract(
+      const CostMatrix& costs, double rel_eps = 1e-9);
+
+  [[nodiscard]] const Graph& tree() const noexcept { return tree_; }
+  [[nodiscard]] std::size_t sites() const noexcept { return tree_.sites(); }
+
+  /// Roots the tree at `root` (DFS over the adjacency, children visited in
+  /// ascending site id so the orientation is deterministic).
+  [[nodiscard]] RootedTree rooted_at(SiteId root) const;
+
+ private:
+  explicit TreeMetric(Graph tree) : tree_(std::move(tree)) {}
+
+  Graph tree_;
+};
+
+}  // namespace drep::net

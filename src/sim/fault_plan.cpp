@@ -77,6 +77,47 @@ std::vector<net::SiteId> FaultPlan::crashed_sites() const {
   return sites;
 }
 
+std::vector<double> FaultPlan::site_availability(std::size_t sites,
+                                                 double horizon) const {
+  if (horizon <= 0.0) {
+    horizon = 1.0;
+    for (const CrashWindow& window : crashes) {
+      horizon = std::max(horizon, window.from);
+      if (std::isfinite(window.until))
+        horizon = std::max(horizon, window.until);
+    }
+  }
+  std::vector<double> availability(sites, 1.0);
+  // Merge each site's windows on a sorted copy so overlaps are not counted
+  // twice.
+  std::vector<CrashWindow> sorted = crashes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CrashWindow& a, const CrashWindow& b) {
+              if (a.site != b.site) return a.site < b.site;
+              return a.from < b.from;
+            });
+  std::size_t at = 0;
+  while (at < sorted.size()) {
+    const net::SiteId site = sorted[at].site;
+    double down = 0.0;
+    double open_from = sorted[at].from;
+    double open_until = sorted[at].until;
+    for (++at; at < sorted.size() && sorted[at].site == site; ++at) {
+      if (sorted[at].from <= open_until) {
+        open_until = std::max(open_until, sorted[at].until);
+      } else {
+        down += std::min(open_until, horizon) - std::min(open_from, horizon);
+        open_from = sorted[at].from;
+        open_until = sorted[at].until;
+      }
+    }
+    down += std::min(open_until, horizon) - std::min(open_from, horizon);
+    if (site < sites)
+      availability[site] = std::clamp(1.0 - down / horizon, 0.0, 1.0);
+  }
+  return availability;
+}
+
 void FaultPlan::validate() const {
   const auto probability = [](double p, const char* what) {
     if (!(p >= 0.0 && p <= 1.0))

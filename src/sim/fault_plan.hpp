@@ -55,6 +55,14 @@ struct FaultPlan {
   /// The distinct sites the plan ever crashes, ascending.
   [[nodiscard]] std::vector<net::SiteId> crashed_sites() const;
 
+  /// Per-site availability over [0, horizon): a_i = 1 - downtime_i/horizon,
+  /// with overlapping crash windows merged and open-ended windows clipped to
+  /// the horizon. horizon <= 0 auto-derives it as the latest finite window
+  /// edge (from or until), at least 1. Feeds
+  /// core::AvailabilityConstraint::site_availability.
+  [[nodiscard]] std::vector<double> site_availability(
+      std::size_t sites, double horizon = 0.0) const;
+
   /// Throws std::invalid_argument on out-of-range probabilities, a spike
   /// factor < 1, or a crash window with until <= from.
   void validate() const;

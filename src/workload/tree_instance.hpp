@@ -1,0 +1,83 @@
+#pragma once
+// Tree-topology DRP instance generator (oracle workloads).
+//
+// Strategies for Replica Placement in Tree Networks (PAPERS.md) proves the
+// placement problem polynomial on trees; algo/tree_dp.* implements that
+// optimum. This generator produces the instances it is exact on: a rooted
+// random tree with depth/fanout/skew knobs, integer link costs, and the cost
+// matrix derived from tree distances — so every existing solver runs on the
+// instance unchanged while treedp supplies the provable optimum to compare
+// against.
+//
+// Every drawn quantity (link costs, sizes, reads, scattered writes) is an
+// integer, so NTC values are sums of products of integers: double arithmetic
+// is exact and oracle comparisons can demand bit-for-bit equality instead of
+// epsilon bands.
+//
+// The default capacity mode is "ample" (every site can hold every object),
+// which is what makes the per-object tree DP the *global* optimum; a
+// capacity_percent > 0 reproduces the paper's capacity recipe instead for
+// heuristic stress runs (the DP then post-checks feasibility and refuses
+// when the bound binds).
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace drep::workload {
+
+struct TreeInstanceConfig {
+  std::size_t sites = 50;
+  std::size_t objects = 200;
+
+  enum class Shape : std::uint8_t {
+    /// Random attachment honoring `fanout` and `depth_skew`.
+    kRandom,
+    /// Path 0-1-2-…-(M-1): the deepest tree.
+    kChain,
+    /// All sites attached to site 0: the shallowest tree.
+    kStar,
+  };
+  Shape shape = Shape::kRandom;
+
+  /// Maximum children per node (kRandom only). 0 = unbounded.
+  std::size_t fanout = 3;
+  /// Depth bias in [-1, 1] (kRandom only): each new node picks its parent
+  /// uniformly among the eligible nodes, except that with probability
+  /// |depth_skew| the choice is restricted to the deepest (skew > 0,
+  /// chain-like) or shallowest (skew < 0, star-like) eligible tier.
+  double depth_skew = 0.0;
+
+  /// Integer edge weight range.
+  std::uint64_t link_cost_lo = 1;
+  std::uint64_t link_cost_hi = 10;
+  /// Integer object size range (mean 35, as in the paper).
+  std::uint64_t object_size_lo = 10;
+  std::uint64_t object_size_hi = 60;
+  /// Integer read count range per (client, object).
+  std::uint64_t reads_lo = 1;
+  std::uint64_t reads_hi = 40;
+  /// U%: per-object update total as a percentage of its read total,
+  /// scattered one integer request at a time.
+  double update_ratio_percent = 5.0;
+
+  /// Reading sites per object: 0 = every site reads; n > 0 picks n distinct
+  /// client sites per object (the constant-number-of-clients exact family).
+  std::size_t clients_per_object = 0;
+
+  /// 0 = ample capacity (every site holds all objects; the DP's exactness
+  /// regime). Otherwise the paper's U(C·T/2, 3C·T/2) capacity recipe.
+  double capacity_percent = 0.0;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+/// Generates one tree-topology DRP instance; the result satisfies
+/// Problem::validate() and its cost matrix satisfies
+/// net::TreeMetric::extract.
+[[nodiscard]] core::Problem generate_tree(const TreeInstanceConfig& config,
+                                          util::Rng& rng);
+
+}  // namespace drep::workload

@@ -11,6 +11,7 @@
 #include "algo/exhaustive.hpp"
 #include "algo/gra.hpp"
 #include "algo/sra.hpp"
+#include "algo/tree_dp.hpp"
 #include "core/benefit.hpp"
 #include "core/cost_model.hpp"
 #include "testing/builders.hpp"
@@ -147,6 +148,68 @@ TEST(Differential, DeltasMatchOnCostTieTopologies) {
       }
     }
     expect_deltas_match_measured(p, rng, 150);
+  }
+}
+
+TEST(Differential, AllCostsEqualTopologyAgainstExhaustive) {
+  // Degenerate all-costs-equal topology: not a tree metric (treedp must
+  // refuse), but the exhaustive optimum still dominates every heuristic and
+  // both write-cost bookkeepings must agree.
+  constexpr std::size_t kSites = 4;
+  constexpr std::size_t kObjects = 4;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    net::CostMatrix costs(kSites, 2.0);
+    util::Rng rng(seed * 101);
+    std::vector<core::SiteId> primaries;
+    for (std::size_t k = 0; k < kObjects; ++k)
+      primaries.push_back(static_cast<core::SiteId>(rng.index(kSites)));
+    core::Problem p(std::move(costs), std::vector<double>(kObjects, 10.0),
+                    std::move(primaries),
+                    std::vector<double>(kSites, 1000.0));
+    for (core::SiteId i = 0; i < kSites; ++i) {
+      for (core::ObjectId k = 0; k < kObjects; ++k) {
+        p.set_reads(i, k, static_cast<double>(rng.uniform_u64(0, 30)));
+        p.set_writes(i, k, static_cast<double>(rng.uniform_u64(0, 6)));
+      }
+    }
+    EXPECT_THROW((void)solve_tree_dp(p), std::invalid_argument);
+
+    const auto optimal = solve_exhaustive(p);
+    ASSERT_TRUE(optimal.has_value());
+    expect_scheme_consistent(optimal->scheme, optimal->cost);
+    const AlgorithmResult sra = solve_sra(p);
+    expect_scheme_consistent(sra.scheme, optimal->cost);
+    util::Rng gra_rng(seed);
+    const GraResult gra = solve_gra(p, tiny_gra_config(), gra_rng);
+    expect_scheme_consistent(gra.best.scheme, optimal->cost);
+  }
+}
+
+TEST(Differential, TreeDegenerateTopologiesLockTheTieBreak) {
+  // Star and chain trees: treedp's lex_smallest mode must reproduce the
+  // exhaustive matrix bit-for-bit, locking the lowest-object-id /
+  // site-major tie-break on the DP path too.
+  using Shape = workload::TreeInstanceConfig::Shape;
+  for (const Shape shape : {Shape::kStar, Shape::kChain}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      SCOPED_TRACE(::testing::Message()
+                   << (shape == Shape::kStar ? "star" : "chain") << " seed "
+                   << seed);
+      const core::Problem p =
+          testing::small_tree_problem(seed * 53, 5, 4, shape);
+      const auto optimal = solve_exhaustive(p);
+      ASSERT_TRUE(optimal.has_value());
+      TreeDpConfig config;
+      config.lex_smallest = true;
+      const AlgorithmResult dp = solve_tree_dp(p, config);
+      EXPECT_EQ(dp.cost, optimal->cost);
+      EXPECT_EQ(dp.scheme.matrix(), optimal->scheme.matrix());
+      expect_scheme_consistent(dp.scheme, optimal->cost);
+
+      const AlgorithmResult sra = solve_sra(p);
+      expect_scheme_consistent(sra.scheme, dp.cost);
+    }
   }
 }
 

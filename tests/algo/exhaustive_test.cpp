@@ -70,6 +70,57 @@ TEST_P(OptimalityGap, GraUsuallyReachesOptimumOnTinyInstances) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityGap,
                          ::testing::Values(3, 4, 5, 6, 7, 8));
 
+TEST(Exhaustive, NodeBudgetFailsFastWithInstanceTooLarge) {
+  // 9 free cells pass the static cap, but a 10-node budget trips almost
+  // immediately: the guard must throw instead of silently grinding.
+  const core::Problem p = tiny_random(2);
+  ExhaustiveStats stats;
+  EXPECT_THROW((void)solve_exhaustive(p, 24, &stats, nullptr,
+                                      /*max_nodes=*/10),
+               InstanceTooLarge);
+  EXPECT_GT(stats.nodes_visited, 10u);  // stats survive the abort
+  // InstanceTooLarge is an invalid_argument, so the registry/CLI treat it
+  // as a usage error.
+  EXPECT_THROW(
+      (void)solve_exhaustive(p, 24, nullptr, nullptr, /*max_nodes=*/10),
+      std::invalid_argument);
+}
+
+TEST(Exhaustive, AvailabilityConstraintShapesTheOptimum) {
+  // One object at site 0 with a writer there: any replica only adds update
+  // traffic, so the unconstrained optimum is primary-only. A 0.9 target
+  // forces a second replica; site 1 is the cheaper conforming choice
+  // (update unit cost 1 vs 2 for site 2).
+  core::Problem p = testing::line3_problem();
+  p.set_reads(0, 0, 1.0);
+  p.set_writes(0, 0, 1.0);
+  core::AvailabilityConstraint constraint;
+  constraint.target = 0.9;
+  constraint.site_availability = {0.5, 0.95, 0.95};
+
+  const auto unconstrained = solve_exhaustive(p);
+  ASSERT_TRUE(unconstrained.has_value());
+  EXPECT_EQ(unconstrained->extra_replicas, 0u);
+
+  ExhaustiveStats stats;
+  const auto constrained = solve_exhaustive(p, 24, &stats, &constraint);
+  ASSERT_TRUE(constrained.has_value());
+  EXPECT_TRUE(constrained->scheme.is_valid(constraint));
+  EXPECT_EQ(constrained->extra_replicas, 1u);
+  EXPECT_TRUE(constrained->scheme.has_replica(1, 0));
+  EXPECT_GT(stats.availability_rejected, 0u);
+  EXPECT_GT(constrained->cost, unconstrained->cost);
+}
+
+TEST(Exhaustive, UnreachableAvailabilityTargetThrows) {
+  const core::Problem p = testing::line3_problem();
+  core::AvailabilityConstraint constraint;
+  constraint.target = 0.99;
+  constraint.site_availability = {0.5, 0.5, 0.5};  // ceiling 0.875
+  EXPECT_THROW((void)solve_exhaustive(p, 24, nullptr, &constraint),
+               std::runtime_error);
+}
+
 TEST(Exhaustive, HighUpdateRatioKeepsPrimariesOnly) {
   core::Problem p = testing::line_problem(3, 2, 10.0, 100.0);
   // Writes dwarf reads for both objects: any replica only adds cost.

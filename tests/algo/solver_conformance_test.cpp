@@ -1,0 +1,101 @@
+// Solver-registry conformance suite: every registered solver — heuristics
+// and exact oracles alike — runs on one shared tree instance and must (a)
+// fill the uniform AlgorithmResult schema, (b) be bit-deterministic under
+// the same seed, (c) treat options.rng as a pure alias for common.seed, and
+// (d) never beat the exact optimum.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/solver.hpp"
+#include "audit/invariants.hpp"
+#include "testing/builders.hpp"
+
+namespace drep::algo {
+namespace {
+
+/// Tree metric + ample capacity + 4 clients/object: every one of the 8
+/// built-ins applies (exhaustive: (6-1)·4 = 20 free cells <= 24;
+/// constclients: 4 <= 6 clients; treedp: tree metric; capacity never binds).
+const core::Problem& shared_tree_instance() {
+  static const core::Problem problem = testing::small_tree_problem(
+      /*seed=*/11, /*sites=*/6, /*objects=*/4,
+      workload::TreeInstanceConfig::Shape::kRandom, /*clients=*/4);
+  return problem;
+}
+
+SolverOptions conformance_options() {
+  SolverOptions options;
+  options.common.seed = 23;
+  options.gra.population = 8;
+  options.gra.generations = 6;
+  options.agra.population = 6;
+  options.agra.generations = 4;
+  return options;
+}
+
+TEST(SolverConformance, EverySolverFillsTheUniformSchema) {
+  const core::Problem& problem = shared_tree_instance();
+  const double optimum =
+      solver_registry().at("treedp").solve({problem, conformance_options()})
+          .result.cost;
+  for (const std::string_view name : solver_registry().names()) {
+    SolveRequest request{problem, conformance_options()};
+    request.options.common.audit = true;
+    const SolveResponse response =
+        solver_registry().at(name).solve(request);
+    EXPECT_TRUE(audit::check_scheme(response.result.scheme).empty()) << name;
+    EXPECT_TRUE(std::isfinite(response.result.cost)) << name;
+    EXPECT_GT(response.result.cost, 0.0) << name;
+    EXPECT_TRUE(std::isfinite(response.result.savings_percent)) << name;
+    EXPECT_GE(response.result.elapsed_seconds, 0.0) << name;
+    EXPECT_GT(response.result.iterations, 0u) << name;
+    EXPECT_FALSE(response.details.as_object().empty()) << name;
+    // The exact optimum lower-bounds every solver; the three exact ones
+    // must attain it bit-for-bit (integral instance).
+    EXPECT_GE(response.result.cost, optimum) << name;
+    if (name == "treedp" || name == "constclients" || name == "exhaustive")
+      EXPECT_EQ(response.result.cost, optimum) << name;
+  }
+}
+
+TEST(SolverConformance, SameSeedIsBitDeterministic) {
+  const core::Problem& problem = shared_tree_instance();
+  for (const std::string_view name : solver_registry().names()) {
+    const SolveResponse a =
+        solver_registry().at(name).solve({problem, conformance_options()});
+    const SolveResponse b =
+        solver_registry().at(name).solve({problem, conformance_options()});
+    EXPECT_EQ(a.result.scheme.matrix(), b.result.scheme.matrix()) << name;
+    EXPECT_EQ(a.result.cost, b.result.cost) << name;
+    EXPECT_EQ(a.result.iterations, b.result.iterations) << name;
+  }
+}
+
+TEST(SolverConformance, ExternalRngIsAPureSeedAlias) {
+  // options.rng seeded with S must reproduce the common.seed = S run for
+  // every solver (deterministic solvers simply never draw).
+  const core::Problem& problem = shared_tree_instance();
+  for (const std::string_view name : solver_registry().names()) {
+    SolverOptions seeded = conformance_options();
+    seeded.common.seed = 31;
+    const SolveResponse via_seed =
+        solver_registry().at(name).solve({problem, seeded});
+
+    util::Rng external(31);
+    SolverOptions aliased = conformance_options();
+    aliased.common.seed = 31;
+    aliased.rng = &external;
+    const SolveResponse via_rng =
+        solver_registry().at(name).solve({problem, aliased});
+
+    EXPECT_EQ(via_seed.result.scheme.matrix(),
+              via_rng.result.scheme.matrix())
+        << name;
+    EXPECT_EQ(via_seed.result.cost, via_rng.result.cost) << name;
+  }
+}
+
+}  // namespace
+}  // namespace drep::algo

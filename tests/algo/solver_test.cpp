@@ -32,10 +32,11 @@ SolverOptions fast_options() {
 TEST(SolverRegistry, HasEveryBuiltIn) {
   const auto names = solver_registry().names();
   for (const std::string_view expected :
-       {"adr", "agra", "exhaustive", "gra", "hillclimb", "sra"}) {
+       {"adr", "agra", "constclients", "exhaustive", "gra", "hillclimb",
+        "sra", "treedp"}) {
     EXPECT_NE(solver_registry().find(expected), nullptr) << expected;
   }
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 8u);
   // names() is sorted.
   for (std::size_t i = 1; i < names.size(); ++i)
     EXPECT_LT(names[i - 1], names[i]);
@@ -46,6 +47,27 @@ TEST(SolverRegistry, RoundTripEveryBuiltIn) {
   for (const std::string_view name : solver_registry().names()) {
     const Solver& solver = solver_registry().at(name);
     EXPECT_EQ(solver.name(), name);
+    if (name == "treedp") {
+      // The paper-style random closure is not a tree metric; the tree
+      // oracle documents its refusal. (The conformance suite in
+      // solver_conformance_test.cpp runs every solver, treedp included,
+      // on a shared tree instance.)
+      EXPECT_THROW((void)solver.solve({problem, fast_options()}),
+                   std::invalid_argument);
+      continue;
+    }
+    if (name == "constclients") {
+      // Every site reads every object here: 4 clients <= max_clients, so
+      // the oracle applies — but capacity (25% recipe) may bind; both
+      // outcomes are legitimate on this instance.
+      try {
+        const SolveResponse oracle = solver.solve({problem, fast_options()});
+        EXPECT_TRUE(oracle.result.scheme.is_valid());
+      } catch (const std::runtime_error&) {
+        // capacity-bound refusal
+      }
+      continue;
+    }
     SolveRequest request{problem, fast_options()};
     request.options.common.audit = true;  // final-scheme audit armed
     const SolveResponse response = solver.solve(request);

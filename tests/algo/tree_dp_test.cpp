@@ -1,0 +1,165 @@
+// Tree-DP and constant-clients exact oracles (algo/tree_dp.hpp): agreement
+// with solve_exhaustive on every overlapping instance, mutual agreement on
+// cost, and the documented refusals.
+
+#include "algo/tree_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/exhaustive.hpp"
+#include "algo/sra.hpp"
+#include "net/shortest_paths.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+
+namespace drep::algo {
+namespace {
+
+using testing::small_tree_problem;
+using Shape = workload::TreeInstanceConfig::Shape;
+
+TEST(TreeDp, MatchesExhaustiveBitForBitOnSmallTrees) {
+  // Small enough for exhaustive (free cells = (M-1)·N <= 24); lex_smallest
+  // must reproduce exhaustive's lexicographically-first optimal matrix
+  // exactly, not just its cost.
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {4, 4}, {2, 8}, {8, 2}, {5, 3}, {3, 5}, {7, 3}, {6, 4}};
+  for (const auto& [sites, objects] : shapes) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const core::Problem p = small_tree_problem(seed, sites, objects);
+      const auto optimal = solve_exhaustive(p);
+      ASSERT_TRUE(optimal.has_value());
+      TreeDpConfig config;
+      config.lex_smallest = true;
+      const AlgorithmResult dp = solve_tree_dp(p, config);
+      EXPECT_EQ(dp.cost, optimal->cost)
+          << sites << "x" << objects << " seed " << seed;
+      EXPECT_EQ(dp.scheme.matrix(), optimal->scheme.matrix())
+          << sites << "x" << objects << " seed " << seed;
+    }
+  }
+}
+
+TEST(TreeDp, PlainModeMatchesExhaustiveCost) {
+  for (std::uint64_t seed = 10; seed <= 15; ++seed) {
+    const core::Problem p = small_tree_problem(seed, 6, 4);
+    const auto optimal = solve_exhaustive(p);
+    ASSERT_TRUE(optimal.has_value());
+    const AlgorithmResult dp = solve_tree_dp(p);
+    EXPECT_EQ(dp.cost, optimal->cost) << "seed " << seed;
+    EXPECT_TRUE(dp.scheme.is_valid());
+  }
+}
+
+TEST(TreeDp, ChainAndStarDegenerateTopologies) {
+  for (const Shape shape : {Shape::kChain, Shape::kStar}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const core::Problem p = small_tree_problem(seed, 6, 4, shape);
+      const auto optimal = solve_exhaustive(p);
+      ASSERT_TRUE(optimal.has_value());
+      TreeDpConfig config;
+      config.lex_smallest = true;
+      const AlgorithmResult dp = solve_tree_dp(p, config);
+      EXPECT_EQ(dp.cost, optimal->cost);
+      EXPECT_EQ(dp.scheme.matrix(), optimal->scheme.matrix());
+    }
+  }
+}
+
+TEST(TreeDp, AgreesWithConstClientsOnSparseReaders) {
+  // Instances readable by <= 5 sites per object: both oracles apply and
+  // must land on the same (exact) cost; larger trees than exhaustive can
+  // handle are fine here.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Problem p =
+        small_tree_problem(seed, 14, 6, Shape::kRandom, /*clients=*/5);
+    const AlgorithmResult dp = solve_tree_dp(p);
+    const AlgorithmResult cc = solve_const_clients(p);
+    EXPECT_EQ(dp.cost, cc.cost) << "seed " << seed;
+    EXPECT_TRUE(cc.scheme.is_valid());
+  }
+}
+
+TEST(TreeDp, ConstClientsMatchesExhaustiveOnAnyTopology) {
+  // constclients does not need a tree: compare on a ring closure (never a
+  // tree metric for 5 sites) with ample capacity and <= 4 readers/object.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed * 67);
+    net::Graph ring(5);
+    for (net::SiteId v = 0; v < 5; ++v) {
+      ring.add_edge(v, static_cast<net::SiteId>((v + 1) % 5),
+                    static_cast<double>(rng.uniform_u64(1, 6)));
+    }
+    std::vector<core::SiteId> primaries;
+    for (std::size_t k = 0; k < 4; ++k)
+      primaries.push_back(static_cast<core::SiteId>(rng.index(5)));
+    core::Problem p(net::all_pairs_dijkstra(ring),
+                    std::vector<double>(4, 10.0), std::move(primaries),
+                    std::vector<double>(5, 1000.0));
+    for (core::ObjectId k = 0; k < p.objects(); ++k) {
+      for (core::SiteId i = 0; i < 4; ++i) {  // site 4 never reads
+        p.set_reads(i, k, static_cast<double>(rng.uniform_u64(0, 30)));
+        p.set_writes(i, k, static_cast<double>(rng.uniform_u64(0, 5)));
+      }
+    }
+    const auto optimal = solve_exhaustive(p);
+    ASSERT_TRUE(optimal.has_value());
+    ConstClientsStats stats;
+    const AlgorithmResult cc = solve_const_clients(p, {}, &stats);
+    EXPECT_EQ(cc.cost, optimal->cost) << "seed " << seed;
+    EXPECT_LE(stats.max_clients_seen, 4u);
+  }
+}
+
+TEST(TreeDp, RejectsNonTreeMetrics) {
+  const core::Problem p = testing::small_random_problem(3, 6, 5);
+  EXPECT_THROW((void)solve_tree_dp(p), std::invalid_argument);
+}
+
+TEST(TreeDp, RefusesWhenCapacityBinds) {
+  // Chain 0-1-2, object of size 10 with heavy readers at site 2, but site 2
+  // (and 1) can only hold 5: the decoupled optimum wants a replica there
+  // and must refuse instead of degrading silently.
+  net::CostMatrix costs(3);
+  costs.set(0, 1, 1.0);
+  costs.set(1, 2, 1.0);
+  costs.set(0, 2, 2.0);
+  core::Problem p(std::move(costs), {10.0}, {0}, {10.0, 5.0, 5.0});
+  p.set_reads(2, 0, 100.0);
+  EXPECT_THROW((void)solve_tree_dp(p), std::runtime_error);
+}
+
+TEST(TreeDp, ConstClientsRefusesTooManyReaders) {
+  // Default config: every site reads every object (8 clients > 6).
+  const core::Problem p = small_tree_problem(2, 8, 2);
+  EXPECT_THROW((void)solve_const_clients(p), InstanceTooLarge);
+  // InstanceTooLarge is a usage error for CLI exit-code purposes.
+  EXPECT_THROW((void)solve_const_clients(p), std::invalid_argument);
+}
+
+TEST(TreeDp, HeuristicsNeverBeatTheOracle) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const core::Problem p = small_tree_problem(seed, 12, 8);
+    const AlgorithmResult dp = solve_tree_dp(p);
+    util::Rng rng(seed);
+    const AlgorithmResult sra = solve_sra(p, {}, rng);
+    EXPECT_GE(sra.cost, dp.cost) << "seed " << seed;
+  }
+}
+
+TEST(TreeDp, StatsCountRunsAndRefinements) {
+  const core::Problem p = small_tree_problem(4, 6, 5);
+  TreeDpStats plain;
+  (void)solve_tree_dp(p, {}, &plain);
+  EXPECT_EQ(plain.dp_runs, p.objects());
+  EXPECT_EQ(plain.refined_objects, 0u);
+
+  TreeDpConfig config;
+  config.lex_smallest = true;
+  TreeDpStats lex;
+  (void)solve_tree_dp(p, config, &lex);
+  EXPECT_GT(lex.dp_runs, plain.dp_runs);
+}
+
+}  // namespace
+}  // namespace drep::algo

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "algo/sra.hpp"
+#include "core/availability.hpp"
 #include "core/benefit.hpp"
 #include "core/cost_model.hpp"
 #include "testing/builders.hpp"
@@ -119,6 +120,24 @@ TEST(AuditCheckSraTerminal, SraResultIsClean) {
   const algo::AlgorithmResult result = algo::solve_sra(problem);
   EXPECT_TRUE(audit::check_sra_terminal(result.scheme).empty());
   EXPECT_TRUE(audit::check_scheme(result.scheme).empty());
+}
+
+TEST(AuditCheckAvailability, ConformingAndViolatingSchemes) {
+  core::Problem problem = testing::line3_problem();
+  core::ReplicationScheme scheme(problem);
+  core::AvailabilityConstraint constraint;
+  constraint.target = 0.9;
+  constraint.site_availability = {0.5, 0.95, 0.6};
+
+  // Primary-only: A = 0.5 < 0.9 — one violation naming the object.
+  const audit::Violations below =
+      audit::check_availability(scheme, constraint);
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_EQ(below.front().invariant, "scheme.availability");
+  EXPECT_NE(below.front().detail.find("object 0"), std::string::npos);
+
+  scheme.add(1, 0);  // A = 1 - 0.5·0.05 = 0.975
+  EXPECT_TRUE(audit::check_availability(scheme, constraint).empty());
 }
 
 TEST(AuditMessageConservation, BalancedCountsPass) {

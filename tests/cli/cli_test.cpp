@@ -268,6 +268,93 @@ TEST_F(CliTest, UsageErrorsExitWithStatusTwo) {
   EXPECT_EQ(run_cli({}), 2);                                   // no command
 }
 
+TEST_F(CliTest, GenerateTreeSolveTreedpRoundTrip) {
+  const std::string tree = dir_ + "_tree.drp";
+  const std::string dp_report = dir_ + "_treedp.json";
+  const std::string sra_report = dir_ + "_sra.json";
+  ASSERT_EQ(run_cli({"generate", "--topology=tree", "--sites=10",
+                     "--objects=8", "--shape=random", "--fanout=2",
+                     "--skew=0.5", "--seed=5", "-o", tree}),
+            0);
+  ASSERT_EQ(run_cli({"solve", "-i", tree, "--algo=treedp",
+                     "--report=" + dp_report}),
+            0);
+  ASSERT_EQ(run_cli({"solve", "-i", tree, "--algo=sra",
+                     "--report=" + sra_report}),
+            0);
+  const obs::Json dp = load_json(dp_report);
+  const obs::Json sra = load_json(sra_report);
+  const double dp_cost = dp.find("result")->find("cost")->as_number();
+  EXPECT_GT(dp_cost, 0.0);
+  // The tree DP is the provable optimum on this instance.
+  EXPECT_GE(sra.find("result")->find("cost")->as_number(), dp_cost);
+  ASSERT_NE(dp.find("result")->find("dp_runs"), nullptr);
+  EXPECT_EQ(dp.find("result")->find("dp_runs")->as_number(), 8.0);
+  std::remove(tree.c_str());
+  std::remove(dp_report.c_str());
+  std::remove(sra_report.c_str());
+}
+
+TEST_F(CliTest, TreeGenerationFlagsAreValidated) {
+  const std::string out = dir_ + "_bad.drp";
+  // Tree-only knobs without --topology=tree are usage errors.
+  EXPECT_EQ(run_cli({"generate", "--shape=star", "-o", out}), 2);
+  EXPECT_EQ(run_cli({"generate", "--topology=mesh", "-o", out}), 2);
+  EXPECT_EQ(run_cli({"generate", "--topology=tree", "--shape=bogus", "-o",
+                     out}),
+            2);
+  // Out-of-range skew: TreeInstanceConfig::validate -> usage error.
+  EXPECT_EQ(run_cli({"generate", "--topology=tree", "--skew=3", "-o", out}),
+            2);
+}
+
+TEST_F(CliTest, ExactSolverBeyondBudgetExitsTwo) {
+  // The fixture problem has 10 sites all reading every object: constclients
+  // refuses (> 6 clients) and the CLI maps InstanceTooLarge to exit 2.
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--algo=constclients"}), 2);
+}
+
+TEST_F(CliTest, AvailabilityTargetSolveRepairsAndReports) {
+  // Tree instance (ample capacity, so repair always fits). Site 0 is down
+  // for the whole 40-unit horizon, sites 1..9 for half of it: a 0.9 target
+  // needs >= 4 half-up replicas per object, so the repair pass must add
+  // replicas and report it.
+  const std::string tree = dir_ + "_avail.drp";
+  const std::string report_path = dir_ + "_avail.json";
+  // --update=300: updates dwarf reads, so SRA keeps schemes near
+  // primary-only and the availability floor is what forces replication.
+  ASSERT_EQ(run_cli({"generate", "--topology=tree", "--sites=10",
+                     "--objects=6", "--update=300", "--seed=9", "-o", tree}),
+            0);
+  ASSERT_EQ(run_cli({"solve", "-i", tree, "--algo=sra",
+                     "--avail-target=0.9",
+                     "--faults=crash=0@0..40,crash=1@0..20,crash=2@0..20,"
+                     "crash=3@0..20,crash=4@0..20,crash=5@0..20,"
+                     "crash=6@0..20,crash=7@0..20,crash=8@0..20,"
+                     "crash=9@0..20",
+                     "--report=" + report_path}),
+            0);
+  const obs::Json report = load_json(report_path);
+  const obs::Json* result = report.find("result");
+  ASSERT_NE(result->find("availability_replicas_added"), nullptr);
+  EXPECT_GT(result->find("availability_replicas_added")->as_number(), 0.0);
+  EXPECT_EQ(result->find("availability_target")->as_number(), 0.9);
+  std::remove(tree.c_str());
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, AvailabilityFlagPairingIsEnforced) {
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--algo=sra",
+                     "--avail-target=0.9"}),
+            2);  // no --faults to derive site availability from
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--algo=sra",
+                     "--faults=crash=0@0..10"}),
+            2);  // --faults without --avail-target
+  EXPECT_EQ(run_cli({"solve", "-i", problem_, "--algo=sra",
+                     "--avail-target=1.5", "--faults=crash=0@0..10"}),
+            2);  // target outside [0, 1]
+}
+
 TEST_F(CliTest, HelpExitsZero) {
   EXPECT_EQ(run_cli({"help"}), 0);
   EXPECT_EQ(run_cli({"--help"}), 0);

@@ -1,0 +1,102 @@
+// Availability-constrained objective (core/availability.hpp): the A_k
+// formula, constraint validation, and the greedy repair pass.
+
+#include "core/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace drep::core {
+namespace {
+
+TEST(Availability, ObjectAvailabilityFormula) {
+  const std::vector<double> a = {0.5, 0.9, 0.0};
+  const std::vector<SiteId> none;
+  const std::vector<SiteId> first = {0};
+  const std::vector<SiteId> both = {0, 1};
+  const std::vector<SiteId> dead = {2};
+  EXPECT_EQ(object_availability(a, none), 0.0);
+  EXPECT_DOUBLE_EQ(object_availability(a, first), 0.5);
+  EXPECT_DOUBLE_EQ(object_availability(a, both), 1.0 - 0.5 * 0.1);
+  EXPECT_EQ(object_availability(a, dead), 0.0);
+  EXPECT_DOUBLE_EQ(max_object_availability(a), 1.0 - 0.5 * 0.1);
+}
+
+TEST(Availability, ConstraintValidation) {
+  AvailabilityConstraint constraint;
+  constraint.target = 0.9;
+  constraint.site_availability = {0.5, 0.5, 0.5};
+  EXPECT_NO_THROW(constraint.validate(3));
+  EXPECT_THROW(constraint.validate(2), std::invalid_argument);
+  constraint.target = 1.5;
+  EXPECT_THROW(constraint.validate(3), std::invalid_argument);
+  constraint.target = 0.9;
+  constraint.site_availability[1] = -0.1;
+  EXPECT_THROW(constraint.validate(3), std::invalid_argument);
+}
+
+TEST(Availability, SchemeValidityAgainstConstraint) {
+  core::Problem problem = testing::line3_problem();
+  problem.set_reads(2, 0, 10.0);
+  ReplicationScheme scheme(problem);
+
+  AvailabilityConstraint constraint;
+  constraint.target = 0.75;
+  constraint.site_availability = {0.5, 0.9, 0.6};
+  // Primary-only: A = 0.5 < 0.75.
+  EXPECT_TRUE(scheme.is_valid());
+  EXPECT_FALSE(scheme.is_valid(constraint));
+  EXPECT_FALSE(meets_availability(scheme, constraint, 0));
+
+  scheme.add(1, 0);  // A = 1 - 0.5·0.1 = 0.95
+  EXPECT_TRUE(scheme.is_valid(constraint));
+  EXPECT_TRUE(meets_availability(scheme, constraint, 0));
+}
+
+TEST(Availability, RepairAddsMostAvailableSite) {
+  core::Problem problem = testing::line3_problem();
+  problem.set_reads(2, 0, 10.0);
+  ReplicationScheme scheme(problem);
+
+  AvailabilityConstraint constraint;
+  constraint.target = 0.9;
+  constraint.site_availability = {0.5, 0.7, 0.9};
+  const std::size_t added = repair_availability(scheme, constraint);
+  // Site 2 alone lifts A to 1 - 0.5·0.1 = 0.95 >= 0.9; the greedy pass
+  // picks it first (highest a_i) and stops.
+  EXPECT_EQ(added, 1u);
+  EXPECT_TRUE(scheme.has_replica(2, 0));
+  EXPECT_FALSE(scheme.has_replica(1, 0));
+  EXPECT_TRUE(scheme.is_valid(constraint));
+
+  // Already conforming: repair is a no-op.
+  EXPECT_EQ(repair_availability(scheme, constraint), 0u);
+}
+
+TEST(Availability, RepairBreaksAvailabilityTiesByInsertionDelta) {
+  // Sites 1 and 2 equally available; site 1 is nearer the readers at site
+  // 1, so its insertion delta is smaller and it wins the tie.
+  core::Problem problem = testing::line3_problem();
+  problem.set_reads(1, 0, 50.0);
+  ReplicationScheme scheme(problem);
+
+  AvailabilityConstraint constraint;
+  constraint.target = 0.9;
+  constraint.site_availability = {0.5, 0.8, 0.8};
+  const std::size_t added = repair_availability(scheme, constraint);
+  EXPECT_EQ(added, 1u);
+  EXPECT_TRUE(scheme.has_replica(1, 0));
+}
+
+TEST(Availability, RepairThrowsWhenTargetUnreachable) {
+  core::Problem problem = testing::line3_problem();
+  ReplicationScheme scheme(problem);
+  AvailabilityConstraint constraint;
+  constraint.target = 0.999;
+  constraint.site_availability = {0.5, 0.6, 0.6};  // ceiling 1 - .5·.4·.4 = .92
+  EXPECT_THROW(repair_availability(scheme, constraint), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drep::core

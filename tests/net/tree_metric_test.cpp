@@ -1,0 +1,129 @@
+// Tree-metric recognition (net/tree_metric.hpp): a matrix is accepted iff
+// some weighted tree's shortest paths reproduce it, and the rooted view
+// exposes a consistent preorder/Euler-interval structure.
+
+#include "net/tree_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/shortest_paths.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/tree_instance.hpp"
+
+namespace drep::net {
+namespace {
+
+CostMatrix chain_costs(std::size_t m, double step = 1.0) {
+  CostMatrix costs(m);
+  for (SiteId i = 0; i < m; ++i) {
+    for (SiteId j = static_cast<SiteId>(i + 1); j < m; ++j) {
+      costs.set(i, j, step * static_cast<double>(j - i));
+    }
+  }
+  return costs;
+}
+
+TEST(TreeMetric, RecognizesChain) {
+  const auto metric = TreeMetric::extract(chain_costs(5, 2.0));
+  ASSERT_TRUE(metric.has_value());
+  EXPECT_EQ(metric->sites(), 5u);
+  EXPECT_EQ(metric->tree().edge_count(), 4u);
+}
+
+TEST(TreeMetric, RecognizesStar) {
+  // d(i, j) = spoke_i + spoke_j through the hub (site 0).
+  const std::vector<double> spoke = {0.0, 1.0, 2.0, 5.0};
+  CostMatrix costs(4);
+  for (SiteId i = 0; i < 4; ++i) {
+    for (SiteId j = static_cast<SiteId>(i + 1); j < 4; ++j) {
+      costs.set(i, j, spoke[i] + spoke[j]);
+    }
+  }
+  const auto metric = TreeMetric::extract(costs);
+  ASSERT_TRUE(metric.has_value());
+  EXPECT_EQ(metric->tree().edge_count(), 3u);
+}
+
+TEST(TreeMetric, RejectsAllCostsEqual) {
+  // d == 1 everywhere violates the four-point condition for M >= 3: any
+  // spanning tree would put some pair at distance 2.
+  EXPECT_FALSE(TreeMetric::extract(CostMatrix(3, 1.0)).has_value());
+  EXPECT_FALSE(TreeMetric::extract(CostMatrix(6, 1.0)).has_value());
+}
+
+TEST(TreeMetric, RejectsCycleMetric) {
+  // Shortest paths of a 4-cycle with unit edges: opposite corners at 2.
+  Graph cycle(4);
+  cycle.add_edge(0, 1, 1.0);
+  cycle.add_edge(1, 2, 1.0);
+  cycle.add_edge(2, 3, 1.0);
+  cycle.add_edge(3, 0, 1.0);
+  EXPECT_FALSE(TreeMetric::extract(all_pairs_dijkstra(cycle)).has_value());
+}
+
+TEST(TreeMetric, RejectsNonPositiveOffDiagonal) {
+  CostMatrix zero_pair(3, 1.0);
+  zero_pair.set(0, 1, 0.0);
+  EXPECT_FALSE(TreeMetric::extract(zero_pair).has_value());
+}
+
+TEST(TreeMetric, AcceptsSingleSite) {
+  const auto metric = TreeMetric::extract(CostMatrix(1, 0.0));
+  ASSERT_TRUE(metric.has_value());
+  EXPECT_EQ(metric->sites(), 1u);
+}
+
+TEST(TreeMetric, RoundTripsGeneratedTrees) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::TreeInstanceConfig config;
+    config.sites = 17;
+    config.objects = 3;
+    util::Rng rng(seed);
+    const core::Problem problem = workload::generate_tree(config, rng);
+    EXPECT_TRUE(TreeMetric::extract(problem.costs()).has_value())
+        << "seed " << seed;
+  }
+}
+
+TEST(TreeMetric, RootedViewIsConsistent) {
+  const auto metric = TreeMetric::extract(chain_costs(6));
+  ASSERT_TRUE(metric.has_value());
+  for (SiteId root = 0; root < 6; ++root) {
+    const RootedTree rooted = metric->rooted_at(root);
+    EXPECT_EQ(rooted.root, root);
+    EXPECT_EQ(rooted.parent[root], root);
+    ASSERT_EQ(rooted.order.size(), 6u);
+    EXPECT_EQ(rooted.order.front(), root);
+    // Preorder: every non-root vertex appears after its parent.
+    std::vector<std::size_t> rank(6);
+    for (std::size_t r = 0; r < rooted.order.size(); ++r)
+      rank[rooted.order[r]] = r;
+    for (SiteId v = 0; v < 6; ++v) {
+      EXPECT_EQ(rooted.tin[v], rank[v]);
+      if (v != root) EXPECT_LT(rank[rooted.parent[v]], rank[v]);
+      // Euler membership: u in subtree(v) iff walking u's parent chain
+      // reaches v.
+      for (SiteId u = 0; u < 6; ++u) {
+        SiteId walk = u;
+        bool reaches = (walk == v);
+        while (walk != rooted.parent[walk]) {
+          walk = rooted.parent[walk];
+          if (walk == v) reaches = true;
+        }
+        EXPECT_EQ(rooted.in_subtree(u, v), reaches)
+            << "root " << root << " u " << u << " v " << v;
+      }
+    }
+    // Children lists are ascending (deterministic orientation).
+    for (SiteId v = 0; v < 6; ++v) {
+      EXPECT_TRUE(std::is_sorted(rooted.children[v].begin(),
+                                 rooted.children[v].end()));
+      for (const SiteId c : rooted.children[v])
+        EXPECT_EQ(rooted.parent[c], v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drep::net

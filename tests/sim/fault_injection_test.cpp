@@ -73,6 +73,39 @@ TEST(FaultPlan, SiteDownTracksWindows) {
   EXPECT_EQ(plan.crashed_sites(), (std::vector<net::SiteId>{1, 3}));
 }
 
+TEST(FaultPlan, SiteAvailabilityFromCrashWindows) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 10.0, 20.0});
+  plan.crashes.push_back({1, 15.0, 30.0});  // overlaps — merged, not summed
+  plan.crashes.push_back({2, 0.0, std::numeric_limits<double>::infinity()});
+  const std::vector<double> availability = plan.site_availability(4, 100.0);
+  ASSERT_EQ(availability.size(), 4u);
+  EXPECT_DOUBLE_EQ(availability[0], 1.0);   // never crashed
+  EXPECT_DOUBLE_EQ(availability[1], 0.8);   // down [10, 30) of 100
+  EXPECT_DOUBLE_EQ(availability[2], 0.0);   // open-ended, clipped to horizon
+  EXPECT_DOUBLE_EQ(availability[3], 1.0);
+}
+
+TEST(FaultPlan, SiteAvailabilityAutoHorizon) {
+  FaultPlan plan;
+  plan.crashes.push_back({0, 10.0, 30.0});
+  plan.crashes.push_back({1, 10.0, 50.0});
+  // Auto horizon = latest finite edge = 50: site 0 down 20/50, site 1 40/50.
+  const std::vector<double> availability = plan.site_availability(2);
+  EXPECT_DOUBLE_EQ(availability[0], 0.6);
+  EXPECT_DOUBLE_EQ(availability[1], 0.2);
+  // Windows past the horizon don't contribute.
+  const std::vector<double> clipped = plan.site_availability(2, 20.0);
+  EXPECT_DOUBLE_EQ(clipped[0], 0.5);
+  EXPECT_DOUBLE_EQ(clipped[1], 0.5);
+}
+
+TEST(FaultPlan, SiteAvailabilityOfEmptyPlanIsPerfect) {
+  const FaultPlan plan;
+  const std::vector<double> availability = plan.site_availability(3);
+  for (const double a : availability) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
 TEST(RetryPolicy, TimeoutLadder) {
   RetryPolicy policy;
   policy.backoff = 2.0;

@@ -6,6 +6,7 @@
 #include "core/problem.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
+#include "workload/tree_instance.hpp"
 
 namespace drep::testing {
 
@@ -51,6 +52,22 @@ inline core::Problem small_random_problem(std::uint64_t seed,
   config.capacity_percent = capacity_percent;
   util::Rng rng(seed);
   return workload::generate(config, rng);
+}
+
+/// A seeded tree-topology instance with ample capacity — the regime where
+/// the treedp/constclients oracles are exact.
+inline core::Problem small_tree_problem(
+    std::uint64_t seed, std::size_t sites = 8, std::size_t objects = 4,
+    workload::TreeInstanceConfig::Shape shape =
+        workload::TreeInstanceConfig::Shape::kRandom,
+    std::size_t clients_per_object = 0) {
+  workload::TreeInstanceConfig config;
+  config.sites = sites;
+  config.objects = objects;
+  config.shape = shape;
+  config.clients_per_object = clients_per_object;
+  util::Rng rng(seed);
+  return workload::generate_tree(config, rng);
 }
 
 }  // namespace drep::testing

@@ -1,0 +1,227 @@
+#include "testing/oracle_harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "algo/exhaustive.hpp"
+#include "algo/solver.hpp"
+#include "algo/tree_dp.hpp"
+#include "audit/invariants.hpp"
+#include "util/rng.hpp"
+
+namespace drep::testing {
+
+namespace {
+
+/// Registry names whose result is a provable optimum on these instances.
+bool is_exact_solver(std::string_view name) {
+  return name == "treedp" || name == "constclients" || name == "exhaustive";
+}
+
+/// Largest per-object reading-site count — decides whether the
+/// const-clients oracle applies (<= its max_clients of 6).
+std::size_t max_clients(const core::Problem& problem) {
+  std::size_t most = 0;
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    std::size_t clients = 0;
+    for (core::SiteId i = 0; i < problem.sites(); ++i) {
+      if (problem.reads(i, k) > 0.0) ++clients;
+    }
+    most = std::max(most, clients);
+  }
+  return most;
+}
+
+void fail(OracleCaseReport& report, std::string check, std::string detail) {
+  report.failures.push_back({std::move(check), std::move(detail)});
+}
+
+/// Small, fixed solver budgets: the harness tests agreement and bounds, not
+/// convergence quality, so the sweep must stay cheap enough for fuzz loops.
+/// Free-cell ceiling for the exhaustive cross-check: 2^20 ≈ 1M leaves keeps
+/// a sweep case well under a second, where the library default of 24 costs
+/// seconds per case (16M leaves, twice — cross-check plus registry sweep).
+constexpr std::size_t kExhaustiveCellGate = 20;
+
+algo::SolverOptions sweep_options(std::uint64_t seed) {
+  algo::SolverOptions options;
+  options.common.seed = seed;
+  options.common.audit = true;
+  options.gra.population = 8;
+  options.gra.generations = 6;
+  options.agra.population = 6;
+  options.agra.generations = 4;
+  options.exhaustive_max_free_cells = kExhaustiveCellGate;
+  return options;
+}
+
+}  // namespace
+
+OracleCase oracle_case_from_seed(std::uint64_t seed) {
+  OracleCase c;
+  c.seed = seed;
+  util::Rng shape(seed ^ 0x02AC1E5EEDULL);
+  c.tree.sites = 4 + shape.index(9);    // 4..12
+  c.tree.objects = 2 + shape.index(7);  // 2..8
+  switch (shape.index(4)) {
+    case 0:
+      c.tree.shape = workload::TreeInstanceConfig::Shape::kChain;
+      break;
+    case 1:
+      c.tree.shape = workload::TreeInstanceConfig::Shape::kStar;
+      break;
+    default:
+      c.tree.shape = workload::TreeInstanceConfig::Shape::kRandom;
+      break;
+  }
+  c.tree.fanout = 2 + shape.index(3);
+  c.tree.depth_skew = shape.uniform_real(-0.9, 0.9);
+  // Half the cases restrict readers to a small client set, which (when it
+  // lands <= 6) arms the const-clients cross-check on top of the DP one.
+  if (shape.index(2) == 0)
+    c.tree.clients_per_object = std::min(c.tree.sites, 3 + shape.index(5));
+  c.tree.update_ratio_percent = shape.uniform_real(2.0, 40.0);
+  c.tree.capacity_percent = 0.0;  // ample: the DP's exactness regime
+  return c;
+}
+
+OracleCaseReport run_oracle_case(const OracleCase& c) {
+  OracleCaseReport report;
+  report.config = c;
+
+  util::Rng rng(c.seed);
+  const core::Problem problem = workload::generate_tree(c.tree, rng);
+
+  // --- the reference optimum: treedp in lex-smallest mode ----------------
+  algo::TreeDpConfig dp_config;
+  dp_config.lex_smallest = true;
+  std::optional<algo::AlgorithmResult> dp;
+  try {
+    dp = algo::solve_tree_dp(problem, dp_config);
+  } catch (const std::exception& error) {
+    fail(report, "treedp.solve", error.what());
+    return report;
+  }
+  report.optimum = dp->cost;
+  if (!dp->scheme.is_valid()) {
+    fail(report, "treedp.validity", "optimal scheme fails is_valid()");
+    return report;
+  }
+
+  // --- bit-exact agreement with the exhaustive search --------------------
+  const std::size_t free_cells = (problem.sites() - 1) * problem.objects();
+  if (free_cells <= kExhaustiveCellGate) {
+    report.exhaustive_checked = true;
+    try {
+      const auto exact =
+          algo::solve_exhaustive(problem, kExhaustiveCellGate);
+      if (!exact.has_value()) {
+        fail(report, "exhaustive.budget",
+             "free-cell precheck accepted but search refused");
+      } else {
+        if (exact->cost != dp->cost) {
+          fail(report, "treedp.vs_exhaustive",
+               "cost mismatch: dp " + std::to_string(dp->cost) +
+                   " vs exhaustive " + std::to_string(exact->cost));
+        }
+        if (exact->scheme.matrix() != dp->scheme.matrix()) {
+          fail(report, "treedp.vs_exhaustive",
+               "equal cost but different matrix: lex tie-break diverged");
+        }
+      }
+    } catch (const std::exception& error) {
+      fail(report, "exhaustive.solve", error.what());
+    }
+  }
+
+  // --- cost agreement with the const-clients oracle ----------------------
+  if (max_clients(problem) <= algo::ConstClientsConfig{}.max_clients) {
+    report.constclients_checked = true;
+    try {
+      const algo::AlgorithmResult cc = algo::solve_const_clients(problem);
+      if (cc.cost != dp->cost) {
+        fail(report, "treedp.vs_constclients",
+             "cost mismatch: dp " + std::to_string(dp->cost) +
+                 " vs constclients " + std::to_string(cc.cost));
+      }
+    } catch (const std::exception& error) {
+      fail(report, "constclients.solve", error.what());
+    }
+  }
+
+  // --- full registry sweep against the optimum ---------------------------
+  for (const std::string_view name : algo::solver_registry().names()) {
+    const std::string solver(name);
+    std::optional<algo::SolveResponse> response;
+    try {
+      response = algo::solver_registry().at(name).solve(
+          {problem, sweep_options(c.seed)});
+    } catch (const algo::InstanceTooLarge&) {
+      continue;  // exhaustive/constclients past their budget: not a failure
+    } catch (const audit::AuditFailure& failure) {
+      fail(report, solver + ".audit", failure.what());
+      continue;
+    } catch (const std::exception& error) {
+      fail(report, solver + ".solve", error.what());
+      continue;
+    }
+
+    const double cost = response->result.cost;
+    if (!response->result.scheme.is_valid())
+      fail(report, solver + ".validity", "emitted scheme fails is_valid()");
+    if (!std::isfinite(cost) || cost <= 0.0)
+      fail(report, solver + ".cost", "non-finite or non-positive cost");
+
+    // Integral instances: costs are exact, so the lower bound is strict ==
+    // arithmetic, no epsilon band.
+    const double gap_percent =
+        report.optimum > 0.0 ? 100.0 * (cost - report.optimum) / report.optimum
+                             : 0.0;
+    report.gaps.push_back({solver, cost, gap_percent});
+    if (cost < report.optimum) {
+      fail(report, solver + ".beats_optimum",
+           "cost " + std::to_string(cost) + " below the provable optimum " +
+               std::to_string(report.optimum));
+    }
+    if (is_exact_solver(name) && cost != report.optimum) {
+      fail(report, solver + ".exactness",
+           "exact solver returned " + std::to_string(cost) +
+               " != optimum " + std::to_string(report.optimum));
+    }
+    for (const auto& [bounded, ceiling] : c.gap_bounds) {
+      if (bounded == solver && gap_percent > ceiling) {
+        fail(report, solver + ".gap",
+             "gap " + std::to_string(gap_percent) + "% exceeds the " +
+                 std::to_string(ceiling) + "% bound");
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<OracleCaseReport> run_oracle_sweep(
+    std::uint64_t seeds, std::vector<std::pair<std::string, double>> gap_bounds) {
+  std::vector<OracleCaseReport> reports;
+  reports.reserve(static_cast<std::size_t>(seeds));
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    OracleCase c = oracle_case_from_seed(seed);
+    c.gap_bounds = gap_bounds;
+    reports.push_back(run_oracle_case(c));
+  }
+  return reports;
+}
+
+std::string describe_failures(const std::vector<OracleCaseReport>& reports) {
+  std::ostringstream out;
+  for (const OracleCaseReport& report : reports) {
+    for (const OracleFailure& failure : report.failures) {
+      out << "seed " << report.config.seed << " [" << failure.check << "] "
+          << failure.detail << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace drep::testing

@@ -1,0 +1,75 @@
+// The oracle differential harness itself (testing/oracle_harness.hpp): a
+// fixed-seed sweep must come back clean, both cross-checks must actually
+// fire across the sweep, and the heuristic gap bound pinned here must hold.
+// Pinning an empirical bound on fixed seeds is sound because every solver is
+// bit-deterministic under a fixed seed.
+
+#include "testing/oracle_harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drep::testing {
+namespace {
+
+TEST(OracleHarness, FixedSeedSweepIsCleanWithBothOraclesArmed) {
+  // Per-solver gap ceilings pinned from a measured 24-seed sweep (worst
+  // observed: hillclimb 0.7%, gra 27%, sra 38%, agra 113%, adr 165%) with
+  // headroom; any heuristic regressing past its historic band trips here.
+  const std::vector<OracleCaseReport> reports =
+      run_oracle_sweep(12, {{"hillclimb", 5.0},
+                            {"gra", 35.0},
+                            {"sra", 45.0},
+                            {"agra", 130.0},
+                            {"adr", 200.0}});
+  ASSERT_EQ(reports.size(), 12u);
+  EXPECT_TRUE(describe_failures(reports).empty()) << describe_failures(reports);
+
+  std::size_t exhaustive_checks = 0;
+  std::size_t constclients_checks = 0;
+  for (const OracleCaseReport& report : reports) {
+    EXPECT_GT(report.optimum, 0.0) << "seed " << report.config.seed;
+    // treedp, sra, gra, agra, adr, hillclimb always run; the budgeted exact
+    // solvers may legitimately skip.
+    EXPECT_GE(report.gaps.size(), 6u) << "seed " << report.config.seed;
+    if (report.exhaustive_checked) ++exhaustive_checks;
+    if (report.constclients_checked) ++constclients_checks;
+    for (const SolverGap& gap : report.gaps) {
+      EXPECT_GE(gap.gap_percent, 0.0)
+          << gap.solver << " seed " << report.config.seed;
+    }
+  }
+  // The seed derivation must keep both cross-check regimes populated.
+  EXPECT_GE(exhaustive_checks, 2u);
+  EXPECT_GE(constclients_checks, 2u);
+}
+
+TEST(OracleHarness, CaseDerivationIsAPureFunctionOfTheSeed) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const OracleCase a = oracle_case_from_seed(seed);
+    const OracleCase b = oracle_case_from_seed(seed);
+    EXPECT_EQ(a.tree.sites, b.tree.sites);
+    EXPECT_EQ(a.tree.objects, b.tree.objects);
+    EXPECT_EQ(a.tree.shape, b.tree.shape);
+    EXPECT_EQ(a.tree.clients_per_object, b.tree.clients_per_object);
+    EXPECT_EQ(a.tree.depth_skew, b.tree.depth_skew);
+    EXPECT_EQ(a.tree.capacity_percent, 0.0);
+  }
+}
+
+TEST(OracleHarness, ExactSolversReportZeroGap) {
+  const OracleCaseReport report = run_oracle_case(oracle_case_from_seed(3));
+  ASSERT_TRUE(report.ok()) << describe_failures({report});
+  bool saw_treedp = false;
+  for (const SolverGap& gap : report.gaps) {
+    if (gap.solver == "treedp" || gap.solver == "constclients" ||
+        gap.solver == "exhaustive") {
+      EXPECT_EQ(gap.gap_percent, 0.0) << gap.solver;
+      EXPECT_EQ(gap.cost, report.optimum) << gap.solver;
+      if (gap.solver == "treedp") saw_treedp = true;
+    }
+  }
+  EXPECT_TRUE(saw_treedp);
+}
+
+}  // namespace
+}  // namespace drep::testing

@@ -15,6 +15,12 @@
 //
 //   tools/fuzz_pipeline --seed=S --sites=M --objects=N --epochs=E
 //
+// --topology=tree switches to the oracle differential mode: each seed draws
+// a tree-metric instance (testing/oracle_harness.hpp) and every registered
+// solver is swept against the provable treedp optimum — bit-exact agreement
+// with solve_exhaustive, cost agreement with constclients, validity and
+// lower-bound checks for the heuristics.
+//
 // Exit status: 0 = every case clean, 1 = violations found, 2 = usage error.
 
 #include <algorithm>
@@ -37,6 +43,7 @@
 #include "sim/distributed_sra.hpp"
 #include "sim/epochs.hpp"
 #include "sim/monitor_protocol.hpp"
+#include "testing/oracle_harness.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 #include "workload/pattern_change.hpp"
@@ -309,12 +316,52 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seeds=N] [--seed=S] [--sites=M] [--objects=N]\n"
-      "          [--epochs=E] [--no-shrink]\n"
+      "          [--epochs=E] [--no-shrink] [--topology=tree]\n"
       "  --seeds=N     sweep seeds 1..N (default 20); ignored with --seed\n"
       "  --seed=S      run the single case S (a repro line re-runs exactly)\n"
       "  --sites/--objects/--epochs   pin a dimension (default: from seed)\n"
-      "  --no-shrink   print the original failing case, skip minimization\n",
+      "  --no-shrink   print the original failing case, skip minimization\n"
+      "  --topology=tree   oracle differential mode: sweep every solver\n"
+      "                against the exact tree-DP optimum per seed\n",
       argv0);
+}
+
+/// --topology=tree: one oracle differential case per seed; no shrinking
+/// (the cases are already small and a repro is just the seed).
+int run_tree_mode(const std::vector<std::uint64_t>& seed_list) {
+  std::size_t failures = 0;
+  for (const std::uint64_t seed : seed_list) {
+    const drep::testing::OracleCaseReport report =
+        drep::testing::run_oracle_case(
+            drep::testing::oracle_case_from_seed(seed));
+    if (report.ok()) {
+      std::printf(
+          "seed %llu ok (%zu sites, %zu objects, optimum %.0f,"
+          " %zu solvers%s%s)\n",
+          static_cast<unsigned long long>(seed), report.config.tree.sites,
+          report.config.tree.objects, report.optimum, report.gaps.size(),
+          report.exhaustive_checked ? ", exhaustive bit-exact" : "",
+          report.constclients_checked ? ", constclients agreed" : "");
+      continue;
+    }
+    ++failures;
+    std::printf("seed %llu FAILED (%zu violation(s))\n",
+                static_cast<unsigned long long>(seed),
+                report.failures.size());
+    for (const auto& failure : report.failures)
+      std::printf("  [%s] %s\n", failure.check.c_str(),
+                  failure.detail.c_str());
+    std::printf("  repro: tools/fuzz_pipeline --topology=tree --seed=%llu\n",
+                static_cast<unsigned long long>(seed));
+  }
+  if (failures != 0) {
+    std::printf("fuzz_pipeline: %zu/%zu tree case(s) failed\n", failures,
+                seed_list.size());
+    return 1;
+  }
+  std::printf("fuzz_pipeline: all %zu tree case(s) clean\n",
+              seed_list.size());
+  return 0;
 }
 
 }  // namespace
@@ -324,6 +371,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> single_seed;
   FuzzCase pinned;
   bool do_shrink = true;
+  bool tree_mode = false;
 
   for (int a = 1; a < argc; ++a) {
     const std::string_view arg = argv[a];
@@ -344,6 +392,8 @@ int main(int argc, char** argv) {
       pinned.epochs = value;
     } else if (arg == "--no-shrink") {
       do_shrink = false;
+    } else if (arg == "--topology=tree") {
+      tree_mode = true;
     } else {
       usage(argv[0]);
       return 2;
@@ -364,6 +414,16 @@ int main(int argc, char** argv) {
     seed_list.push_back(*single_seed);
   } else {
     for (std::uint64_t s = 1; s <= seeds; ++s) seed_list.push_back(s);
+  }
+
+  if (tree_mode) {
+    if (pinned.sites != 0 || pinned.objects != 0 || pinned.epochs != 0) {
+      std::fprintf(stderr,
+                   "fuzz_pipeline: --topology=tree derives its shapes from "
+                   "the seed; --sites/--objects/--epochs do not apply\n");
+      return 2;
+    }
+    return run_tree_mode(seed_list);
   }
 
   std::size_t failures = 0;
