@@ -1,0 +1,212 @@
+// Online-engine robustness bench: the mid-epoch replicate/evict engine
+// against a reactive AGRA retuner and the hindsight-optimal referee, across
+// the three non-uniform trace modes (drifting / flash / adversarial).
+//
+// Per (mode, instance) every contender streams the SAME moded trace from
+// the primary-only allocation and is charged with the same per-request
+// accounting the engine uses (read: one fetch from the nearest replica;
+// write: ship to the primary plus one broadcast leg per other replica):
+//
+//   online        — the ski-rental engine with its live EWMA predictor;
+//   online-oracle — the engine fed each window's true future counts (the
+//                   consistency end of the prediction spectrum);
+//   online-advers — the engine fed inverted predictions (the robustness
+//                   end: a confidently wrong predictor);
+//   agra          — reactive baseline: every 2 phases it retunes with the
+//                   registry "agra" solver on the PREVIOUS epoch's observed
+//                   counts and pays the migration NTC (the flash crowd
+//                   rises and dies inside one such epoch, so it always
+//                   retunes too late);
+//   hindsight     — the clairvoyant referee (lower is better; ratios are
+//                   reported against it).
+//
+// Artifact: BENCH_online_robustness.json (schema_version 1) in the repo
+// root, via the shared bench harness.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "algo/solver.hpp"
+#include "common/harness.hpp"
+#include "core/cost_model.hpp"
+#include "core/replication.hpp"
+#include "online/engine.hpp"
+#include "online/referee.hpp"
+#include "online/solver.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_modes.hpp"
+
+namespace {
+
+using namespace drep;
+
+/// The engine's per-request analytic charge for a FIXED scheme: one fetch
+/// from the nearest replica per remote read, ship-to-primary plus one
+/// broadcast leg per other replica (the writer's own copy updates with the
+/// write itself) per write.
+double serve_cost(const core::ReplicationScheme& scheme,
+                  const workload::Request& request) {
+  const core::Problem& p = scheme.problem();
+  const double o = p.object_size(request.object);
+  if (!request.is_write)
+    return o * p.cost(request.site, scheme.nearest(request.site, request.object));
+  const core::SiteId primary = p.primary(request.object);
+  double total = o * p.cost(request.site, primary);
+  for (const core::SiteId j : scheme.replicas(request.object)) {
+    if (j == primary || j == request.site) continue;
+    total += o * p.cost(primary, j);
+  }
+  return total;
+}
+
+struct StreamCost {
+  double total = 0.0;
+  std::size_t migrations = 0;
+};
+
+/// Reactive AGRA: serve each epoch (2 phases) with the scheme retuned on
+/// the previous epoch's observed counts, paying the migration NTC at every
+/// adoption.
+StreamCost agra_reactive(const core::Problem& problem,
+                         const std::vector<workload::Request>& trace,
+                         std::size_t phases, const algo::GraConfig& gra,
+                         std::uint64_t seed) {
+  StreamCost out;
+  core::ReplicationScheme current(problem);
+  const std::size_t epoch_len =
+      std::max<std::size_t>(1, trace.size() / std::max<std::size_t>(1, phases / 2));
+  core::Problem observed = problem;  // matrices overwritten per epoch
+  for (std::size_t start = 0; start < trace.size(); start += epoch_len) {
+    const std::size_t end = std::min(trace.size(), start + epoch_len);
+    if (start > 0) {
+      // Retune on what the last epoch actually looked like.
+      for (core::SiteId i = 0; i < problem.sites(); ++i) {
+        for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+          observed.set_reads(i, k, 0.0);
+          observed.set_writes(i, k, 0.0);
+        }
+      }
+      for (std::size_t n = start - epoch_len; n < start; ++n) {
+        const workload::Request& r = trace[n];
+        if (r.is_write) {
+          observed.set_writes(r.site, r.object,
+                              observed.writes(r.site, r.object) + 1.0);
+        } else {
+          observed.set_reads(r.site, r.object,
+                             observed.reads(r.site, r.object) + 1.0);
+        }
+      }
+      algo::SolverOptions options;
+      options.common.seed = seed;
+      options.agra.population = gra.population;
+      options.agra.generations = gra.generations;
+      options.agra.mini_gra = gra;
+      core::ReplicationScheme retuned = std::move(
+          algo::solver_registry().at("agra").solve({observed, options})
+              .result.scheme);
+      core::ReplicationScheme adopted(problem, retuned.matrix());
+      out.total += core::migration_cost(current, adopted);
+      ++out.migrations;
+      current = std::move(adopted);
+    }
+    for (std::size_t n = start; n < end; ++n)
+      out.total += serve_cost(current, trace[n]);
+  }
+  return out;
+}
+
+StreamCost run_engine(const core::Problem& problem,
+                      const std::vector<workload::Request>& trace,
+                      algo::PredictionSource source, std::size_t window) {
+  algo::OnlineOptions options;
+  options.window = window;
+  options.source = source;
+  core::ReplicationScheme scheme(problem);
+  online::OnlineEngine engine(scheme, online::engine_config_from(options));
+  engine.prime(trace);
+  engine.run(trace);
+  return {engine.stats().total_cost(), engine.stats().migrations};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv);
+  online::register_online_solver();
+  const algo::GraConfig gra = options.gra(/*fast_generations=*/12,
+                                          /*fast_population=*/10);
+  const std::size_t instances = options.networks(/*fast_default=*/3,
+                                                 /*paper_default=*/10);
+  const std::size_t sites = options.paper ? 30 : 14;
+  const std::size_t objects = options.paper ? 60 : 20;
+  constexpr std::size_t kPhases = 8;
+  constexpr std::size_t kWindow = 128;
+
+  const std::vector<workload::TraceMode> modes = {
+      workload::TraceMode::kDrifting, workload::TraceMode::kFlashCrowd,
+      workload::TraceMode::kAdversarial};
+  struct Contender {
+    const char* name;
+    util::RunningStats cost;
+    util::RunningStats ratio;  // vs hindsight
+    util::RunningStats migrations;
+  };
+
+  util::Table table({"trace", "policy", "total cost", "ratio vs hindsight",
+                     "migrations"});
+  for (const workload::TraceMode mode : modes) {
+    std::vector<Contender> contenders = {{"online", {}, {}, {}},
+                                         {"online-oracle", {}, {}, {}},
+                                         {"online-advers", {}, {}, {}},
+                                         {"agra", {}, {}, {}},
+                                         {"hindsight", {}, {}, {}}};
+    for (std::size_t instance = 0; instance < instances; ++instance) {
+      workload::GeneratorConfig gen;
+      gen.sites = sites;
+      gen.objects = objects;
+      util::Rng gen_rng = util::Rng(options.seed).fork(instance);
+      const core::Problem problem = workload::generate(gen, gen_rng);
+      workload::ModedTraceConfig moded;
+      moded.mode = mode;
+      moded.phases = kPhases;
+      util::Rng trace_rng = util::Rng(options.seed).fork(1000 + instance);
+      const auto trace = workload::build_moded_trace(problem, moded, trace_rng);
+      if (trace.empty()) continue;
+
+      online::RefereeConfig referee;
+      referee.window = kWindow;
+      const double hindsight =
+          online::hindsight_cost(problem, trace, referee).total_cost();
+      const StreamCost results[] = {
+          run_engine(problem, trace, algo::PredictionSource::kEwma, kWindow),
+          run_engine(problem, trace, algo::PredictionSource::kOracle, kWindow),
+          run_engine(problem, trace, algo::PredictionSource::kAdversarial,
+                     kWindow),
+          agra_reactive(problem, trace, kPhases, gra, options.seed),
+          {hindsight, 0},
+      };
+      for (std::size_t which = 0; which < contenders.size(); ++which) {
+        contenders[which].cost.add(results[which].total);
+        if (hindsight > 0.0)
+          contenders[which].ratio.add(results[which].total / hindsight);
+        contenders[which].migrations.add(
+            static_cast<double>(results[which].migrations));
+      }
+    }
+    for (const Contender& contender : contenders) {
+      table.row(3)
+          .cell(workload::trace_mode_name(mode))
+          .cell(contender.name)
+          .cell(contender.cost.mean())
+          .cell(contender.ratio.mean())
+          .cell(contender.migrations.mean());
+    }
+  }
+  bench::emit("online robustness: engine vs reactive AGRA vs hindsight",
+              table, options);
+  return 0;
+}

@@ -53,4 +53,44 @@ struct CommonOptions {
   }
 };
 
+/// Where the online engine's hot/warm/cold classification comes from
+/// (DESIGN.md Section 12). kEwma is the deployable predictor; the oracle
+/// and adversarial sources exist to measure the consistency-robustness
+/// envelope of the prediction-blended thresholds.
+enum class PredictionSource : std::uint8_t {
+  /// The engine's own EWMA rate estimates over sliding trace windows.
+  kEwma = 0,
+  /// Perfect predictions: each window classified from the *next* window's
+  /// true per-object request counts.
+  kOracle = 1,
+  /// Worst-case predictions: the oracle's classes with hot and cold
+  /// swapped, so the blend is confidently wrong every window.
+  kAdversarial = 2,
+};
+
+/// Knobs of the `--algo=online` engine (src/online/). Lives here — below
+/// the online module — so SolverOptions keeps the uniform options.<algo>
+/// field pattern without algo depending on online.
+struct OnlineOptions {
+  /// Requests per predictor window (EWMA fold + reclassification cadence;
+  /// also the referee's retune-window length).
+  std::size_t window = 128;
+  /// EWMA weight of the newest window, in (0, 1].
+  double alpha = 0.5;
+  /// rate > hot_factor × mean rate  =>  hot.
+  double hot_factor = 2.0;
+  /// rate < cold_factor × mean rate  =>  cold.
+  double cold_factor = 0.5;
+  /// λ of the ski-rental replicate rule: replicate once the accumulated
+  /// remote-read penalty reaches λ × the current fetch cost.
+  double break_even = 1.0;
+  /// Eviction analogue: evict once the carried update cost reaches
+  /// evict_factor × the re-fetch cost.
+  double evict_factor = 1.0;
+  /// How far predictions bend the thresholds, in [0, 1]. 0 = pure
+  /// ski-rental (predictions ignored); 1 = full trust.
+  double trust = 0.5;
+  PredictionSource source = PredictionSource::kEwma;
+};
+
 }  // namespace drep::algo

@@ -18,7 +18,9 @@
 // ride in `details` as a flat JSON object.
 //
 // Built-in names: "sra", "gra", "agra", "adr", "hillclimb", "exhaustive",
-// "treedp", "constclients".
+// "treedp", "constclients". The online engine registers itself as "online"
+// via online::register_online_solver() (called by the CLI and the tools),
+// because its adapter lives above sim in the module layering.
 
 #include <memory>
 #include <optional>
@@ -54,6 +56,10 @@ struct SolverOptions {
   AdrConfig adr{};
   TreeDpConfig treedp{};
   ConstClientsConfig constclients{};
+  /// Consumed by "online" (src/online/), which registers itself via
+  /// online::register_online_solver() — the registry's built-ins stop at
+  /// the offline algorithms so algo does not depend upward on sim.
+  OnlineOptions online{};
   /// Exhaustive search refuses instances with more free cells than this.
   std::size_t exhaustive_max_free_cells = 24;
   /// Exhaustive search aborts (InstanceTooLarge) past this many nodes.

@@ -237,6 +237,60 @@ Violations check_availability(const core::ReplicationScheme& scheme,
   return out;
 }
 
+Violations check_online_log(const core::Problem& problem,
+                            std::span<const std::uint8_t> initial,
+                            std::span<const OnlineAction> log,
+                            const core::ReplicationScheme& final_scheme) {
+  Violations out;
+  core::ReplicationScheme replayed(problem, initial);
+  if (!replayed.is_valid())
+    add(out, "online.initial_valid",
+        "initial scheme already violates capacity (before any action)");
+  for (std::size_t step = 0; step < log.size(); ++step) {
+    const OnlineAction& action = log[step];
+    const std::string at = "action " + std::to_string(step) + " (request " +
+                           std::to_string(action.request_index) + ", site " +
+                           std::to_string(action.site) + ", object " +
+                           std::to_string(action.object) + ")";
+    if (action.site >= problem.sites() || action.object >= problem.objects()) {
+      add(out, "online.log_bounds", at + " is out of range");
+      continue;
+    }
+    const bool present = replayed.has_replica(action.site, action.object);
+    if (action.kind == OnlineAction::Kind::kEvict) {
+      if (action.site == problem.primary(action.object)) {
+        add(out, "online.primary_evicted",
+            at + " evicts the primary copy (primaries are immovable)");
+        continue;
+      }
+      if (!present) {
+        add(out, "online.log_replay",
+            at + " evicts a replica the replayed scheme does not hold");
+        continue;
+      }
+      replayed.remove(action.site, action.object);
+    } else {
+      if (present) {
+        add(out, "online.log_replay",
+            at + " replicates a replica the replayed scheme already holds");
+        continue;
+      }
+      replayed.add(action.site, action.object);
+    }
+    if (!replayed.is_valid())
+      add(out, "online.mid_epoch_valid",
+          at + " leaves a site over capacity beyond the slack policy");
+  }
+  if (replayed.matrix() != final_scheme.matrix())
+    add(out, "online.log_replay",
+        "replaying the decision log does not reproduce the final scheme "
+        "bit-for-bit (" +
+            std::to_string(replayed.total_replicas()) + " replayed vs " +
+            std::to_string(final_scheme.total_replicas()) +
+            " final replicas)");
+  return out;
+}
+
 Violations check_message_conservation(const MessageCounts& counts) {
   Violations out;
   const std::size_t accounted = counts.delivered_data +

@@ -105,6 +105,35 @@ void enforce(Violations violations, const std::string& where);
     const core::ReplicationScheme& scheme,
     const core::AvailabilityConstraint& constraint);
 
+// --- online decision layer ------------------------------------------------
+
+/// One replicate/evict decision of the online engine (src/online/), in the
+/// order it was taken. The engine appends to its log at decision time; the
+/// validator below replays the log to certify the whole mid-epoch
+/// trajectory, not just the final scheme. Plain core types only, so audit
+/// stays below online in the layering.
+struct OnlineAction {
+  enum class Kind : std::uint8_t { kReplicate = 0, kEvict = 1 };
+  Kind kind = Kind::kReplicate;
+  core::SiteId site = 0;
+  core::ObjectId object = 0;
+  /// Index of the trace request that triggered the decision.
+  std::uint64_t request_index = 0;
+};
+
+/// Online-engine trajectory invariants: starting from `initial` (row-major
+/// M×N), applying `log` in order must
+///   * never evict a primary copy,
+///   * never replicate an already-present replica or evict an absent one
+///     (either means the log diverged from the scheme it claims to record),
+///   * keep every intermediate scheme is_valid() under the capacity slack
+///     policy, and
+///   * land bit-for-bit on `final_scheme`'s matrix.
+[[nodiscard]] Violations check_online_log(
+    const core::Problem& problem, std::span<const std::uint8_t> initial,
+    std::span<const OnlineAction> log,
+    const core::ReplicationScheme& final_scheme);
+
 // --- sim aggregates (plain counters; see layering note above) -------------
 
 /// DES message conservation: sent = delivered + dropped + in-flight.

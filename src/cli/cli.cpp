@@ -20,11 +20,15 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "online/engine.hpp"
+#include "online/referee.hpp"
+#include "online/solver.hpp"
 #include "sim/access_replay.hpp"
 #include "sim/failures.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
+#include "workload/trace_modes.hpp"
 #include "workload/tree_instance.hpp"
 
 namespace drep::cli {
@@ -201,6 +205,29 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+/// The online engine's knobs, shared by `solve --algo=online` and
+/// `replay --online`.
+algo::OnlineOptions online_options_from(const Args& args) {
+  algo::OnlineOptions options;
+  options.window = static_cast<std::size_t>(args.number("window", 128));
+  if (options.window == 0) throw UsageError("--window must be >= 1");
+  options.trust = args.number("trust", 0.5);
+  if (options.trust < 0.0 || options.trust > 1.0)
+    throw UsageError("--trust must be in [0, 1]");
+  const std::string source = args.get("predictions", "ewma");
+  if (source == "ewma") {
+    options.source = algo::PredictionSource::kEwma;
+  } else if (source == "oracle") {
+    options.source = algo::PredictionSource::kOracle;
+  } else if (source == "adversarial") {
+    options.source = algo::PredictionSource::kAdversarial;
+  } else {
+    throw UsageError("--predictions expects ewma|oracle|adversarial, got '" +
+                     source + "'");
+  }
+  return options;
+}
+
 /// Builds SolverOptions from the shared solve/adapt flags. --threads also
 /// resizes the shared pool so the flag takes effect immediately.
 algo::SolverOptions solver_options_from(const Args& args) {
@@ -218,6 +245,7 @@ algo::SolverOptions solver_options_from(const Args& args) {
   options.agra.mini_gra_generations =
       static_cast<std::size_t>(args.number("mini", 5));
   options.agra.common.threads = options.common.threads;
+  options.online = online_options_from(args);
   return options;
 }
 
@@ -328,15 +356,45 @@ int cmd_evaluate(const Args& args) {
 
 int cmd_replay(const Args& args) {
   const core::Problem problem = io::load_problem(args.require("in"));
-  const core::ReplicationScheme scheme =
+  core::ReplicationScheme scheme =
       args.has("scheme") ? io::load_scheme(args.require("scheme"), problem)
                          : core::ReplicationScheme(problem);
   util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
-  const auto trace = workload::build_trace(problem, rng);
+
+  workload::ModedTraceConfig trace_config;
+  try {
+    trace_config.mode = workload::parse_trace_mode(args.get("trace", "uniform"));
+    trace_config.phases = static_cast<std::size_t>(args.number("phases", 8));
+    trace_config.validate();
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(std::string("--trace: ") + error.what());
+  }
+  const auto trace = workload::build_moded_trace(problem, trace_config, rng);
+
   sim::ReplayOptions options;
   if (args.has("faults")) options.faults = parse_fault_plan(args);
+  const bool run_online = args.has("online");
   sim::ReplayResult replay;
-  {
+  std::optional<online::EngineStats> engine_stats;
+  std::optional<online::RefereeReport> hindsight;
+  double competitive_ratio = 1.0;
+  if (run_online) {
+    const algo::OnlineOptions online_options = online_options_from(args);
+    online::OnlineEngine engine(scheme,
+                                online::engine_config_from(online_options));
+    engine.prime(trace);
+    {
+      DREP_SPAN("cli/replay");
+      replay = sim::replay_trace_online(scheme, trace, options, engine);
+    }
+    engine_stats = engine.stats();
+    online::RefereeConfig referee;
+    referee.window = online_options.window;
+    hindsight = online::hindsight_cost(problem, trace, referee);
+    competitive_ratio = hindsight->total_cost() > 0.0
+                            ? engine_stats->total_cost() / hindsight->total_cost()
+                            : 1.0;
+  } else {
     DREP_SPAN("cli/replay");
     replay = sim::replay_trace(scheme, trace, options);
   }
@@ -364,6 +422,14 @@ int cmd_replay(const Args& args) {
     table.row(0).cell("failed writes").cell(replay.failed_writes);
     table.row(0).cell("stale updates").cell(replay.stale_replica_updates);
   }
+  if (run_online) {
+    table.row(0).cell("online migrations").cell(replay.online_migrations);
+    table.row(0).cell("online evictions").cell(replay.online_evictions);
+    table.row(3).cell("migration traffic").cell(replay.migration_traffic);
+    table.row(3).cell("online total cost").cell(engine_stats->total_cost());
+    table.row(3).cell("hindsight total cost").cell(hindsight->total_cost());
+    table.row(3).cell("competitive ratio").cell(competitive_ratio);
+  }
   table.print(std::cout);
 
   obs::Json result_json = obs::Json::object();
@@ -389,6 +455,19 @@ int cmd_replay(const Args& args) {
     result_json["failed_reads"] = obs::Json(replay.failed_reads);
     result_json["failed_writes"] = obs::Json(replay.failed_writes);
     result_json["stale_updates"] = obs::Json(replay.stale_replica_updates);
+  }
+  if (run_online) {
+    result_json["trace_mode"] =
+        obs::Json(workload::trace_mode_name(trace_config.mode));
+    result_json["online_migrations"] = obs::Json(replay.online_migrations);
+    result_json["online_evictions"] = obs::Json(replay.online_evictions);
+    result_json["migration_traffic"] = obs::Json(replay.migration_traffic);
+    result_json["online_total_cost"] = obs::Json(engine_stats->total_cost());
+    result_json["online_serving_cost"] =
+        obs::Json(engine_stats->serving_cost);
+    result_json["online_windows"] = obs::Json(engine_stats->windows);
+    result_json["hindsight_total_cost"] = obs::Json(hindsight->total_cost());
+    result_json["competitive_ratio"] = obs::Json(competitive_ratio);
   }
   maybe_write_reports(args, "replay", std::move(result_json));
   return 0;
@@ -481,7 +560,9 @@ void usage(std::ostream& out) {
          "           [--generations=N] [--population=N] [--islands=N] [--mini=N]\n"
          "           [--seed=N] [--threads=N] [--avail-target=P --faults=SPEC]\n"
          "  evaluate -i FILE [-s SCHEME]\n"
-         "  replay   -i FILE [-s SCHEME] [--seed=N] [--faults=SPEC]\n"
+         "  replay   -i FILE [-s SCHEME] [--seed=N] [--faults=SPEC] [--online]\n"
+         "           [--trace=uniform|drifting|flash|adversarial] [--phases=N]\n"
+         "           [--window=N] [--trust=F] [--predictions=ewma|oracle|adversarial]\n"
          "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
          "           [--threads=N] [--faults=SPEC]\n"
          "  help\n"
@@ -502,7 +583,20 @@ void usage(std::ostream& out) {
          "with site availabilities derived from the --faults crash windows; the\n"
          "heuristics repair their schemes to meet it, the exact solvers optimize\n"
          "under it. Exact solvers (treedp, constclients, exhaustive) exit 2 when\n"
-         "an instance exceeds their enumeration budget.\n";
+         "an instance exceeds their enumeration budget.\n"
+         "replay --trace=MODE samples a seeded, phase-structured scenario trace\n"
+         "instead of the problem's exact request matrices (--phases=N phases,\n"
+         "default 8): drifting rotates a hot object block one block per phase,\n"
+         "flash spikes a fixed block from a crowd of sites in the middle phase\n"
+         "only, adversarial alternates two disjoint hot blocks every phase so\n"
+         "trained predictions are confidently wrong.\n"
+         "replay --online streams the ski-rental replicate/evict engine over the\n"
+         "trace, mutating the scheme mid-epoch, and reports online_migrations,\n"
+         "online_evictions and the competitive_ratio against a hindsight-optimal\n"
+         "referee; solve --algo=online does the same over the matrices' shuffled\n"
+         "trace. --window=N sets the predictor window, --trust=F in [0,1] how far\n"
+         "hot/warm/cold predictions bend the break-even thresholds, and\n"
+         "--predictions picks their source (ewma|oracle|adversarial).\n";
 }
 
 const std::set<std::string> kGenerateFlags = {
@@ -512,11 +606,12 @@ const std::set<std::string> kGenerateFlags = {
 const std::set<std::string> kSolveFlags = {
     "in",      "out",  "algo",   "generations", "population", "islands",
     "threads", "mini", "seed",   "report",      "prom",
-    "avail-target", "faults"};
+    "avail-target", "faults", "window", "trust", "predictions"};
 const std::set<std::string> kEvaluateFlags = {"in", "scheme", "report",
                                               "prom"};
-const std::set<std::string> kReplayFlags = {"in",     "scheme", "seed",
-                                            "report", "prom",   "faults"};
+const std::set<std::string> kReplayFlags = {
+    "in",     "scheme", "seed",   "report", "prom",  "faults", "online",
+    "trace",  "phases", "window", "trust",  "predictions"};
 const std::set<std::string> kAdaptFlags = {
     "in",   "new",  "scheme", "out",  "threshold", "mini",
     "seed", "threads", "report", "prom", "faults"};
@@ -528,6 +623,9 @@ int run(int argc, char** argv) {
   // "run", so reports must not see a previous invocation's numbers.
   obs::Registry::global().reset();
   obs::SpanRegistry::global().reset();
+  // The online solver lives above algo in the layering, so the registry
+  // cannot register it itself (idempotent; see online/solver.hpp).
+  online::register_online_solver();
 
   if (argc < 2) {
     usage(std::cerr);

@@ -1,0 +1,119 @@
+#pragma once
+// Ski-rental break-even controller (DESIGN.md Section 12).
+//
+// Per (site, object) pair the controller keeps two rent meters:
+//
+//   penalty[i][k] — remote-read fetch cost accumulated at i since the pair
+//                   last changed state ("rent paid" for NOT holding a
+//                   replica);
+//   carried[i][k] — update-broadcast cost replica (i,k) has absorbed since
+//                   its last read ("rent paid" FOR holding it).
+//
+// Decision rules (the classic break-even argument, as in the cost-driven
+// predictions paper):
+//
+//   replicate  when  penalty >= mult_rep(heat) · break_even · fetch_now
+//   evict      when  carried + charge >= mult_ev(heat) · evict_factor · refetch
+//
+// where fetch_now is today's cost of one remote read and refetch the cost
+// of re-creating the replica from its nearest alternative. In this cost
+// model one remote fetch ships the whole object, so rent == buy and the
+// un-blended rule (mult = 1) replicates on the first remote read — which is
+// optimal for reads because the triggering fetch doubles as the replica
+// shipment (see ReplayPolicy in sim/access_replay.hpp). The ski-rental
+// tension therefore lives on the eviction side: keep absorbing update
+// broadcasts, or drop the replica and pay one re-fetch when reads return.
+//
+// Predictions bend the thresholds through the heat-dependent multipliers:
+// with trust t in [0, 1],
+//
+//   favored    mult = 1 + t·(hot_boost - 1)   (replicate hot / evict cold)
+//   disfavored mult = 1 + t·(cold_damp - 1)   (replicate cold / evict hot)
+//
+// so trust 0 degenerates to pure ski-rental (consistency: predictions can
+// never hurt more than the blend allows) and trust 1 follows the predictor
+// wholesale (robustness is then bounded by the multipliers, not by the
+// predictor's quality).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "online/predictor.hpp"
+
+namespace drep::online {
+
+struct ControllerConfig {
+  /// λ of the replicate rule; higher = more reluctant to replicate.
+  double break_even = 1.0;
+  /// Eviction threshold multiplier; higher = holds replicas longer.
+  double evict_factor = 1.0;
+  /// Prediction trust in [0, 1].
+  double trust = 0.5;
+  /// Threshold multiplier, at full trust, for the direction the prediction
+  /// favors (replicating hot objects, evicting cold ones). Must be in
+  /// [0, 1]: 0 = act immediately.
+  double hot_boost = 0.0;
+  /// Threshold multiplier, at full trust, for the direction the prediction
+  /// disfavors (replicating cold objects, evicting hot ones). Must be
+  /// >= 1.
+  double cold_damp = 2.0;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+class BreakEvenController {
+ public:
+  BreakEvenController(const ControllerConfig& config, std::size_t sites,
+                      std::size_t objects);
+
+  /// Accounts one remote read at site i of object k costing `fetch_now`.
+  /// Returns true when the accumulated penalty reached the (blended)
+  /// replicate threshold — the caller decides whether the replica fits.
+  [[nodiscard]] bool note_remote_read(core::SiteId i, core::ObjectId k,
+                                      double fetch_now, Heat heat);
+
+  /// Would absorbing one more broadcast leg of cost `charge` push replica
+  /// (i,k) past the (blended) evict threshold, given that re-creating it
+  /// later costs `refetch`? Pure query: call absorb_update() to actually
+  /// pay the charge when the answer is no.
+  [[nodiscard]] bool should_evict(core::SiteId i, core::ObjectId k,
+                                  double charge, double refetch,
+                                  Heat heat) const;
+
+  /// Adds `charge` to replica (i,k)'s carried update cost.
+  void absorb_update(core::SiteId i, core::ObjectId k, double charge);
+
+  /// A local read renews replica (i,k): its carried cost restarts from
+  /// zero (the replica just proved it is still earning its keep).
+  void note_local_read(core::SiteId i, core::ObjectId k);
+
+  /// Clears both meters of (i,k) — call on every state change
+  /// (replication or eviction) so each rent cycle starts fresh.
+  void reset(core::SiteId i, core::ObjectId k);
+
+  [[nodiscard]] double penalty(core::SiteId i, core::ObjectId k) const {
+    return penalty_[cell(i, k)];
+  }
+  [[nodiscard]] double carried(core::SiteId i, core::ObjectId k) const {
+    return carried_[cell(i, k)];
+  }
+  [[nodiscard]] double replicate_multiplier(Heat heat) const;
+  [[nodiscard]] double evict_multiplier(Heat heat) const;
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(core::SiteId i, core::ObjectId k) const {
+    return static_cast<std::size_t>(i) * objects_ + k;
+  }
+
+  ControllerConfig config_;
+  std::size_t objects_;
+  std::vector<double> penalty_;  // row-major [site][object]
+  std::vector<double> carried_;  // row-major [site][object]
+};
+
+}  // namespace drep::online

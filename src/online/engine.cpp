@@ -1,0 +1,220 @@
+#include "online/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace drep::online {
+
+namespace {
+
+using core::ObjectId;
+using core::SiteId;
+
+}  // namespace
+
+EngineConfig engine_config_from(const algo::OnlineOptions& options) {
+  EngineConfig config;
+  config.predictor.window = options.window;
+  config.predictor.alpha = options.alpha;
+  config.predictor.hot_factor = options.hot_factor;
+  config.predictor.cold_factor = options.cold_factor;
+  config.controller.break_even = options.break_even;
+  config.controller.evict_factor = options.evict_factor;
+  config.controller.trust = options.trust;
+  config.source = options.source;
+  return config;
+}
+
+OnlineEngine::OnlineEngine(core::ReplicationScheme& scheme,
+                           const EngineConfig& config)
+    : scheme_(&scheme),
+      config_(config),
+      predictor_(config.predictor, scheme.problem().objects()),
+      controller_(config.controller, scheme.problem().sites(),
+                  scheme.problem().objects()),
+      heat_(scheme.problem().objects(), Heat::kWarm) {
+  stats_.initial_matrix = scheme.matrix();
+}
+
+void OnlineEngine::prime(std::span<const workload::Request> trace) {
+  if (config_.source == algo::PredictionSource::kEwma) return;
+  const std::size_t window = config_.predictor.window;
+  const std::size_t windows =
+      std::max<std::size_t>(1, (trace.size() + window - 1) / window);
+  const std::size_t objects = scheme_->problem().objects();
+  window_classes_.assign(windows, {});
+  std::vector<double> counts(objects, 0.0);
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::fill(counts.begin(), counts.end(), 0.0);
+    const std::size_t begin = w * window;
+    const std::size_t end = std::min(trace.size(), begin + window);
+    for (std::size_t idx = begin; idx < end; ++idx)
+      counts[trace[idx].object] += 1.0;
+    window_classes_[w] = classify_rates(counts, config_.predictor);
+    if (config_.source == algo::PredictionSource::kAdversarial) {
+      for (Heat& h : window_classes_[w]) {
+        if (h == Heat::kHot)
+          h = Heat::kCold;
+        else if (h == Heat::kCold)
+          h = Heat::kHot;
+      }
+    }
+  }
+  heat_ = window_classes_.front();
+  primed_ = true;
+}
+
+std::span<const sim::SchemeChange> OnlineEngine::on_request(
+    std::uint64_t index, const workload::Request& request,
+    core::ReplicationScheme& scheme) {
+  if (&scheme != scheme_)
+    throw std::invalid_argument(
+        "OnlineEngine: replay drives a different scheme than the engine "
+        "was bound to");
+  if (config_.source != algo::PredictionSource::kEwma && !primed_)
+    throw std::logic_error(
+        "OnlineEngine: oracle/adversarial prediction sources require "
+        "prime(trace) before the first request");
+  changes_.clear();
+  if (request.is_write)
+    step_write(index, request.site, request.object);
+  else
+    step_read(index, request.site, request.object);
+  if (predictor_.observe(request)) advance_window();
+  return changes_;
+}
+
+void OnlineEngine::run(std::span<const workload::Request> trace) {
+  DREP_SPAN("online/run");
+  for (std::size_t idx = 0; idx < trace.size(); ++idx)
+    (void)on_request(idx, trace[idx], *scheme_);
+}
+
+void OnlineEngine::step_read(std::uint64_t index, SiteId i, ObjectId k) {
+  if (scheme_->has_replica(i, k)) {
+    ++stats_.local_reads;
+    controller_.note_local_read(i, k);
+    return;
+  }
+  ++stats_.remote_reads;
+  const core::Problem& problem = scheme_->problem();
+  const double fetch = problem.object_size(k) * scheme_->nearest_cost(i, k);
+  const bool trigger = controller_.note_remote_read(i, k, fetch, heat_[k]);
+  if (trigger && make_room(index, i, k)) {
+    // Trigger-read free ride: the fetch that would have served this read
+    // ships the new replica instead. Same bytes, booked as migration.
+    const SiteId source = scheme_->nearest(i, k);
+    scheme_->add(i, k);
+    controller_.reset(i, k);
+    stats_.migration_cost += fetch;
+    ++stats_.migrations;
+    stats_.log.push_back({audit::OnlineAction::Kind::kReplicate, i, k, index});
+    changes_.push_back(
+        {/*evict=*/false, i, k, source, problem.object_size(k)});
+    DREP_COUNT("drep_online_migrations_total", 1);
+    return;
+  }
+  stats_.serving_cost += fetch;
+}
+
+void OnlineEngine::step_write(std::uint64_t index, SiteId i, ObjectId k) {
+  ++stats_.writes;
+  const core::Problem& problem = scheme_->problem();
+  const SiteId primary = problem.primary(k);
+  // Writer ships the new version to the primary (free when i == SP_k,
+  // since C(i,i) == 0).
+  stats_.serving_cost += problem.object_size(k) * problem.cost(i, primary);
+  // Broadcast legs, in ascending site order (replicas(k) is insertion
+  // ordered; sorting fixes the decision order deterministically).
+  replica_scratch_.assign(scheme_->replicas(k).begin(),
+                          scheme_->replicas(k).end());
+  std::sort(replica_scratch_.begin(), replica_scratch_.end());
+  for (const SiteId j : replica_scratch_) {
+    if (j == primary || j == i) continue;
+    const double charge = problem.object_size(k) * problem.cost(primary, j);
+    const double refetch = refetch_cost(j, k);
+    if (controller_.should_evict(j, k, charge, refetch, heat_[k])) {
+      // Dropping the replica beats updating it: the leg is never sent.
+      evict(index, j, k);
+      continue;
+    }
+    controller_.absorb_update(j, k, charge);
+    stats_.serving_cost += charge;
+  }
+}
+
+bool OnlineEngine::make_room(std::uint64_t index, SiteId i, ObjectId k) {
+  if (scheme_->fits(i, k)) return true;
+  const core::Problem& problem = scheme_->problem();
+  // Victims: strictly colder non-primary replicas held at i, coldest
+  // first (ties by EWMA rate, then object id — all deterministic).
+  std::vector<ObjectId> victims;
+  for (ObjectId kk = 0; kk < problem.objects(); ++kk) {
+    if (kk == k || !scheme_->has_replica(i, kk)) continue;
+    if (problem.primary(kk) == i) continue;
+    if (heat_[kk] < heat_[k]) victims.push_back(kk);
+  }
+  std::sort(victims.begin(), victims.end(), [&](ObjectId a, ObjectId b) {
+    if (heat_[a] != heat_[b]) return heat_[a] < heat_[b];
+    if (predictor_.rate(a) != predictor_.rate(b))
+      return predictor_.rate(a) < predictor_.rate(b);
+    return a < b;
+  });
+  // Plan before evicting: only a plan that provably reaches fits(i,k) may
+  // spend replicas (a partial eviction would lose replicas and gain
+  // nothing).
+  double freeable = scheme_->free_capacity(i);
+  const double needed =
+      problem.object_size(k) - scheme_->capacity_slack(i);
+  std::size_t take = 0;
+  while (take < victims.size() && freeable < needed)
+    freeable += problem.object_size(victims[take++]);
+  if (freeable < needed) {
+    ++stats_.capacity_skips;
+    DREP_COUNT("drep_online_capacity_skips_total", 1);
+    return false;
+  }
+  for (std::size_t v = 0; v < take; ++v) {
+    ++stats_.capacity_evictions;
+    evict(index, i, victims[v]);
+  }
+  return scheme_->fits(i, k);
+}
+
+void OnlineEngine::evict(std::uint64_t index, SiteId i, ObjectId k) {
+  scheme_->remove(i, k);
+  controller_.reset(i, k);
+  ++stats_.evictions;
+  stats_.log.push_back({audit::OnlineAction::Kind::kEvict, i, k, index});
+  changes_.push_back({/*evict=*/true, i, k, /*source=*/0, 0.0});
+  DREP_COUNT("drep_online_evictions_total", 1);
+}
+
+double OnlineEngine::refetch_cost(SiteId j, ObjectId k) const {
+  const core::Problem& problem = scheme_->problem();
+  double best = std::numeric_limits<double>::infinity();
+  for (const SiteId x : scheme_->replicas(k)) {
+    if (x == j) continue;
+    best = std::min(best, problem.cost(j, x));
+  }
+  return problem.object_size(k) * best;
+}
+
+void OnlineEngine::advance_window() {
+  ++stats_.windows;
+  DREP_COUNT("drep_online_windows_total", 1);
+  if (config_.source == algo::PredictionSource::kEwma) {
+    const std::span<const Heat> classes = predictor_.classes();
+    heat_.assign(classes.begin(), classes.end());
+    return;
+  }
+  const std::size_t next =
+      std::min(predictor_.windows_closed(), window_classes_.size() - 1);
+  heat_ = window_classes_[next];
+}
+
+}  // namespace drep::online

@@ -1,0 +1,134 @@
+#pragma once
+// The online replicate/evict engine (DESIGN.md Section 12): streams through
+// a request trace and mutates a ReplicationScheme mid-epoch, one decision
+// per request, with no knowledge of the future beyond its predictor.
+//
+// Per request the engine
+//   * read, local replica   — serves free, renews the replica's carried
+//                             meter;
+//   * read, remote          — charges one fetch o_k·C(i, SN_k(i)) unless
+//                             the ski-rental controller fires AND the
+//                             replica fits (possibly after evicting
+//                             strictly-colder non-primary replicas at the
+//                             site), in which case the fetch ships the new
+//                             replica instead (same cost, booked as
+//                             migration — the trigger-read free ride);
+//   * write                 — charges the ship to the primary plus one
+//                             broadcast leg per surviving replica; a leg
+//                             whose carried cost would cross the eviction
+//                             threshold evicts its replica (primaries
+//                             never) and is not charged.
+//
+// The engine is a pure function of (initial scheme, trace, config): it
+// implements sim::ReplayPolicy, and a DES replay drives the exact same
+// per-request step as the standalone run() loop, so both paths produce
+// bit-identical decision logs and final schemes (the pipeline fuzzer pins
+// this). Every decision is appended to an audit::OnlineAction log that
+// audit::check_online_log can replay.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algo/common.hpp"
+#include "audit/invariants.hpp"
+#include "core/replication.hpp"
+#include "online/controller.hpp"
+#include "online/predictor.hpp"
+#include "sim/access_replay.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::online {
+
+struct EngineConfig {
+  PredictorConfig predictor{};
+  ControllerConfig controller{};
+  algo::PredictionSource source = algo::PredictionSource::kEwma;
+};
+
+/// Builds an EngineConfig from the registry-facing option block.
+[[nodiscard]] EngineConfig engine_config_from(const algo::OnlineOptions& options);
+
+/// Cost ledger and decision log of one engine run. All costs are analytic
+/// NTC (data units × cost units): on a perfect symmetric-cost network,
+/// serving_cost + migration_cost equals the DES replay's data traffic.
+struct EngineStats {
+  double serving_cost = 0.0;
+  double migration_cost = 0.0;
+  std::size_t migrations = 0;
+  /// All policy evictions (threshold crossings + capacity victims).
+  std::size_t evictions = 0;
+  /// The subset of evictions made to free capacity for a hotter replica.
+  std::size_t capacity_evictions = 0;
+  /// Replications the controller wanted but capacity forbade.
+  std::size_t capacity_skips = 0;
+  std::size_t local_reads = 0;
+  std::size_t remote_reads = 0;
+  std::size_t writes = 0;
+  /// Predictor windows closed (classification refreshes).
+  std::size_t windows = 0;
+  /// Every decision in order — replayable by audit::check_online_log.
+  std::vector<audit::OnlineAction> log;
+  /// The scheme the run started from (row-major M×N).
+  std::vector<std::uint8_t> initial_matrix;
+
+  [[nodiscard]] double total_cost() const noexcept {
+    return serving_cost + migration_cost;
+  }
+};
+
+class OnlineEngine final : public sim::ReplayPolicy {
+ public:
+  /// Binds to the caller's scheme, which the engine mutates in place.
+  /// `scheme` must outlive the engine.
+  OnlineEngine(core::ReplicationScheme& scheme, const EngineConfig& config);
+
+  /// Precomputes per-window true request counts for the oracle and
+  /// adversarial prediction sources (mandatory for those; no-op for
+  /// kEwma). Must see the exact trace later replayed.
+  void prime(std::span<const workload::Request> trace);
+
+  /// One decision step; called by run() and by the DES replay (which hands
+  /// the same scheme back). Returns the scheme changes made for this
+  /// request; the span is valid until the next step.
+  [[nodiscard]] std::span<const sim::SchemeChange> on_request(
+      std::uint64_t index, const workload::Request& request,
+      core::ReplicationScheme& scheme) override;
+
+  /// Standalone (no network) run over the whole trace.
+  void run(std::span<const workload::Request> trace);
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Predictor& predictor() const noexcept {
+    return predictor_;
+  }
+  [[nodiscard]] Heat heat(core::ObjectId k) const { return heat_.at(k); }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  void step_read(std::uint64_t index, core::SiteId i, core::ObjectId k);
+  void step_write(std::uint64_t index, core::SiteId i, core::ObjectId k);
+  /// Frees capacity for (i,k) by evicting strictly-colder non-primary
+  /// replicas at i (coldest first; ties by EWMA rate then object id), but
+  /// only when the plan provably reaches fits(i,k) — otherwise nothing is
+  /// evicted. Returns whether (i,k) now fits.
+  bool make_room(std::uint64_t index, core::SiteId i, core::ObjectId k);
+  void evict(std::uint64_t index, core::SiteId i, core::ObjectId k);
+  /// o_k × cost from j to the nearest replica of k other than j.
+  [[nodiscard]] double refetch_cost(core::SiteId j, core::ObjectId k) const;
+  void advance_window();
+
+  core::ReplicationScheme* scheme_;
+  EngineConfig config_;
+  Predictor predictor_;
+  BreakEvenController controller_;
+  std::vector<Heat> heat_;
+  /// Oracle truth: classification of each window's actual counts.
+  std::vector<std::vector<Heat>> window_classes_;
+  bool primed_ = false;
+  EngineStats stats_;
+  std::vector<sim::SchemeChange> changes_;
+  std::vector<core::SiteId> replica_scratch_;
+};
+
+}  // namespace drep::online

@@ -1,0 +1,102 @@
+#pragma once
+// Seeded, deterministic access-rate predictor for the online replication
+// engine (DESIGN.md Section 12).
+//
+// The predictor slices the request stream into fixed-size windows. Inside a
+// window it counts per-object requests; at every window boundary it folds
+// the counts into an EWMA rate estimate
+//
+//   rate_k  <-  alpha · count_k(window) + (1 - alpha) · rate_k
+//
+// and re-classifies every object as hot / warm / cold against *dynamic*
+// thresholds derived from the current rate distribution (the dynamic
+// replica-factor exemplar's classifier shape): an object is hot when its
+// rate exceeds hot_factor × mean rate, cold when it falls below
+// cold_factor × mean rate, warm otherwise. Thresholds therefore adapt as
+// the workload's overall intensity drifts — a flash crowd raises the mean,
+// demoting yesterday's lukewarm objects instead of letting everything go
+// hot at once.
+//
+// The predictor is a pure function of the observed request sequence: no
+// clocks, no randomness, so one trace replays to the same classification
+// sequence everywhere (tests/online/predictor_test.cpp pins this).
+//
+// Prediction sources other than the EWMA (oracle / adversarial, used by the
+// consistency-robustness benchmarks) are implemented in the engine by
+// overriding the classification input; classify_rates() is exposed so all
+// sources share one thresholding rule.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::online {
+
+/// Temperature classes, ordered cold < warm < hot so ordering comparisons
+/// read naturally.
+enum class Heat : std::uint8_t { kCold = 0, kWarm = 1, kHot = 2 };
+
+struct PredictorConfig {
+  /// Requests per sliding window; a window boundary triggers the EWMA fold
+  /// and reclassification.
+  std::size_t window = 128;
+  /// EWMA weight of the newest window, in (0, 1].
+  double alpha = 0.5;
+  /// rate > hot_factor × mean  =>  hot. Must be >= 1.
+  double hot_factor = 2.0;
+  /// rate < cold_factor × mean  =>  cold. Must be in [0, 1].
+  double cold_factor = 0.5;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+/// The shared thresholding rule: classifies `rates` against its own mean.
+/// Scale-invariant (classify(c·rates) == classify(rates) for c > 0); an
+/// all-zero rate vector classifies everything warm (no evidence yet).
+[[nodiscard]] std::vector<Heat> classify_rates(std::span<const double> rates,
+                                               const PredictorConfig& config);
+
+class Predictor {
+ public:
+  Predictor(const PredictorConfig& config, std::size_t objects);
+
+  /// Accounts one request to the current window. Returns true when this
+  /// observation closed a window (rates and classes were just updated).
+  bool observe(const workload::Request& request);
+
+  /// EWMA requests-per-window estimate for object k (reads + writes).
+  [[nodiscard]] double rate(core::ObjectId k) const { return rates_.at(k); }
+  [[nodiscard]] std::span<const double> rates() const noexcept {
+    return rates_;
+  }
+  /// Current classification of object k (warm before the first window
+  /// closes).
+  [[nodiscard]] Heat heat(core::ObjectId k) const { return classes_.at(k); }
+  [[nodiscard]] std::span<const Heat> classes() const noexcept {
+    return classes_;
+  }
+
+  [[nodiscard]] std::size_t windows_closed() const noexcept {
+    return windows_closed_;
+  }
+  [[nodiscard]] const PredictorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void roll_window();
+
+  PredictorConfig config_;
+  std::vector<double> window_counts_;
+  std::vector<double> rates_;
+  std::vector<Heat> classes_;
+  std::size_t in_window_ = 0;
+  std::size_t windows_closed_ = 0;
+};
+
+}  // namespace drep::online

@@ -1,0 +1,105 @@
+#include "online/referee.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost_model.hpp"
+#include "core/replication.hpp"
+#include "obs/span.hpp"
+
+namespace drep::online {
+
+namespace {
+
+using core::ObjectId;
+using core::SiteId;
+
+/// Strict-improvement epsilon, relative to the window's cost scale, so a
+/// flip chain can never cycle on floating-point noise.
+double improvement_eps(double scale) {
+  return 1e-9 * std::max(1.0, scale);
+}
+
+}  // namespace
+
+RefereeReport hindsight_cost(const core::Problem& problem,
+                             std::span<const workload::Request> trace,
+                             const RefereeConfig& config) {
+  DREP_SPAN("online/referee");
+  if (config.window == 0)
+    throw std::invalid_argument("RefereeConfig: window must be > 0");
+
+  // Work on a copy: each window overwrites the request matrices with that
+  // window's exact counts, turning Eq. 4 into the window's serving cost
+  // (the replay-equals-analytic-D property).
+  core::Problem local = problem;
+  const std::size_t sites = local.sites();
+  const std::size_t objects = local.objects();
+
+  RefereeReport report;
+  core::ReplicationScheme current(local);  // primary-only start
+  core::DeltaEvaluator delta(local);
+
+  const std::size_t window = config.window;
+  const std::size_t windows =
+      trace.empty() ? 0 : (trace.size() + window - 1) / window;
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (SiteId i = 0; i < sites; ++i) {
+      for (ObjectId k = 0; k < objects; ++k) {
+        local.set_reads(i, k, 0.0);
+        local.set_writes(i, k, 0.0);
+      }
+    }
+    const std::size_t begin = w * window;
+    const std::size_t end = std::min(trace.size(), begin + window);
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const workload::Request& request = trace[idx];
+      if (request.is_write)
+        local.add_writes(request.site, request.object, 1.0);
+      else
+        local.add_reads(request.site, request.object, 1.0);
+    }
+    delta.refresh();
+    const double stay = delta.rebase(current.matrix());
+
+    // Clairvoyant local search: greedy first-improvement flips from the
+    // current placement, capacity-checked, primaries pinned.
+    core::ReplicationScheme candidate(local, current.matrix());
+    double best = stay;
+    const double eps = improvement_eps(stay);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (SiteId i = 0; i < sites; ++i) {
+        for (ObjectId k = 0; k < objects; ++k) {
+          const bool has = candidate.has_replica(i, k);
+          if (has && local.primary(k) == i) continue;
+          if (!has && !candidate.fits(i, k)) continue;
+          if (delta.peek_flip(i, k) < best - eps) {
+            best = delta.apply_flip(i, k);
+            if (has)
+              candidate.remove(i, k);
+            else
+              candidate.add(i, k);
+            improved = true;
+          }
+        }
+      }
+    }
+
+    ++report.windows;
+    const double migration = core::migration_cost(current, candidate);
+    if (best + migration < stay - eps) {
+      report.serving_cost += best;
+      report.migration_cost += migration;
+      ++report.retunes;
+      current = std::move(candidate);
+    } else {
+      report.serving_cost += stay;
+    }
+  }
+  return report;
+}
+
+}  // namespace drep::online

@@ -1,0 +1,23 @@
+#pragma once
+// Registry adapter for the online engine: `--algo=online`.
+//
+// The adapter materializes the problem's request matrices as a seeded
+// trace (workload::build_trace), streams the online engine over it from
+// the primary-only allocation, and referees the same trace with hindsight
+// knowledge — so one solve() reports both the final mid-epoch scheme and
+// the engine's measured competitive ratio.
+//
+// Registration is explicit (register_online_solver(), idempotent) rather
+// than a solver_registry() built-in: the adapter sits above sim in the
+// module layering, and algo must not depend upward. The CLI, the pipeline
+// fuzzer, the robustness bench, and the online tests all call it at
+// startup.
+
+#include "algo/solver.hpp"
+
+namespace drep::online {
+
+/// Adds "online" to algo::solver_registry(). Safe to call repeatedly.
+void register_online_solver();
+
+}  // namespace drep::online

@@ -40,6 +40,11 @@ struct UpdateBroadcast {
 struct UpdateAck {
   std::uint64_t id;
 };
+/// Replica-creation shipment of the online replay (source replica -> new
+/// replicator). Pure data transfer: ReplicaNode::handle ignores it.
+struct MigrationShip {
+  ObjectId object;
+};
 
 /// Retry-layer context shared by all nodes of one replay.
 struct ReplayContext {
@@ -417,6 +422,60 @@ ReplayResult replay_trace(const core::ReplicationScheme& scheme,
     network.queue().schedule(
         options.inter_arrival * static_cast<double>(idx),
         [&nodes, request] { nodes[request.site]->issue(request); });
+  }
+  network.run();
+  result.traffic = network.stats();
+  result.duration = network.queue().now();
+  return result;
+}
+
+ReplayResult replay_trace_online(core::ReplicationScheme& scheme,
+                                 std::span<const workload::Request> trace,
+                                 const ReplayOptions& options,
+                                 ReplayPolicy& policy) {
+  DREP_SPAN("sim/replay_online");
+  const core::Problem& problem = scheme.problem();
+  DesNetwork network(problem.costs(), options.latency_per_cost);
+  if (options.faults) network.set_faults(*options.faults);
+
+  ReplayResult result;
+  ReplayContext ctx{options.retry,
+                    options.retry.resolve_base(network.worst_one_way_latency()),
+                    &result};
+  std::vector<std::unique_ptr<ReplicaNode>> nodes;
+  nodes.reserve(problem.sites());
+  for (SiteId i = 0; i < problem.sites(); ++i) {
+    nodes.push_back(std::make_unique<ReplicaNode>(
+        i, scheme, network, ctx, options.latency_per_cost));
+    network.attach(i, *nodes.back());
+  }
+
+  for (std::size_t idx = 0; idx < trace.size(); ++idx) {
+    const workload::Request request = trace[idx];
+    // The policy runs at injection time, before the request reaches its
+    // node, so the node already sees the post-decision scheme (see the
+    // ReplayPolicy contract in the header).
+    network.queue().schedule(
+        options.inter_arrival * static_cast<double>(idx),
+        [&scheme, &network, &nodes, &result, &policy, &problem, idx,
+         request] {
+          for (const SchemeChange& change :
+               policy.on_request(idx, request, scheme)) {
+            if (change.evict) {
+              ++result.online_evictions;
+              DREP_COUNT("drep_replay_online_evictions_total", 1);
+              continue;
+            }
+            ++result.online_migrations;
+            result.migration_traffic +=
+                change.shipped_units *
+                problem.cost(change.source, change.site);
+            DREP_COUNT("drep_replay_online_migrations_total", 1);
+            network.send(change.source, change.site, change.shipped_units,
+                         MigrationShip{change.object});
+          }
+          nodes[request.site]->issue(request);
+        });
   }
   network.run();
   result.traffic = network.stats();

@@ -83,6 +83,13 @@ struct ReplayResult {
   /// Update-broadcast legs abandoned after retries — that replica serves a
   /// stale version until the next write reaches it.
   std::size_t stale_replica_updates = 0;
+  /// Online-replay extras (replay_trace_online only; zero otherwise).
+  std::size_t online_migrations = 0;
+  std::size_t online_evictions = 0;
+  /// Analytic NTC of the replica-creation shipments (size × C(source,
+  /// site)); equals their delivered data traffic on a perfect network (a
+  /// fault plan may drop a shipment, which still counts here).
+  double migration_traffic = 0.0;
 };
 
 /// Replays `trace` against `scheme`. Requests are injected
@@ -97,5 +104,48 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay_trace(const core::ReplicationScheme& scheme,
                                         std::span<const workload::Request> trace,
                                         const ReplayOptions& options);
+
+// --- online replay --------------------------------------------------------
+
+/// One mid-epoch scheme mutation decided by a ReplayPolicy. The policy has
+/// already applied it to the scheme when on_request returns; the simulator
+/// only realizes its network side effect (the replica-creation shipment).
+struct SchemeChange {
+  bool evict = false;
+  SiteId site = 0;
+  core::ObjectId object = 0;
+  /// Replica the new copy is fetched from (replications only).
+  SiteId source = 0;
+  /// Data units shipped source -> site (replications only; o_k).
+  double shipped_units = 0.0;
+};
+
+/// A mid-epoch replication policy driven by the replay loop. on_request is
+/// called once per trace request, in trace order, *before* the request is
+/// issued to the network — so a replica created on a remote read serves
+/// that same read locally (the triggering fetch doubles as the replica
+/// shipment), and a replica evicted on a write is excluded from that
+/// write's update broadcast. The policy mutates `scheme` itself and returns
+/// the changes it made (the span stays valid until the next call).
+///
+/// Decisions therefore depend only on (scheme, request sequence), never on
+/// message timing: an online replay is bit-deterministic for a fixed trace
+/// and policy, and the final scheme equals a standalone run of the same
+/// policy over the same trace (the pipeline fuzzer pins this).
+class ReplayPolicy {
+ public:
+  virtual ~ReplayPolicy() = default;
+  [[nodiscard]] virtual std::span<const SchemeChange> on_request(
+      std::uint64_t index, const workload::Request& request,
+      core::ReplicationScheme& scheme) = 0;
+};
+
+/// Replays `trace` while `policy` replicates/evicts mid-epoch. `scheme` is
+/// the caller's starting scheme and holds the final placement on return.
+/// Replica-creation shipments are charged as data traffic at delivery
+/// (migration_traffic tracks their NTC); evictions ship nothing.
+[[nodiscard]] ReplayResult replay_trace_online(
+    core::ReplicationScheme& scheme, std::span<const workload::Request> trace,
+    const ReplayOptions& options, ReplayPolicy& policy);
 
 }  // namespace drep::sim

@@ -1,0 +1,141 @@
+#include "workload/trace_modes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace drep::workload {
+
+namespace {
+
+using core::ObjectId;
+using core::SiteId;
+
+/// ⌈fraction·count⌉ clamped to [1, count].
+std::size_t block_size(double fraction, std::size_t count) {
+  const auto raw = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(count)));
+  return std::clamp<std::size_t>(raw, 1, count);
+}
+
+/// Read-weight multiplier of (site, object) in phase `p`.
+double read_boost(const ModedTraceConfig& config, std::size_t sites,
+                  std::size_t objects, std::size_t p, SiteId i, ObjectId k) {
+  const std::size_t hot = block_size(config.hot_fraction, objects);
+  switch (config.mode) {
+    case TraceMode::kUniform:
+      return 1.0;
+    case TraceMode::kDrifting: {
+      // Rotating hot block: starts at (p·hot) mod N, wraps around.
+      const std::size_t start = (p * hot) % objects;
+      const std::size_t offset = (k + objects - start) % objects;
+      return offset < hot ? config.intensity : 1.0;
+    }
+    case TraceMode::kFlashCrowd: {
+      // Fixed flash set, quiet except the middle phase, where the crowd
+      // sites hammer it.
+      if (k >= hot) return 1.0;
+      if (p != config.phases / 2) return 0.25;
+      const std::size_t crowd = block_size(config.crowd_fraction, sites);
+      return i < crowd ? config.intensity : 0.25;
+    }
+    case TraceMode::kAdversarial: {
+      // Two disjoint blocks alternate every phase, so last phase's heat is
+      // this phase's cold.
+      const std::size_t second = std::min(2 * hot, objects);
+      const bool in_a = k < hot;
+      const bool in_b = k >= hot && k < second;
+      if (p % 2 == 0) return in_a ? config.intensity : (in_b ? 0.25 : 1.0);
+      return in_b ? config.intensity : (in_a ? 0.25 : 1.0);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+TraceMode parse_trace_mode(std::string_view name) {
+  if (name == "uniform") return TraceMode::kUniform;
+  if (name == "drifting") return TraceMode::kDrifting;
+  if (name == "flash") return TraceMode::kFlashCrowd;
+  if (name == "adversarial") return TraceMode::kAdversarial;
+  throw std::invalid_argument(
+      "unknown trace mode '" + std::string(name) +
+      "' (have: uniform drifting flash adversarial)");
+}
+
+const char* trace_mode_name(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kUniform:
+      return "uniform";
+    case TraceMode::kDrifting:
+      return "drifting";
+    case TraceMode::kFlashCrowd:
+      return "flash";
+    case TraceMode::kAdversarial:
+      return "adversarial";
+  }
+  return "uniform";
+}
+
+void ModedTraceConfig::validate() const {
+  if (phases == 0)
+    throw std::invalid_argument("ModedTraceConfig: phases must be >= 1");
+  if (!(hot_fraction > 0.0) || hot_fraction > 1.0)
+    throw std::invalid_argument(
+        "ModedTraceConfig: hot_fraction must be in (0, 1]");
+  if (intensity < 1.0)
+    throw std::invalid_argument("ModedTraceConfig: intensity must be >= 1");
+  if (!(crowd_fraction > 0.0) || crowd_fraction > 1.0)
+    throw std::invalid_argument(
+        "ModedTraceConfig: crowd_fraction must be in (0, 1]");
+}
+
+std::vector<Request> build_moded_trace(const core::Problem& problem,
+                                       const ModedTraceConfig& config,
+                                       util::Rng& rng) {
+  config.validate();
+  if (config.mode == TraceMode::kUniform) return build_trace(problem, rng);
+
+  const std::size_t sites = problem.sites();
+  const std::size_t objects = problem.objects();
+  const std::size_t total = trace_size(problem);
+  std::vector<Request> trace;
+  trace.reserve(total);
+
+  // Per phase: one flat CDF over every (site, object, read|write) cell,
+  // then `length` independent draws from it.
+  std::vector<double> cdf(sites * objects * 2, 0.0);
+  const std::size_t base_length = total / config.phases;
+  for (std::size_t p = 0; p < config.phases; ++p) {
+    const std::size_t length = p + 1 == config.phases
+                                   ? total - base_length * p
+                                   : base_length;
+    if (length == 0) continue;
+    double mass = 0.0;
+    std::size_t cell = 0;
+    for (SiteId i = 0; i < sites; ++i) {
+      for (ObjectId k = 0; k < objects; ++k) {
+        mass += problem.reads(i, k) *
+                read_boost(config, sites, objects, p, i, k);
+        cdf[cell++] = mass;
+        mass += problem.writes(i, k);
+        cdf[cell++] = mass;
+      }
+    }
+    if (mass <= 0.0) continue;  // a traffic-free problem samples nothing
+    for (std::size_t draw = 0; draw < length; ++draw) {
+      const double target = rng.uniform01() * mass;
+      const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+      const std::size_t hit = std::min<std::size_t>(
+          static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
+      trace.push_back({static_cast<SiteId>(hit / 2 / objects),
+                       static_cast<ObjectId>((hit / 2) % objects),
+                       /*is_write=*/(hit % 2) != 0});
+    }
+  }
+  return trace;
+}
+
+}  // namespace drep::workload

@@ -1,0 +1,74 @@
+#pragma once
+// Scenario trace modes: seeded, phase-structured request streams for the
+// online-replication benchmarks (ROADMAP's drifting / flash-crowd /
+// adversarial scenarios as reproducible fixtures).
+//
+// A moded trace keeps the problem's request matrices as the *base* access
+// popularity, slices the stream into `phases` equal phases, and re-weights
+// a per-phase hot set before sampling each request independently from the
+// phase's (site, object, read/write) weight distribution:
+//
+//   drifting     — a hot block of ⌈hot_fraction·N⌉ objects gets intensity×
+//                  read weight and rotates one block per phase, so
+//                  popularity drifts steadily;
+//   flash        — a fixed flash set idles at 0.25× read weight, then the
+//                  middle phase multiplies it by intensity× but only from
+//                  the first ⌈crowd_fraction·M⌉ sites (the crowd), and it
+//                  dies again — entirely inside what would be one AGRA
+//                  retune epoch;
+//   adversarial  — the hot block alternates between two disjoint blocks
+//                  every phase, so any predictor trained on the previous
+//                  phase is confidently wrong in the current one;
+//   uniform      — no phases: exactly workload::build_trace (the request
+//                  matrices, shuffled).
+//
+// Unlike build_trace, a moded trace is a *sample* of the re-weighted
+// distribution: its per-pair counts do not reproduce the problem's
+// matrices, so replayed traffic is not comparable to the analytic D of the
+// problem — only schemes replayed over the same trace are comparable to
+// each other. Trace length always equals trace_size(problem).
+
+#include <string_view>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::workload {
+
+enum class TraceMode : std::uint8_t {
+  kUniform = 0,
+  kDrifting = 1,
+  kFlashCrowd = 2,
+  kAdversarial = 3,
+};
+
+/// Parses "uniform" | "drifting" | "flash" | "adversarial"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] TraceMode parse_trace_mode(std::string_view name);
+[[nodiscard]] const char* trace_mode_name(TraceMode mode);
+
+struct ModedTraceConfig {
+  TraceMode mode = TraceMode::kUniform;
+  /// Phases the stream is sliced into (>= 1).
+  std::size_t phases = 8;
+  /// Fraction of objects in the hot/flash block, in (0, 1].
+  double hot_fraction = 0.1;
+  /// Read-weight multiplier of the hot block (>= 1).
+  double intensity = 8.0;
+  /// Fraction of sites forming the flash crowd, in (0, 1].
+  double crowd_fraction = 0.25;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+/// Builds a trace of trace_size(problem) requests under `config`. All
+/// randomness comes from `rng`: (problem, config, seed) reproduces the
+/// trace bit-for-bit.
+[[nodiscard]] std::vector<Request> build_moded_trace(
+    const core::Problem& problem, const ModedTraceConfig& config,
+    util::Rng& rng);
+
+}  // namespace drep::workload

@@ -238,6 +238,81 @@ TEST_F(CliTest, AdaptWithFaultsReportsAvailability) {
   std::remove(report_path.c_str());
 }
 
+TEST_F(CliTest, ReplayOnlineReportsEngineAndHindsightKeys) {
+  const std::string report_path = dir_ + "_online.json";
+  ASSERT_EQ(run_cli({"replay", "-i", problem_, "--online", "--trace=flash",
+                     "--window=64", "--report=" + report_path}),
+            0);
+  const obs::Json report = load_json(report_path);
+  const obs::Json* result = report.find("result");
+  ASSERT_NE(result, nullptr);
+  for (const char* key :
+       {"online_migrations", "online_evictions", "migration_traffic",
+        "online_total_cost", "online_serving_cost", "online_windows",
+        "hindsight_total_cost", "competitive_ratio"}) {
+    ASSERT_NE(result->find(key), nullptr) << key;
+  }
+  EXPECT_EQ(result->find("trace_mode")->as_string(), "flash");
+  EXPECT_GT(result->find("online_total_cost")->as_number(), 0.0);
+  EXPECT_GT(result->find("competitive_ratio")->as_number(), 0.0);
+#if !defined(DREP_OBS_DISABLED)
+  const obs::Json* migrations =
+      report.find("metrics")->find("drep_online_migrations_total");
+  ASSERT_NE(migrations, nullptr);
+  EXPECT_EQ(migrations->as_number(),
+            result->find("online_migrations")->as_number());
+#endif
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, ReplayOnlineIsSeedStable) {
+  const std::string first = dir_ + "_online_first.json";
+  const std::string second = dir_ + "_online_second.json";
+  for (const std::string& path : {first, second}) {
+    ASSERT_EQ(run_cli({"replay", "-i", problem_, "--online",
+                       "--trace=drifting", "--seed=5", "--window=32",
+                       "--predictions=oracle", "--report=" + path}),
+              0);
+  }
+  obs::Json a = load_json(first);
+  obs::Json b = load_json(second);
+  strip_timing(a);
+  strip_timing(b);
+  // The config section embeds each run's own --report path; everything the
+  // engine computed must be byte-stable.
+  EXPECT_EQ(a.find("result")->dump(), b.find("result")->dump());
+  EXPECT_EQ(a.find("metrics")->dump(), b.find("metrics")->dump());
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST_F(CliTest, SolveOnlineAlgoReportsTheCompetitiveRatio) {
+  const std::string report_path = dir_ + "_solve_online.json";
+  ASSERT_EQ(run_cli({"solve", "-i", problem_, "--algo=online", "--window=64",
+                     "--trust=0.25", "--report=" + report_path}),
+            0);
+  const obs::Json report = load_json(report_path);
+  EXPECT_EQ(report.find("config")->find("algo")->as_string(), "online");
+  const obs::Json* result = report.find("result");
+  EXPECT_GT(result->find("cost")->as_number(), 0.0);
+  ASSERT_NE(result->find("competitive_ratio"), nullptr);
+  EXPECT_GT(result->find("competitive_ratio")->as_number(), 0.0);
+  ASSERT_NE(result->find("online_migrations"), nullptr);
+  EXPECT_EQ(result->find("prediction_source")->as_string(), "ewma");
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, MalformedOnlineFlagsExitTwo) {
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--trace=bogus"}), 2);
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--online", "--window=0"}), 2);
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--online", "--trust=1.5"}), 2);
+  EXPECT_EQ(
+      run_cli({"replay", "-i", problem_, "--online", "--predictions=psychic"}),
+      2);
+  EXPECT_EQ(run_cli({"replay", "-i", problem_, "--trace=flash", "--phases=0"}),
+            2);
+}
+
 TEST_F(CliTest, MalformedFaultSpecExitsTwo) {
   EXPECT_EQ(run_cli({"replay", "-i", problem_, "--faults=bogus"}), 2);
   EXPECT_EQ(run_cli({"replay", "-i", problem_, "--faults=drop=2"}), 2);

@@ -1,0 +1,230 @@
+#include "online/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "audit/invariants.hpp"
+#include "core/cost_model.hpp"
+#include "online/referee.hpp"
+#include "sim/access_replay.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_modes.hpp"
+
+namespace drep::online {
+namespace {
+
+using workload::Request;
+
+EngineConfig pure_ski_rental(std::size_t window = 1u << 20) {
+  algo::OnlineOptions options;
+  options.window = window;
+  options.trust = 0.0;  // no prediction blending: pure break-even rules
+  return engine_config_from(options);
+}
+
+/// Exact clairvoyant optimum for a single-object trace whose reads all come
+/// from one site and whose writes all come from the primary: a two-state DP
+/// over {replica held at the read site, not held}. Acquiring costs one
+/// fetch (the model ships the whole object either way), dropping is free,
+/// and the offline player may toggle before serving any request.
+double exact_opt_single_object(double fetch, double leg,
+                               const std::vector<Request>& trace) {
+  double no = 0.0;
+  double yes = std::numeric_limits<double>::infinity();
+  for (const Request& request : trace) {
+    const double no_pre = std::min(no, yes);
+    const double yes_pre = std::min(yes, no + fetch);
+    if (request.is_write) {
+      no = no_pre;
+      yes = yes_pre + leg;  // broadcast leg to the held replica
+    } else {
+      no = no_pre + fetch;  // serve the read remotely
+      yes = yes_pre;
+    }
+  }
+  return std::min(no, yes);
+}
+
+TEST(OnlineEngine, FirstRemoteReadReplicatesWithAFreeRide) {
+  core::Problem p = testing::line3_problem(10.0);
+  core::ReplicationScheme scheme(p);
+  OnlineEngine engine(scheme, pure_ski_rental());
+  engine.run({{{1, 0, false}, {1, 0, false}, {1, 0, false}}});
+  // Fetch cost 10·C(1,0) = 10 is booked once, as migration: the triggering
+  // fetch ships the replica and the later reads are local.
+  EXPECT_TRUE(scheme.has_replica(1, 0));
+  EXPECT_DOUBLE_EQ(engine.stats().migration_cost, 10.0);
+  EXPECT_DOUBLE_EQ(engine.stats().serving_cost, 0.0);
+  EXPECT_EQ(engine.stats().migrations, 1u);
+  EXPECT_EQ(engine.stats().local_reads, 2u);
+  EXPECT_EQ(engine.stats().remote_reads, 1u);
+}
+
+TEST(OnlineEngine, PrimaryWritesEvictTheStaleReplicaAtBreakEven) {
+  core::Problem p = testing::line3_problem(10.0);
+  core::ReplicationScheme scheme(p);
+  OnlineEngine engine(scheme, pure_ski_rental());
+  // One read plants a replica at site 1; primary writes then push its
+  // carried cost to the eviction threshold (leg == refetch here, so the
+  // very first leg crosses it and is not charged).
+  engine.run({{{1, 0, false}, {0, 0, true}, {0, 0, true}}});
+  EXPECT_FALSE(scheme.has_replica(1, 0));
+  EXPECT_EQ(engine.stats().evictions, 1u);
+  // Writes at the primary itself cost nothing once the replica is gone.
+  EXPECT_DOUBLE_EQ(engine.stats().serving_cost, 0.0);
+}
+
+TEST(OnlineEngine, LogReplaysThroughTheAuditValidator) {
+  const core::Problem p = testing::small_random_problem(3);
+  core::ReplicationScheme scheme(p);
+  util::Rng rng(3);
+  const auto trace = workload::build_trace(p, rng);
+  OnlineEngine engine(scheme, engine_config_from(algo::OnlineOptions{}));
+  engine.run(trace);
+  const audit::Violations violations = audit::check_online_log(
+      p, engine.stats().initial_matrix, engine.stats().log, scheme);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().detail);
+}
+
+TEST(OnlineEngine, NeverEvictsAPrimaryAndStaysValidMidEpoch) {
+  const core::Problem p = testing::small_random_problem(7, 10, 12,
+                                                        /*update=*/35.0,
+                                                        /*capacity=*/15.0);
+  core::ReplicationScheme scheme(p);
+  util::Rng rng(7);
+  workload::ModedTraceConfig moded;
+  moded.mode = workload::TraceMode::kAdversarial;
+  moded.phases = 6;
+  const auto trace = workload::build_moded_trace(p, moded, rng);
+  algo::OnlineOptions options;
+  options.window = 32;
+  options.trust = 1.0;  // follow the predictor wholesale: worst case
+  OnlineEngine engine(scheme, engine_config_from(options));
+  for (std::uint64_t index = 0; index < trace.size(); ++index) {
+    (void)engine.on_request(index, trace[index], scheme);
+    ASSERT_TRUE(scheme.is_valid()) << "invalid after request " << index;
+  }
+  for (const audit::OnlineAction& action : engine.stats().log) {
+    if (action.kind == audit::OnlineAction::Kind::kEvict)
+      EXPECT_NE(p.primary(action.object), action.site);
+  }
+}
+
+TEST(OnlineEngine, DeterministicAcrossRuns) {
+  const core::Problem p = testing::small_random_problem(11);
+  util::Rng rng(11);
+  const auto trace = workload::build_trace(p, rng);
+  const EngineConfig config = engine_config_from(algo::OnlineOptions{});
+  core::ReplicationScheme a(p);
+  OnlineEngine engine_a(a, config);
+  engine_a.run(trace);
+  core::ReplicationScheme b(p);
+  OnlineEngine engine_b(b, config);
+  engine_b.run(trace);
+  EXPECT_EQ(a.matrix(), b.matrix());
+  EXPECT_DOUBLE_EQ(engine_a.stats().total_cost(), engine_b.stats().total_cost());
+  ASSERT_EQ(engine_a.stats().log.size(), engine_b.stats().log.size());
+  for (std::size_t n = 0; n < engine_a.stats().log.size(); ++n) {
+    EXPECT_EQ(engine_a.stats().log[n].kind, engine_b.stats().log[n].kind);
+    EXPECT_EQ(engine_a.stats().log[n].site, engine_b.stats().log[n].site);
+    EXPECT_EQ(engine_a.stats().log[n].object, engine_b.stats().log[n].object);
+  }
+}
+
+TEST(OnlineEngine, DesReplayMatchesTheStandaloneRun) {
+  const core::Problem p = testing::small_random_problem(13);
+  util::Rng rng(13);
+  const auto trace = workload::build_trace(p, rng);
+  const EngineConfig config = engine_config_from(algo::OnlineOptions{});
+  core::ReplicationScheme standalone(p);
+  OnlineEngine engine(standalone, config);
+  engine.run(trace);
+  core::ReplicationScheme replayed(p);
+  OnlineEngine des_engine(replayed, config);
+  const sim::ReplayOptions options;
+  const sim::ReplayResult result =
+      sim::replay_trace_online(replayed, trace, options, des_engine);
+  EXPECT_EQ(replayed.matrix(), standalone.matrix());
+  EXPECT_EQ(result.online_migrations, engine.stats().migrations);
+  EXPECT_EQ(result.online_evictions, engine.stats().evictions);
+}
+
+TEST(OnlineEngine, OracleSourceRequiresPriming) {
+  const core::Problem p = testing::line3_problem(10.0);
+  core::ReplicationScheme scheme(p);
+  algo::OnlineOptions options;
+  options.source = algo::PredictionSource::kOracle;
+  OnlineEngine engine(scheme, engine_config_from(options));
+  const Request request{1, 0, false};
+  EXPECT_THROW((void)engine.on_request(0, request, scheme), std::logic_error);
+}
+
+TEST(OnlineEngine, RejectsAForeignScheme) {
+  const core::Problem p = testing::line3_problem(10.0);
+  core::ReplicationScheme bound(p);
+  core::ReplicationScheme other(p);
+  OnlineEngine engine(bound, engine_config_from(algo::OnlineOptions{}));
+  const Request request{1, 0, false};
+  EXPECT_THROW((void)engine.on_request(0, request, other),
+               std::invalid_argument);
+}
+
+// The ski-rental guarantee (ISSUE acceptance): on single-object traces
+// where the exact offline optimum is computable by the two-state DP, the
+// pure (trust 0) engine never pays more than twice OPT.
+class SkiRentalBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkiRentalBound, WithinTwiceTheExactOptimum) {
+  core::Problem p = testing::line3_problem(10.0);
+  const double fetch = 10.0;  // o·C(1,0): read site 1, primary site 0
+  const double leg = 10.0;
+  util::Rng rng(GetParam());
+  const double write_probability = 0.2 + 0.15 * static_cast<double>(GetParam() % 5);
+  std::vector<Request> trace;
+  for (int n = 0; n < 240; ++n) {
+    const bool is_write = rng.uniform01() < write_probability;
+    // Reads come from site 1, writes from the primary at site 0.
+    trace.push_back({is_write ? core::SiteId{0} : core::SiteId{1}, 0, is_write});
+  }
+  core::ReplicationScheme scheme(p);
+  OnlineEngine engine(scheme, pure_ski_rental());
+  engine.run(trace);
+  const double opt = exact_opt_single_object(fetch, leg, trace);
+  EXPECT_GE(engine.stats().total_cost(), opt - 1e-9);
+  EXPECT_LE(engine.stats().total_cost(), 2.0 * opt + 1e-9)
+      << "online " << engine.stats().total_cost() << " vs OPT " << opt;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkiRentalBound,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Differential sanity on full mixed traces: the engine stays within a small
+// constant factor of the windowed hindsight referee (not a proof — a
+// regression tripwire for the default tuning).
+TEST(OnlineEngine, StaysNearHindsightOnUniformTraces) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const core::Problem p = testing::small_random_problem(seed, 8, 10);
+    util::Rng rng(seed + 100);
+    const auto trace = workload::build_trace(p, rng);
+    algo::OnlineOptions options;
+    options.window = 64;
+    core::ReplicationScheme scheme(p);
+    OnlineEngine engine(scheme, engine_config_from(options));
+    engine.run(trace);
+    RefereeConfig referee;
+    referee.window = options.window;
+    const RefereeReport hindsight = hindsight_cost(p, trace, referee);
+    ASSERT_GT(hindsight.total_cost(), 0.0);
+    EXPECT_LE(engine.stats().total_cost(), 3.0 * hindsight.total_cost())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace drep::online

@@ -1,0 +1,97 @@
+#include "online/referee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_modes.hpp"
+
+namespace drep::online {
+namespace {
+
+using workload::Request;
+
+/// Streaming cost of never moving off the primary-only allocation: every
+/// read fetches from the primary, every write ships to it, and there are no
+/// broadcast legs. Staying put is always available to the referee, so its
+/// total can never exceed this.
+double primary_only_streaming_cost(const core::Problem& problem,
+                                   const std::vector<Request>& trace) {
+  double total = 0.0;
+  for (const Request& request : trace) {
+    total += problem.object_size(request.object) *
+             problem.cost(request.site, problem.primary(request.object));
+  }
+  return total;
+}
+
+TEST(Referee, RejectsAZeroWindow) {
+  const core::Problem p = testing::line3_problem(10.0);
+  RefereeConfig config;
+  config.window = 0;
+  EXPECT_THROW((void)hindsight_cost(p, {}, config), std::invalid_argument);
+}
+
+TEST(Referee, EmptyTraceCostsNothing) {
+  const core::Problem p = testing::line3_problem(10.0);
+  const RefereeReport report = hindsight_cost(p, {});
+  EXPECT_DOUBLE_EQ(report.total_cost(), 0.0);
+  EXPECT_EQ(report.windows, 0u);
+}
+
+TEST(Referee, ReplicatesForAReadOnlyWindow) {
+  core::Problem p = testing::line3_problem(10.0);
+  // 20 reads at site 2: staying primary-only costs 20·10·C(2,0) = 400,
+  // replicating at 2 costs one 20-unit migration. The referee must take it.
+  const std::vector<Request> trace(20, Request{2, 0, false});
+  RefereeConfig config;
+  config.window = 20;
+  const RefereeReport report = hindsight_cost(p, trace, config);
+  EXPECT_EQ(report.windows, 1u);
+  EXPECT_EQ(report.retunes, 1u);
+  EXPECT_LT(report.total_cost(),
+            primary_only_streaming_cost(p, trace) - 1.0);
+}
+
+TEST(Referee, NeverWorseThanStayingPrimaryOnly) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const core::Problem p = testing::small_random_problem(seed, 9, 11);
+    util::Rng rng(seed + 50);
+    workload::ModedTraceConfig moded;
+    moded.mode = static_cast<workload::TraceMode>(seed % 4);
+    const auto trace = workload::build_moded_trace(p, moded, rng);
+    const RefereeReport report = hindsight_cost(p, trace, {});
+    const double stay = primary_only_streaming_cost(p, trace);
+    EXPECT_LE(report.total_cost(), stay + 1e-6 * std::max(1.0, stay))
+        << "seed " << seed;
+  }
+}
+
+TEST(Referee, WindowCountMatchesTheSlicing) {
+  const core::Problem p = testing::small_random_problem(2);
+  util::Rng rng(2);
+  const auto trace = workload::build_trace(p, rng);
+  RefereeConfig config;
+  config.window = 100;
+  const RefereeReport report = hindsight_cost(p, trace, config);
+  EXPECT_EQ(report.windows, (trace.size() + 99) / 100);
+}
+
+TEST(Referee, Deterministic) {
+  const core::Problem p = testing::small_random_problem(6);
+  util::Rng rng(6);
+  const auto trace = workload::build_trace(p, rng);
+  const RefereeReport a = hindsight_cost(p, trace, {});
+  const RefereeReport b = hindsight_cost(p, trace, {});
+  EXPECT_DOUBLE_EQ(a.serving_cost, b.serving_cost);
+  EXPECT_DOUBLE_EQ(a.migration_cost, b.migration_cost);
+  EXPECT_EQ(a.retunes, b.retunes);
+}
+
+}  // namespace
+}  // namespace drep::online

@@ -1,0 +1,145 @@
+#include "online/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/solver.hpp"
+#include "audit/invariants.hpp"
+#include "core/availability.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+
+namespace drep::online {
+namespace {
+
+class OnlineSolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_online_solver(); }
+};
+
+TEST_F(OnlineSolverTest, RegistrationIsIdempotent) {
+  register_online_solver();
+  register_online_solver();
+  const algo::Solver* solver = algo::solver_registry().find("online");
+  ASSERT_NE(solver, nullptr);
+  EXPECT_EQ(solver->name(), "online");
+}
+
+TEST_F(OnlineSolverTest, SolveFillsTheUniformResultCore) {
+  const core::Problem p = testing::small_random_problem(1);
+  algo::SolverOptions options;
+  options.common.seed = 1;
+  const algo::SolveResponse response =
+      algo::solver_registry().at("online").solve({p, options});
+  EXPECT_TRUE(response.result.scheme.is_valid());
+  EXPECT_GT(response.result.cost, 0.0);
+  EXPECT_TRUE(std::isfinite(response.result.cost));
+  EXPECT_GT(response.result.iterations, 0u);
+  ASSERT_TRUE(response.details.is_object());
+  for (const char* key :
+       {"online_total_cost", "online_serving_cost", "online_migration_cost",
+        "online_migrations", "online_evictions", "online_windows",
+        "hindsight_total_cost", "competitive_ratio", "prediction_source"}) {
+    EXPECT_NE(response.details.find(key), nullptr) << "missing " << key;
+  }
+  EXPECT_EQ(response.details.find("prediction_source")->as_string(), "ewma");
+  EXPECT_GT(response.details.find("competitive_ratio")->as_number(), 0.0);
+}
+
+TEST_F(OnlineSolverTest, SeedDeterminism) {
+  const core::Problem p = testing::small_random_problem(2);
+  algo::SolverOptions options;
+  options.common.seed = 9;
+  const algo::SolveResponse a =
+      algo::solver_registry().at("online").solve({p, options});
+  const algo::SolveResponse b =
+      algo::solver_registry().at("online").solve({p, options});
+  EXPECT_EQ(a.result.scheme.matrix(), b.result.scheme.matrix());
+  EXPECT_DOUBLE_EQ(a.result.cost, b.result.cost);
+  EXPECT_DOUBLE_EQ(a.details.find("competitive_ratio")->as_number(),
+                   b.details.find("competitive_ratio")->as_number());
+}
+
+// options.rng must be a pure alias for the seed path: a fresh Rng(seed)
+// handed in explicitly draws the same numbers common.seed would.
+TEST_F(OnlineSolverTest, ExternalRngAliasesTheSeed) {
+  const core::Problem p = testing::small_random_problem(3);
+  algo::SolverOptions seeded;
+  seeded.common.seed = 21;
+  const algo::SolveResponse by_seed =
+      algo::solver_registry().at("online").solve({p, seeded});
+  util::Rng rng(21);
+  algo::SolverOptions external = seeded;
+  external.rng = &rng;
+  const algo::SolveResponse by_rng =
+      algo::solver_registry().at("online").solve({p, external});
+  EXPECT_EQ(by_seed.result.scheme.matrix(), by_rng.result.scheme.matrix());
+  EXPECT_DOUBLE_EQ(by_seed.result.cost, by_rng.result.cost);
+}
+
+TEST_F(OnlineSolverTest, PredictionSourceIsReported) {
+  const core::Problem p = testing::small_random_problem(4);
+  algo::SolverOptions options;
+  options.common.seed = 4;
+  options.online.source = algo::PredictionSource::kOracle;
+  const algo::SolveResponse oracle =
+      algo::solver_registry().at("online").solve({p, options});
+  EXPECT_EQ(oracle.details.find("prediction_source")->as_string(), "oracle");
+  options.online.source = algo::PredictionSource::kAdversarial;
+  const algo::SolveResponse adversarial =
+      algo::solver_registry().at("online").solve({p, options});
+  EXPECT_EQ(adversarial.details.find("prediction_source")->as_string(),
+            "adversarial");
+}
+
+TEST_F(OnlineSolverTest, RejectsTheAvailabilityObjective) {
+  const core::Problem p = testing::small_random_problem(5);
+  algo::SolverOptions options;
+  options.availability =
+      core::AvailabilityConstraint{0.9, std::vector<double>(p.sites(), 0.9)};
+  EXPECT_THROW(
+      (void)algo::solver_registry().at("online").solve({p, options}),
+      std::invalid_argument);
+}
+
+TEST_F(OnlineSolverTest, AuditedSolveRunsClean) {
+  const core::Problem p = testing::small_random_problem(6);
+  algo::SolverOptions options;
+  options.common.seed = 6;
+  options.common.audit = true;
+  EXPECT_NO_THROW(
+      (void)algo::solver_registry().at("online").solve({p, options}));
+}
+
+// Differential check on tiny instances: the reported ratio is exactly the
+// engine-total / hindsight-total quotient, and stays within a loose sanity
+// band (the referee is a strong baseline, not a hard bound).
+TEST_F(OnlineSolverTest, CompetitiveRatioIsConsistentAndBounded) {
+  for (const std::uint64_t seed : {1, 2, 3, 4}) {
+    const core::Problem p = testing::small_random_problem(seed, 6, 8);
+    algo::SolverOptions options;
+    options.common.seed = seed;
+    options.online.window = 64;
+    const algo::SolveResponse response =
+        algo::solver_registry().at("online").solve({p, options});
+    const double online_total =
+        response.details.find("online_total_cost")->as_number();
+    const double hindsight =
+        response.details.find("hindsight_total_cost")->as_number();
+    const double ratio =
+        response.details.find("competitive_ratio")->as_number();
+    ASSERT_GT(hindsight, 0.0);
+    EXPECT_NEAR(ratio, online_total / hindsight, 1e-12);
+    EXPECT_LT(ratio, 5.0) << "seed " << seed;
+    const double serving =
+        response.details.find("online_serving_cost")->as_number();
+    const double migration =
+        response.details.find("online_migration_cost")->as_number();
+    EXPECT_NEAR(online_total, serving + migration,
+                1e-9 * std::max(1.0, online_total));
+  }
+}
+
+}  // namespace
+}  // namespace drep::online

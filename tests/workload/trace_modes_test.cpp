@@ -1,0 +1,146 @@
+#include "workload/trace_modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::workload {
+namespace {
+
+TEST(TraceModes, ParseAndNameRoundTrip) {
+  for (const TraceMode mode :
+       {TraceMode::kUniform, TraceMode::kDrifting, TraceMode::kFlashCrowd,
+        TraceMode::kAdversarial}) {
+    EXPECT_EQ(parse_trace_mode(trace_mode_name(mode)), mode);
+  }
+  EXPECT_THROW((void)parse_trace_mode("bogus"), std::invalid_argument);
+}
+
+TEST(TraceModes, ConfigValidation) {
+  ModedTraceConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.phases = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.hot_fraction = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.intensity = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.crowd_fraction = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(TraceModes, UniformDelegatesToBuildTrace) {
+  const core::Problem p = testing::small_random_problem(1);
+  util::Rng a(7);
+  util::Rng b(7);
+  const auto direct = build_trace(p, a);
+  const auto moded = build_moded_trace(p, ModedTraceConfig{}, b);
+  ASSERT_EQ(moded.size(), direct.size());
+  for (std::size_t n = 0; n < moded.size(); ++n) {
+    EXPECT_EQ(moded[n].site, direct[n].site);
+    EXPECT_EQ(moded[n].object, direct[n].object);
+    EXPECT_EQ(moded[n].is_write, direct[n].is_write);
+  }
+}
+
+TEST(TraceModes, SeededAndDeterministic) {
+  const core::Problem p = testing::small_random_problem(2);
+  for (const TraceMode mode :
+       {TraceMode::kDrifting, TraceMode::kFlashCrowd,
+        TraceMode::kAdversarial}) {
+    ModedTraceConfig config;
+    config.mode = mode;
+    util::Rng a(3);
+    util::Rng b(3);
+    const auto first = build_moded_trace(p, config, a);
+    const auto second = build_moded_trace(p, config, b);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first.size(), trace_size(p));
+    for (std::size_t n = 0; n < first.size(); ++n) {
+      EXPECT_EQ(first[n].site, second[n].site);
+      EXPECT_EQ(first[n].object, second[n].object);
+      EXPECT_EQ(first[n].is_write, second[n].is_write);
+    }
+  }
+}
+
+/// Requests per phase hitting objects in [lo, hi).
+std::vector<std::size_t> phase_counts(const std::vector<Request>& trace,
+                                      std::size_t phases, core::ObjectId lo,
+                                      core::ObjectId hi) {
+  std::vector<std::size_t> counts(phases, 0);
+  const std::size_t base = trace.size() / phases;
+  for (std::size_t n = 0; n < trace.size(); ++n) {
+    const std::size_t p = std::min(phases - 1, base == 0 ? 0 : n / base);
+    if (trace[n].object >= lo && trace[n].object < hi) ++counts[p];
+  }
+  return counts;
+}
+
+TEST(TraceModes, FlashCrowdConcentratesInTheMiddlePhase) {
+  const core::Problem p = testing::small_random_problem(4, 12, 20);
+  ModedTraceConfig config;
+  config.mode = TraceMode::kFlashCrowd;
+  config.phases = 5;
+  config.hot_fraction = 0.1;  // flash set = objects 0..1
+  config.intensity = 16.0;
+  util::Rng rng(4);
+  const auto trace = build_moded_trace(p, config, rng);
+  const auto counts = phase_counts(trace, config.phases, 0, 2);
+  for (std::size_t phase = 0; phase < config.phases; ++phase) {
+    if (phase == config.phases / 2) continue;
+    EXPECT_GT(counts[config.phases / 2], counts[phase])
+        << "flash phase not hotter than phase " << phase;
+  }
+}
+
+TEST(TraceModes, AdversarialBlocksAlternateEveryPhase) {
+  const core::Problem p = testing::small_random_problem(5, 10, 20);
+  ModedTraceConfig config;
+  config.mode = TraceMode::kAdversarial;
+  config.phases = 4;
+  config.hot_fraction = 0.1;  // block A = {0,1}, block B = {2,3}
+  config.intensity = 16.0;
+  util::Rng rng(5);
+  const auto trace = build_moded_trace(p, config, rng);
+  const auto in_a = phase_counts(trace, config.phases, 0, 2);
+  const auto in_b = phase_counts(trace, config.phases, 2, 4);
+  for (std::size_t phase = 0; phase < config.phases; ++phase) {
+    if (phase % 2 == 0) {
+      EXPECT_GT(in_a[phase], in_b[phase]) << "phase " << phase;
+    } else {
+      EXPECT_GT(in_b[phase], in_a[phase]) << "phase " << phase;
+    }
+  }
+}
+
+TEST(TraceModes, DriftingRotatesTheHotBlock) {
+  const core::Problem p = testing::small_random_problem(6, 10, 20);
+  ModedTraceConfig config;
+  config.mode = TraceMode::kDrifting;
+  config.phases = 4;
+  config.hot_fraction = 0.1;  // hot block width 2, start = 2·phase
+  config.intensity = 16.0;
+  util::Rng rng(6);
+  const auto trace = build_moded_trace(p, config, rng);
+  // In each phase the current hot block should out-draw the next phase's.
+  for (std::size_t phase = 0; phase + 1 < config.phases; ++phase) {
+    const auto current = phase_counts(
+        trace, config.phases, static_cast<core::ObjectId>(2 * phase),
+        static_cast<core::ObjectId>(2 * phase + 2));
+    const auto next = phase_counts(
+        trace, config.phases, static_cast<core::ObjectId>(2 * (phase + 1)),
+        static_cast<core::ObjectId>(2 * (phase + 1) + 2));
+    EXPECT_GT(current[phase], next[phase]) << "phase " << phase;
+  }
+}
+
+}  // namespace
+}  // namespace drep::workload

@@ -4,7 +4,9 @@
 // is generated, driven through SRA → GRA (+ DeltaEvaluator churn) → the
 // epoch simulation (all three adaptation policies) → distributed SRA
 // (perfect and faulty) → trace replay (perfect and faulty) → a monitor
-// retune round, and after every stage the audit::check_* validators
+// retune round → the online engine (standalone vs DES replay, perfect and
+// faulty, plus decision-log replay and registry determinism), and after
+// every stage the audit::check_* validators
 // cross-check the incremental state against from-scratch recomputation. The
 // validators are called explicitly, so the fuzzer finds divergence in any
 // build; compiling with -DDREP_AUDIT=ON additionally arms the inline hooks
@@ -39,6 +41,8 @@
 #include "audit/invariants.hpp"
 #include "core/benefit.hpp"
 #include "core/cost_model.hpp"
+#include "online/engine.hpp"
+#include "online/solver.hpp"
 #include "sim/access_replay.hpp"
 #include "sim/distributed_sra.hpp"
 #include "sim/epochs.hpp"
@@ -48,6 +52,7 @@
 #include "workload/generator.hpp"
 #include "workload/pattern_change.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_modes.hpp"
 
 namespace {
 
@@ -114,6 +119,7 @@ sim::FaultPlan make_faults(const FuzzCase& c) {
 audit::Violations run_case(const FuzzCase& c) {
   audit::Violations out;
   try {
+    online::register_online_solver();  // idempotent; the stage needs "online"
     util::Rng rng(c.seed);
 
     // --- generate -------------------------------------------------------
@@ -260,6 +266,83 @@ audit::Violations run_case(const FuzzCase& c) {
               .directives_failed = retune.directives_failed}));
     core::ReplicationScheme adopted(drifted, monitor.current_scheme());
     note(out, "retune", audit::check_scheme(adopted));
+
+    // --- online engine: standalone == DES, perfect and faulty ------------
+    // The policy decides at injection time, in trace order, so the final
+    // scheme is a pure function of (initial scheme, trace, config): faults
+    // may drop the shipped bytes, never the decision.
+    workload::ModedTraceConfig moded;
+    moded.mode = static_cast<workload::TraceMode>(c.seed % 4);
+    moded.phases = 4;
+    util::Rng online_trace_rng = rng.fork(12);
+    const std::vector<workload::Request> online_trace =
+        workload::build_moded_trace(problem, moded, online_trace_rng);
+
+    algo::OnlineOptions online_opt;
+    online_opt.window = 24 + 8 * (c.seed % 3);
+    online_opt.trust = 0.25 * static_cast<double>(c.seed % 5);
+    online_opt.source = c.seed % 2 == 0 ? algo::PredictionSource::kEwma
+                                        : algo::PredictionSource::kOracle;
+    const online::EngineConfig engine_cfg =
+        online::engine_config_from(online_opt);
+
+    core::ReplicationScheme standalone(problem);
+    online::OnlineEngine engine(standalone, engine_cfg);
+    engine.prime(online_trace);
+    engine.run(online_trace);
+    note(out, "online", audit::check_scheme(standalone));
+    note(out, "online",
+         audit::check_online_log(problem, engine.stats().initial_matrix,
+                                 engine.stats().log, standalone));
+
+    core::ReplicationScheme des_scheme(problem);
+    online::OnlineEngine des_engine(des_scheme, engine_cfg);
+    des_engine.prime(online_trace);
+    const sim::ReplayOptions online_perfect;
+    const sim::ReplayResult online_replay = sim::replay_trace_online(
+        des_scheme, online_trace, online_perfect, des_engine);
+    note(out, "online/des", audit::check_message_conservation(
+                                message_counts(online_replay.traffic)));
+    if (des_scheme.matrix() != standalone.matrix())
+      out.push_back(
+          {"online/des: engine.equivalence",
+           "DES-replayed online scheme differs from standalone run"});
+    if (online_replay.online_migrations != engine.stats().migrations ||
+        online_replay.online_evictions != engine.stats().evictions)
+      out.push_back(
+          {"online/des: engine.counters",
+           "DES migration/eviction counters differ from engine stats"});
+
+    sim::ReplayOptions online_faulty_opt;
+    online_faulty_opt.faults = make_faults(c);
+    core::ReplicationScheme faulty_online(problem);
+    online::OnlineEngine faulty_engine(faulty_online, engine_cfg);
+    faulty_engine.prime(online_trace);
+    const sim::ReplayResult faulty_online_replay = sim::replay_trace_online(
+        faulty_online, online_trace, online_faulty_opt, faulty_engine);
+    note(out, "online/faulty",
+         audit::check_message_conservation(
+             message_counts(faulty_online_replay.traffic)));
+    note(out, "online/faulty",
+         audit::check_online_log(problem, faulty_engine.stats().initial_matrix,
+                                 faulty_engine.stats().log, faulty_online));
+    if (faulty_online.matrix() != standalone.matrix())
+      out.push_back(
+          {"online/faulty: engine.equivalence",
+           "faulty-network online scheme differs from standalone run"});
+
+    // --- registry "online": same seed must solve bit-identically ---------
+    algo::SolverOptions reg_opt;
+    reg_opt.common.seed = c.seed;
+    const algo::SolveResponse reg_a =
+        algo::solver_registry().at("online").solve({problem, reg_opt});
+    const algo::SolveResponse reg_b =
+        algo::solver_registry().at("online").solve({problem, reg_opt});
+    note(out, "online/solver", audit::check_scheme(reg_a.result.scheme));
+    if (reg_a.result.scheme.matrix() != reg_b.result.scheme.matrix() ||
+        reg_a.result.cost != reg_b.result.cost)
+      out.push_back({"online/solver: determinism",
+                     "two online solves with the same seed diverged"});
   } catch (const audit::AuditFailure& failure) {
     note(out, "hook", failure.violations());
   } catch (const std::exception& e) {
