@@ -1,0 +1,189 @@
+#include "algo/sra_sparse.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "audit/gate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/timer.hpp"
+
+namespace drep::algo {
+
+namespace {
+
+/// A live candidate: object k at demand-cell index z of the visiting site.
+/// The benefit terms that stay constant over the candidate's lifetime are
+/// baked in at list build — its site is fixed, so the Eq. 5 write penalty
+/// (TW_k - w_k(i)) · C(i, SP_k) never changes, and neither do r_k(i) or o_k.
+/// The scan then touches one scattered array (the nearest-cost cache) per
+/// candidate instead of five; every precomputed double is the product the
+/// dense loop would form, so benefits stay bit-identical.
+struct Candidate {
+  core::ObjectId object = 0;
+  std::size_t demand_index = 0;
+  double reads = 0.0;          // r_k(i)
+  double write_penalty = 0.0;  // (TW_k - w_k(i)) * C(i, SP_k)
+  double size = 0.0;           // o_k
+};
+
+/// Number of objects in `sorted_sizes` satisfying the dense fits()
+/// predicate `free >= o_k - slack` for a site with the given free capacity.
+/// The predicate is monotone non-increasing along ascending sizes (floating
+/// point subtraction of a constant preserves ordering), so a partition point
+/// evaluates the EXACT dense expression yet costs O(log N).
+std::size_t count_fitting(const std::vector<double>& sorted_sizes, double free,
+                          double slack) {
+  const auto it =
+      std::partition_point(sorted_sizes.begin(), sorted_sizes.end(),
+                           [&](double o) { return free >= o - slack; });
+  return static_cast<std::size_t>(it - sorted_sizes.begin());
+}
+
+}  // namespace
+
+SparseSraResult solve_sra_sparse(const core::SparseInstance& instance,
+                                 const SraConfig& config, util::Rng& rng,
+                                 SraStats* stats) {
+  DREP_SPAN("sra_sparse/solve");
+  util::Stopwatch watch;
+  const std::size_t m = instance.sites();
+  const std::size_t n = instance.objects();
+  core::SparseReplicationScheme scheme(instance);
+
+  const auto demand_sites = instance.demand_sites();
+  const auto demand_reads = instance.demand_reads();
+  const auto demand_writes = instance.demand_writes();
+
+  // Live candidates per site — the nonzero-read cells the dense loop could
+  // ever replicate — appended in ascending object order, matching the dense
+  // L(i) construction (and the lowest-object-id tie-break that rides on it).
+  std::vector<std::vector<Candidate>> candidates(m);
+  for (core::ObjectId k = 0; k < n; ++k) {
+    const core::SiteId sp = instance.primary(k);
+    const std::size_t end = instance.demand_end(k);
+    for (std::size_t z = instance.demand_begin(k); z < end; ++z) {
+      const core::SiteId i = demand_sites[z];
+      if (i == sp || demand_reads[z] == 0.0) continue;
+      if (scheme.fits(i, k)) {
+        const double penalty =
+            (instance.total_writes(k) - demand_writes[z]) * instance.cost(i, sp);
+        candidates[i].push_back(
+            {k, z, demand_reads[z], penalty, instance.object_size(k)});
+      }
+    }
+  }
+
+  // Dead candidates per site: objects the dense loop lists but can never
+  // replicate (zero read demand at the site). They exist only to be counted:
+  // one benefit evaluation each at the site's first visit, plus active-list
+  // membership until then.
+  std::vector<double> sorted_sizes(n);
+  for (core::ObjectId k = 0; k < n; ++k) sorted_sizes[k] = instance.object_size(k);
+  std::sort(sorted_sizes.begin(), sorted_sizes.end());
+  std::vector<std::vector<double>> primary_sizes(m);
+  for (core::ObjectId k = 0; k < n; ++k)
+    primary_sizes[instance.primary(k)].push_back(instance.object_size(k));
+  for (auto& sizes : primary_sizes) std::sort(sizes.begin(), sizes.end());
+
+  std::vector<std::size_t> dead(m, 0);
+  for (core::SiteId i = 0; i < m; ++i) {
+    const double free = scheme.free_capacity(i);
+    const double slack = scheme.capacity_slack(i);
+    const std::size_t fitting = count_fitting(sorted_sizes, free, slack);
+    const std::size_t fitting_primaries =
+        count_fitting(primary_sizes[i], free, slack);
+    dead[i] = fitting - fitting_primaries - candidates[i].size();
+  }
+
+  // LS: sites with a non-empty candidate list (live or dead).
+  std::vector<core::SiteId> active;
+  active.reserve(m);
+  for (core::SiteId i = 0; i < m; ++i) {
+    if (!candidates[i].empty() || dead[i] != 0) active.push_back(i);
+  }
+
+  SraStats local_stats;
+  std::size_t cursor = 0;
+  while (!active.empty()) {
+    ++local_stats.site_visits;
+    std::size_t slot;
+    if (config.site_order == SraConfig::SiteOrder::kRandom) {
+      slot = rng.index(active.size());
+    } else {
+      slot = cursor % active.size();
+    }
+    const core::SiteId site = active[slot];
+
+    // First visit flushes the dead candidates: the dense pass evaluates each
+    // once (benefit <= 0) and prunes it.
+    local_stats.benefit_evaluations += dead[site];
+    dead[site] = 0;
+
+    // Same scan as the dense loop over the live survivors: strict `>` keeps
+    // the first (lowest-object-id) maximal candidate; unfit or non-positive
+    // entries are pruned permanently. Capacity is fixed for the whole scan
+    // (the placement happens after it), so free/slack hoist out of the loop —
+    // the per-candidate comparison is the exact fits() expression.
+    double best_benefit = 0.0;
+    std::size_t best_pos = 0;
+    bool found = false;
+    auto& list = candidates[site];
+    const double free = scheme.free_capacity(site);
+    const double slack = scheme.capacity_slack(site);
+    const double* nearest_cost = scheme.nearest_cost_data();
+    std::size_t write_pos = 0;
+    const std::size_t count = list.size();
+    for (std::size_t at = 0; at < count; ++at) {
+      const Candidate cand = list[at];
+      ++local_stats.benefit_evaluations;
+      if (!(free >= cand.size - slack)) continue;
+      const double benefit =
+          cand.reads * nearest_cost[cand.demand_index] - cand.write_penalty;
+      if (benefit <= 0.0) continue;
+      if (!found || benefit > best_benefit) {
+        best_benefit = benefit;
+        best_pos = write_pos;
+        found = true;
+      }
+      if (write_pos != at) list[write_pos] = cand;
+      ++write_pos;
+    }
+    list.resize(write_pos);
+
+    if (found) {
+      scheme.add(site, list[best_pos].object);
+      ++local_stats.replicas_created;
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(best_pos));
+    }
+    if (list.empty()) {
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(slot));
+      cursor = slot;
+    } else {
+      cursor = slot + 1;
+    }
+  }
+
+  DREP_AUDIT_ENFORCE("sra_sparse/solve", ::drep::audit::check_sparse_scheme(scheme));
+
+  DREP_COUNT("drep_sra_sparse_runs_total", 1);
+  DREP_COUNT("drep_sra_site_visits_total", local_stats.site_visits);
+  DREP_COUNT("drep_sra_benefit_evaluations_total",
+             local_stats.benefit_evaluations);
+  DREP_COUNT("drep_sra_replicas_created_total", local_stats.replicas_created);
+  if (stats != nullptr) *stats = local_stats;
+
+  const double cost = core::total_cost(scheme);
+  const double savings = 100.0 * core::savings_fraction(instance, cost);
+  const std::size_t extra = scheme.extra_replicas();
+  const std::size_t visits = local_stats.site_visits;
+  return SparseSraResult{std::move(scheme), cost,  savings,
+                         extra,             watch.seconds(), visits};
+}
+
+SparseSraResult solve_sra_sparse(const core::SparseInstance& instance) {
+  util::Rng rng(0);
+  return solve_sra_sparse(instance, SraConfig{}, rng);
+}
+
+}  // namespace drep::algo

@@ -40,16 +40,13 @@ double removal_delta(const ReplicationScheme& scheme, SiteId i, ObjectId k) {
   const double o = p.object_size(k);
   // The replica stops receiving updates...
   double delta = -(p.total_writes(k) - p.writes(i, k)) * o * p.cost(i, p.primary(k));
-  // ...but every site whose nearest replica is i re-homes to its second-best.
-  const auto& replicas = scheme.replicas(k);
+  // ...but every site whose nearest replica is i re-homes to its second-best,
+  // which the scheme's top-2 cache already holds (finite whenever i is a
+  // non-primary replica, since SP_k is always present too). The cached value
+  // equals the min over R_k \ {i} exactly — min of doubles is order-exact.
   for (SiteId j = 0; j < p.sites(); ++j) {
     if (scheme.nearest(j, k) != i) continue;
-    double second = std::numeric_limits<double>::infinity();
-    for (SiteId rep : replicas) {
-      if (rep == i) continue;
-      second = std::min(second, p.cost(j, rep));
-    }
-    delta += p.reads(j, k) * o * (second - p.cost(j, i));
+    delta += p.reads(j, k) * o * (scheme.second_nearest_cost(j, k) - p.cost(j, i));
   }
   return delta;
 }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/index.hpp"
+
 namespace drep::core {
 
 namespace {
@@ -124,7 +126,9 @@ void CostEvaluator::refresh() {
   const Problem& p = *problem_;
   const std::size_t m = p.sites();
   const std::size_t n = p.objects();
-  reads_t_.assign(n * m, 0.0);
+  read_offsets_.assign(n + 1, 0);
+  read_sites_.clear();
+  read_values_.clear();
   writes_t_.assign(n * m, 0.0);
   base_write_.assign(n, 0.0);
   v_prime_.assign(n, 0.0);
@@ -136,16 +140,21 @@ void CostEvaluator::refresh() {
     for (SiteId i = 0; i < m; ++i) {
       const double r = p.reads(i, k);
       const double w = p.writes(i, k);
-      reads_t_[static_cast<std::size_t>(k) * m + i] = r;
-      writes_t_[static_cast<std::size_t>(k) * m + i] = w;
+      if (r != 0.0) {
+        read_sites_.push_back(i);
+        read_values_.push_back(r);
+      }
+      writes_t_[util::dense_cell(k, m, i)] = w;
       base += w * sp_row[i];
       prime_requests += (r + w) * sp_row[i];
     }
+    read_offsets_[static_cast<std::size_t>(k) + 1] = read_sites_.size();
     base_write_[k] = base;
     v_prime_[k] = p.object_size(k) * prime_requests;
     d_prime_ += v_prime_[k];
   }
-  min_cost_.assign(m, 0.0);
+  row_ptrs_.clear();
+  row_ptrs_.reserve(m);
   replica_buf_.clear();
   replica_buf_.reserve(m);
 }
@@ -191,24 +200,29 @@ double CostEvaluator::object_cost_with_replicas(
   const std::size_t m = p.sites();
   const SiteId sp = p.primary(k);
   const auto sp_row = p.costs().row(sp);
-  const double* reads = reads_t_.data() + static_cast<std::size_t>(k) * m;
-  const double* writes = writes_t_.data() + static_cast<std::size_t>(k) * m;
+  const double* writes = writes_t_.data() + util::dense_cell(k, m, SiteId{0});
   const double total_writes = p.total_writes(k);
+  const std::size_t nz_begin = read_offsets_[k];
+  const std::size_t nz_end = read_offsets_[static_cast<std::size_t>(k) + 1];
 
+  // Read traffic over the nonzero readers only. A zero-read site adds
+  // exactly +0.0 to the dense sum, so skipping it leaves every partial sum
+  // bit-identical; min over doubles is exact, so restricting the min scan to
+  // the sites that matter changes nothing either.
   double read_sum = 0.0;
   if (replicas.size() == 1) {
     // Primary only: the nearest replica of every site is SP_k.
-    for (std::size_t i = 0; i < m; ++i) read_sum += reads[i] * sp_row[i];
+    for (std::size_t z = nz_begin; z < nz_end; ++z)
+      read_sum += read_values_[z] * sp_row[read_sites_[z]];
   } else {
-    // Element-wise min over the replicas' cost rows, then dot with reads.
-    std::fill(min_cost_.begin(), min_cost_.end(),
-              std::numeric_limits<double>::infinity());
-    for (SiteId rep : replicas) {
-      const auto rep_row = p.costs().row(rep);
-      for (std::size_t i = 0; i < m; ++i)
-        min_cost_[i] = std::min(min_cost_[i], rep_row[i]);
+    row_ptrs_.clear();
+    for (SiteId rep : replicas) row_ptrs_.push_back(p.costs().row(rep).data());
+    for (std::size_t z = nz_begin; z < nz_end; ++z) {
+      const SiteId i = read_sites_[z];
+      double best = std::numeric_limits<double>::infinity();
+      for (const double* row : row_ptrs_) best = std::min(best, row[i]);
+      read_sum += read_values_[z] * best;
     }
-    for (std::size_t i = 0; i < m; ++i) read_sum += reads[i] * min_cost_[i];
   }
 
   double surcharge = 0.0;

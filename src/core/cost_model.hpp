@@ -98,13 +98,20 @@ class CostEvaluator {
 
  private:
   const Problem* problem_;
-  std::vector<double> reads_t_;   // [object][site]
+  // Nonzero read demands in CSR layout: object k's readers live at
+  // [read_offsets_[k], read_offsets_[k+1]) of read_sites_/read_values_,
+  // ascending by site id. Zero-read sites contribute exactly +0.0 to the
+  // read sum, so skipping them is bit-identical to the dense loop while the
+  // kernel scales in nnz(r)·|R_k| instead of M·|R_k|.
+  std::vector<std::size_t> read_offsets_;  // length N+1
+  std::vector<SiteId> read_sites_;
+  std::vector<double> read_values_;
   std::vector<double> writes_t_;  // [object][site]
   std::vector<double> base_write_;  // Σ_i w_k(i)·C(i,SP_k), per object
   std::vector<double> v_prime_;
   double d_prime_ = 0.0;
-  std::vector<double> min_cost_;    // scratch, size M
-  std::vector<SiteId> replica_buf_; // scratch
+  std::vector<const double*> row_ptrs_;  // scratch, replica cost rows
+  std::vector<SiteId> replica_buf_;      // scratch
 };
 
 /// Incremental (delta) NTC evaluation for the GA hot path.

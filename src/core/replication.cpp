@@ -6,6 +6,10 @@
 
 namespace drep::core {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 ReplicationScheme::ReplicationScheme(const Problem& problem)
     : problem_(&problem) {
   const std::size_t m = problem.sites();
@@ -13,7 +17,9 @@ ReplicationScheme::ReplicationScheme(const Problem& problem)
   matrix_.assign(m * n, 0);
   replicas_.assign(n, {});
   nearest_site_.assign(m * n, 0);
-  nearest_cost_.assign(m * n, std::numeric_limits<double>::infinity());
+  nearest_cost_.assign(m * n, kInf);
+  second_site_.assign(m * n, 0);
+  second_cost_.assign(m * n, kInf);
   used_.assign(m, 0.0);
   for (ObjectId k = 0; k < n; ++k) object_mass_ += problem.object_size(k);
   for (ObjectId k = 0; k < n; ++k) {
@@ -23,8 +29,10 @@ ReplicationScheme::ReplicationScheme(const Problem& problem)
     used_[sp] += problem.object_size(k);
     ++total_replicas_;
     for (SiteId i = 0; i < m; ++i) {
-      nearest_site_[cell(i, k)] = sp;
-      nearest_cost_[cell(i, k)] = problem.cost(i, sp);
+      const std::size_t ic = cell(i, k);
+      nearest_site_[ic] = sp;
+      nearest_cost_[ic] = problem.cost(i, sp);
+      second_site_[ic] = sp;  // |R_k| == 1: no fallback, sentinel (sp, +inf)
     }
   }
 }
@@ -52,16 +60,23 @@ void ReplicationScheme::add(SiteId i, ObjectId k) {
   const std::size_t c = cell(i, k);
   if (matrix_[c] != 0) return;
   matrix_[c] = 1;
-  replicas_[k].push_back(i);
+  auto& list = replicas_[k];
+  list.insert(std::upper_bound(list.begin(), list.end(), i), i);
   used_[i] += problem_->object_size(k);
   ++total_replicas_;
   const std::size_t m = problem_->sites();
   for (SiteId j = 0; j < m; ++j) {
     const double via_new = problem_->cost(j, i);
     const std::size_t jc = cell(j, k);
-    if (via_new < nearest_cost_[jc]) {
+    if (closer_replica(via_new, i, nearest_cost_[jc], nearest_site_[jc])) {
+      // New replica beats the old nearest: old nearest demotes to second.
+      second_cost_[jc] = nearest_cost_[jc];
+      second_site_[jc] = nearest_site_[jc];
       nearest_cost_[jc] = via_new;
       nearest_site_[jc] = i;
+    } else if (closer_replica(via_new, i, second_cost_[jc], second_site_[jc])) {
+      second_cost_[jc] = via_new;
+      second_site_[jc] = i;
     }
   }
 }
@@ -74,28 +89,45 @@ void ReplicationScheme::remove(SiteId i, ObjectId k) {
   if (matrix_[c] == 0) return;
   matrix_[c] = 0;
   auto& list = replicas_[k];
-  list.erase(std::find(list.begin(), list.end(), i));
+  list.erase(std::lower_bound(list.begin(), list.end(), i));
   used_[i] -= problem_->object_size(k);
   --total_replicas_;
-  rebuild_nearest_column(k);
-}
 
-void ReplicationScheme::rebuild_nearest_column(ObjectId k) {
   const std::size_t m = problem_->sites();
-  const auto& list = replicas_[k];
+  const SiteId sp = problem_->primary(k);
   for (SiteId j = 0; j < m; ++j) {
-    double best = std::numeric_limits<double>::infinity();
-    SiteId best_site = problem_->primary(k);
+    const std::size_t jc = cell(j, k);
+    if (nearest_site_[jc] != i && second_site_[jc] != i) continue;
+    if (list.size() == 1) {
+      // Only the primary remains.
+      nearest_site_[jc] = sp;
+      nearest_cost_[jc] = problem_->cost(j, sp);
+      second_site_[jc] = sp;
+      second_cost_[jc] = kInf;
+      continue;
+    }
+    // Re-derive the lex (cost, id) top-2 from the surviving list. Ascending
+    // site-id iteration + strict closer_replica comparisons reproduce the
+    // same entries any history would: the cache stays a pure function of the
+    // replica set.
+    double best_c = kInf, sec_c = kInf;
+    SiteId best_s = sp, sec_s = sp;
     for (SiteId rep : list) {
-      const double c = problem_->cost(j, rep);
-      if (c < best) {
-        best = c;
-        best_site = rep;
+      const double rc = problem_->cost(j, rep);
+      if (closer_replica(rc, rep, best_c, best_s)) {
+        sec_c = best_c;
+        sec_s = best_s;
+        best_c = rc;
+        best_s = rep;
+      } else if (closer_replica(rc, rep, sec_c, sec_s)) {
+        sec_c = rc;
+        sec_s = rep;
       }
     }
-    const std::size_t jc = cell(j, k);
-    nearest_cost_[jc] = best;
-    nearest_site_[jc] = best_site;
+    nearest_cost_[jc] = best_c;
+    nearest_site_[jc] = best_s;
+    second_cost_[jc] = sec_c;
+    second_site_[jc] = sec_c == kInf ? sp : sec_s;
   }
 }
 

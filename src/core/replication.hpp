@@ -1,14 +1,26 @@
 #pragma once
 // Replication scheme: the boolean M×N matrix X plus the derived state the
-// algorithms need in their inner loops — per-object replicator lists R_k,
-// the nearest-replica index SN_k(i) (paper Section 2.1), and per-site used
-// storage. All derived state is maintained incrementally.
+// algorithms need in their inner loops — per-object replica sets R_k kept
+// sorted by site id (CSR-style: ascending, duplicate-free, so iteration
+// order is deterministic and history-independent), the top-2-nearest replica
+// index per (site, object) (paper Section 2.1 extended with the
+// second-nearest, so remove() repairs locally instead of rebuilding a whole
+// column), and per-site used storage. All derived state is maintained
+// incrementally.
+//
+// Determinism contract: every nearest/second-nearest decision orders
+// replicas by the lexicographic (cost, site id) key — on equal cost the
+// LOWEST site id wins. The cached index is therefore a pure function of the
+// replica *set*: the same matrix reached through any add/remove history
+// carries identical nearest_site_/second entries (the PR-4 SRA tie-break
+// convention, now enforced structurally).
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/problem.hpp"
+#include "util/index.hpp"
 
 namespace drep::core {
 
@@ -19,8 +31,9 @@ struct AvailabilityConstraint;  // core/availability.hpp
 ///
 /// Invariants (enforced by every mutator):
 ///   * X[SP_k][k] == 1 for every object (primary copies are immovable);
-///   * replica lists, nearest-replica index, and used-capacity accounting
-///     always agree with X.
+///   * replica lists (sorted ascending), the top-2 nearest-replica index,
+///     and used-capacity accounting always agree with X;
+///   * nearest/second are the lex-smallest (cost, site id) replicators.
 /// Capacity is *checked* via fits()/is_valid() but not enforced on add(), so
 /// that the GA repair operators can inspect transiently invalid states.
 class ReplicationScheme {
@@ -47,7 +60,8 @@ class ReplicationScheme {
   [[nodiscard]] bool has_replica(SiteId i, ObjectId k) const {
     return matrix_[cell(i, k)] != 0;
   }
-  /// Replicators of object k (always contains SP_k), in insertion order.
+  /// Replicators of object k (always contains SP_k), sorted ascending by
+  /// site id.
   [[nodiscard]] const std::vector<SiteId>& replicas(ObjectId k) const {
     return replicas_.at(k);
   }
@@ -57,12 +71,23 @@ class ReplicationScheme {
   }
 
   /// SN_k(i): the replicator of k closest to site i (possibly i itself).
+  /// Cost ties resolve to the lowest site id.
   [[nodiscard]] SiteId nearest(SiteId i, ObjectId k) const {
     return nearest_site_[cell(i, k)];
   }
   /// C(i, SN_k(i)); zero when i is itself a replicator.
   [[nodiscard]] double nearest_cost(SiteId i, ObjectId k) const {
     return nearest_cost_[cell(i, k)];
+  }
+  /// The second-closest replicator of k from site i (lex (cost, id) order
+  /// after SN_k(i)) — what site i re-homes to if SN_k(i) disappears. When
+  /// |R_k| < 2 there is no fallback: second_nearest_cost is +infinity and
+  /// second_nearest returns SP_k as a sentinel.
+  [[nodiscard]] SiteId second_nearest(SiteId i, ObjectId k) const {
+    return second_site_[cell(i, k)];
+  }
+  [[nodiscard]] double second_nearest_cost(SiteId i, ObjectId k) const {
+    return second_cost_[cell(i, k)];
   }
 
   /// Data units of storage consumed at site i by this scheme.
@@ -92,10 +117,13 @@ class ReplicationScheme {
   /// problem.
   [[nodiscard]] bool is_valid(const AvailabilityConstraint& constraint) const;
 
-  /// Adds a replica of k at i and updates the nearest index in O(M).
+  /// Adds a replica of k at i and updates the top-2 nearest index in O(M).
   /// No-op when the replica already exists. Does not check capacity.
   void add(SiteId i, ObjectId k);
-  /// Removes the replica of k at i; O(M·|R_k|) nearest-index repair.
+  /// Removes the replica of k at i. Rows whose cached top-2 does not involve
+  /// i are untouched (O(1)); affected rows re-derive nearest/second from the
+  /// remaining replicas — O(M + A·|R_k|) with A the number of affected rows,
+  /// instead of the former O(M·|R_k|) full-column rebuild.
   /// Throws std::invalid_argument when i is SP_k; no-op when absent.
   void remove(SiteId i, ObjectId k);
 
@@ -109,18 +137,28 @@ class ReplicationScheme {
 
  private:
   [[nodiscard]] std::size_t cell(SiteId i, ObjectId k) const {
-    return static_cast<std::size_t>(i) * problem_->objects() + k;
+    return util::dense_cell(i, problem_->objects(), k);
   }
-  void rebuild_nearest_column(ObjectId k);
 
   const Problem* problem_;
   std::vector<std::uint8_t> matrix_;      // row-major [site][object]
-  std::vector<std::vector<SiteId>> replicas_;
+  std::vector<std::vector<SiteId>> replicas_;  // per object, ascending
   std::vector<SiteId> nearest_site_;      // row-major [site][object]
   std::vector<double> nearest_cost_;      // row-major [site][object]
+  std::vector<SiteId> second_site_;       // row-major [site][object]
+  std::vector<double> second_cost_;       // row-major [site][object]
   std::vector<double> used_;
   double object_mass_ = 0.0;  // Σ_k o_k, fixed at construction
   std::size_t total_replicas_ = 0;
 };
+
+/// The deterministic replica ordering: true when replica a at cost `cost_a`
+/// beats replica b at `cost_b` — strictly cheaper, or equal cost with the
+/// lower site id. Shared by the scheme, the sparse scheme, and the audit
+/// validators so every layer breaks ties identically.
+[[nodiscard]] constexpr bool closer_replica(double cost_a, SiteId a,
+                                            double cost_b, SiteId b) noexcept {
+  return cost_a < cost_b || (cost_a == cost_b && a < b);
+}
 
 }  // namespace drep::core

@@ -1,0 +1,132 @@
+#include "core/sparse_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace drep::core {
+
+SparseInstance::SparseInstance(net::CostMatrix costs,
+                               std::vector<double> object_sizes,
+                               std::vector<SiteId> primaries,
+                               std::vector<double> capacities)
+    : costs_(std::move(costs)),
+      sizes_(std::move(object_sizes)),
+      primaries_(std::move(primaries)),
+      capacities_(std::move(capacities)) {
+  const std::size_t m = capacities_.size();
+  const std::size_t n = sizes_.size();
+  if (costs_.sites() != m)
+    throw std::invalid_argument("SparseInstance: cost matrix / capacity size mismatch");
+  if (primaries_.size() != n)
+    throw std::invalid_argument("SparseInstance: primaries / sizes length mismatch");
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!(sizes_[k] > 0.0) || !std::isfinite(sizes_[k]))
+      throw std::invalid_argument("SparseInstance: object size must be positive");
+    if (primaries_[k] >= m)
+      throw std::invalid_argument("SparseInstance: primary site out of range");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (capacities_[i] < 0.0 || !std::isfinite(capacities_[i]))
+      throw std::invalid_argument("SparseInstance: capacity must be non-negative");
+  }
+  demand_offsets_.assign(n + 1, 0);
+  total_reads_.assign(n, 0.0);
+  total_writes_.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) total_size_ += sizes_[k];
+}
+
+void SparseInstance::push_object_demands(ObjectId k,
+                                         std::span<const DemandEntry> entries) {
+  if (k != pushed_)
+    throw std::invalid_argument(
+        "SparseInstance::push_object_demands: objects must be pushed in "
+        "ascending order, each exactly once");
+  if (k >= objects())
+    throw std::out_of_range("SparseInstance::push_object_demands: object out of range");
+  SiteId prev = 0;
+  bool first = true;
+  for (const DemandEntry& e : entries) {
+    if (e.site >= sites())
+      throw std::invalid_argument("SparseInstance: demand site out of range");
+    if (!first && e.site <= prev)
+      throw std::invalid_argument(
+          "SparseInstance: demand entries must be ascending by site id");
+    if (e.reads < 0.0 || e.writes < 0.0 || !std::isfinite(e.reads) ||
+        !std::isfinite(e.writes))
+      throw std::invalid_argument("SparseInstance: demand counts must be finite and non-negative");
+    prev = e.site;
+    first = false;
+    demand_sites_.push_back(e.site);
+    demand_reads_.push_back(e.reads);
+    demand_writes_.push_back(e.writes);
+    total_reads_[k] += e.reads;
+    total_writes_[k] += e.writes;
+  }
+  demand_offsets_[static_cast<std::size_t>(k) + 1] = demand_sites_.size();
+  ++pushed_;
+}
+
+namespace {
+std::size_t find_demand(const SparseInstance& inst, SiteId i, ObjectId k,
+                        bool& found) {
+  const auto sites = inst.demand_sites();
+  const std::size_t begin = inst.demand_begin(k);
+  const std::size_t end = inst.demand_end(k);
+  const auto* lo = sites.data() + begin;
+  const auto* hi = sites.data() + end;
+  const auto* it = std::lower_bound(lo, hi, i);
+  found = it != hi && *it == i;
+  return static_cast<std::size_t>(it - sites.data());
+}
+}  // namespace
+
+double SparseInstance::reads(SiteId i, ObjectId k) const {
+  bool found = false;
+  const std::size_t z = find_demand(*this, i, k, found);
+  return found ? demand_reads_[z] : 0.0;
+}
+
+double SparseInstance::writes(SiteId i, ObjectId k) const {
+  bool found = false;
+  const std::size_t z = find_demand(*this, i, k, found);
+  return found ? demand_writes_[z] : 0.0;
+}
+
+void SparseInstance::validate() const {
+  if (pushed_ != objects())
+    throw std::invalid_argument(
+        "SparseInstance::validate: not all demand rows were pushed (" +
+        std::to_string(pushed_) + " of " + std::to_string(objects()) + ")");
+  // Every site must be able to store its pinned primaries, or no feasible
+  // replication matrix exists (Problem::validate's rule).
+  std::vector<double> pinned(sites(), 0.0);
+  for (ObjectId k = 0; k < objects(); ++k) pinned[primaries_[k]] += sizes_[k];
+  for (SiteId i = 0; i < sites(); ++i) {
+    if (pinned[i] > capacities_[i])
+      throw std::invalid_argument(
+          "SparseInstance::validate: site " + std::to_string(i) +
+          " cannot store its primary copies (" + std::to_string(pinned[i]) +
+          " > " + std::to_string(capacities_[i]) + ")");
+  }
+}
+
+Problem SparseInstance::materialize() const {
+  if (pushed_ != objects())
+    throw std::invalid_argument(
+        "SparseInstance::materialize: not all demand rows were pushed");
+  Problem problem(costs_, sizes_, primaries_, capacities_);
+  for (ObjectId k = 0; k < objects(); ++k) {
+    const std::size_t begin = demand_begin(k);
+    const std::size_t end = demand_end(k);
+    for (std::size_t z = begin; z < end; ++z) {
+      const SiteId i = demand_sites_[z];
+      if (demand_reads_[z] != 0.0) problem.set_reads(i, k, demand_reads_[z]);
+      if (demand_writes_[z] != 0.0) problem.set_writes(i, k, demand_writes_[z]);
+    }
+  }
+  return problem;
+}
+
+}  // namespace drep::core

@@ -1,0 +1,131 @@
+#pragma once
+// Sparse DRP instance (ROADMAP item 2: "millions of objects, thousands of
+// sites" as a measured number).
+//
+// A dense core::Problem stores the read/write request matrices row-major
+// M×N — 8 bytes per cell per matrix, which at the scale target (M=1000,
+// N=1,000,000) is 8 GB per matrix before any algorithm state. Real request
+// patterns are sparse: each object is read/written by a handful of sites.
+// SparseInstance keeps only the nonzero (site, object) demand cells in CSR
+// layout, so memory and kernel work scale in nnz, not M·N.
+//
+// Equivalence contract with core::Problem: a SparseInstance and the dense
+// Problem materialized from the same workload stream (see
+// workload/stream_gen.hpp) describe bit-identical instances. Per-object
+// request totals are summed over the CSR cells in ascending site order —
+// the same order (and therefore the same floating-point result) as the
+// dense Problem's incremental ledger when cells are populated ascending,
+// since absent cells contribute exactly +0.0.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "net/topology.hpp"
+#include "util/index.hpp"
+
+namespace drep::core {
+
+/// One nonzero demand cell of an object: reads/writes issued by one site.
+struct DemandEntry {
+  SiteId site = 0;
+  double reads = 0.0;
+  double writes = 0.0;
+};
+
+/// An immutable sparse DRP instance. Construction is by builder methods so
+/// the CSR arrays are laid out in one pass; validate() enforces the same
+/// structural invariants Problem::validate() does.
+class SparseInstance {
+ public:
+  /// Takes ownership of topology, sizes, primaries, and capacities. Demand
+  /// rows start empty; append them with push_object_demands in ascending
+  /// object order. Throws std::invalid_argument on shape mismatches, a
+  /// non-positive object size, an out-of-range primary, or a negative
+  /// capacity.
+  SparseInstance(net::CostMatrix costs, std::vector<double> object_sizes,
+                 std::vector<SiteId> primaries, std::vector<double> capacities);
+
+  /// Appends the demand cells of object k. Must be called once per object,
+  /// k ascending from 0; `entries` must be ascending by site id with no
+  /// duplicates, in-range, and carry finite non-negative counts (at least
+  /// one of reads/writes nonzero per entry). Totals are accumulated in the
+  /// given order.
+  void push_object_demands(ObjectId k, std::span<const DemandEntry> entries);
+
+  [[nodiscard]] std::size_t sites() const noexcept { return capacities_.size(); }
+  [[nodiscard]] std::size_t objects() const noexcept { return sizes_.size(); }
+  /// Total nonzero demand cells Σ_k nnz(k).
+  [[nodiscard]] std::size_t demand_cells() const noexcept {
+    return demand_sites_.size();
+  }
+
+  [[nodiscard]] const net::CostMatrix& costs() const noexcept { return costs_; }
+  [[nodiscard]] double cost(SiteId i, SiteId j) const { return costs_.at(i, j); }
+  [[nodiscard]] double object_size(ObjectId k) const { return sizes_.at(k); }
+  [[nodiscard]] SiteId primary(ObjectId k) const { return primaries_.at(k); }
+  [[nodiscard]] double capacity(SiteId i) const { return capacities_.at(i); }
+  /// Σ_k o_k, accumulated in ascending object order.
+  [[nodiscard]] double total_object_size() const noexcept { return total_size_; }
+
+  /// Demand row of object k: index range [demand_begin(k), demand_end(k))
+  /// into demand_sites()/demand_reads()/demand_writes(), ascending site id.
+  [[nodiscard]] std::size_t demand_begin(ObjectId k) const {
+    return demand_offsets_.at(k);
+  }
+  [[nodiscard]] std::size_t demand_end(ObjectId k) const {
+    return demand_offsets_.at(static_cast<std::size_t>(k) + 1);
+  }
+  [[nodiscard]] std::span<const SiteId> demand_sites() const noexcept {
+    return demand_sites_;
+  }
+  [[nodiscard]] std::span<const double> demand_reads() const noexcept {
+    return demand_reads_;
+  }
+  [[nodiscard]] std::span<const double> demand_writes() const noexcept {
+    return demand_writes_;
+  }
+
+  /// Σ_i r_k(i) / Σ_i w_k(i); O(1), bit-equal to the dense ledger (see the
+  /// equivalence contract above).
+  [[nodiscard]] double total_reads(ObjectId k) const {
+    return total_reads_.at(k);
+  }
+  [[nodiscard]] double total_writes(ObjectId k) const {
+    return total_writes_.at(k);
+  }
+
+  /// Point lookup r_k(i)/w_k(i) by binary search over the demand row;
+  /// O(log nnz(k)). Absent cells are 0. Test/validation convenience — the
+  /// hot paths iterate demand rows directly.
+  [[nodiscard]] double reads(SiteId i, ObjectId k) const;
+  [[nodiscard]] double writes(SiteId i, ObjectId k) const;
+
+  /// Structural invariants, including "every site can store its primaries";
+  /// throws std::invalid_argument with the first violation. Also verifies
+  /// all demand rows were pushed.
+  void validate() const;
+
+  /// Expands into a dense core::Problem (request cells populated per object
+  /// in ascending site order, so totals match bit-for-bit). Only sensible at
+  /// differential-test scale; the M×N allocation defeats the point
+  /// otherwise.
+  [[nodiscard]] Problem materialize() const;
+
+ private:
+  net::CostMatrix costs_;
+  std::vector<double> sizes_;
+  std::vector<SiteId> primaries_;
+  std::vector<double> capacities_;
+  std::vector<std::size_t> demand_offsets_;  // length N+1; valid up to pushed_
+  std::vector<SiteId> demand_sites_;
+  std::vector<double> demand_reads_;
+  std::vector<double> demand_writes_;
+  std::vector<double> total_reads_;
+  std::vector<double> total_writes_;
+  double total_size_ = 0.0;
+  ObjectId pushed_ = 0;  // next object expected by push_object_demands
+};
+
+}  // namespace drep::core

@@ -1,0 +1,179 @@
+#include "core/sparse_scheme.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace drep::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SparseReplicationScheme::SparseReplicationScheme(const SparseInstance& instance)
+    : instance_(&instance) {
+  const std::size_t n = instance.objects();
+  replicas_.assign(n, {});
+  used_.assign(instance.sites(), 0.0);
+  const std::size_t nnz = instance.demand_cells();
+  nearest_site_.assign(nnz, 0);
+  nearest_cost_.assign(nnz, kInf);
+  second_site_.assign(nnz, 0);
+  second_cost_.assign(nnz, kInf);
+  const auto demand_sites = instance.demand_sites();
+  for (ObjectId k = 0; k < n; ++k) {
+    const SiteId sp = instance.primary(k);
+    replicas_[k].push_back(sp);
+    used_[sp] += instance.object_size(k);
+    ++total_replicas_;
+    const std::size_t end = instance.demand_end(k);
+    for (std::size_t z = instance.demand_begin(k); z < end; ++z) {
+      nearest_site_[z] = sp;
+      nearest_cost_[z] = instance.cost(demand_sites[z], sp);
+      second_site_[z] = sp;  // |R_k| == 1: sentinel (sp, +inf)
+    }
+  }
+}
+
+bool SparseReplicationScheme::has_replica(SiteId i, ObjectId k) const {
+  const auto& list = replicas_.at(k);
+  return std::binary_search(list.begin(), list.end(), i);
+}
+
+bool SparseReplicationScheme::is_valid() const {
+  for (SiteId i = 0; i < instance_->sites(); ++i) {
+    if (used_[i] > instance_->capacity(i) + capacity_slack(i)) return false;
+  }
+  return true;
+}
+
+void SparseReplicationScheme::add(SiteId i, ObjectId k) {
+  auto& list = replicas_.at(k);
+  const auto pos = std::lower_bound(list.begin(), list.end(), i);
+  if (pos != list.end() && *pos == i) return;
+  list.insert(pos, i);
+  used_.at(i) += instance_->object_size(k);
+  ++total_replicas_;
+  const auto demand_sites = instance_->demand_sites();
+  const std::size_t end = instance_->demand_end(k);
+  for (std::size_t z = instance_->demand_begin(k); z < end; ++z) {
+    const double via_new = instance_->cost(demand_sites[z], i);
+    if (closer_replica(via_new, i, nearest_cost_[z], nearest_site_[z])) {
+      second_cost_[z] = nearest_cost_[z];
+      second_site_[z] = nearest_site_[z];
+      nearest_cost_[z] = via_new;
+      nearest_site_[z] = i;
+    } else if (closer_replica(via_new, i, second_cost_[z], second_site_[z])) {
+      second_cost_[z] = via_new;
+      second_site_[z] = i;
+    }
+  }
+}
+
+void SparseReplicationScheme::remove(SiteId i, ObjectId k) {
+  const SiteId sp = instance_->primary(k);
+  if (i == sp)
+    throw std::invalid_argument(
+        "SparseReplicationScheme::remove: primary copies cannot be deallocated");
+  auto& list = replicas_.at(k);
+  const auto pos = std::lower_bound(list.begin(), list.end(), i);
+  if (pos == list.end() || *pos != i) return;
+  list.erase(pos);
+  used_.at(i) -= instance_->object_size(k);
+  --total_replicas_;
+
+  const auto demand_sites = instance_->demand_sites();
+  const std::size_t end = instance_->demand_end(k);
+  for (std::size_t z = instance_->demand_begin(k); z < end; ++z) {
+    if (nearest_site_[z] != i && second_site_[z] != i) continue;
+    if (list.size() == 1) {
+      nearest_site_[z] = sp;
+      nearest_cost_[z] = instance_->cost(demand_sites[z], sp);
+      second_site_[z] = sp;
+      second_cost_[z] = kInf;
+      continue;
+    }
+    double best_c = kInf, sec_c = kInf;
+    SiteId best_s = sp, sec_s = sp;
+    for (SiteId rep : list) {
+      const double rc = instance_->cost(demand_sites[z], rep);
+      if (closer_replica(rc, rep, best_c, best_s)) {
+        sec_c = best_c;
+        sec_s = best_s;
+        best_c = rc;
+        best_s = rep;
+      } else if (closer_replica(rc, rep, sec_c, sec_s)) {
+        sec_c = rc;
+        sec_s = rep;
+      }
+    }
+    nearest_cost_[z] = best_c;
+    nearest_site_[z] = best_s;
+    second_cost_[z] = sec_c;
+    second_site_[z] = sec_c == kInf ? sp : sec_s;
+  }
+}
+
+CostBreakdown cost_breakdown(const SparseReplicationScheme& scheme) {
+  const SparseInstance& inst = scheme.instance();
+  const auto demand_sites = inst.demand_sites();
+  const auto demand_reads = inst.demand_reads();
+  const auto demand_writes = inst.demand_writes();
+  CostBreakdown parts;
+  for (ObjectId k = 0; k < inst.objects(); ++k) {
+    const double o = inst.object_size(k);
+    const SiteId sp = inst.primary(k);
+    const double total_writes = inst.total_writes(k);
+    const std::size_t begin = inst.demand_begin(k);
+    const std::size_t end = inst.demand_end(k);
+    // Read leg: Σ_i r_k(i)·C(i,SN_k(i)) over the demand cells only — absent
+    // cells contribute exactly +0.0 to the dense sum, so the restriction is
+    // bit-exact.
+    double read = 0.0;
+    for (std::size_t z = begin; z < end; ++z)
+      read += demand_reads[z] * scheme.nearest_cost_at(z);
+    parts.read_cost += o * read;
+    // Write leg: base Σ_i w_k(i)·C(i,SP_k) over demand cells (same
+    // zero-term argument) plus the per-replica surcharge in ascending
+    // replica order — exactly write_cost_of_object's structure.
+    double base = 0.0;
+    for (std::size_t z = begin; z < end; ++z)
+      base += demand_writes[z] * inst.cost(demand_sites[z], sp);
+    double surcharge = 0.0;
+    for (SiteId rep : scheme.replicas(k))
+      surcharge += (total_writes - inst.writes(rep, k)) * inst.cost(rep, sp);
+    parts.write_cost += o * (base + surcharge);
+  }
+  return parts;
+}
+
+double total_cost(const SparseReplicationScheme& scheme) {
+  const CostBreakdown parts = cost_breakdown(scheme);
+  return parts.total();
+}
+
+double primary_only_cost(const SparseInstance& instance) {
+  const auto demand_sites = instance.demand_sites();
+  const auto demand_reads = instance.demand_reads();
+  const auto demand_writes = instance.demand_writes();
+  double total = 0.0;
+  for (ObjectId k = 0; k < instance.objects(); ++k) {
+    const SiteId sp = instance.primary(k);
+    const std::size_t end = instance.demand_end(k);
+    double requests = 0.0;
+    for (std::size_t z = instance.demand_begin(k); z < end; ++z) {
+      requests += (demand_reads[z] + demand_writes[z]) *
+                  instance.cost(demand_sites[z], sp);
+    }
+    total += instance.object_size(k) * requests;
+  }
+  return total;
+}
+
+double savings_fraction(const SparseInstance& instance, double cost) {
+  const double d_prime = primary_only_cost(instance);
+  if (d_prime <= 0.0) return 0.0;
+  return (d_prime - cost) / d_prime;
+}
+
+}  // namespace drep::core

@@ -1,0 +1,124 @@
+#pragma once
+// Replication scheme over a SparseInstance — the scale-path counterpart of
+// core::ReplicationScheme.
+//
+// State is SoA and proportional to the instance, never to M·N: per-object
+// replica lists sorted ascending by site id (CSR-style), the per-site used
+// ledger, and a top-2-nearest replica cache kept ONLY for the instance's
+// demand cells (aligned index-for-index with the SparseInstance CSR arrays).
+// A site with no demand on an object never consults its nearest replica —
+// neither Eq. 5 benefits nor Eq. 4 costs reference it — so the cache covers
+// exactly the cells any kernel will read.
+//
+// Bit-equivalence contract with the dense scheme: nearest/second decisions
+// use the same lex (cost, site id) ordering (core::closer_replica), the
+// used ledger applies the same += / -= sequence, and capacity_slack/fits
+// evaluate the same expressions — so on a materialized instance every cached
+// value equals its dense counterpart bit-for-bit after any identical
+// add/remove history (proven by audit::check_sparse_dense and the
+// differential tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/replication.hpp"
+#include "core/sparse_instance.hpp"
+
+namespace drep::core {
+
+class SparseReplicationScheme {
+ public:
+  /// Primary-copies-only scheme.
+  explicit SparseReplicationScheme(const SparseInstance& instance);
+
+  [[nodiscard]] const SparseInstance& instance() const noexcept {
+    return *instance_;
+  }
+
+  [[nodiscard]] bool has_replica(SiteId i, ObjectId k) const;
+  /// Replicators of object k, ascending by site id (always contains SP_k).
+  [[nodiscard]] const std::vector<SiteId>& replicas(ObjectId k) const {
+    return replicas_.at(k);
+  }
+
+  /// Top-2 cache at demand cell z (an index into the instance's CSR demand
+  /// arrays). Same semantics as the dense scheme: lex (cost, id) nearest;
+  /// second is (+inf, SP_k) while |R_k| < 2.
+  [[nodiscard]] SiteId nearest_site_at(std::size_t z) const {
+    return nearest_site_.at(z);
+  }
+  [[nodiscard]] double nearest_cost_at(std::size_t z) const {
+    return nearest_cost_.at(z);
+  }
+  [[nodiscard]] SiteId second_site_at(std::size_t z) const {
+    return second_site_.at(z);
+  }
+  [[nodiscard]] double second_cost_at(std::size_t z) const {
+    return second_cost_.at(z);
+  }
+  /// Unchecked view of the whole nearest-cost cache (CSR-cell indexed) for
+  /// hot scans that already hold in-range demand indices.
+  [[nodiscard]] const double* nearest_cost_data() const noexcept {
+    return nearest_cost_.data();
+  }
+
+  [[nodiscard]] double used(SiteId i) const { return used_.at(i); }
+  [[nodiscard]] double free_capacity(SiteId i) const {
+    return instance_->capacity(i) - used_.at(i);
+  }
+  /// Identical expression to ReplicationScheme::capacity_slack (the
+  /// instance's total_object_size is accumulated in the same ascending
+  /// object order as the dense scheme's object mass).
+  [[nodiscard]] double capacity_slack(SiteId i) const {
+    return ReplicationScheme::kCapacityRelEps *
+           (1.0 + instance_->capacity(i) + instance_->total_object_size());
+  }
+  [[nodiscard]] bool fits(SiteId i, ObjectId k) const {
+    return free_capacity(i) >= instance_->object_size(k) - capacity_slack(i);
+  }
+  [[nodiscard]] bool is_valid() const;
+
+  /// Adds a replica of k at i; updates the demand-cell top-2 cache in
+  /// O(nnz(k)). No-op when present. Does not check capacity.
+  void add(SiteId i, ObjectId k);
+  /// Removes the replica of k at i; demand cells whose cached top-2 does not
+  /// involve i are untouched, affected cells re-derive the lex top-2 from
+  /// the surviving list. Throws std::invalid_argument when i is SP_k.
+  void remove(SiteId i, ObjectId k);
+
+  [[nodiscard]] std::size_t total_replicas() const noexcept {
+    return total_replicas_;
+  }
+  [[nodiscard]] std::size_t extra_replicas() const noexcept {
+    return total_replicas_ - instance_->objects();
+  }
+
+ private:
+  const SparseInstance* instance_;
+  std::vector<std::vector<SiteId>> replicas_;  // per object, ascending
+  // Top-2 cache, one entry per CSR demand cell of the instance.
+  std::vector<SiteId> nearest_site_;
+  std::vector<double> nearest_cost_;
+  std::vector<SiteId> second_site_;
+  std::vector<double> second_cost_;
+  std::vector<double> used_;
+  std::size_t total_replicas_ = 0;
+};
+
+/// Eq. 4 NTC of a sparse scheme, accumulated with exactly the dense
+/// cost_breakdown structure (separate read/write accumulators, per-object
+/// o·(base+surcharge) write terms) so the result is bit-identical to
+/// core::total_cost of the equivalent dense scheme.
+[[nodiscard]] CostBreakdown cost_breakdown(const SparseReplicationScheme& scheme);
+[[nodiscard]] double total_cost(const SparseReplicationScheme& scheme);
+
+/// D_prime of the instance, mirroring core::primary_only_cost's accumulation
+/// order (bit-identical on a materialized instance).
+[[nodiscard]] double primary_only_cost(const SparseInstance& instance);
+
+/// (D_prime - cost) / D_prime; 0 when D_prime is not positive.
+[[nodiscard]] double savings_fraction(const SparseInstance& instance,
+                                      double cost);
+
+}  // namespace drep::core

@@ -330,7 +330,12 @@ class SraNode final : public Node {
 
   void on_announce(const ReplicaAnnounce& announce) {
     const double via = problem_->cost(self_, announce.replicator);
-    if (via < nearest_cost_[announce.object]) {
+    // Lex (cost, site id) update — the same tie-break the centralized
+    // ReplicationScheme uses, so the local SN record tracks scheme.nearest()
+    // exactly, not just its cost.
+    if (core::closer_replica(via, announce.replicator,
+                             nearest_cost_[announce.object],
+                             nearest_site_[announce.object])) {
       nearest_cost_[announce.object] = via;
       nearest_site_[announce.object] = announce.replicator;
     }

@@ -1,0 +1,38 @@
+#pragma once
+// Flat dense-index arithmetic, hardened against 32-bit intermediate overflow.
+//
+// SiteId and ObjectId are std::uint32_t. A row-major cell index i*N + k at
+// the scale targets (M=1000, N=1,000,000 -> 1e9 cells) silently overflows if
+// the multiplication happens in 32 bits before widening. Every dense
+// indexing site funnels through dense_cell(), which widens each operand to
+// std::size_t *before* multiplying and static-asserts the width assumptions,
+// so the narrowing mistake cannot be reintroduced by a refactor.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace drep::util {
+
+// The scale targets (and the CSR offsets that address them) need 64-bit
+// size_t; a 32-bit platform would overflow std::vector indexing itself.
+static_assert(sizeof(std::size_t) >= 8,
+              "drep targets 64-bit platforms: dense/CSR indices exceed 2^32");
+
+/// Row-major flat index row*columns + col, computed entirely in std::size_t.
+/// `columns` is taken as std::size_t (the container dimension); row/col may
+/// be any unsigned integral id type no wider than std::size_t.
+template <typename Row, typename Col>
+[[nodiscard]] constexpr std::size_t dense_cell(Row row, std::size_t columns,
+                                               Col col) noexcept {
+  static_assert(std::is_integral_v<Row> && std::is_unsigned_v<Row>,
+                "dense_cell: row id must be an unsigned integral type");
+  static_assert(std::is_integral_v<Col> && std::is_unsigned_v<Col>,
+                "dense_cell: col id must be an unsigned integral type");
+  static_assert(sizeof(Row) <= sizeof(std::size_t) &&
+                    sizeof(Col) <= sizeof(std::size_t),
+                "dense_cell: id types must fit in std::size_t");
+  return static_cast<std::size_t>(row) * columns + static_cast<std::size_t>(col);
+}
+
+}  // namespace drep::util

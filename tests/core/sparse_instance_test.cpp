@@ -1,0 +1,138 @@
+#include "core/sparse_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "net/topology.hpp"
+
+namespace drep::core {
+namespace {
+
+net::CostMatrix line_costs(std::size_t m) {
+  net::CostMatrix costs(m);
+  for (net::SiteId i = 0; i < m; ++i) {
+    for (net::SiteId j = static_cast<net::SiteId>(i + 1); j < m; ++j) {
+      costs.set(i, j, static_cast<double>(j - i));
+    }
+  }
+  return costs;
+}
+
+SparseInstance small_instance() {
+  SparseInstance inst(line_costs(3), {2.0, 3.0}, {0, 1}, {10.0, 10.0, 10.0});
+  const std::vector<DemandEntry> row0{{0, 2.0, 1.0}, {2, 5.0, 0.0}};
+  const std::vector<DemandEntry> row1{{1, 4.0, 2.0}};
+  inst.push_object_demands(0, row0);
+  inst.push_object_demands(1, row1);
+  inst.validate();
+  return inst;
+}
+
+TEST(SparseInstance, ShapeAndAccessors) {
+  const SparseInstance inst = small_instance();
+  EXPECT_EQ(inst.sites(), 3u);
+  EXPECT_EQ(inst.objects(), 2u);
+  EXPECT_EQ(inst.demand_cells(), 3u);
+  EXPECT_EQ(inst.object_size(0), 2.0);
+  EXPECT_EQ(inst.primary(1), 1u);
+  EXPECT_EQ(inst.capacity(2), 10.0);
+  EXPECT_EQ(inst.total_object_size(), 5.0);
+  EXPECT_EQ(inst.cost(0, 2), 2.0);
+}
+
+TEST(SparseInstance, DemandRowsAndPointLookups) {
+  const SparseInstance inst = small_instance();
+  EXPECT_EQ(inst.demand_begin(0), 0u);
+  EXPECT_EQ(inst.demand_end(0), 2u);
+  EXPECT_EQ(inst.demand_begin(1), 2u);
+  EXPECT_EQ(inst.demand_end(1), 3u);
+  EXPECT_EQ(inst.reads(0, 0), 2.0);
+  EXPECT_EQ(inst.reads(2, 0), 5.0);
+  EXPECT_EQ(inst.reads(1, 0), 0.0);  // absent cell
+  EXPECT_EQ(inst.writes(0, 0), 1.0);
+  EXPECT_EQ(inst.writes(2, 0), 0.0);
+  EXPECT_EQ(inst.writes(1, 1), 2.0);
+  EXPECT_EQ(inst.total_reads(0), 7.0);
+  EXPECT_EQ(inst.total_writes(0), 1.0);
+  EXPECT_EQ(inst.total_reads(1), 4.0);
+}
+
+TEST(SparseInstance, MaterializeProducesTheSameInstanceDense) {
+  const SparseInstance inst = small_instance();
+  const Problem dense = inst.materialize();
+  ASSERT_EQ(dense.sites(), inst.sites());
+  ASSERT_EQ(dense.objects(), inst.objects());
+  for (SiteId i = 0; i < inst.sites(); ++i) {
+    EXPECT_EQ(dense.capacity(i), inst.capacity(i));
+    for (ObjectId k = 0; k < inst.objects(); ++k) {
+      EXPECT_EQ(dense.reads(i, k), inst.reads(i, k));
+      EXPECT_EQ(dense.writes(i, k), inst.writes(i, k));
+    }
+  }
+  for (ObjectId k = 0; k < inst.objects(); ++k) {
+    EXPECT_EQ(dense.object_size(k), inst.object_size(k));
+    EXPECT_EQ(dense.primary(k), inst.primary(k));
+    // The dense ledger accumulated the same cells in the same order.
+    EXPECT_EQ(dense.total_reads(k), inst.total_reads(k));
+    EXPECT_EQ(dense.total_writes(k), inst.total_writes(k));
+  }
+}
+
+TEST(SparseInstance, ConstructorRejectsBadShapesAndValues) {
+  EXPECT_THROW(SparseInstance(line_costs(2), {1.0}, {0}, {10.0, 10.0, 10.0}),
+               std::invalid_argument);  // costs 2x2 vs 3 capacities
+  EXPECT_THROW(SparseInstance(line_costs(2), {1.0, 1.0}, {0}, {10.0, 10.0}),
+               std::invalid_argument);  // primaries length mismatch
+  EXPECT_THROW(SparseInstance(line_costs(2), {0.0}, {0}, {10.0, 10.0}),
+               std::invalid_argument);  // non-positive size
+  EXPECT_THROW(SparseInstance(line_costs(2), {1.0}, {2}, {10.0, 10.0}),
+               std::invalid_argument);  // primary out of range
+  EXPECT_THROW(SparseInstance(line_costs(2), {1.0}, {0}, {10.0, -1.0}),
+               std::invalid_argument);  // negative capacity
+}
+
+TEST(SparseInstance, PushEnforcesAscendingObjectsAndSites) {
+  SparseInstance inst(line_costs(3), {1.0, 1.0}, {0, 0}, {10.0, 10.0, 10.0});
+  const std::vector<DemandEntry> row{{1, 1.0, 0.0}};
+  EXPECT_THROW(inst.push_object_demands(1, row), std::invalid_argument);
+  inst.push_object_demands(0, row);
+  EXPECT_THROW(inst.push_object_demands(0, row), std::invalid_argument);
+
+  const std::vector<DemandEntry> descending{{2, 1.0, 0.0}, {1, 1.0, 0.0}};
+  EXPECT_THROW(inst.push_object_demands(1, descending), std::invalid_argument);
+  const std::vector<DemandEntry> duplicate{{1, 1.0, 0.0}, {1, 2.0, 0.0}};
+  EXPECT_THROW(inst.push_object_demands(1, duplicate), std::invalid_argument);
+  const std::vector<DemandEntry> out_of_range{{3, 1.0, 0.0}};
+  EXPECT_THROW(inst.push_object_demands(1, out_of_range),
+               std::invalid_argument);
+  const std::vector<DemandEntry> negative{{1, -1.0, 0.0}};
+  EXPECT_THROW(inst.push_object_demands(1, negative), std::invalid_argument);
+}
+
+TEST(SparseInstance, ValidateRequiresAllRowsAndFeasiblePrimaries) {
+  SparseInstance partial(line_costs(2), {1.0, 1.0}, {0, 0}, {10.0, 10.0});
+  const std::vector<DemandEntry> row{{1, 1.0, 0.0}};
+  partial.push_object_demands(0, row);
+  EXPECT_THROW(partial.validate(), std::invalid_argument);
+  EXPECT_THROW((void)partial.materialize(), std::invalid_argument);
+
+  // Site 0 is pinned with 5.0 of primaries but only has capacity 3.0.
+  SparseInstance overfull(line_costs(2), {2.0, 3.0}, {0, 0}, {3.0, 10.0});
+  overfull.push_object_demands(0, row);
+  overfull.push_object_demands(1, row);
+  EXPECT_THROW(overfull.validate(), std::invalid_argument);
+}
+
+TEST(SparseInstance, EmptyDemandRowsAreAllowed) {
+  SparseInstance inst(line_costs(2), {1.0}, {0}, {10.0, 10.0});
+  inst.push_object_demands(0, {});
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.demand_cells(), 0u);
+  EXPECT_EQ(inst.total_reads(0), 0.0);
+}
+
+}  // namespace
+}  // namespace drep::core

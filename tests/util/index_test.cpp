@@ -1,0 +1,52 @@
+#include "util/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace drep::util {
+namespace {
+
+TEST(DenseCell, MatchesRowMajorArithmetic) {
+  EXPECT_EQ(dense_cell(0u, 7, 0u), 0u);
+  EXPECT_EQ(dense_cell(0u, 7, 6u), 6u);
+  EXPECT_EQ(dense_cell(3u, 7, 2u), 23u);
+}
+
+// Regression: a 32-bit SiteId/ObjectId product i*N + k overflows when the
+// multiplication happens before widening. At the scale targets the flat
+// index exceeds 2^32, so any narrowing reintroduction breaks these exact
+// values.
+TEST(DenseCell, WidensBeforeMultiplying) {
+  const std::uint32_t row = 5000;
+  const std::uint32_t col = 999'999;
+  const std::size_t columns = 1'000'000;
+  // 5000 * 1e6 + 999999 = 5,000,999,999 — above 2^32 = 4,294,967,296. The
+  // truncated 32-bit result would be 706,032,703.
+  EXPECT_EQ(dense_cell(row, columns, col), 5'000'999'999u);
+  EXPECT_GT(dense_cell(row, columns, col),
+            static_cast<std::size_t>(UINT32_MAX));
+}
+
+TEST(DenseCell, IsConstexpr) {
+  static_assert(dense_cell(2u, 10, 3u) == 23u);
+  constexpr std::size_t big =
+      dense_cell(static_cast<core::SiteId>(1000), 1'000'000,
+                 static_cast<core::ObjectId>(0));
+  static_assert(big == 1'000'000'000u);
+  SUCCEED();
+}
+
+TEST(DenseCell, AcceptsMixedUnsignedWidths) {
+  EXPECT_EQ(dense_cell(static_cast<std::uint8_t>(2), 100,
+                       static_cast<std::uint64_t>(50)),
+            250u);
+  EXPECT_EQ(dense_cell(static_cast<std::size_t>(3), 4,
+                       static_cast<std::uint16_t>(1)),
+            13u);
+}
+
+}  // namespace
+}  // namespace drep::util

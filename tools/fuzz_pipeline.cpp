@@ -38,6 +38,7 @@
 
 #include "algo/gra.hpp"
 #include "algo/solver.hpp"
+#include "algo/sra_sparse.hpp"
 #include "audit/invariants.hpp"
 #include "core/benefit.hpp"
 #include "core/cost_model.hpp"
@@ -51,6 +52,7 @@
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 #include "workload/pattern_change.hpp"
+#include "workload/stream_gen.hpp"
 #include "workload/trace.hpp"
 #include "workload/trace_modes.hpp"
 
@@ -175,6 +177,67 @@ audit::Violations run_case(const FuzzCase& c) {
     }
     note(out, "churn", audit::check_scheme(churn));
     note(out, "churn", audit::check_delta_evaluator(delta));
+
+    // --- sparse path: streamed instance, SRA trajectory, mirrored churn --
+    // The sparse representation must be bit-identical to the dense one: same
+    // instance when materialized, same SRA decisions/stats/cost, and the
+    // same top-2/used state through an identical add/remove history.
+    workload::StreamConfig stream_cfg;
+    stream_cfg.sites = c.sites;
+    stream_cfg.objects = c.objects;
+    stream_cfg.seed = c.seed ^ 0x5eed5eedULL;
+    const core::SparseInstance sparse_inst =
+        workload::build_sparse_instance(stream_cfg);
+    const core::Problem dense_problem = sparse_inst.materialize();
+
+    util::Rng sparse_sra_rng = rng.fork(13);
+    util::Rng dense_sra_rng = sparse_sra_rng;  // identical streams
+    algo::SraConfig sparse_cfg;
+    sparse_cfg.site_order = c.seed % 2 == 0
+                                ? algo::SraConfig::SiteOrder::kRoundRobin
+                                : algo::SraConfig::SiteOrder::kRandom;
+    algo::SraStats dense_stats, sparse_stats;
+    const algo::AlgorithmResult dense_sra =
+        algo::solve_sra(dense_problem, sparse_cfg, dense_sra_rng, &dense_stats);
+    const algo::SparseSraResult sparse_sra = algo::solve_sra_sparse(
+        sparse_inst, sparse_cfg, sparse_sra_rng, &sparse_stats);
+    note(out, "sparse/sra", audit::check_sparse_scheme(sparse_sra.scheme));
+    note(out, "sparse/sra",
+         audit::check_sparse_dense(sparse_sra.scheme, dense_sra.scheme));
+    if (sparse_sra.cost != dense_sra.cost ||
+        sparse_sra.savings_percent != dense_sra.savings_percent ||
+        sparse_sra.extra_replicas != dense_sra.extra_replicas) {
+      out.push_back({"sparse/sra: result.equivalence",
+                     "sparse SRA result differs from dense (cost " +
+                         std::to_string(sparse_sra.cost) + " vs " +
+                         std::to_string(dense_sra.cost) + ")"});
+    }
+    if (sparse_stats.site_visits != dense_stats.site_visits ||
+        sparse_stats.replicas_created != dense_stats.replicas_created ||
+        sparse_stats.benefit_evaluations != dense_stats.benefit_evaluations) {
+      out.push_back({"sparse/sra: stats.equivalence",
+                     "sparse SRA stats differ from dense"});
+    }
+
+    core::SparseReplicationScheme sparse_churn(sparse_inst);
+    core::ReplicationScheme dense_churn(dense_problem);
+    util::Rng sparse_churn_rng = rng.fork(14);
+    for (int step = 0; step < 200; ++step) {
+      const auto i = static_cast<core::SiteId>(sparse_churn_rng.index(c.sites));
+      const auto k =
+          static_cast<core::ObjectId>(sparse_churn_rng.index(c.objects));
+      if (dense_problem.primary(k) == i) continue;
+      if (dense_churn.has_replica(i, k)) {
+        dense_churn.remove(i, k);
+        sparse_churn.remove(i, k);
+      } else {
+        dense_churn.add(i, k);
+        sparse_churn.add(i, k);
+      }
+    }
+    note(out, "sparse/churn", audit::check_sparse_scheme(sparse_churn));
+    note(out, "sparse/churn",
+         audit::check_sparse_dense(sparse_churn, dense_churn));
 
     // --- epochs (drift + adaptation, all three policies) ----------------
     sim::EpochConfig epoch_cfg;
