@@ -3,11 +3,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <numeric>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,8 +25,10 @@
 #include "online/engine.hpp"
 #include "online/referee.hpp"
 #include "online/solver.hpp"
+#include "serve/engine.hpp"
 #include "sim/access_replay.hpp"
 #include "sim/failures.hpp"
+#include "workload/trace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
@@ -551,6 +555,108 @@ int cmd_adapt(const Args& args) {
   return 0;
 }
 
+/// The serving front-end: `serve --mode=timed` measures throughput and tail
+/// latency against wall clock with a concurrent retune thread; `serve
+/// --mode=trace` replays the problem's shuffled trace with retunes pinned to
+/// trace positions and prints the outcome hash that must be bit-identical
+/// across --workers values.
+int cmd_serve(const Args& args) {
+  const core::Problem problem = io::load_problem(args.require("in"));
+  const std::string algo_name = args.get("algo", "sra");
+  if (algo::solver_registry().find(algo_name) == nullptr)
+    throw UsageError("unknown --algo=" + algo_name + " (" +
+                     solver_names_joined() + ")");
+
+  serve::ServeConfig config;
+  config.workers = static_cast<std::size_t>(args.number("workers", 1));
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  config.algo = algo_name;
+  config.batch = static_cast<std::size_t>(args.number("batch", 256));
+  config.audit = args.has("audit");
+  config.duration_seconds = args.number("duration", 1.0);
+  config.retune_interval_seconds = args.number("retune-interval", 0.0);
+  config.retune_every =
+      static_cast<std::size_t>(args.number("retune-every", 0));
+  config.load.write_fraction = args.number("write-fraction", 0.05);
+  try {
+    config.validate();
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(error.what());
+  }
+
+  const std::string mode = args.get("mode", "timed");
+  if (mode == "timed") {
+    if (args.has("retune-every"))
+      throw UsageError("--retune-every requires --mode=trace");
+  } else if (mode == "trace") {
+    for (const char* timed_only :
+         {"duration", "retune-interval", "write-fraction"}) {
+      if (args.has(timed_only))
+        throw UsageError("--" + std::string(timed_only) +
+                         " requires --mode=timed");
+    }
+  } else {
+    throw UsageError("--mode expects timed|trace, got '" + mode + "'");
+  }
+
+  serve::ServeReport report;
+  if (mode == "trace") {
+    util::Rng rng(config.seed);
+    const std::vector<workload::Request> trace =
+        workload::build_trace(problem, rng);
+    DREP_SPAN("cli/serve");
+    report = serve::serve_trace(problem, trace, config);
+  } else {
+    DREP_SPAN("cli/serve");
+    report = serve::serve_timed(problem, config);
+  }
+
+  std::ostringstream hash_hex;
+  hash_hex << std::hex << std::setw(16) << std::setfill('0')
+           << report.outcome_hash;
+
+  util::Table table({"metric", "value"});
+  table.row(0).cell("mode").cell(mode);
+  table.row(0).cell("workers").cell(config.workers);
+  table.row(0).cell("requests").cell(report.requests);
+  table.row(4).cell("seconds").cell(report.seconds);
+  table.row(0).cell("requests/sec")
+      .cell(static_cast<std::size_t>(report.requests_per_second));
+  table.row(0).cell("generations").cell(report.generations);
+  table.row(0).cell("retunes").cell(report.retunes);
+  if (mode == "trace") {
+    table.row(0).cell("outcome hash").cell(hash_hex.str());
+    table.row(3).cell("served cost").cell(report.served_cost);
+  } else {
+    table.row(3).cell("p50 us").cell(report.p50_us);
+    table.row(3).cell("p99 us").cell(report.p99_us);
+    table.row(3).cell("p999 us").cell(report.p999_us);
+  }
+  table.row(0).cell("snapshots reclaimed").cell(report.reclaimed);
+  table.print(std::cout);
+
+  obs::Json result_json = obs::Json::object();
+  result_json["mode"] = obs::Json(mode);
+  result_json["algo"] = obs::Json(algo_name);
+  result_json["workers"] = obs::Json(config.workers);
+  result_json["requests"] = obs::Json(report.requests);
+  result_json["seconds"] = obs::Json(report.seconds);
+  result_json["requests_per_second"] = obs::Json(report.requests_per_second);
+  result_json["generations"] = obs::Json(report.generations);
+  result_json["retunes"] = obs::Json(report.retunes);
+  result_json["reclaimed"] = obs::Json(report.reclaimed);
+  if (mode == "trace") {
+    result_json["outcome_hash"] = obs::Json(hash_hex.str());
+    result_json["served_cost"] = obs::Json(report.served_cost);
+  } else {
+    result_json["p50_us"] = obs::Json(report.p50_us);
+    result_json["p99_us"] = obs::Json(report.p99_us);
+    result_json["p999_us"] = obs::Json(report.p999_us);
+  }
+  maybe_write_reports(args, "serve", std::move(result_json));
+  return 0;
+}
+
 void usage(std::ostream& out) {
   out << "drep <command> [flags]\n"
          "  generate --sites=N --objects=N [--update=%] [--capacity=%] [--seed=N] -o FILE\n"
@@ -565,6 +671,9 @@ void usage(std::ostream& out) {
          "           [--window=N] [--trust=F] [--predictions=ewma|oracle|adversarial]\n"
          "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
          "           [--threads=N] [--faults=SPEC]\n"
+         "  serve    -i FILE [--mode=timed|trace] [--workers=W] [--algo=NAME] [--seed=N]\n"
+         "           [--batch=N] [--audit] [--duration=S] [--retune-interval=S]\n"
+         "           [--write-fraction=F] [--retune-every=N]\n"
          "  help\n"
          "--threads=N sizes the shared worker pool (0 = all cores, 1 = serial);\n"
          "--islands=N runs GRA as N parallel islands with ring migration. Results\n"
@@ -596,7 +705,17 @@ void usage(std::ostream& out) {
          "referee; solve --algo=online does the same over the matrices' shuffled\n"
          "trace. --window=N sets the predictor window, --trust=F in [0,1] how far\n"
          "hot/warm/cold predictions bend the break-even thresholds, and\n"
-         "--predictions picks their source (ewma|oracle|adversarial).\n";
+         "--predictions picks their source (ewma|oracle|adversarial).\n"
+         "serve routes simulated requests against RCU-published scheme snapshots\n"
+         "(DESIGN.md Section 14). --mode=timed (default) drives seeded per-worker\n"
+         "request rings for --duration=S seconds while a retune thread re-solves on\n"
+         "the observed counts every --retune-interval=S and publishes without ever\n"
+         "blocking a reader; reports requests/sec and p50/p99/p999 latency.\n"
+         "--mode=trace replays the problem's shuffled trace with a retune pinned\n"
+         "after every --retune-every requests; the printed outcome_hash is\n"
+         "bit-identical for every --workers value (CI pins workers=1/2/4).\n"
+         "--audit cross-checks every snapshot against its source scheme before\n"
+         "publication.\n";
 }
 
 const std::set<std::string> kGenerateFlags = {
@@ -615,6 +734,10 @@ const std::set<std::string> kReplayFlags = {
 const std::set<std::string> kAdaptFlags = {
     "in",   "new",  "scheme", "out",  "threshold", "mini",
     "seed", "threads", "report", "prom", "faults"};
+const std::set<std::string> kServeFlags = {
+    "in",    "mode",  "workers", "algo",           "seed",
+    "batch", "audit", "duration", "retune-interval", "write-fraction",
+    "retune-every", "report", "prom"};
 
 }  // namespace
 
@@ -647,10 +770,12 @@ int run(int argc, char** argv) {
       return cmd_replay(parse_args(argc, argv, 2, kReplayFlags));
     if (command == "adapt")
       return cmd_adapt(parse_args(argc, argv, 2, kAdaptFlags));
+    if (command == "serve")
+      return cmd_serve(parse_args(argc, argv, 2, kServeFlags));
     throw UsageError("unknown command '" + command + "'");
   } catch (const UsageError& error) {
     std::cerr << "drep: " << error.what() << "\n"
-              << "usage: drep <generate|solve|evaluate|replay|adapt|help> "
+              << "usage: drep <generate|solve|evaluate|replay|adapt|serve|help> "
                  "[flags] -- run 'drep help' for details\n";
     return 2;
   } catch (const algo::InstanceTooLarge& error) {

@@ -13,8 +13,14 @@ double Counter::value() const noexcept {
   return total;
 }
 
-void Counter::reset() noexcept {
-  for (auto& shard : shards_) shard.value.store(0.0, std::memory_order_relaxed);
+double Counter::drain() noexcept {
+  // exchange, not load-then-store: an add() racing this loop lands either in
+  // the returned total (exchange saw it) or in the zeroed cell for the next
+  // reader. The pre-fix store(0.0) reset dropped such in-flight increments.
+  double total = 0.0;
+  for (auto& shard : shards_)
+    total += shard.value.exchange(0.0, std::memory_order_relaxed);
+  return total;
 }
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -51,11 +57,17 @@ Histogram::Data Histogram::data() const {
   return data;
 }
 
-void Histogram::reset() noexcept {
+Histogram::Data Histogram::drain() {
+  Data data;
+  data.bounds = bounds_;
+  data.counts.assign(bounds_.size() + 1, 0);
   for (Shard& shard : shards_) {
-    for (auto& count : shard.counts) count.store(0, std::memory_order_relaxed);
-    shard.sum.store(0.0, std::memory_order_relaxed);
+    for (std::size_t b = 0; b < shard.counts.size(); ++b)
+      data.counts[b] += shard.counts[b].exchange(0, std::memory_order_relaxed);
+    data.sum += shard.sum.exchange(0.0, std::memory_order_relaxed);
   }
+  for (const std::uint64_t c : data.counts) data.count += c;
+  return data;
 }
 
 const MetricSample* MetricsSnapshot::find(
@@ -141,6 +153,26 @@ MetricsSnapshot Registry::snapshot() const {
   }
   // The three maps are each sorted; one merge keeps the whole snapshot
   // sorted by name for deterministic serialization.
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+MetricsSnapshot Registry::drain() {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (auto& [name, counter] : counters_)
+    snap.samples.push_back({name, MetricKind::kCounter, counter->drain(), {}});
+  for (auto& [name, gauge] : gauges_)
+    snap.samples.push_back({name, MetricKind::kGauge, gauge->drain(), {}});
+  for (auto& [name, histogram] : histograms_) {
+    MetricSample sample{name, MetricKind::kHistogram, 0.0, histogram->drain()};
+    sample.value = sample.histogram.sum;
+    snap.samples.push_back(std::move(sample));
+  }
   std::sort(snap.samples.begin(), snap.samples.end(),
             [](const MetricSample& a, const MetricSample& b) {
               return a.name < b.name;

@@ -65,7 +65,17 @@ class Counter {
 
   /// Folded total across shards.
   [[nodiscard]] double value() const noexcept;
-  void reset() noexcept;
+
+  /// Atomically reads AND zeroes every shard (one exchange per shard), so a
+  /// concurrent add() lands either in this drain's return value or in a
+  /// later read — never in neither. This is the only coherent way to scrape
+  /// and reset while writers are active; value()-then-reset() has a window
+  /// in which in-flight increments are dropped.
+  [[nodiscard]] double drain() noexcept;
+
+  /// Equivalent to discarding drain(): exchange-based, so no increment is
+  /// half-counted even when writers race the reset.
+  void reset() noexcept { (void)drain(); }
 
  private:
   detail::PaddedDouble shards_[kMetricShards];
@@ -83,7 +93,11 @@ class Gauge {
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() noexcept { set(0.0); }
+  /// Reads and zeroes in one exchange (the coherent scrape-and-reset).
+  [[nodiscard]] double drain() noexcept {
+    return value_.exchange(0.0, std::memory_order_relaxed);
+  }
+  void reset() noexcept { (void)drain(); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -104,10 +118,15 @@ class Histogram {
     double sum = 0.0;                  // Σ observed values
   };
   [[nodiscard]] Data data() const;
+  /// Reads and zeroes every shard cell with exchanges — the point-in-time
+  /// counterpart of data(): each concurrent observe() lands in exactly one
+  /// drain. The (counts, sum) pair of one observation can split across two
+  /// drains, but neither half is ever lost.
+  [[nodiscard]] Data drain();
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
   }
-  void reset() noexcept;
+  void reset() noexcept { (void)drain(); }
 
  private:
   struct Shard {
@@ -151,7 +170,16 @@ class Registry {
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// Coherent scrape-and-reset: snapshots every instrument through its
+  /// exchange-based drain, so each concurrent add()/observe() is counted in
+  /// exactly one drained snapshot (snapshot()-then-reset() loses whatever
+  /// lands between the read and the store). The serving engine's per-run
+  /// scrapes and any Prometheus delta exporter must use this.
+  [[nodiscard]] MetricsSnapshot drain();
+
   /// Zeroes every instrument, keeping registrations (and references) valid.
+  /// Built on the same exchange-based drains, so concurrent writers never
+  /// observe a torn reset.
   void reset();
 
  private:

@@ -1,0 +1,177 @@
+#include "serve/audit.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace drep::audit {
+
+namespace {
+
+using serve::SchemeSnapshot;
+
+void add(Violations& violations, const std::string& invariant,
+         const std::string& detail) {
+  violations.push_back({invariant, detail});
+}
+
+std::string at_cell(std::size_t i, std::size_t k) {
+  std::ostringstream out;
+  out << "(site " << i << ", object " << k << ")";
+  return out.str();
+}
+
+template <typename T>
+void expect_eq(Violations& violations, const std::string& invariant,
+               const std::string& where, T expected, T found) {
+  if (expected == found) return;
+  std::ostringstream out;
+  out << where << ": expected " << expected << ", found " << found;
+  add(violations, invariant, out.str());
+}
+
+}  // namespace
+
+Violations check_snapshot_coherence(const SchemeSnapshot& snapshot) {
+  Violations violations;
+  const std::size_t cells =
+      snapshot.layout() == SchemeSnapshot::Layout::kDense
+          ? snapshot.sites() * snapshot.objects()
+          : snapshot.demand_cells();
+  // Shape: every routing array covers exactly the layout's cell set. The
+  // accessors are bounds-checked, so probing the last cell verifies length.
+  if (cells > 0) {
+    try {
+      if (snapshot.layout() == SchemeSnapshot::Layout::kDense) {
+        (void)snapshot.nearest(
+            static_cast<core::SiteId>(snapshot.sites() - 1),
+            static_cast<core::ObjectId>(snapshot.objects() - 1));
+        (void)snapshot.primary_cost(
+            static_cast<core::SiteId>(snapshot.sites() - 1),
+            static_cast<core::ObjectId>(snapshot.objects() - 1));
+      } else {
+        (void)snapshot.nearest_at(cells - 1);
+        (void)snapshot.primary_cost_at(cells - 1);
+        expect_eq(violations, "snapshot.shape", "demand_end(last object)",
+                  cells,
+                  snapshot.demand_end(
+                      static_cast<core::ObjectId>(snapshot.objects() - 1)));
+      }
+      (void)snapshot.primary(
+          static_cast<core::ObjectId>(snapshot.objects() - 1));
+      (void)snapshot.write_surcharge(
+          static_cast<core::ObjectId>(snapshot.objects() - 1));
+    } catch (const std::out_of_range&) {
+      add(violations, "snapshot.shape",
+          "routing arrays shorter than the layout's cell count");
+    }
+  }
+  const std::uint64_t recomputed = snapshot.compute_checksum();
+  if (recomputed != snapshot.checksum()) {
+    std::ostringstream out;
+    out << "stamped checksum " << snapshot.checksum()
+        << " != recomputed " << recomputed << " (generation "
+        << snapshot.generation() << ")";
+    add(violations, "snapshot.checksum", out.str());
+  }
+  return violations;
+}
+
+Violations check_snapshot_coherence(const SchemeSnapshot& snapshot,
+                                    const core::ReplicationScheme& scheme) {
+  Violations violations = check_snapshot_coherence(snapshot);
+  if (snapshot.layout() != SchemeSnapshot::Layout::kDense) {
+    add(violations, "snapshot.layout",
+        "dense scheme cross-check against a non-dense snapshot");
+    return violations;
+  }
+  const core::Problem& problem = scheme.problem();
+  expect_eq(violations, "snapshot.shape", "sites", problem.sites(),
+            snapshot.sites());
+  expect_eq(violations, "snapshot.shape", "objects", problem.objects(),
+            snapshot.objects());
+  if (snapshot.sites() != problem.sites() ||
+      snapshot.objects() != problem.objects())
+    return violations;
+  expect_eq(violations, "snapshot.replicas", "total_replicas",
+            scheme.total_replicas(), snapshot.total_replicas());
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    expect_eq(violations, "snapshot.primary", "primary of object " +
+                  std::to_string(k),
+              problem.primary(k), snapshot.primary(k));
+    double surcharge = 0.0;
+    for (const core::SiteId r : scheme.replicas(k))
+      surcharge += problem.cost(problem.primary(k), r);
+    expect_eq(violations, "snapshot.write_surcharge",
+              "W of object " + std::to_string(k), surcharge,
+              snapshot.write_surcharge(k));
+  }
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      expect_eq(violations, "snapshot.nearest", "nearest " + at_cell(i, k),
+                scheme.nearest(i, k), snapshot.nearest(i, k));
+      expect_eq(violations, "snapshot.nearest", "nearest cost " +
+                    at_cell(i, k),
+                scheme.nearest_cost(i, k), snapshot.nearest_cost(i, k));
+      expect_eq(violations, "snapshot.primary_cost",
+                "primary cost " + at_cell(i, k),
+                problem.cost(i, problem.primary(k)),
+                snapshot.primary_cost(i, k));
+    }
+  }
+  return violations;
+}
+
+Violations check_snapshot_coherence(
+    const SchemeSnapshot& snapshot,
+    const core::SparseReplicationScheme& scheme) {
+  Violations violations = check_snapshot_coherence(snapshot);
+  if (snapshot.layout() != SchemeSnapshot::Layout::kSparse) {
+    add(violations, "snapshot.layout",
+        "sparse scheme cross-check against a non-sparse snapshot");
+    return violations;
+  }
+  const core::SparseInstance& instance = scheme.instance();
+  expect_eq(violations, "snapshot.shape", "sites", instance.sites(),
+            snapshot.sites());
+  expect_eq(violations, "snapshot.shape", "objects", instance.objects(),
+            snapshot.objects());
+  expect_eq(violations, "snapshot.shape", "demand cells",
+            instance.demand_cells(), snapshot.demand_cells());
+  if (snapshot.objects() != instance.objects() ||
+      snapshot.demand_cells() != instance.demand_cells())
+    return violations;
+  expect_eq(violations, "snapshot.replicas", "total_replicas",
+            scheme.total_replicas(), snapshot.total_replicas());
+  for (core::ObjectId k = 0; k < instance.objects(); ++k) {
+    expect_eq(violations, "snapshot.primary",
+              "primary of object " + std::to_string(k), instance.primary(k),
+              snapshot.primary(k));
+    double surcharge = 0.0;
+    for (const core::SiteId r : scheme.replicas(k))
+      surcharge += instance.cost(instance.primary(k), r);
+    expect_eq(violations, "snapshot.write_surcharge",
+              "W of object " + std::to_string(k), surcharge,
+              snapshot.write_surcharge(k));
+    expect_eq(violations, "snapshot.shape",
+              "demand_begin of object " + std::to_string(k),
+              instance.demand_begin(k), snapshot.demand_begin(k));
+    for (std::size_t z = instance.demand_begin(k); z < instance.demand_end(k);
+         ++z) {
+      const std::string where = "cell " + std::to_string(z) + " of object " +
+                                std::to_string(k);
+      expect_eq(violations, "snapshot.shape", "site of " + where,
+                instance.demand_sites()[z], snapshot.demand_site(z));
+      expect_eq(violations, "snapshot.nearest", "nearest of " + where,
+                scheme.nearest_site_at(z), snapshot.nearest_at(z));
+      expect_eq(violations, "snapshot.nearest", "nearest cost of " + where,
+                scheme.nearest_cost_at(z), snapshot.nearest_cost_at(z));
+      expect_eq(violations, "snapshot.primary_cost",
+                "primary cost of " + where,
+                instance.cost(instance.demand_sites()[z], instance.primary(k)),
+                snapshot.primary_cost_at(z));
+    }
+  }
+  return violations;
+}
+
+}  // namespace drep::audit

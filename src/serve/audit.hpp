@@ -1,0 +1,39 @@
+#pragma once
+// Snapshot coherence validators for the serving front-end.
+//
+// Lives in src/serve/ (it needs SchemeSnapshot, which sits above audit in
+// the module layering) but in namespace drep::audit with the standard
+// Violations interface, so the fuzz pipeline and the audit-armed engine
+// aggregate its findings exactly like every other validator.
+//
+// Two strengths:
+//   * check_snapshot_coherence(snapshot) — internal integrity: shapes agree
+//     with the stamped layout and the recomputed FNV checksum equals the
+//     stamped one. Cheap enough for readers to spot-check pinned snapshots
+//     (the reader-vs-swap stress suite does), and the line of defense
+//     against a torn or corrupted publish.
+//   * check_snapshot_coherence(snapshot, scheme) — fidelity: every frozen
+//     routing entry equals the scheme it claims to be frozen from, bit for
+//     bit (nearest tables under the lex (cost, id) contract, primaries,
+//     write surcharges re-accumulated in ascending replica order).
+
+#include "audit/invariants.hpp"
+#include "serve/snapshot.hpp"
+
+namespace drep::audit {
+
+/// Internal integrity: layout/shape consistency + checksum recompute.
+[[nodiscard]] Violations check_snapshot_coherence(
+    const serve::SchemeSnapshot& snapshot);
+
+/// Fidelity to a dense scheme (implies the internal check).
+[[nodiscard]] Violations check_snapshot_coherence(
+    const serve::SchemeSnapshot& snapshot,
+    const core::ReplicationScheme& scheme);
+
+/// Fidelity to a sparse scheme (implies the internal check).
+[[nodiscard]] Violations check_snapshot_coherence(
+    const serve::SchemeSnapshot& snapshot,
+    const core::SparseReplicationScheme& scheme);
+
+}  // namespace drep::audit

@@ -1,0 +1,98 @@
+#pragma once
+// High-throughput serving front-end (DESIGN.md Section 14).
+//
+// Routes simulated requests against an immutable SchemeSnapshot published
+// through an RCU domain, while a retune pipeline constructs the next
+// snapshot version off to the side (solver re-run on the observed request
+// counts, frozen, optionally audited) and publishes it atomically. Readers
+// never block: the worker hot path is pin → flat-array lookups → unpin,
+// with one pin per request *batch*.
+//
+// Two modes:
+//   * serve_trace — replays a workload trace with retunes PINNED to trace
+//     positions (every config.retune_every requests, with a barrier: a
+//     generation-g snapshot serves exactly trace slice g). Each request's
+//     outcome is a pure function of (request, generation), so the outcome
+//     log — and its FNV hash — is bit-identical for every worker count.
+//     This is the determinism harness CI pins at workers = 1/2/4.
+//   * serve_timed — open-loop wall-clock load generation (per-worker seeded
+//     request rings) with a concurrent retune thread publishing every
+//     retune_interval_seconds while workers serve. Measures aggregate
+//     throughput and batch-sampled tail latency (p50/p99/p999). Outcomes
+//     here depend on publish timing by design; determinism is the trace
+//     mode's contract.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/problem.hpp"
+#include "serve/load_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::serve {
+
+struct ServeConfig {
+  /// Serving worker threads (1..RcuDomain::kMaxReaders).
+  std::size_t workers = 1;
+  /// Seed for the initial solve, the retune solves, and the load rings.
+  std::uint64_t seed = 1;
+  /// Solver-registry name used for the initial scheme and every retune.
+  std::string algo = "sra";
+  /// Requests served per snapshot pin. Larger batches amortize the pin
+  /// protocol; smaller ones pick up fresh snapshots sooner.
+  std::size_t batch = 256;
+  /// Run audit::check_snapshot_coherence on every snapshot before it is
+  /// published (throws audit::AuditFailure on violation).
+  bool audit = false;
+
+  /// serve_trace: requests per generation (a retune+publish is pinned after
+  /// every retune_every requests); 0 = a single generation, no retunes.
+  std::size_t retune_every = 0;
+
+  /// serve_timed: wall-clock serving window.
+  double duration_seconds = 1.0;
+  /// serve_timed: retune thread cadence; 0 = no concurrent retunes.
+  double retune_interval_seconds = 0.0;
+  /// serve_timed: per-worker request ring generation.
+  LoadGenConfig load{};
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+struct ServeReport {
+  std::uint64_t requests = 0;
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+  /// Snapshot versions served (initial + retunes).
+  std::uint64_t generations = 1;
+  std::uint64_t retunes = 0;
+  /// serve_trace: FNV-1a over the outcome log in request order — the
+  /// cross-worker determinism fingerprint.
+  std::uint64_t outcome_hash = 0;
+  /// Σ outcome cost. In trace mode, summed serially in request order, so it
+  /// is bit-identical across worker counts too.
+  double served_cost = 0.0;
+  /// serve_timed: batch-sampled per-request latency percentiles
+  /// (microseconds; bucket upper edges of a log2-ns histogram).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  /// RCU accounting at the end of the run.
+  std::uint64_t reclaimed = 0;
+  std::uint64_t retired_pending = 0;
+};
+
+/// Deterministic trace replay (see mode description above). The trace's
+/// (site, object) pairs must be in range for `problem`.
+[[nodiscard]] ServeReport serve_trace(const core::Problem& problem,
+                                      std::span<const workload::Request> trace,
+                                      const ServeConfig& config);
+
+/// Wall-clock open-loop serving with concurrent retunes.
+[[nodiscard]] ServeReport serve_timed(const core::Problem& problem,
+                                      const ServeConfig& config);
+
+}  // namespace drep::serve

@@ -1,0 +1,40 @@
+#pragma once
+// Seeded open-loop load generation for the serving engine.
+//
+// Each serving worker drives requests from its own pregenerated ring: the
+// ring is filled once from a per-worker fork of the run seed, then the hot
+// loop walks it with a power-of-two mask — zero RNG work, zero allocation,
+// and zero sharing on the request-generation side, so measured throughput
+// is the snapshot-lookup path and nothing else. Open-loop: workers issue as
+// fast as they can serve, which is what the tail-latency percentiles are
+// measured against.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace drep::serve {
+
+struct LoadGenConfig {
+  /// Requests per worker ring; rounded UP to a power of two so the hot loop
+  /// masks instead of dividing.
+  std::size_t ring_size = 1 << 15;
+  /// Probability a generated request is a write.
+  double write_fraction = 0.05;
+};
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] std::size_t round_up_pow2(std::size_t n) noexcept;
+
+/// Fills one worker's request ring: sites and objects uniform, writes with
+/// probability write_fraction, all drawn from `rng` — so (seed, worker id)
+/// fully determines the ring. The returned vector's size is
+/// round_up_pow2(config.ring_size).
+[[nodiscard]] std::vector<workload::Request> make_request_ring(
+    std::size_t sites, std::size_t objects, const LoadGenConfig& config,
+    util::Rng rng);
+
+}  // namespace drep::serve

@@ -1,0 +1,96 @@
+#include "serve/rcu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drep::serve {
+
+RcuDomain::RcuDomain(std::unique_ptr<const SchemeSnapshot> initial) {
+  if (!initial)
+    throw std::invalid_argument("RcuDomain: initial snapshot is null");
+  current_.store(initial.release(), std::memory_order_release);
+}
+
+RcuDomain::~RcuDomain() {
+  // All readers are done by contract (Reader must not outlive the domain).
+  for (const Retired& entry : retired_) delete entry.snapshot;
+  delete current_.load(std::memory_order_acquire);
+}
+
+RcuDomain::Reader RcuDomain::reader() {
+  const std::size_t slot =
+      readers_.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= kMaxReaders) {
+    readers_.fetch_sub(1, std::memory_order_acq_rel);
+    throw std::runtime_error("RcuDomain: reader slots exhausted");
+  }
+  return Reader(this, slot);
+}
+
+const SchemeSnapshot* RcuDomain::Reader::pin() noexcept {
+  std::atomic<std::uint64_t>& slot = domain_->slots_[slot_].epoch;
+  for (;;) {
+    const std::uint64_t epoch =
+        domain_->epoch_.load(std::memory_order_seq_cst);
+    slot.store(epoch, std::memory_order_seq_cst);  // announce
+    if (domain_->epoch_.load(std::memory_order_seq_cst) == epoch)  // confirm
+      return domain_->current_.load(std::memory_order_acquire);
+    // A publish landed between announce and confirm; withdraw and retry so
+    // the announced epoch can never lag the pointer we end up holding.
+    slot.store(kIdle, std::memory_order_seq_cst);
+  }
+}
+
+void RcuDomain::Reader::unpin() noexcept {
+  domain_->slots_[slot_].epoch.store(kIdle, std::memory_order_release);
+}
+
+void RcuDomain::publish(std::unique_ptr<const SchemeSnapshot> next) {
+  if (!next)
+    throw std::invalid_argument("RcuDomain::publish: snapshot is null");
+  std::lock_guard lock(writer_mutex_);
+  const SchemeSnapshot* old = current_.load(std::memory_order_relaxed);
+  // Pointer first (release: the snapshot's contents are fully visible to
+  // anyone who observes the pointer), then the epoch bump readers confirm
+  // against.
+  current_.store(next.release(), std::memory_order_release);
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  retired_.push_back({old, epoch});
+  reclaim_locked();
+}
+
+void RcuDomain::reclaim() {
+  std::lock_guard lock(writer_mutex_);
+  reclaim_locked();
+}
+
+void RcuDomain::reclaim_locked() {
+  // Min announced epoch over every slot (kIdle == max, so an idle slot
+  // never holds anything back). Scanning all kMaxReaders slots keeps the
+  // scan independent of registration order; unregistered slots sit at kIdle.
+  std::uint64_t min_active = kIdle;
+  for (const Slot& slot : slots_) {
+    min_active =
+        std::min(min_active, slot.epoch.load(std::memory_order_seq_cst));
+  }
+  // A reader announced at epoch e holds a snapshot retired at epoch > e (if
+  // retired at all), so everything tagged <= min_active is unreachable.
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (it->epoch <= min_active) {
+      delete it->snapshot;
+      reclaimed_.fetch_add(1, std::memory_order_acq_rel);
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t RcuDomain::retired_pending() const {
+  std::lock_guard lock(writer_mutex_);
+  return retired_.size();
+}
+
+}  // namespace drep::serve

@@ -1,0 +1,137 @@
+#pragma once
+// Epoch-based RCU for SchemeSnapshot publication (DESIGN.md Section 14).
+//
+// One writer (the retune pipeline) publishes new snapshot versions while
+// many readers (the serving workers) route requests against the current
+// one. Readers never block and never touch a mutex: a pin is three atomic
+// operations on uncontended cache lines (announce / confirm / load), and an
+// unpin is one relaxed-release store. Deliberately NOT std::atomic<
+// std::shared_ptr<...>>: libstdc++ implements that with a spinlock pool,
+// which would put a lock on the reader hot path.
+//
+// Protocol (memory-ordering contract):
+//   writer publish:  current.store(next, release);
+//                    epoch.fetch_add(1, seq_cst);
+//                    retire(old, tagged epoch+1); reclaim();
+//   reader pin:      e = epoch.load(seq_cst);
+//                    slot.store(e, seq_cst);          // announce
+//                    if (epoch.load(seq_cst) != e) retry;   // confirm
+//                    return current.load(acquire);
+//   reader unpin:    slot.store(kIdle, release);
+//
+// Why it is safe: the announce store and the confirm load are both seq_cst,
+// and so is the writer's epoch bump — so for any (publish, pin) pair either
+// the reader's confirm sees the bump (reader retries with the new epoch) or
+// the writer's reclaim scan sees the announced slot (classic store-buffering
+// /Dekker resolution via the seq_cst total order). A reader that confirmed
+// epoch e therefore holds a pointer that was current no earlier than the
+// publish that set epoch e — i.e. a snapshot retired, if ever, with tag
+// > e. Reclaim frees exactly the retired snapshots whose tag is <= the
+// minimum announced epoch, so no reader can still hold them. Seeing epoch
+// e+1 at the confirm also guarantees (release/acquire through the bump)
+// that the pointer load observes the fully constructed new snapshot — a
+// reader can never see a new pointer with stale contents.
+//
+// Each pinned section protects one coherent snapshot version; the serving
+// engine pins once per request *batch*, so the per-request overhead of the
+// protocol amortizes to ~zero.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+
+namespace drep::serve {
+
+class RcuDomain {
+ public:
+  /// Upper bound on registered readers (slots are preallocated so the
+  /// reader array never reallocates under concurrent access).
+  static constexpr std::size_t kMaxReaders = 64;
+
+  explicit RcuDomain(std::unique_ptr<const SchemeSnapshot> initial);
+  ~RcuDomain();
+
+  RcuDomain(const RcuDomain&) = delete;
+  RcuDomain& operator=(const RcuDomain&) = delete;
+
+  /// A registered reader handle bound to one announce slot. Cheap to copy
+  /// (copies share the slot, so at most one copy may pin at a time); a
+  /// Reader must not outlive its domain. One pin may be active per slot:
+  /// pin() again only after unpin().
+  class Reader {
+   public:
+    /// Pins the current snapshot: it stays valid (never reclaimed) until
+    /// unpin(). Lock-free, wait-free in practice (retries only while a
+    /// publish lands concurrently).
+    [[nodiscard]] const SchemeSnapshot* pin() noexcept;
+    void unpin() noexcept;
+
+   private:
+    friend class RcuDomain;
+    Reader(RcuDomain* domain, std::size_t slot)
+        : domain_(domain), slot_(slot) {}
+    RcuDomain* domain_;
+    std::size_t slot_;
+  };
+
+  /// Registers a reader slot. Throws std::runtime_error past kMaxReaders.
+  [[nodiscard]] Reader reader();
+
+  /// Publishes `next` as the current snapshot and retires the previous one;
+  /// retired snapshots are freed once no reader can still hold them.
+  /// Single-writer by contract; a mutex serializes accidental concurrent
+  /// publishers (writer-side only — readers never touch it).
+  void publish(std::unique_ptr<const SchemeSnapshot> next);
+
+  /// Frees every retired snapshot no active reader can still hold.
+  /// publish() already does this; exposed for tests and shutdown.
+  void reclaim();
+
+  /// The current snapshot WITHOUT pinning — for the writer thread and
+  /// single-threaded phases only; concurrent publishes may free it under a
+  /// caller that is not the writer.
+  [[nodiscard]] const SchemeSnapshot* current_unsafe() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Number of publish() calls so far.
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Retired snapshots freed so far.
+  [[nodiscard]] std::uint64_t reclaimed() const noexcept {
+    return reclaimed_.load(std::memory_order_acquire);
+  }
+  /// Retired snapshots still waiting on a reader.
+  [[nodiscard]] std::size_t retired_pending() const;
+
+ private:
+  static constexpr std::uint64_t kIdle = ~0ULL;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+  };
+  struct Retired {
+    const SchemeSnapshot* snapshot;
+    std::uint64_t epoch;  // epoch value the retiring publish established
+  };
+
+  void reclaim_locked();
+
+  std::atomic<const SchemeSnapshot*> current_;
+  std::atomic<std::uint64_t> epoch_{0};
+  Slot slots_[kMaxReaders];
+  std::atomic<std::size_t> readers_{0};
+
+  // Writer side only.
+  mutable std::mutex writer_mutex_;
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+}  // namespace drep::serve

@@ -1,0 +1,136 @@
+#include "serve/snapshot.hpp"
+
+#include <stdexcept>
+
+namespace drep::serve {
+
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+template <typename T>
+std::uint64_t fnv_vector(const std::vector<T>& values, std::uint64_t hash) {
+  return fnv1a(values.data(), values.size() * sizeof(T), hash);
+}
+
+}  // namespace
+
+std::uint64_t SchemeSnapshot::compute_checksum() const noexcept {
+  std::uint64_t hash = fnv1a(&generation_, sizeof(generation_));
+  const std::uint64_t header[3] = {static_cast<std::uint64_t>(layout_),
+                                   sites_, objects_};
+  hash = fnv1a(header, sizeof(header), hash);
+  hash = fnv_vector(nearest_site_, hash);
+  hash = fnv_vector(nearest_cost_, hash);
+  hash = fnv_vector(primary_cost_, hash);
+  hash = fnv_vector(primary_, hash);
+  hash = fnv_vector(write_surcharge_, hash);
+  hash = fnv_vector(demand_offsets_, hash);
+  hash = fnv_vector(demand_sites_, hash);
+  return hash;
+}
+
+SchemeSnapshot SchemeSnapshot::freeze(const core::ReplicationScheme& scheme,
+                                      std::uint64_t generation) {
+  const core::Problem& problem = scheme.problem();
+  const std::size_t sites = problem.sites();
+  const std::size_t objects = problem.objects();
+
+  SchemeSnapshot snapshot;
+  snapshot.layout_ = Layout::kDense;
+  snapshot.generation_ = generation;
+  snapshot.sites_ = sites;
+  snapshot.objects_ = objects;
+  snapshot.total_replicas_ = scheme.total_replicas();
+
+  snapshot.primary_.resize(objects);
+  snapshot.write_surcharge_.resize(objects);
+  for (core::ObjectId k = 0; k < objects; ++k) {
+    const core::SiteId sp = problem.primary(k);
+    snapshot.primary_[k] = sp;
+    // Ascending replica order: the same deterministic accumulation order no
+    // matter what add/remove history produced the scheme.
+    double surcharge = 0.0;
+    for (const core::SiteId r : scheme.replicas(k))
+      surcharge += problem.cost(sp, r);
+    snapshot.write_surcharge_[k] = surcharge;
+  }
+
+  snapshot.nearest_site_.resize(sites * objects);
+  snapshot.nearest_cost_.resize(sites * objects);
+  snapshot.primary_cost_.resize(sites * objects);
+  for (core::SiteId i = 0; i < sites; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * objects;
+    for (core::ObjectId k = 0; k < objects; ++k) {
+      snapshot.nearest_site_[row + k] = scheme.nearest(i, k);
+      snapshot.nearest_cost_[row + k] = scheme.nearest_cost(i, k);
+      snapshot.primary_cost_[row + k] = problem.cost(i, snapshot.primary_[k]);
+    }
+  }
+
+  snapshot.checksum_ = snapshot.compute_checksum();
+  return snapshot;
+}
+
+SchemeSnapshot SchemeSnapshot::freeze(
+    const core::SparseReplicationScheme& scheme, std::uint64_t generation) {
+  const core::SparseInstance& instance = scheme.instance();
+  const std::size_t objects = instance.objects();
+  const std::size_t cells = instance.demand_cells();
+
+  SchemeSnapshot snapshot;
+  snapshot.layout_ = Layout::kSparse;
+  snapshot.generation_ = generation;
+  snapshot.sites_ = instance.sites();
+  snapshot.objects_ = objects;
+  snapshot.total_replicas_ = scheme.total_replicas();
+
+  snapshot.primary_.resize(objects);
+  snapshot.write_surcharge_.resize(objects);
+  for (core::ObjectId k = 0; k < objects; ++k) {
+    const core::SiteId sp = instance.primary(k);
+    snapshot.primary_[k] = sp;
+    double surcharge = 0.0;
+    for (const core::SiteId r : scheme.replicas(k))
+      surcharge += instance.cost(sp, r);
+    snapshot.write_surcharge_[k] = surcharge;
+  }
+
+  snapshot.demand_offsets_.resize(objects + 1);
+  snapshot.demand_sites_.assign(instance.demand_sites().begin(),
+                                instance.demand_sites().end());
+  snapshot.nearest_site_.resize(cells);
+  snapshot.nearest_cost_.resize(cells);
+  snapshot.primary_cost_.resize(cells);
+  for (core::ObjectId k = 0; k < objects; ++k) {
+    snapshot.demand_offsets_[k] = instance.demand_begin(k);
+    const std::size_t end = instance.demand_end(k);
+    for (std::size_t z = instance.demand_begin(k); z < end; ++z) {
+      snapshot.nearest_site_[z] = scheme.nearest_site_at(z);
+      snapshot.nearest_cost_[z] = scheme.nearest_cost_at(z);
+      snapshot.primary_cost_[z] =
+          instance.cost(snapshot.demand_sites_[z], snapshot.primary_[k]);
+    }
+  }
+  snapshot.demand_offsets_[objects] = cells;
+
+  snapshot.checksum_ = snapshot.compute_checksum();
+  return snapshot;
+}
+
+void SchemeSnapshot::debug_corrupt(std::size_t cell) {
+  if (nearest_cost_.empty())
+    throw std::logic_error("SchemeSnapshot::debug_corrupt: empty table");
+  nearest_cost_.at(cell % nearest_cost_.size()) += 1.0;
+}
+
+}  // namespace drep::serve

@@ -1,0 +1,174 @@
+#pragma once
+// Immutable, versioned scheme snapshots for the serving front-end.
+//
+// The serving engine (serve/engine.hpp) routes millions of simulated
+// requests per second against the *current* replication scheme. The mutable
+// core::ReplicationScheme is built for incremental solver edits, not for
+// lock-free concurrent reads, so the engine never touches it directly:
+// a retune freezes the finished scheme into a SchemeSnapshot — a flat,
+// read-only routing table — and publishes that through the RCU domain
+// (serve/rcu.hpp). Readers only ever dereference const arrays of an object
+// that is never mutated after construction, which is what makes the reader
+// hot path safe with zero synchronization beyond the pin protocol.
+//
+// Serving cost model (per request, against one coherent snapshot):
+//   read  at (i, k)  -> served by SN_k(i), cost C(i, SN_k(i))   (Eq. 4's
+//                       per-read term, with the scheme's lex (cost, id)
+//                       nearest contract baked into the frozen table);
+//   write at (i, k)  -> served by SP_k, cost C(i, SP_k) + W_k where
+//                       W_k = Σ_{r ∈ R_k} C(SP_k, r) is the frozen
+//                       propagation surcharge of object k's replica set.
+//
+// Layouts: kDense freezes the full M×N nearest table (from a dense
+// ReplicationScheme); kSparse freezes only the instance's CSR demand cells
+// (from a SparseReplicationScheme), addressed by demand-cell index — the
+// cells any workload over that instance can ever hit.
+//
+// Every snapshot carries its generation (the publish version) and an FNV-1a
+// checksum over all frozen arrays, so audit::check_snapshot_coherence can
+// certify both internal integrity (no torn/corrupted table) and fidelity to
+// the scheme it was frozen from.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/replication.hpp"
+#include "core/sparse_scheme.hpp"
+
+namespace drep::serve {
+
+/// FNV-1a 64-bit over raw bytes, chainable via `seed`. Shared by the
+/// snapshot checksum and the engine's outcome-log hash.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size,
+                                  std::uint64_t seed =
+                                      1469598103934665603ULL) noexcept;
+
+/// Result of serving one request against a snapshot.
+struct Outcome {
+  core::SiteId served_by = 0;
+  double cost = 0.0;
+};
+
+class SchemeSnapshot {
+ public:
+  enum class Layout : std::uint8_t { kDense = 0, kSparse = 1 };
+
+  /// Freezes a dense scheme into the full M×N routing table, stamped with
+  /// `generation`. The snapshot is self-contained (costs are copied out of
+  /// the problem), so it outlives scheme and problem alike.
+  [[nodiscard]] static SchemeSnapshot freeze(
+      const core::ReplicationScheme& scheme, std::uint64_t generation);
+  /// Freezes a sparse scheme's demand-cell routing table (CSR-aligned with
+  /// the instance's demand arrays).
+  [[nodiscard]] static SchemeSnapshot freeze(
+      const core::SparseReplicationScheme& scheme, std::uint64_t generation);
+
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  [[nodiscard]] std::size_t sites() const noexcept { return sites_; }
+  [[nodiscard]] std::size_t objects() const noexcept { return objects_; }
+  [[nodiscard]] std::size_t total_replicas() const noexcept {
+    return total_replicas_;
+  }
+  /// The checksum stamped at freeze time.
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+  /// Recomputes the checksum from the frozen arrays; equal to checksum()
+  /// on every intact snapshot.
+  [[nodiscard]] std::uint64_t compute_checksum() const noexcept;
+
+  // --- dense hot path (layout() == kDense; unchecked indices) -------------
+
+  /// Serves one request. Pure function of (snapshot, request): the engine's
+  /// cross-worker determinism rests on exactly this.
+  [[nodiscard]] Outcome serve(core::SiteId site, core::ObjectId object,
+                              bool is_write) const noexcept {
+    const std::size_t cell =
+        static_cast<std::size_t>(site) * objects_ + object;
+    if (is_write)
+      return {primary_[object],
+              primary_cost_[cell] + write_surcharge_[object]};
+    return {nearest_site_[cell], nearest_cost_[cell]};
+  }
+  [[nodiscard]] core::SiteId nearest(core::SiteId i, core::ObjectId k) const {
+    return nearest_site_.at(static_cast<std::size_t>(i) * objects_ + k);
+  }
+  [[nodiscard]] double nearest_cost(core::SiteId i, core::ObjectId k) const {
+    return nearest_cost_.at(static_cast<std::size_t>(i) * objects_ + k);
+  }
+  [[nodiscard]] double primary_cost(core::SiteId i, core::ObjectId k) const {
+    return primary_cost_.at(static_cast<std::size_t>(i) * objects_ + k);
+  }
+
+  // --- shared ------------------------------------------------------------
+
+  [[nodiscard]] core::SiteId primary(core::ObjectId k) const {
+    return primary_.at(k);
+  }
+  /// W_k: Σ_{r ∈ R_k} C(SP_k, r), frozen in ascending replica order.
+  [[nodiscard]] double write_surcharge(core::ObjectId k) const {
+    return write_surcharge_.at(k);
+  }
+
+  // --- sparse path (layout() == kSparse) ----------------------------------
+
+  [[nodiscard]] std::size_t demand_cells() const noexcept {
+    return demand_sites_.size();
+  }
+  [[nodiscard]] std::size_t demand_begin(core::ObjectId k) const {
+    return demand_offsets_.at(k);
+  }
+  [[nodiscard]] std::size_t demand_end(core::ObjectId k) const {
+    return demand_offsets_.at(static_cast<std::size_t>(k) + 1);
+  }
+  [[nodiscard]] core::SiteId demand_site(std::size_t z) const {
+    return demand_sites_.at(z);
+  }
+  /// Serves a request issued from demand cell z of object k (unchecked).
+  [[nodiscard]] Outcome serve_cell(std::size_t z, core::ObjectId object,
+                                   bool is_write) const noexcept {
+    if (is_write)
+      return {primary_[object], primary_cost_[z] + write_surcharge_[object]};
+    return {nearest_site_[z], nearest_cost_[z]};
+  }
+  [[nodiscard]] core::SiteId nearest_at(std::size_t z) const {
+    return nearest_site_.at(z);
+  }
+  [[nodiscard]] double nearest_cost_at(std::size_t z) const {
+    return nearest_cost_.at(z);
+  }
+  [[nodiscard]] double primary_cost_at(std::size_t z) const {
+    return primary_cost_.at(z);
+  }
+
+  /// Negative-testing / fuzz hook: flips one bit of the routing table
+  /// WITHOUT updating the stamped checksum, simulating a torn or corrupted
+  /// publish. audit::check_snapshot_coherence must flag the result. Never
+  /// call on a published snapshot.
+  void debug_corrupt(std::size_t cell);
+
+ private:
+  SchemeSnapshot() = default;
+
+  Layout layout_ = Layout::kDense;
+  std::uint64_t generation_ = 0;
+  std::size_t sites_ = 0;
+  std::size_t objects_ = 0;
+  std::size_t total_replicas_ = 0;
+  std::uint64_t checksum_ = 0;
+
+  // kDense: M×N row-major cells. kSparse: one entry per CSR demand cell.
+  std::vector<core::SiteId> nearest_site_;
+  std::vector<double> nearest_cost_;
+  std::vector<double> primary_cost_;  // C(cell site, SP_k)
+  std::vector<core::SiteId> primary_;        // per object
+  std::vector<double> write_surcharge_;      // per object
+  // kSparse only: copy of the instance's CSR addressing.
+  std::vector<std::size_t> demand_offsets_;  // N+1
+  std::vector<core::SiteId> demand_sites_;   // nnz
+};
+
+}  // namespace drep::serve

@@ -1,11 +1,19 @@
 #include "sim/event_queue.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace drep::sim {
 
 void EventQueue::schedule(SimTime at, Handler handler) {
+  // NaN slips past the `at < now_` guard (every NaN comparison is false)
+  // and, once in the heap, violates Later's strict weak ordering — sift
+  // results then depend on the container's current layout, not the
+  // documented (time, seq) key. Infinities are rejected too: an event "at
+  // infinity" can never legally be followed by anything.
+  if (!std::isfinite(at))
+    throw std::invalid_argument("EventQueue::schedule: non-finite time");
   if (at < now_)
     throw std::invalid_argument("EventQueue::schedule: event in the past");
   if (!handler)

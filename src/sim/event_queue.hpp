@@ -2,6 +2,18 @@
 // Discrete-event simulation kernel: a time-ordered queue of closures with
 // FIFO tie-breaking. Deliberately minimal — the network layer (des.hpp)
 // builds message passing on top of it.
+//
+// Ordering contract: events pop in ascending lexicographic (time, seq)
+// order, where seq is a monotonic sequence number assigned at schedule()
+// time. Same-timestamp events therefore run in exactly the order they were
+// scheduled (FIFO per timestamp), including events scheduled from inside a
+// running handler at the current instant — the serving engine's
+// retune-publish events land at identical instants and rely on this. The
+// key is a property of the entries alone, never of the heap's internal
+// container state; non-finite timestamps are rejected at schedule() because
+// a NaN key would break the comparator's strict weak ordering and make pop
+// order depend on the insertion history. Pinned by the EventQueue property
+// tests.
 
 #include <cstddef>
 #include <functional>
@@ -16,9 +28,9 @@ class EventQueue {
  public:
   using Handler = std::function<void()>;
 
-  /// Schedules `handler` at absolute time `at` (>= now(); throws
+  /// Schedules `handler` at absolute time `at` (finite and >= now(); throws
   /// std::invalid_argument otherwise). Events at equal times run in
-  /// scheduling order.
+  /// scheduling order (the (time, seq) contract above).
   void schedule(SimTime at, Handler handler);
   /// Schedules `handler` `delay` time units from now.
   void schedule_in(SimTime delay, Handler handler);
@@ -39,9 +51,11 @@ class EventQueue {
  private:
   struct Entry {
     SimTime at;
-    std::size_t seq;
+    std::size_t seq;  // monotonic; breaks same-time ties FIFO
     Handler handler;
   };
+  /// Strict weak order for the min-heap: later (time, seq) sorts first out.
+  /// Sound only because schedule() guarantees `at` is never NaN.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;

@@ -176,6 +176,7 @@ void WaitGroup::submit(std::function<void()> task) {
   }
   {
     std::lock_guard lock(mutex_);
+    wave_open_ = true;
     ++pending_;
   }
   pool_.submit([this, task = std::move(task)] {
@@ -192,6 +193,7 @@ void WaitGroup::submit(std::function<void()> task) {
 void WaitGroup::run_inline(const std::function<void()>& task) {
   {
     std::lock_guard lock(mutex_);
+    wave_open_ = true;
     ++pending_;
   }
   std::exception_ptr error;
@@ -206,12 +208,25 @@ void WaitGroup::run_inline(const std::function<void()>& task) {
 void WaitGroup::wait() {
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;  // rethrow once; later wait() calls return clean
+  // Harvest: close the wave exactly once. Pre-fix, failed_ accumulated
+  // forever and a first_error_ left by an unwaited wave was rethrown against
+  // whatever wave happened to wait() next; now each wave's outcome is
+  // latched here and the counters start clean for the next wave.
+  if (!wave_open_) return;  // idempotent second wait(): nothing new finished
+  wave_open_ = false;
+  last_wave_failed_ = failed_;
+  failed_ = 0;
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;  // rethrow once; later wait() calls return clean
+  if (error) {
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+std::size_t WaitGroup::failed() const noexcept {
+  std::lock_guard lock(mutex_);
+  return last_wave_failed_;
 }
 
 void WaitGroup::finish(std::exception_ptr error) {

@@ -68,16 +68,28 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Tracks a batch of tasks submitted to a pool and lets the caller block
-/// until every one of them finished — the bulk-submit counterpart of
+/// Tracks a batch ("wave") of tasks submitted to a pool and lets the caller
+/// block until every one of them finished — the bulk-submit counterpart of
 /// parallel_for for heterogeneous or nested work (e.g. one task per GA
-/// island). Exceptions thrown by a task are captured here instead of being
-/// parked in the worker (see ThreadPool::worker_loop), and the first one is
-/// rethrown from wait(); the rest are counted.
+/// island, or one task per serving-engine duration tick). Exceptions thrown
+/// by a task are captured here instead of being parked in the worker (see
+/// ThreadPool::worker_loop), and the first one is rethrown from wait(); the
+/// rest are counted.
 ///
 /// wait() establishes a happens-before edge with every completed task, so
 /// results written by tasks may be read without further synchronization
-/// after wait() returns. A WaitGroup is single-batch: submit, wait, discard.
+/// after wait() returns.
+///
+/// Wave semantics: a WaitGroup is reusable. wait() closes the current wave —
+/// it rethrows the wave's first captured exception (exactly once) and
+/// latches the wave's failure count into failed() — and the next
+/// submit()/run_inline() opens a fresh wave with clean counters. A failed
+/// wave therefore never leaks its exception or its count into a later wave
+/// (pre-fix, failed() accumulated across waves and a clean wave after a
+/// failed one still reported the old failures), and a second wait() with no
+/// new submissions is a clean no-op that keeps the last wave's failed()
+/// readable. Submit the next wave only after wait() returns; interleaving
+/// submissions with a concurrent wait() is a caller error.
 class WaitGroup {
  public:
   explicit WaitGroup(ThreadPool& pool) : pool_(pool) {}
@@ -96,22 +108,26 @@ class WaitGroup {
   /// share of the batch on their own thread.
   void run_inline(const std::function<void()>& task);
 
-  /// Blocks until all submitted tasks finished, then rethrows the first
-  /// captured exception, if any. Idempotent.
+  /// Blocks until all submitted tasks finished, closes the wave, then
+  /// rethrows the wave's first captured exception, if any — exactly once.
+  /// Idempotent: calling again without new submissions returns clean.
   void wait();
 
-  /// Tasks that threw, including the rethrown first one (valid after the
-  /// tasks finished; call wait() first).
-  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+  /// Tasks that threw in the last closed wave, including the rethrown first
+  /// one (call wait() first; resets to the new wave's count at the next
+  /// wait()).
+  [[nodiscard]] std::size_t failed() const noexcept;
 
  private:
   void finish(std::exception_ptr error);
 
   ThreadPool& pool_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable done_cv_;
   std::size_t pending_ = 0;
-  std::size_t failed_ = 0;
+  bool wave_open_ = false;        // submissions since the last harvest
+  std::size_t failed_ = 0;        // current (open) wave
+  std::size_t last_wave_failed_ = 0;  // latched by wait()
   std::exception_ptr first_error_;
 };
 

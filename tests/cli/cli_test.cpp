@@ -439,5 +439,56 @@ TEST_F(CliTest, RuntimeFailuresExitWithStatusOne) {
   EXPECT_EQ(run_cli({"solve", "-i", dir_ + "_missing.drp"}), 1);
 }
 
+TEST_F(CliTest, ServeTraceHashIsIdenticalAcrossWorkerCounts) {
+  std::vector<std::string> hashes;
+  for (const char* workers : {"1", "2", "4"}) {
+    const std::string report = dir_ + "_serve_w" + workers + ".json";
+    ASSERT_EQ(run_cli({"serve", "-i", problem_, "--mode=trace", "--audit",
+                       "--retune-every=500", "--seed=9",
+                       "--workers=" + std::string(workers),
+                       "--report=" + report}),
+              0);
+    const obs::Json json = load_json(report);
+    const obs::Json* result = json.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_GT(result->find("requests")->as_number(), 0.0);
+    EXPECT_GT(result->find("generations")->as_number(), 1.0);
+    hashes.push_back(result->find("outcome_hash")->as_string());
+    std::remove(report.c_str());
+  }
+  ASSERT_EQ(hashes.size(), 3u);
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+TEST_F(CliTest, ServeTimedReportsThroughputAndPercentiles) {
+  const std::string report = dir_ + "_serve_timed.json";
+  ASSERT_EQ(run_cli({"serve", "-i", problem_, "--workers=2",
+                     "--duration=0.05", "--retune-interval=0.02",
+                     "--report=" + report}),
+            0);
+  const obs::Json json = load_json(report);
+  const obs::Json* result = json.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("mode")->as_string(), "timed");
+  EXPECT_GT(result->find("requests")->as_number(), 0.0);
+  EXPECT_GT(result->find("requests_per_second")->as_number(), 0.0);
+  EXPECT_LE(result->find("p50_us")->as_number(),
+            result->find("p999_us")->as_number());
+  std::remove(report.c_str());
+}
+
+TEST_F(CliTest, ServeFlagPairingIsEnforced) {
+  // timed-only knobs rejected in trace mode and vice versa; bad mode and
+  // bad worker counts are usage errors.
+  EXPECT_EQ(run_cli({"serve", "-i", problem_, "--mode=trace",
+                     "--duration=1"}),
+            2);
+  EXPECT_EQ(run_cli({"serve", "-i", problem_, "--retune-every=100"}), 2);
+  EXPECT_EQ(run_cli({"serve", "-i", problem_, "--mode=nope"}), 2);
+  EXPECT_EQ(run_cli({"serve", "-i", problem_, "--workers=0"}), 2);
+  EXPECT_EQ(run_cli({"serve", "-i", problem_, "--algo=bogus"}), 2);
+}
+
 }  // namespace
 }  // namespace drep::cli

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -155,6 +157,111 @@ TEST(Metrics, LatencyBucketsAreAscending) {
   ASSERT_GE(buckets.size(), 2u);
   for (std::size_t i = 1; i < buckets.size(); ++i)
     EXPECT_LT(buckets[i - 1], buckets[i]);
+}
+
+TEST(Metrics, DrainReadsAndZeroesInOneStep) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  counter.add(5.0);
+  EXPECT_EQ(counter.drain(), 5.0);
+  EXPECT_EQ(counter.value(), 0.0);
+  EXPECT_EQ(counter.drain(), 0.0);
+
+  Gauge& gauge = registry.gauge("g");
+  gauge.set(3.5);
+  EXPECT_EQ(gauge.drain(), 3.5);
+  EXPECT_EQ(gauge.value(), 0.0);
+
+  const std::array<double, 2> bounds{1.0, 2.0};
+  Histogram& histogram = registry.histogram("h", bounds);
+  histogram.observe(0.5);
+  histogram.observe(9.0);
+  const Histogram::Data first = histogram.drain();
+  EXPECT_EQ(first.count, 2u);
+  EXPECT_DOUBLE_EQ(first.sum, 9.5);
+  EXPECT_EQ(histogram.data().count, 0u);
+}
+
+TEST(Metrics, RegistryDrainIsACoherentScrapeAndReset) {
+  Registry registry;
+  registry.counter("c").add(4.0);
+  registry.gauge("g").set(2.0);
+  const std::array<double, 1> bounds{1.0};
+  registry.histogram("h", bounds).observe(0.5);
+  const MetricsSnapshot drained = registry.drain();
+  ASSERT_EQ(drained.samples.size(), 3u);
+  EXPECT_EQ(drained.find("c")->value, 4.0);
+  EXPECT_EQ(drained.find("g")->value, 2.0);
+  EXPECT_EQ(drained.find("h")->histogram.count, 1u);
+  // Everything was zeroed by the same exchanges that produced the snapshot.
+  const MetricsSnapshot after = registry.snapshot();
+  EXPECT_EQ(after.find("c")->value, 0.0);
+  EXPECT_EQ(after.find("g")->value, 0.0);
+  EXPECT_EQ(after.find("h")->histogram.count, 0u);
+}
+
+// Regression for the scrape/reset lost-count bug: a snapshot()-then-reset()
+// scraper racing live writers dropped every increment that landed between
+// the read and the store. Drained scrapes must conserve the exact total:
+// sum of all drained values + the final residue == everything written.
+// Run under TSan in the `serving` CI job.
+TEST(Metrics, ConcurrentDrainNeverLosesCounts) {
+  Registry registry;
+  Counter& counter = registry.counter("hits");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50000;
+  std::atomic<bool> done{false};
+  double scraped = 0.0;
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) scraped += counter.drain();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  scraped += counter.drain();
+  EXPECT_EQ(scraped, static_cast<double>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, ConcurrentHistogramDrainConservesObservations) {
+  Registry registry;
+  const std::array<double, 2> bounds{5.0, 10.0};
+  Histogram& histogram = registry.histogram("lat", bounds);
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 20000;
+  std::atomic<bool> done{false};
+  std::uint64_t scraped_count = 0;
+  double scraped_sum = 0.0;
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const Histogram::Data data = histogram.drain();
+      scraped_count += data.count;
+      scraped_sum += data.sum;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram] {
+      for (int i = 0; i < kObservations; ++i)
+        histogram.observe(static_cast<double>(i % 16));
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  const Histogram::Data rest = histogram.drain();
+  scraped_count += rest.count;
+  scraped_sum += rest.sum;
+  EXPECT_EQ(scraped_count,
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+  double expected_sum = 0.0;
+  for (int i = 0; i < kObservations; ++i) expected_sum += i % 16;
+  EXPECT_DOUBLE_EQ(scraped_sum, expected_sum * kThreads);
 }
 
 TEST(Metrics, MacrosWriteToTheGlobalRegistry) {

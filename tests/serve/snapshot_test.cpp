@@ -1,0 +1,183 @@
+// SchemeSnapshot freeze fidelity, the serving cost model, checksum
+// determinism, and the coherence validators' corruption detection.
+
+#include "serve/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sparse_instance.hpp"
+#include "core/sparse_scheme.hpp"
+#include "serve/audit.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+
+namespace drep {
+namespace {
+
+using serve::Outcome;
+using serve::SchemeSnapshot;
+
+core::SparseInstance tiny_sparse_instance() {
+  net::CostMatrix costs(4);
+  for (net::SiteId i = 0; i < 4; ++i) {
+    for (net::SiteId j = static_cast<net::SiteId>(i + 1); j < 4; ++j) {
+      costs.set(i, j, static_cast<double>(j - i));
+    }
+  }
+  core::SparseInstance instance(std::move(costs), {2.0, 3.0}, {0, 3},
+                                {100.0, 100.0, 100.0, 100.0});
+  const std::vector<core::DemandEntry> row0{{1, 5.0, 1.0}, {3, 2.0, 0.0}};
+  const std::vector<core::DemandEntry> row1{{0, 3.0, 0.0}, {2, 1.0, 1.0}};
+  instance.push_object_demands(0, row0);
+  instance.push_object_demands(1, row1);
+  instance.validate();
+  return instance;
+}
+
+TEST(SchemeSnapshot, ServeMatchesHandComputedCosts) {
+  // Line of 3 sites, one object with primary at site 0, replica at site 2.
+  const core::Problem problem = testing::line3_problem();
+  core::ReplicationScheme scheme(problem);
+  scheme.add(2, 0);
+  const SchemeSnapshot snapshot = SchemeSnapshot::freeze(scheme, 7);
+
+  EXPECT_EQ(snapshot.layout(), SchemeSnapshot::Layout::kDense);
+  EXPECT_EQ(snapshot.generation(), 7u);
+  EXPECT_EQ(snapshot.sites(), 3u);
+  EXPECT_EQ(snapshot.objects(), 1u);
+  EXPECT_EQ(snapshot.total_replicas(), scheme.total_replicas());
+
+  // Read at site 1: replicas {0, 2} are equidistant at cost 1; the lex
+  // (cost, id) contract keeps site 0.
+  const Outcome read = snapshot.serve(1, 0, false);
+  EXPECT_EQ(read.served_by, 0u);
+  EXPECT_DOUBLE_EQ(read.cost, 1.0);
+  // Read at site 2 hits its own replica.
+  EXPECT_DOUBLE_EQ(snapshot.serve(2, 0, false).cost, 0.0);
+
+  // Write at site 1: served by SP_0 = 0 at C(1,0) = 1 plus the frozen
+  // surcharge W_0 = C(0,0) + C(0,2) = 2.
+  EXPECT_DOUBLE_EQ(snapshot.write_surcharge(0), 2.0);
+  const Outcome write = snapshot.serve(1, 0, true);
+  EXPECT_EQ(write.served_by, 0u);
+  EXPECT_DOUBLE_EQ(write.cost, 3.0);
+}
+
+TEST(SchemeSnapshot, DenseFreezeMatchesSchemeCellForCell) {
+  const core::Problem problem = testing::small_random_problem(11);
+  core::ReplicationScheme scheme(problem);
+  util::Rng rng(3);
+  for (int step = 0; step < 60; ++step) {
+    const auto i = static_cast<core::SiteId>(rng.index(problem.sites()));
+    const auto k = static_cast<core::ObjectId>(rng.index(problem.objects()));
+    if (problem.primary(k) != i && !scheme.has_replica(i, k)) scheme.add(i, k);
+  }
+  const SchemeSnapshot snapshot = SchemeSnapshot::freeze(scheme, 1);
+  for (core::SiteId i = 0; i < problem.sites(); ++i) {
+    for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+      EXPECT_EQ(snapshot.nearest(i, k), scheme.nearest(i, k));
+      EXPECT_EQ(snapshot.nearest_cost(i, k), scheme.nearest_cost(i, k));
+      EXPECT_EQ(snapshot.primary_cost(i, k),
+                problem.cost(i, problem.primary(k)));
+    }
+  }
+  // And the cross-checking validator agrees with the loop above.
+  EXPECT_TRUE(audit::check_snapshot_coherence(snapshot, scheme).empty());
+}
+
+TEST(SchemeSnapshot, ChecksumIsDeterministicAndGenerationSensitive) {
+  const core::Problem problem = testing::small_random_problem(4);
+  core::ReplicationScheme scheme(problem);
+  scheme.add(1, 0);
+  const SchemeSnapshot a = SchemeSnapshot::freeze(scheme, 5);
+  const SchemeSnapshot b = SchemeSnapshot::freeze(scheme, 5);
+  const SchemeSnapshot c = SchemeSnapshot::freeze(scheme, 6);
+  EXPECT_EQ(a.checksum(), a.compute_checksum());
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_NE(a.checksum(), c.checksum());
+}
+
+TEST(SchemeSnapshot, SparseFreezeAgreesWithDenseOnMaterializedInstance) {
+  const core::SparseInstance instance = tiny_sparse_instance();
+  const core::Problem dense_problem = instance.materialize();
+
+  core::SparseReplicationScheme sparse(instance);
+  core::ReplicationScheme dense(dense_problem);
+  sparse.add(2, 0);
+  dense.add(2, 0);
+  sparse.add(1, 1);
+  dense.add(1, 1);
+
+  const SchemeSnapshot sparse_snap = SchemeSnapshot::freeze(sparse, 9);
+  const SchemeSnapshot dense_snap = SchemeSnapshot::freeze(dense, 9);
+  EXPECT_EQ(sparse_snap.layout(), SchemeSnapshot::Layout::kSparse);
+  EXPECT_EQ(sparse_snap.total_replicas(), dense_snap.total_replicas());
+
+  for (core::ObjectId k = 0; k < instance.objects(); ++k) {
+    EXPECT_EQ(sparse_snap.primary(k), dense_snap.primary(k));
+    EXPECT_EQ(sparse_snap.write_surcharge(k), dense_snap.write_surcharge(k));
+    for (std::size_t z = sparse_snap.demand_begin(k);
+         z < sparse_snap.demand_end(k); ++z) {
+      const core::SiteId site = sparse_snap.demand_site(z);
+      for (const bool is_write : {false, true}) {
+        const Outcome via_sparse = sparse_snap.serve_cell(z, k, is_write);
+        const Outcome via_dense = dense_snap.serve(site, k, is_write);
+        EXPECT_EQ(via_sparse.served_by, via_dense.served_by);
+        EXPECT_EQ(via_sparse.cost, via_dense.cost);
+      }
+    }
+  }
+  EXPECT_TRUE(audit::check_snapshot_coherence(sparse_snap, sparse).empty());
+}
+
+TEST(SnapshotCoherence, DebugCorruptTripsTheChecksum) {
+  const core::Problem problem = testing::small_random_problem(8);
+  core::ReplicationScheme scheme(problem);
+  scheme.add(2, 1);
+  SchemeSnapshot snapshot = SchemeSnapshot::freeze(scheme, 3);
+  ASSERT_TRUE(audit::check_snapshot_coherence(snapshot).empty());
+
+  snapshot.debug_corrupt(17);
+  const audit::Violations violations =
+      audit::check_snapshot_coherence(snapshot);
+  ASSERT_FALSE(violations.empty());
+  bool checksum_flagged = false;
+  for (const audit::Violation& violation : violations)
+    checksum_flagged |= violation.invariant == "snapshot.checksum";
+  EXPECT_TRUE(checksum_flagged);
+}
+
+TEST(SnapshotCoherence, CrossCheckCatchesSchemeDrift) {
+  const core::Problem problem = testing::small_random_problem(2);
+  core::ReplicationScheme scheme(problem);
+  const SchemeSnapshot snapshot = SchemeSnapshot::freeze(scheme, 0);
+  // Mutate the scheme after the freeze: the snapshot no longer reflects it.
+  core::SiteId site = 1;
+  core::ObjectId object = 0;
+  if (problem.primary(object) == site) site = 2;
+  scheme.add(site, object);
+  const audit::Violations violations =
+      audit::check_snapshot_coherence(snapshot, scheme);
+  ASSERT_FALSE(violations.empty());
+  bool drift_flagged = false;
+  for (const audit::Violation& violation : violations)
+    drift_flagged |= violation.invariant == "snapshot.nearest" ||
+                     violation.invariant == "snapshot.write_surcharge" ||
+                     violation.invariant == "snapshot.replicas";
+  EXPECT_TRUE(drift_flagged);
+}
+
+TEST(SnapshotCoherence, LayoutMismatchIsItsOwnViolation) {
+  const core::SparseInstance instance = tiny_sparse_instance();
+  const core::SparseReplicationScheme sparse(instance);
+  const core::Problem dense_problem = instance.materialize();
+  core::ReplicationScheme dense(dense_problem);
+  const SchemeSnapshot dense_snap = SchemeSnapshot::freeze(dense, 0);
+  const audit::Violations violations =
+      audit::check_snapshot_coherence(dense_snap, sparse);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().invariant, "snapshot.layout");
+}
+
+}  // namespace
+}  // namespace drep

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <utility>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace drep::sim {
 namespace {
@@ -62,6 +68,78 @@ TEST(EventQueue, EventCapGuardsRunaway) {
   std::function<void()> forever = [&] { queue.schedule_in(1.0, forever); };
   queue.schedule(0.0, forever);
   EXPECT_THROW(queue.run(100), std::runtime_error);
+}
+
+TEST(EventQueue, RejectsNonFiniteTimes) {
+  // A NaN timestamp passes the `at < now_` guard (NaN comparisons are all
+  // false) and then breaks the heap comparator's strict weak ordering, so
+  // pop order would depend on the container's internal state. Regression:
+  // non-finite times must be rejected at the door.
+  EventQueue queue;
+  EXPECT_THROW(
+      queue.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+  EXPECT_THROW(queue.schedule(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      queue.schedule_in(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+  queue.schedule(1.0, [] {});
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+// Property: execution order is exactly ascending lexicographic (time, seq)
+// with seq assigned at schedule() time — FIFO per timestamp — for any
+// randomized mix of duplicate timestamps, including events scheduled from
+// inside running handlers at the current instant (the serving engine's
+// retune-publish pattern).
+TEST(EventQueue, PropertyFifoPerTimestampUnderRandomizedScheduling) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    EventQueue queue;
+    // Schedule log: (time, seq) in the order schedule() was called; seq is
+    // simply the call index because the queue hands them out monotonically.
+    std::vector<std::pair<double, std::size_t>> scheduled;
+    std::vector<std::size_t> executed;  // schedule-log indices, in run order
+    std::size_t next_id = 0;
+
+    const auto add = [&](double at) {
+      const std::size_t id = next_id++;
+      scheduled.emplace_back(at, id);
+      queue.schedule(at, [&executed, id] { executed.push_back(id); });
+    };
+    // Few distinct timestamps => many exact ties.
+    const std::size_t initial = 30 + rng.index(30);
+    for (std::size_t i = 0; i < initial; ++i)
+      add(static_cast<double>(rng.index(8)));
+
+    // A handler that occasionally re-schedules at the *current* instant and
+    // at later ticks, mid-run.
+    const std::size_t cascades = 10 + rng.index(10);
+    for (std::size_t i = 0; i < cascades; ++i) {
+      const double at = static_cast<double>(rng.index(8));
+      const std::size_t id = next_id++;
+      scheduled.emplace_back(at, id);
+      queue.schedule(at, [&, id] {
+        executed.push_back(id);
+        if (rng.bernoulli(0.7)) add(queue.now());  // same-instant re-entry
+        if (rng.bernoulli(0.5))
+          add(queue.now() + static_cast<double>(rng.index(3)));
+      });
+    }
+    queue.run();
+
+    ASSERT_EQ(executed.size(), scheduled.size()) << "seed " << seed;
+    // Reference model: stable sort of the schedule log by time alone — the
+    // documented lex (time, seq) key, independent of any container state.
+    std::vector<std::size_t> expected(scheduled.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) expected[i] = i;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return scheduled[a].first < scheduled[b].first;
+                     });
+    EXPECT_EQ(executed, expected) << "seed " << seed;
+  }
 }
 
 TEST(EventQueue, PendingCount) {

@@ -227,6 +227,63 @@ TEST(WaitGroup, DestructorDrainsWithoutRethrow) {
   EXPECT_EQ(count.load(), 8);
 }
 
+// Regression: a WaitGroup must be reusable wave after wave — the serving
+// load generator submits one wave per duration tick on a single group. The
+// old code accumulated failed() across waves and let an unharvested error
+// leak into (and double against) the next wave's wait().
+TEST(WaitGroup, ReusableAfterFailedWave) {
+  ThreadPool pool(4);
+  WaitGroup group(pool);
+
+  // Wave 1: three failures out of eight.
+  std::atomic<int> first{0};
+  for (int i = 0; i < 8; ++i) {
+    group.submit([&, i] {
+      first++;
+      if (i < 3) throw std::runtime_error("wave1");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(first.load(), 8);
+  EXPECT_EQ(group.failed(), 3u);
+
+  // Wave 2, clean: must neither rethrow wave 1's error again nor report its
+  // failures. Pre-fix this wait() returned failed()==3.
+  std::atomic<int> second{0};
+  for (int i = 0; i < 8; ++i) group.submit([&] { second++; });
+  EXPECT_NO_THROW(group.wait());
+  EXPECT_EQ(second.load(), 8);
+  EXPECT_EQ(group.failed(), 0u);
+
+  // Wave 3: its own single failure reported with its own count (pre-fix:
+  // 3 + 1 = 4) and rethrown exactly once.
+  std::atomic<int> third{0};
+  for (int i = 0; i < 4; ++i) {
+    group.submit([&, i] {
+      third++;
+      if (i == 2) throw std::logic_error("wave3");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::logic_error);
+  EXPECT_EQ(third.load(), 4);
+  EXPECT_EQ(group.failed(), 1u);
+  EXPECT_NO_THROW(group.wait());  // idempotent; keeps the latched count
+  EXPECT_EQ(group.failed(), 1u);
+}
+
+TEST(WaitGroup, FailedWaveDoesNotChargeNextWaveInline) {
+  // Same contract on the inline path (single-worker pool), where submit()
+  // degenerates to run_inline().
+  ThreadPool pool(1);
+  WaitGroup group(pool);
+  group.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(group.failed(), 1u);
+  group.submit([] {});
+  EXPECT_NO_THROW(group.wait());
+  EXPECT_EQ(group.failed(), 0u);
+}
+
 TEST(ThreadPool, ParallelSumMatchesSequential) {
   ThreadPool pool(8);
   std::vector<double> values(10000);

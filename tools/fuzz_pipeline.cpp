@@ -5,7 +5,9 @@
 // epoch simulation (all three adaptation policies) → distributed SRA
 // (perfect and faulty) → trace replay (perfect and faulty) → a monitor
 // retune round → the online engine (standalone vs DES replay, perfect and
-// faulty, plus decision-log replay and registry determinism), and after
+// faulty, plus decision-log replay and registry determinism) → the serving
+// front-end (snapshot freeze coherence plus a 1-vs-2-worker trace-replay
+// determinism differential), and after
 // every stage the audit::check_* validators
 // cross-check the incremental state against from-scratch recomputation. The
 // validators are called explicitly, so the fuzzer finds divergence in any
@@ -44,6 +46,9 @@
 #include "core/cost_model.hpp"
 #include "online/engine.hpp"
 #include "online/solver.hpp"
+#include "serve/audit.hpp"
+#include "serve/engine.hpp"
+#include "serve/snapshot.hpp"
 #include "sim/access_replay.hpp"
 #include "sim/distributed_sra.hpp"
 #include "sim/epochs.hpp"
@@ -406,6 +411,37 @@ audit::Violations run_case(const FuzzCase& c) {
         reg_a.result.cost != reg_b.result.cost)
       out.push_back({"online/solver: determinism",
                      "two online solves with the same seed diverged"});
+
+    // --- serve: frozen snapshots + cross-worker replay determinism -------
+    // Freezing the SRA scheme must produce a coherent snapshot, and a
+    // trace replay with a mid-trace retune must land on the same outcome
+    // log (hash and serially-summed cost) at one and two workers.
+    const serve::SchemeSnapshot frozen =
+        serve::SchemeSnapshot::freeze(sra.scheme, /*generation=*/1);
+    note(out, "serve", audit::check_snapshot_coherence(frozen, sra.scheme));
+
+    serve::ServeConfig serve_cfg;
+    serve_cfg.seed = c.seed;
+    serve_cfg.batch = 64;
+    serve_cfg.audit = true;
+    serve_cfg.retune_every = std::max<std::size_t>(1, trace.size() / 2);
+    serve_cfg.workers = 1;
+    const serve::ServeReport serve_solo =
+        serve::serve_trace(problem, trace, serve_cfg);
+    serve_cfg.workers = 2;
+    const serve::ServeReport serve_pair =
+        serve::serve_trace(problem, trace, serve_cfg);
+    if (serve_solo.outcome_hash != serve_pair.outcome_hash ||
+        serve_solo.served_cost != serve_pair.served_cost) {
+      std::ostringstream detail;
+      detail << "workers=1 hash " << std::hex << serve_solo.outcome_hash
+             << " cost " << serve_solo.served_cost << " != workers=2 hash "
+             << serve_pair.outcome_hash << " cost " << serve_pair.served_cost;
+      out.push_back({"serve: determinism", detail.str()});
+    }
+    if (serve_solo.retired_pending != 0 || serve_pair.retired_pending != 0)
+      out.push_back({"serve: reclamation",
+                     "retired snapshots still pending after serve_trace"});
   } catch (const audit::AuditFailure& failure) {
     note(out, "hook", failure.violations());
   } catch (const std::exception& e) {
