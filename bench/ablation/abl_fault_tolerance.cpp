@@ -6,7 +6,7 @@
 #include "common/harness.hpp"
 
 #include "algo/sra.hpp"
-#include "sim/failures.hpp"
+#include "sim/fault_plan.hpp"
 
 int main(int argc, char** argv) {
   using namespace drep;

@@ -1,0 +1,134 @@
+// Decentralized GRA convergence bench (DESIGN.md Section 15): dgra over
+// the DES against the centralized gra from an identically-seeded stream.
+//
+// Per (islands, drop-rate) point, averaged over the instance set:
+//
+//   * bit_equal   — fraction of instances whose decentralized scheme hash
+//                   equals the centralized one (must be 1.000 at drop=0,
+//                   the perfect-network equivalence contract);
+//   * cost_ratio  — decentralized cost / centralized cost (graceful
+//                   degradation: stays under the 1.10 audit ceiling even
+//                   at 30% loss);
+//   * messages / dropped / retries / missed / readmitted — the protocol
+//                   cost of that convergence (perfect network: exactly
+//                   epochs×islands migrations, zero retries);
+//   * round_time  — simulated drain time of the run.
+//
+// The last sweep row adds a crash window on the highest island on top of
+// the heaviest loss, so elite re-admission on rejoin is exercised too.
+//
+// Artifact: BENCH_dist_convergence.json (schema_version 1) in the repo
+// root, via the shared bench harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/gra.hpp"
+#include "common/harness.hpp"
+#include "dist/dgra.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace drep;
+
+struct FaultPoint {
+  const char* label;
+  double drop = 0.0;
+  bool crash = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::Options::parse(argc, argv);
+  const std::size_t instances = options.networks(/*fast_default=*/4,
+                                                 /*paper_default=*/15);
+  const std::size_t sites = options.paper ? 20 : 12;
+  const std::size_t objects = options.paper ? 40 : 15;
+
+  algo::GraConfig gra = options.gra(/*fast_generations=*/15,
+                                    /*fast_population=*/16);
+  gra.migration_interval = 5;
+  gra.migration_count = 1;
+
+  const std::vector<std::size_t> island_counts = {2, 4};
+  const std::vector<FaultPoint> faults = {
+      {"perfect", 0.0, false}, {"drop=0.1", 0.1, false},
+      {"drop=0.2", 0.2, false}, {"drop=0.3", 0.3, false},
+      {"drop=0.3+crash", 0.3, true},
+  };
+
+  util::Table table({"islands", "network", "bit_equal", "cost_ratio",
+                     "messages", "dropped", "retries", "missed",
+                     "readmitted", "round_time"});
+  for (const std::size_t islands : island_counts) {
+    for (const FaultPoint& point : faults) {
+      util::RunningStats bit_equal, ratio, messages, dropped, retries,
+          missed, readmitted, round_time;
+      for (std::size_t instance = 0; instance < instances; ++instance) {
+        workload::GeneratorConfig gen;
+        gen.sites = sites;
+        gen.objects = objects;
+        util::Rng gen_rng = util::Rng(options.seed).fork(instance);
+        const core::Problem problem = workload::generate(gen, gen_rng);
+
+        dist::DgraOptions dgra;
+        dgra.gra = gra;
+        dgra.gra.islands = islands;
+        if (point.drop > 0.0 || point.crash) {
+          sim::FaultPlan plan;
+          plan.seed = options.seed * 2654435761ULL + instance;
+          plan.drop_probability = point.drop;
+          if (point.crash)
+            plan.crashes.push_back(
+                {static_cast<net::SiteId>(islands - 1), 0.5, 40.0});
+          dgra.faults = plan;
+        }
+
+        util::Rng dist_rng = util::Rng(options.seed).fork(100 + instance);
+        util::Rng central_rng = dist_rng;  // identical streams
+        const dist::DgraResult decentralized =
+            dist::run_decentralized_gra(problem, dgra, dist_rng);
+        const algo::GraResult central =
+            algo::solve_gra(problem, dgra.gra, central_rng);
+
+        bit_equal.add(
+            dist::chromosome_hash(decentralized.merged.best.scheme.matrix()) ==
+                    dist::chromosome_hash(central.best.scheme.matrix())
+                ? 1.0
+                : 0.0);
+        if (central.best.cost > 0.0)
+          ratio.add(decentralized.merged.best.cost / central.best.cost);
+        messages.add(
+            static_cast<double>(decentralized.traffic.total_messages()));
+        dropped.add(
+            static_cast<double>(decentralized.traffic.dropped_messages()));
+        retries.add(static_cast<double>(decentralized.retry_stats.retries));
+        missed.add(static_cast<double>(decentralized.migrations_missed));
+        readmitted.add(static_cast<double>(decentralized.elites_readmitted));
+        round_time.add(decentralized.round_time);
+      }
+      table.row(4)
+          .cell(islands)
+          .cell(point.label)
+          .cell(bit_equal.mean())
+          .cell(ratio.mean())
+          .cell(messages.mean())
+          .cell(dropped.mean())
+          .cell(retries.mean())
+          .cell(missed.mean())
+          .cell(readmitted.mean())
+          .cell(round_time.mean());
+    }
+  }
+  bench::emit("decentralized GRA convergence: dgra vs centralized gra",
+              table, options);
+  return 0;
+}

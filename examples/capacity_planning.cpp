@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "algo/sra.hpp"
-#include "sim/failures.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 namespace drep::algo {
 
@@ -91,6 +92,21 @@ struct OnlineOptions {
   /// ski-rental (predictions ignored); 1 = full trust.
   double trust = 0.5;
   PredictionSource source = PredictionSource::kEwma;
+};
+
+/// Knobs of the decentralized solvers (`--algo=dgra`, `adapt
+/// --decentralized`; src/dist/). Lives here — below the dist module — for
+/// the same reason as OnlineOptions: SolverOptions keeps the uniform
+/// options.<algo> field pattern without algo depending upward.
+struct DistSolveOptions {
+  /// sim::FaultPlan::parse spec applied to the DES the islands run over.
+  /// Empty = perfect network (the bit-for-bit equivalence regime).
+  std::string faults_spec{};
+  /// DesNetwork latency multiplier (simulated latency = cost × this).
+  double latency_per_cost = 1.0;
+  /// Graceful-degradation ceiling asserted by the convergence audit: under
+  /// faults, decentralized cost must stay <= ceiling × centralized cost.
+  double cost_ceiling_factor = 1.10;
 };
 
 }  // namespace drep::algo

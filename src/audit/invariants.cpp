@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "core/availability.hpp"
 #include "core/benefit.hpp"
@@ -541,6 +543,74 @@ Violations check_perfect_retune(const PerfectRetuneCounts& counts) {
     add(out, "retune.migration_traffic",
         "measured fetch traffic " + num(counts.data_traffic) +
             " != analytic migration NTC " + num(counts.migration_traffic));
+  }
+  return out;
+}
+
+Violations check_envelope_log(std::span<const EnvelopeRecord> log) {
+  Violations out;
+  // Highest accepted seq per (sender, kind) stream.
+  std::map<std::pair<std::size_t, std::uint16_t>, std::uint64_t> last;
+  for (std::size_t at = 0; at < log.size(); ++at) {
+    const EnvelopeRecord& record = log[at];
+    if (record.seq == 0) continue;  // unsequenced control
+    const auto key = std::make_pair(record.sender, record.kind);
+    const auto it = last.find(key);
+    if (it != last.end() && record.seq <= it->second) {
+      add(out, "envelope.seq_monotonic",
+          "record " + std::to_string(at) + ": sender " +
+              std::to_string(record.sender) + " kind " +
+              std::to_string(record.kind) + " accepted seq " +
+              std::to_string(record.seq) + " after " +
+              std::to_string(it->second) +
+              " (duplicate or stale retransmission admitted)");
+    } else {
+      last[key] = record.seq;
+    }
+  }
+  return out;
+}
+
+Violations check_dist_convergence(const DistConvergenceCounts& counts) {
+  Violations out;
+  if (counts.perfect_network) {
+    if (counts.decentralized_cost != counts.centralized_cost) {
+      add(out, "dist.perfect_cost",
+          "decentralized cost " + num(counts.decentralized_cost) +
+              " != centralized " + num(counts.centralized_cost) +
+              " on a perfect network");
+    }
+    if (counts.decentralized_scheme_hash != counts.centralized_scheme_hash) {
+      add(out, "dist.perfect_scheme",
+          "decentralized scheme hash " +
+              std::to_string(counts.decentralized_scheme_hash) +
+              " != centralized " +
+              std::to_string(counts.centralized_scheme_hash) +
+              " on a perfect network");
+    }
+    if (counts.decentralized_evaluations != counts.centralized_evaluations) {
+      add(out, "dist.perfect_evaluations",
+          "decentralized evaluations " +
+              std::to_string(counts.decentralized_evaluations) +
+              " != centralized " +
+              std::to_string(counts.centralized_evaluations) +
+              " on a perfect network");
+    }
+    return out;
+  }
+  if (!(counts.cost_ceiling_factor >= 1.0)) {
+    add(out, "dist.cost_ceiling",
+        "cost ceiling factor " + num(counts.cost_ceiling_factor) +
+            " must be >= 1");
+    return out;
+  }
+  const double ceiling = counts.cost_ceiling_factor * counts.centralized_cost;
+  if (counts.decentralized_cost > ceiling) {
+    add(out, "dist.degradation_ceiling",
+        "decentralized cost " + num(counts.decentralized_cost) +
+            " exceeds ceiling " + num(ceiling) + " (centralized " +
+            num(counts.centralized_cost) + " × " +
+            num(counts.cost_ceiling_factor) + ")");
   }
   return out;
 }

@@ -196,4 +196,39 @@ struct PerfectRetuneCounts {
 [[nodiscard]] Violations check_perfect_retune(
     const PerfectRetuneCounts& counts);
 
+/// One accepted protocol envelope, as recorded by a DES protocol's receive
+/// path *after* dedup (sim/envelope.hpp). Plain integers only — the kind is
+/// the raw tag value — so audit stays below sim in the layering.
+struct EnvelopeRecord {
+  std::size_t sender = 0;
+  std::uint16_t kind = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Envelope sequencing invariant: among *accepted* records, every
+/// (sender, kind) stream's sequence ids must be strictly increasing —
+/// SeqTracker dedup admitted a duplicate or a stale retransmission
+/// otherwise. Unsequenced control records (seq == 0) are exempt.
+[[nodiscard]] Violations check_envelope_log(
+    std::span<const EnvelopeRecord> log);
+
+/// Decentralized-vs-centralized convergence (DESIGN.md Section 15). On a
+/// perfect network the decentralized GA must reproduce the centralized
+/// island solver bit-for-bit: identical cost, scheme hash, and evaluation
+/// count. Under an armed fault plan the equality is relaxed to the pinned
+/// graceful-degradation ceiling: decentralized cost must stay within
+/// cost_ceiling_factor × the centralized cost.
+struct DistConvergenceCounts {
+  bool perfect_network = true;
+  double decentralized_cost = 0.0;
+  double centralized_cost = 0.0;
+  std::uint64_t decentralized_scheme_hash = 0;
+  std::uint64_t centralized_scheme_hash = 0;
+  std::size_t decentralized_evaluations = 0;
+  std::size_t centralized_evaluations = 0;
+  double cost_ceiling_factor = 1.10;
+};
+[[nodiscard]] Violations check_dist_convergence(
+    const DistConvergenceCounts& counts);
+
 }  // namespace drep::audit

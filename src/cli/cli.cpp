@@ -17,6 +17,8 @@
 #include "algo/solver.hpp"
 #include "core/availability.hpp"
 #include "core/cost_model.hpp"
+#include "dist/dagra.hpp"
+#include "dist/solver.hpp"
 #include "io/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -27,7 +29,7 @@
 #include "online/solver.hpp"
 #include "serve/engine.hpp"
 #include "sim/access_replay.hpp"
-#include "sim/failures.hpp"
+#include "sim/fault_plan.hpp"
 #include "workload/trace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -297,7 +299,23 @@ int cmd_solve(const Args& args) {
                      solver_names_joined() + ")");
 
   algo::SolverOptions options = solver_options_from(args);
-  options.availability = availability_from(args, problem);
+  if (algo_name == "dgra") {
+    // For the decentralized solver --faults feeds the DES fault plan the
+    // run itself executes under, not the static availability analysis, so
+    // the avail-target pairing rule does not apply; --avail-target may
+    // still ride along for the repair post-pass.
+    if (args.has("faults")) {
+      (void)parse_fault_plan(args);  // malformed specs are usage errors
+      options.dist.faults_spec = args.get("faults", "");
+    }
+    options.dist.latency_per_cost = args.number("latency", 1.0);
+    options.dist.cost_ceiling_factor = args.number("ceiling", 1.10);
+    if (args.has("avail-target"))
+      options.availability = availability_from(args, problem);
+  } else {
+    options.availability = availability_from(args, problem);
+  }
+  options.common.audit = args.has("audit");
 
   obs::Json result_json = obs::Json::object();
   result_json["algo"] = obs::Json(algo_name);
@@ -477,7 +495,84 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// adapt --decentralized: every site runs its own EWMA drift detector over
+/// the observed trace; triggered sites micro-retune their local view
+/// through the registry "agra" adapter (ExecutionContext = their DES node)
+/// and disseminate the changed columns as sequenced envelopes. See
+/// DESIGN.md Section 15.
+int cmd_adapt_decentralized(const Args& args) {
+  const core::Problem old_problem = io::load_problem(args.require("in"));
+  const core::Problem new_problem = io::load_problem(args.require("new"));
+  const core::ReplicationScheme scheme =
+      io::load_scheme(args.require("scheme"), old_problem);
+
+  dist::DadaptOptions options;
+  const algo::SolverOptions shared = solver_options_from(args);
+  options.agra = shared.agra;
+  options.agra.common = shared.common;
+  options.seed = shared.common.seed;
+  options.current_scheme = scheme.matrix();
+  options.drift_threshold_percent = args.number("drift", 100.0);
+  options.change_threshold_percent = args.number("threshold", 100.0);
+  options.trace_seed =
+      static_cast<std::uint64_t>(args.number("trace-seed", 1));
+  options.predictor.window =
+      static_cast<std::size_t>(args.number("window", 128));
+  options.latency_per_cost = args.number("latency", 1.0);
+  if (args.has("faults")) options.faults = parse_fault_plan(args);
+  try {
+    options.validate();
+  } catch (const std::invalid_argument& error) {
+    throw UsageError(error.what());
+  }
+
+  std::optional<dist::DadaptResult> round;
+  {
+    DREP_SPAN("cli/adapt_decentralized");
+    round = dist::run_decentralized_adapt(old_problem, new_problem, options);
+  }
+  const algo::AlgorithmResult& result = round->result;
+  io::save_scheme(args.require("out"), result.scheme);
+
+  core::ReplicationScheme stale(new_problem, scheme.matrix());
+  const double stale_savings = core::savings_percent(new_problem, stale);
+  std::cout << round->drifted_sites.size() << " sites drifted, "
+            << round->changed_objects.size()
+            << " objects changed; stale savings "
+            << util::format_double(stale_savings, 2) << "% -> adapted "
+            << util::format_double(result.savings_percent, 2) << "% ("
+            << round->retunes_run << " retunes, "
+            << round->traffic.total_messages()
+            << " messages, round time "
+            << util::format_double(round->round_time, 2) << ")\n";
+
+  obs::Json result_json = obs::Json::object();
+  result_json["decentralized"] = obs::Json(true);
+  result_json["drifted_sites"] = obs::Json(round->drifted_sites.size());
+  result_json["changed_objects"] = obs::Json(round->changed_objects.size());
+  result_json["retunes_run"] = obs::Json(round->retunes_run);
+  result_json["updates_sent"] = obs::Json(round->updates_sent);
+  result_json["updates_applied"] = obs::Json(round->updates_applied);
+  result_json["updates_ignored"] = obs::Json(round->updates_ignored);
+  result_json["directives_failed"] = obs::Json(round->directives_failed);
+  result_json["directives_rejected"] = obs::Json(round->directives_rejected);
+  result_json["messages"] = obs::Json(round->traffic.total_messages());
+  result_json["dropped_messages"] =
+      obs::Json(round->traffic.dropped_messages());
+  result_json["retries"] = obs::Json(round->retry_stats.retries);
+  result_json["give_ups"] = obs::Json(round->retry_stats.give_ups);
+  result_json["round_time"] = obs::Json(round->round_time);
+  result_json["stale_savings_percent"] = obs::Json(stale_savings);
+  result_json["adapted_savings_percent"] = obs::Json(result.savings_percent);
+  result_json["cost"] = obs::Json(result.cost);
+  result_json["iterations"] = obs::Json(result.iterations);
+  result_json["elapsed_seconds"] = obs::Json(result.elapsed_seconds);
+  maybe_write_reports(args, "adapt", std::move(result_json));
+  return 0;
+}
+
 int cmd_adapt(const Args& args) {
+  if (args.has("decentralized")) return cmd_adapt_decentralized(args);
   const core::Problem old_problem = io::load_problem(args.require("in"));
   const core::Problem new_problem = io::load_problem(args.require("new"));
   const core::ReplicationScheme scheme =
@@ -665,12 +760,14 @@ void usage(std::ostream& out) {
          "  solve    -i FILE [-o FILE] --algo=" << solver_names_joined() << "\n"
          "           [--generations=N] [--population=N] [--islands=N] [--mini=N]\n"
          "           [--seed=N] [--threads=N] [--avail-target=P --faults=SPEC]\n"
+         "           [--latency=F] [--ceiling=F] [--audit]\n"
          "  evaluate -i FILE [-s SCHEME]\n"
          "  replay   -i FILE [-s SCHEME] [--seed=N] [--faults=SPEC] [--online]\n"
          "           [--trace=uniform|drifting|flash|adversarial] [--phases=N]\n"
          "           [--window=N] [--trust=F] [--predictions=ewma|oracle|adversarial]\n"
          "  adapt    -i OLD -n NEW -s SCHEME -o FILE [--threshold=%] [--mini=N] [--seed=N]\n"
-         "           [--threads=N] [--faults=SPEC]\n"
+         "           [--threads=N] [--faults=SPEC] [--decentralized] [--drift=%]\n"
+         "           [--trace-seed=N] [--window=N] [--latency=F]\n"
          "  serve    -i FILE [--mode=timed|trace] [--workers=W] [--algo=NAME] [--seed=N]\n"
          "           [--batch=N] [--audit] [--duration=S] [--retune-interval=S]\n"
          "           [--write-fraction=F] [--retune-every=N]\n"
@@ -688,6 +785,17 @@ void usage(std::ostream& out) {
          "adapt reports the adapted scheme's worst-case availability under it.\n"
          "generate --topology=tree draws a tree-metric oracle instance (ample\n"
          "capacity by default) on which --algo=treedp is the provable optimum.\n"
+         "solve --algo=dgra runs the island GA decentralized: one island per DES\n"
+         "node with elite migrations as sequenced protocol messages (DESIGN.md\n"
+         "Section 15). On a perfect network it is bit-for-bit --algo=gra at the\n"
+         "same --islands and --seed; --faults=SPEC subjects the migrations to\n"
+         "drops/crashes with bounded retries, --latency=F scales DES latency,\n"
+         "--ceiling=F pins the degradation ceiling and --audit enforces the\n"
+         "convergence invariants against an in-process centralized run.\n"
+         "adapt --decentralized replaces the central monitor with per-site EWMA\n"
+         "drift detectors (--drift=%, --window=N, --trace-seed=N): triggered\n"
+         "sites micro-retune their local view and disseminate changed replica\n"
+         "columns as sequenced envelopes; --faults applies to that round.\n"
          "solve --avail-target=P adds the per-object availability floor A_k >= P,\n"
          "with site availabilities derived from the --faults crash windows; the\n"
          "heuristics repair their schemes to meet it, the exact solvers optimize\n"
@@ -725,7 +833,8 @@ const std::set<std::string> kGenerateFlags = {
 const std::set<std::string> kSolveFlags = {
     "in",      "out",  "algo",   "generations", "population", "islands",
     "threads", "mini", "seed",   "report",      "prom",
-    "avail-target", "faults", "window", "trust", "predictions"};
+    "avail-target", "faults", "window", "trust", "predictions",
+    "latency", "ceiling", "audit"};
 const std::set<std::string> kEvaluateFlags = {"in", "scheme", "report",
                                               "prom"};
 const std::set<std::string> kReplayFlags = {
@@ -733,7 +842,8 @@ const std::set<std::string> kReplayFlags = {
     "trace",  "phases", "window", "trust",  "predictions"};
 const std::set<std::string> kAdaptFlags = {
     "in",   "new",  "scheme", "out",  "threshold", "mini",
-    "seed", "threads", "report", "prom", "faults"};
+    "seed", "threads", "report", "prom", "faults",
+    "decentralized", "drift", "trace-seed", "window", "latency"};
 const std::set<std::string> kServeFlags = {
     "in",    "mode",  "workers", "algo",           "seed",
     "batch", "audit", "duration", "retune-interval", "write-fraction",
@@ -746,9 +856,11 @@ int run(int argc, char** argv) {
   // "run", so reports must not see a previous invocation's numbers.
   obs::Registry::global().reset();
   obs::SpanRegistry::global().reset();
-  // The online solver lives above algo in the layering, so the registry
-  // cannot register it itself (idempotent; see online/solver.hpp).
+  // The online and dist solvers live above algo in the layering, so the
+  // registry cannot register them itself (idempotent; see online/solver.hpp
+  // and dist/solver.hpp).
   online::register_online_solver();
+  dist::register_dist_solvers();
 
   if (argc < 2) {
     usage(std::cerr);

@@ -1,0 +1,25 @@
+#pragma once
+// Registry adapter for the decentralized solvers: `--algo=dgra`.
+//
+// The adapter drives run_decentralized_gra through the uniform Solver
+// interface: options.gra supplies the island plan (islands = K DES nodes),
+// options.dist the network knobs (fault spec, latency, degradation
+// ceiling). With options.common.audit set, the adapter additionally runs
+// the centralized `gra` comparator from an identically-seeded RNG stream
+// and enforces audit::check_dist_convergence — bit-for-bit equality on a
+// perfect network, the pinned cost ceiling under faults — plus the
+// envelope-log sequencing invariant.
+//
+// Registration is explicit (register_dist_solvers(), idempotent) for the
+// same layering reason as the online adapter: dist sits above sim, and
+// algo must not depend upward. The CLI, the pipeline fuzzer, and the dist
+// tests call it at startup.
+
+#include "algo/solver.hpp"
+
+namespace drep::dist {
+
+/// Adds "dgra" to algo::solver_registry(). Safe to call repeatedly.
+void register_dist_solvers();
+
+}  // namespace drep::dist

@@ -7,6 +7,7 @@
 
 #include "core/replication.hpp"
 #include "obs/metrics.hpp"
+#include "sim/envelope.hpp"
 
 namespace drep::sim {
 
@@ -14,8 +15,9 @@ namespace {
 
 using core::ObjectId;
 
-// Protocol payloads. Every exchange carries a sequence id (or the token
-// round number) so retransmissions are idempotent under dedup.
+// Protocol payloads, carried inside the shared sim::Envelope (the
+// envelope's seq mirrors the exchange's id / token round, so every
+// retransmission is idempotent under dedup).
 struct TokenGrant {
   std::uint64_t round;
 };
@@ -108,31 +110,46 @@ class SraNode final : public Node {
   }
 
   void handle(const Message& message) override {
-    if (const auto* grant = std::any_cast<TokenGrant>(&message.payload)) {
-      on_grant(*grant);
-    } else if (const auto* ret = std::any_cast<TokenReturn>(&message.payload)) {
-      on_token_return(message.from, *ret);
-    } else if (const auto* fetch =
-                   std::any_cast<FetchRequest>(&message.payload)) {
-      network_->send(self_, message.from, problem_->object_size(fetch->object),
-                     FetchResponse{fetch->object, fetch->id});
-    } else if (const auto* resp =
-                   std::any_cast<FetchResponse>(&message.payload)) {
-      on_object_arrived(*resp);
-    } else if (const auto* announce =
-                   std::any_cast<ReplicaAnnounce>(&message.payload)) {
-      on_announce(*announce);
-      network_->send(self_, announce->replicator, 0.0,
-                     AnnounceAck{announce->id});
-    } else if (const auto* ack = std::any_cast<AnnounceAck>(&message.payload)) {
-      on_announce_ack(message.from, *ack);
-    } else if (std::any_cast<Rejoin>(&message.payload) != nullptr) {
-      on_rejoin(message.from);
-      network_->send(self_, message.from, 0.0, RejoinAck{});
-    } else if (std::any_cast<RejoinAck>(&message.payload) != nullptr) {
-      rejoin_pending_ = false;
-    } else {
-      throw std::logic_error("SraNode: unknown payload");
+    const Envelope& envelope = open(message);
+    switch (envelope.kind) {
+      case MessageKind::kSraTokenGrant:
+        on_grant(unseal<TokenGrant>(envelope));
+        break;
+      case MessageKind::kSraTokenReturn:
+        on_token_return(message.from, unseal<TokenReturn>(envelope));
+        break;
+      case MessageKind::kSraFetchRequest: {
+        const auto& fetch = unseal<FetchRequest>(envelope);
+        network_->send(self_, message.from, problem_->object_size(fetch.object),
+                       seal(MessageKind::kSraFetchResponse, self_, fetch.id,
+                            FetchResponse{fetch.object, fetch.id}));
+        break;
+      }
+      case MessageKind::kSraFetchResponse:
+        on_object_arrived(unseal<FetchResponse>(envelope));
+        break;
+      case MessageKind::kSraReplicaAnnounce: {
+        const auto& announce = unseal<ReplicaAnnounce>(envelope);
+        on_announce(announce);
+        network_->send(self_, announce.replicator, 0.0,
+                       seal(MessageKind::kSraAnnounceAck, self_, announce.id,
+                            AnnounceAck{announce.id}));
+        break;
+      }
+      case MessageKind::kSraAnnounceAck:
+        on_announce_ack(message.from, unseal<AnnounceAck>(envelope));
+        break;
+      case MessageKind::kSraRejoin:
+        on_rejoin(message.from);
+        network_->send(self_, message.from, 0.0,
+                       seal(MessageKind::kSraRejoinAck, self_, 0, RejoinAck{}));
+        break;
+      case MessageKind::kSraRejoinAck:
+        rejoin_pending_ = false;
+        break;
+      default:
+        throw std::logic_error("SraNode: unexpected message kind " +
+                               std::string(kind_name(envelope.kind)));
     }
   }
 
@@ -173,7 +190,9 @@ class SraNode final : public Node {
       ++state_->retry.duplicates;
       ++state_->retry.retries;
       network_->send(self_, leader_site_, 0.0,
-                     TokenReturn{last_served_round_, last_return_empty_});
+                     seal(MessageKind::kSraTokenReturn, self_,
+                          last_served_round_,
+                          TokenReturn{last_served_round_, last_return_empty_}));
       return;
     }
     begin_visit(grant.round);
@@ -235,7 +254,8 @@ class SraNode final : public Node {
 
   void send_fetch(std::size_t attempt) {
     network_->send(self_, fetch_target(attempt), 0.0,
-                   FetchRequest{pending_object_, fetch_id_});
+                   seal(MessageKind::kSraFetchRequest, self_, fetch_id_,
+                        FetchRequest{pending_object_, fetch_id_}));
     if (!retries_armed()) return;
     arm_timer(attempt, [this, id = fetch_id_, attempt] {
       if (fetch_id_ != id || !network_->site_up(self_)) return;
@@ -287,7 +307,9 @@ class SraNode final : public Node {
     for (SiteId j = 0; j < problem_->sites(); ++j) {
       if (j != self_)
         network_->send(self_, j, 0.0,
-                       ReplicaAnnounce{object, self_, announce_id_});
+                       seal(MessageKind::kSraReplicaAnnounce, self_,
+                            announce_id_,
+                            ReplicaAnnounce{object, self_, announce_id_}));
     }
     if (retries_armed()) arm_announce_timer(0);
   }
@@ -309,7 +331,8 @@ class SraNode final : public Node {
         if (!announce_acked_[j]) {
           ++state_->retry.retries;
           network_->send(self_, j, 0.0,
-                         ReplicaAnnounce{announce_object_, self_, id});
+                         seal(MessageKind::kSraReplicaAnnounce, self_, id,
+                              ReplicaAnnounce{announce_object_, self_, id}));
         }
       }
       arm_announce_timer(attempt + 1);
@@ -348,11 +371,13 @@ class SraNode final : public Node {
     last_served_round_ = serving_round_;
     last_return_empty_ = candidates_.empty();
     network_->send(self_, leader_site_, 0.0,
-                   TokenReturn{last_served_round_, last_return_empty_});
+                   seal(MessageKind::kSraTokenReturn, self_, last_served_round_,
+                        TokenReturn{last_served_round_, last_return_empty_}));
   }
 
   void send_rejoin(std::size_t attempt) {
-    network_->send(self_, leader_site_, 0.0, Rejoin{});
+    network_->send(self_, leader_site_, 0.0,
+                   seal(MessageKind::kSraRejoin, self_, 0, Rejoin{}));
     if (!retries_armed()) return;
     arm_timer(attempt, [this, attempt] {
       if (!rejoin_pending_ || !network_->site_up(self_)) return;
@@ -388,7 +413,9 @@ class SraNode final : public Node {
     if (site == self_) {
       begin_visit(current_round_);  // the leader's own site takes its turn
     } else {
-      network_->send(self_, site, 0.0, TokenGrant{current_round_});
+      network_->send(self_, site, 0.0,
+                     seal(MessageKind::kSraTokenGrant, self_, current_round_,
+                          TokenGrant{current_round_}));
       if (retries_armed()) arm_grant_timer(current_round_, 0);
     }
   }
@@ -418,7 +445,9 @@ class SraNode final : public Node {
         return;
       }
       ++state_->retry.retries;
-      network_->send(self_, active_[granted_slot_], 0.0, TokenGrant{round});
+      network_->send(self_, active_[granted_slot_], 0.0,
+                     seal(MessageKind::kSraTokenGrant, self_, round,
+                          TokenGrant{round}));
       arm_grant_timer(round, attempt + 1);
     });
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace drep::sim {
@@ -182,6 +184,91 @@ double RetryPolicy::give_up_time(double base) const {
   for (std::size_t attempt = 0; attempt <= max_retries; ++attempt)
     total += timeout_for(base, attempt);
   return total;
+}
+
+DegradedService evaluate_with_failures(const core::ReplicationScheme& scheme,
+                                       std::span<const core::SiteId> failed) {
+  const core::Problem& problem = scheme.problem();
+  std::vector<bool> down(problem.sites(), false);
+  std::size_t down_count = 0;
+  for (const core::SiteId site : failed) {
+    if (site >= problem.sites())
+      throw std::invalid_argument("evaluate_with_failures: site out of range");
+    if (!down[site]) {
+      down[site] = true;
+      ++down_count;
+    }
+  }
+  if (down_count == problem.sites())
+    throw std::invalid_argument("evaluate_with_failures: every site failed");
+
+  DegradedService report;
+  double servable_reads = 0.0, total_reads = 0.0;
+  double servable_writes = 0.0, total_writes = 0.0;
+
+  for (core::ObjectId k = 0; k < problem.objects(); ++k) {
+    const double o = problem.object_size(k);
+    // Surviving replicas of k.
+    bool any_survivor = false;
+    for (const core::SiteId rep : scheme.replicas(k)) {
+      if (!down[rep]) {
+        any_survivor = true;
+        break;
+      }
+    }
+    if (!any_survivor) ++report.objects_lost;
+    const bool primary_up = !down[problem.primary(k)];
+
+    for (core::SiteId i = 0; i < problem.sites(); ++i) {
+      if (down[i]) continue;  // requests from failed sites don't count
+      const double reads = problem.reads(i, k);
+      const double writes = problem.writes(i, k);
+      total_reads += reads;
+      total_writes += writes;
+      if (any_survivor && reads > 0.0) {
+        servable_reads += reads;
+        report.healthy_read_cost += reads * o * scheme.nearest_cost(i, k);
+        double nearest_up = std::numeric_limits<double>::infinity();
+        for (const core::SiteId rep : scheme.replicas(k)) {
+          if (!down[rep]) nearest_up = std::min(nearest_up, problem.cost(i, rep));
+        }
+        report.degraded_read_cost += reads * o * nearest_up;
+      }
+      if (primary_up) servable_writes += writes;
+    }
+  }
+
+  report.read_availability =
+      total_reads > 0.0 ? servable_reads / total_reads : 1.0;
+  report.write_availability =
+      total_writes > 0.0 ? servable_writes / total_writes : 1.0;
+  return report;
+}
+
+DegradedService evaluate_with_failures(const core::ReplicationScheme& scheme,
+                                       const FaultPlan& plan, double at) {
+  const std::vector<core::SiteId> failed =
+      plan.down_sites(scheme.problem().sites(), at);
+  return evaluate_with_failures(scheme, failed);
+}
+
+double expected_read_availability(const core::ReplicationScheme& scheme,
+                                  std::size_t failures, std::size_t trials,
+                                  util::Rng& rng) {
+  const std::size_t m = scheme.problem().sites();
+  if (failures >= m)
+    throw std::invalid_argument("expected_read_availability: failures >= sites");
+  if (trials == 0)
+    throw std::invalid_argument("expected_read_availability: zero trials");
+  std::vector<core::SiteId> sites(m);
+  std::iota(sites.begin(), sites.end(), 0);
+  double total = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    rng.shuffle(sites);
+    const std::span<const core::SiteId> failed(sites.data(), failures);
+    total += evaluate_with_failures(scheme, failed).read_availability;
+  }
+  return total / static_cast<double>(trials);
 }
 
 }  // namespace drep::sim

@@ -2,9 +2,11 @@
 // Deterministic fault injection for the discrete-event simulator.
 //
 // The paper motivates replication with fault tolerance but never simulates a
-// failure; sim/failures.* covers the *static* half (Monte-Carlo availability
-// of a scheme under site loss). A FaultPlan supplies the *dynamic* half: a
-// seeded description of site crash/recover windows, per-message link loss,
+// failure. This module covers both halves: the *static* analysis (what a
+// scheme can still serve under a given failed-site set — DegradedService /
+// evaluate_with_failures below, formerly sim/failures.*, retired in favour of
+// this single header) and the *dynamic* half: a FaultPlan is a seeded
+// description of site crash/recover windows, per-message link loss,
 // and latency spikes that DesNetwork applies at send/delivery time. Every
 // decision is drawn from an Rng seeded by the plan, so a (plan, protocol)
 // pair fully determines a run — faulty experiments are as repeatable as
@@ -19,11 +21,14 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/replication.hpp"
 #include "net/topology.hpp"
+#include "util/rng.hpp"
 
 namespace drep::sim {
 
@@ -113,5 +118,53 @@ struct RetryStats {
     return *this;
   }
 };
+
+// Static fault-tolerance analysis of replication schemes (absorbed from the
+// retired sim/failures.* module). Given a replication scheme and a set of
+// failed sites:
+//
+//   * a read is servable when some surviving site holds a replica (it is
+//     served by the nearest survivor, possibly at higher cost);
+//   * a write is servable when the object's primary survives (the paper's
+//     policy funnels all updates through SP_k);
+//   * an object is *lost* when every one of its replicators failed.
+//
+// Requests originated AT failed sites are excluded (their clients are down
+// too). Availability is weighted by the request pattern, so a scheme that
+// replicates the hot objects scores higher than raw replica counts suggest.
+
+struct DegradedService {
+  /// Fraction of (surviving-site) read requests still servable, weighted by
+  /// read counts. 1.0 when nothing of value was lost.
+  double read_availability = 1.0;
+  /// Fraction of (surviving-site) write requests whose primary survives.
+  double write_availability = 1.0;
+  /// Objects with no surviving replica at all.
+  std::size_t objects_lost = 0;
+  /// Read NTC of the servable reads, re-homed to the nearest survivor.
+  double degraded_read_cost = 0.0;
+  /// Read NTC those same reads had before the failure.
+  double healthy_read_cost = 0.0;
+};
+
+/// Evaluates the scheme under the given failed-site set. Duplicate entries
+/// are ignored; throws std::invalid_argument on out-of-range sites or when
+/// every site failed.
+[[nodiscard]] DegradedService evaluate_with_failures(
+    const core::ReplicationScheme& scheme, std::span<const core::SiteId> failed);
+
+/// Same static analysis, but the failed-site set is whatever the FaultPlan
+/// has down at simulated time `at` — the bridge between the DES fault
+/// injection (which replays the degradation) and this module (which bounds
+/// it analytically). A plan with no crash window covering `at` reports a
+/// fully healthy service.
+[[nodiscard]] DegradedService evaluate_with_failures(
+    const core::ReplicationScheme& scheme, const FaultPlan& plan, double at);
+
+/// Monte-Carlo estimate of expected read availability when `failures`
+/// distinct uniformly random sites fail; averaged over `trials` draws.
+[[nodiscard]] double expected_read_availability(
+    const core::ReplicationScheme& scheme, std::size_t failures,
+    std::size_t trials, util::Rng& rng);
 
 }  // namespace drep::sim

@@ -8,6 +8,7 @@
 #include "audit/gate.hpp"
 #include "core/cost_model.hpp"
 #include "obs/metrics.hpp"
+#include "sim/envelope.hpp"
 
 namespace drep::sim {
 
@@ -15,8 +16,9 @@ namespace {
 
 using core::ObjectId;
 
-// Protocol payloads. Ids make retransmissions idempotent: a directive, its
-// migration fetch, and its ack all carry the directive's sequence id.
+// Protocol payloads, carried inside the shared sim::Envelope. Ids make
+// retransmissions idempotent: a directive, its migration fetch, and its ack
+// all carry the directive's sequence id (mirrored as the envelope seq).
 struct StatsReport {};  // pattern rows; zero-size control traffic
 struct StatsAck {};
 struct AddReplica {
@@ -39,8 +41,6 @@ struct FetchResponse {
 struct Ack {
   std::uint64_t id;
 };
-
-constexpr std::uint64_t kNoId = 0;  // directive ids start at 1
 
 /// Retry-layer context shared by both endpoint kinds.
 struct RetryContext {
@@ -65,22 +65,30 @@ class SiteEndpoint final : public Node {
   void start_report() { send_report(0); }
 
   void handle(const Message& message) override {
-    if (const auto* add = std::any_cast<AddReplica>(&message.payload)) {
-      on_add(*add);
-    } else if (const auto* drop =
-                   std::any_cast<DropReplica>(&message.payload)) {
-      on_drop(*drop);
-    } else if (const auto* fetch =
-                   std::any_cast<FetchRequest>(&message.payload)) {
-      network_->send(self_, message.from, problem_->object_size(fetch->object),
-                     FetchResponse{fetch->object, fetch->id});
-    } else if (const auto* resp =
-                   std::any_cast<FetchResponse>(&message.payload)) {
-      on_fetched(*resp);
-    } else if (std::any_cast<StatsAck>(&message.payload) != nullptr) {
-      stats_acked_ = true;
+    const Envelope& envelope = open(message);
+    switch (envelope.kind) {
+      case MessageKind::kRetuneAddReplica:
+        on_add(unseal<AddReplica>(envelope));
+        break;
+      case MessageKind::kRetuneDropReplica:
+        on_drop(unseal<DropReplica>(envelope));
+        break;
+      case MessageKind::kRetuneFetchRequest: {
+        const auto& fetch = unseal<FetchRequest>(envelope);
+        network_->send(self_, message.from, problem_->object_size(fetch.object),
+                       seal(MessageKind::kRetuneFetchResponse, self_, fetch.id,
+                            FetchResponse{fetch.object, fetch.id}));
+        break;
+      }
+      case MessageKind::kRetuneFetchResponse:
+        on_fetched(unseal<FetchResponse>(envelope));
+        break;
+      case MessageKind::kRetuneStatsAck:
+        stats_acked_ = true;
+        break;
+      default:
+        break;  // StatsReport / Ack terminate at the monitor endpoint.
     }
-    // StatsReport / Ack terminate at the monitor endpoint, not here.
   }
 
   void on_crash() override {
@@ -107,7 +115,9 @@ class SiteEndpoint final : public Node {
   }
 
   void send_report(std::size_t attempt) {
-    network_->send(self_, monitor_site_, 0.0, StatsReport{});
+    network_->send(self_, monitor_site_, 0.0,
+                   seal(MessageKind::kRetuneStatsReport, self_, 0,
+                        StatsReport{}));
     if (!retries_armed()) return;
     arm_timer(attempt, [this, attempt] {
       if (stats_acked_ || !network_->site_up(self_)) return;
@@ -124,7 +134,8 @@ class SiteEndpoint final : public Node {
   void on_add(const AddReplica& add) {
     if (completed_.count(add.id) != 0) {
       ++retry_.stats->duplicates;  // already migrated; the ack was lost
-      network_->send(self_, monitor_site_, 0.0, Ack{add.id});
+      network_->send(self_, monitor_site_, 0.0,
+                     seal(MessageKind::kRetuneAck, self_, add.id, Ack{add.id}));
       return;
     }
     // The rollout can direct several additions at one site back-to-back, so
@@ -150,7 +161,8 @@ class SiteEndpoint final : public Node {
   void send_fetch(std::uint64_t id, std::size_t attempt) {
     const Migration& m = migrating_.at(id);
     network_->send(self_, fetch_target(m, attempt), 0.0,
-                   FetchRequest{m.object, id});
+                   seal(MessageKind::kRetuneFetchRequest, self_, id,
+                        FetchRequest{m.object, id}));
     if (!retries_armed()) return;
     arm_timer(attempt, [this, id, attempt] {
       if (migrating_.count(id) == 0 || !network_->site_up(self_)) return;
@@ -185,13 +197,17 @@ class SiteEndpoint final : public Node {
               "monitor/on_fetched");
         });
     (void)first_completion;
-    network_->send(self_, monitor_site_, 0.0, Ack{resp.id});
+    network_->send(self_, monitor_site_, 0.0,
+                   seal(MessageKind::kRetuneAck, self_, resp.id,
+                        Ack{resp.id}));
   }
 
   void on_drop(const DropReplica& drop) {
     // Local deallocation is instantaneous and idempotent; always ack.
     if (!completed_.insert(drop.id).second) ++retry_.stats->duplicates;
-    network_->send(self_, monitor_site_, 0.0, Ack{drop.id});
+    network_->send(self_, monitor_site_, 0.0,
+                   seal(MessageKind::kRetuneAck, self_, drop.id,
+                        Ack{drop.id}));
   }
 
   SiteId self_;
@@ -226,21 +242,30 @@ class MonitorEndpoint final : public Node {
   }
 
   void handle(const Message& message) override {
-    if (std::any_cast<StatsReport>(&message.payload) != nullptr) {
-      on_report(message.from);
-    } else if (const auto* fetch =
-                   std::any_cast<FetchRequest>(&message.payload)) {
-      // The monitor site holds replicas like any other site: serve fetches.
-      if (message.from != self_) {
-        network_->send(self_, message.from,
-                       problem_->object_size(fetch->object),
-                       FetchResponse{fetch->object, fetch->id});
+    const Envelope& envelope = open(message);
+    switch (envelope.kind) {
+      case MessageKind::kRetuneStatsReport:
+        on_report(message.from);
+        break;
+      case MessageKind::kRetuneFetchRequest: {
+        // The monitor site holds replicas like any other site: serve fetches.
+        const auto& fetch = unseal<FetchRequest>(envelope);
+        if (message.from != self_) {
+          network_->send(self_, message.from,
+                         problem_->object_size(fetch.object),
+                         seal(MessageKind::kRetuneFetchResponse, self_,
+                              fetch.id, FetchResponse{fetch.object, fetch.id}));
+        }
+        break;
       }
-    } else if (const auto* resp =
-                   std::any_cast<FetchResponse>(&message.payload)) {
-      on_self_fetched(*resp);
-    } else if (const auto* ack = std::any_cast<Ack>(&message.payload)) {
-      on_ack(*ack);
+      case MessageKind::kRetuneFetchResponse:
+        on_self_fetched(unseal<FetchResponse>(envelope));
+        break;
+      case MessageKind::kRetuneAck:
+        on_ack(unseal<Ack>(envelope));
+        break;
+      default:
+        break;  // directives and StatsAck terminate at the site endpoints
     }
   }
 
@@ -254,9 +279,9 @@ class MonitorEndpoint final : public Node {
         });
   }
 
-  /// Queues a directive for `target` and shepherds it to an ack.
-  void direct(SiteId target, std::any payload) {
-    directives_.push_back({target, std::move(payload), false});
+  /// Queues a sealed directive for `target` and shepherds it to an ack.
+  void direct(SiteId target, Envelope envelope) {
+    directives_.push_back({target, std::move(envelope), false});
     send_directive(directives_.size() - 1, 0);
   }
 
@@ -272,7 +297,7 @@ class MonitorEndpoint final : public Node {
  private:
   struct Directive {
     SiteId target;
-    std::any payload;
+    Envelope envelope;  // retransmissions re-send the identical envelope
     bool acked;
   };
   struct SelfFetch {
@@ -298,7 +323,10 @@ class MonitorEndpoint final : public Node {
       if (awaiting_reports_ == 0 && !triggered_) fire_trigger();
     }
     // Ack only when the sender runs a retry loop that needs stopping.
-    if (retries_armed()) network_->send(self_, from, 0.0, StatsAck{});
+    if (retries_armed()) {
+      network_->send(self_, from, 0.0,
+                     seal(MessageKind::kRetuneStatsAck, self_, 0, StatsAck{}));
+    }
   }
 
   void fire_trigger() {
@@ -308,7 +336,7 @@ class MonitorEndpoint final : public Node {
 
   void send_directive(std::size_t index, std::size_t attempt) {
     const Directive& d = directives_[index];
-    network_->send(self_, d.target, 0.0, d.payload);
+    network_->send(self_, d.target, 0.0, d.envelope);
     if (!retries_armed()) return;
     arm_timer(attempt, [this, index, attempt] {
       if (directives_[index].acked) return;
@@ -339,11 +367,7 @@ class MonitorEndpoint final : public Node {
   }
 
   static std::uint64_t directive_id(const Directive& d) {
-    if (const auto* add = std::any_cast<AddReplica>(&d.payload))
-      return add->id;
-    if (const auto* drop = std::any_cast<DropReplica>(&d.payload))
-      return drop->id;
-    return kNoId;
+    return d.envelope.seq;  // sealed with the directive id as the seq
   }
 
   [[nodiscard]] SiteId self_fetch_target(const SelfFetch& f,
@@ -356,8 +380,9 @@ class MonitorEndpoint final : public Node {
 
   void send_self_fetch(std::size_t index, std::size_t attempt) {
     const SelfFetch& f = self_fetches_[index];
-    network_->send(self_, self_fetch_target(f, attempt),
-                   0.0, FetchRequest{f.object, f.id});
+    network_->send(self_, self_fetch_target(f, attempt), 0.0,
+                   seal(MessageKind::kRetuneFetchRequest, self_, f.id,
+                        FetchRequest{f.object, f.id}));
     if (!retries_armed()) return;
     arm_timer(attempt, [this, index, attempt] {
       if (self_fetches_[index].done) return;
@@ -470,15 +495,18 @@ RetuneReport run_retune_round(const core::Problem& observed, Monitor& monitor,
             if (i == monitor_site) {
               monitor_node->self_fetch(k, before.nearest(i, k));
             } else {
+              const std::uint64_t id = monitor_node->next_id_++;
               monitor_node->direct(
-                  i, AddReplica{k, before.nearest(i, k),
-                                monitor_node->next_id_++});
+                  i, seal(MessageKind::kRetuneAddReplica, monitor_site, id,
+                          AddReplica{k, before.nearest(i, k), id}));
             }
           } else {
             ++report.replicas_dropped;
             if (i != monitor_site) {
-              monitor_node->direct(i,
-                                   DropReplica{k, monitor_node->next_id_++});
+              const std::uint64_t id = monitor_node->next_id_++;
+              monitor_node->direct(
+                  i, seal(MessageKind::kRetuneDropReplica, monitor_site, id,
+                          DropReplica{k, id}));
             }
           }
         }

@@ -1,4 +1,4 @@
-#include "sim/failures.hpp"
+#include "sim/fault_plan.hpp"
 
 #include <gtest/gtest.h>
 

@@ -15,7 +15,6 @@
 #include "core/cost_model.hpp"
 #include "sim/access_replay.hpp"
 #include "sim/distributed_sra.hpp"
-#include "sim/failures.hpp"
 #include "sim/monitor_protocol.hpp"
 #include "testing/builders.hpp"
 #include "workload/pattern_change.hpp"

@@ -25,6 +25,12 @@
 // with solve_exhaustive, cost agreement with constclients, validity and
 // lower-bound checks for the heuristics.
 //
+// --decentralized switches to the dist conformance mode (DESIGN.md Section
+// 15): per seed, dgra on a perfect network must be bit-for-bit the
+// centralized gra from the same stream, a faulted dgra must stay within the
+// degradation ceiling with clean envelope logs, and a decentralized
+// adaptive round (perfect and faulty) must assemble a valid scheme.
+//
 // Exit status: 0 = every case clean, 1 = violations found, 2 = usage error.
 
 #include <algorithm>
@@ -44,6 +50,9 @@
 #include "audit/invariants.hpp"
 #include "core/benefit.hpp"
 #include "core/cost_model.hpp"
+#include "dist/dagra.hpp"
+#include "dist/dgra.hpp"
+#include "dist/solver.hpp"
 #include "online/engine.hpp"
 #include "online/solver.hpp"
 #include "serve/audit.hpp"
@@ -483,6 +492,140 @@ FuzzCase shrink(FuzzCase c) {
   return c;
 }
 
+/// One decentralized case: dgra vs the centralized gra (perfect network =
+/// bit-equality, seeded faults = pinned degradation ceiling), the envelope
+/// sequencing logs, and a decentralized adaptive round against a drifted
+/// copy of the problem. See DESIGN.md Section 15.
+audit::Violations run_decentralized_case(const FuzzCase& c) {
+  audit::Violations out;
+  try {
+    dist::register_dist_solvers();  // idempotent
+    util::Rng rng(c.seed);
+
+    workload::GeneratorConfig gen;
+    gen.sites = c.sites;
+    gen.objects = c.objects;
+    gen.update_ratio_percent = rng.uniform_real(2.0, 30.0);
+    gen.capacity_percent = rng.uniform_real(12.0, 45.0);
+    util::Rng gen_rng = rng.fork(1);
+    const core::Problem problem = workload::generate(gen, gen_rng);
+
+    dist::DgraOptions options;
+    options.gra.population = 12;
+    options.gra.generations = 12;
+    options.gra.islands = std::min<std::size_t>(4, c.sites);
+    options.gra.migration_interval = 4;
+    options.gra.migration_count = 1;
+
+    // --- perfect network: bit-for-bit the centralized island driver -----
+    util::Rng dist_rng = rng.fork(2);
+    util::Rng central_rng = dist_rng;  // identical streams
+    const dist::DgraResult perfect =
+        dist::run_decentralized_gra(problem, options, dist_rng);
+    const algo::GraResult central =
+        algo::solve_gra(problem, options.gra, central_rng);
+    audit::DistConvergenceCounts counts;
+    counts.perfect_network = true;
+    counts.decentralized_cost = perfect.merged.best.cost;
+    counts.centralized_cost = central.best.cost;
+    counts.decentralized_scheme_hash =
+        dist::chromosome_hash(perfect.merged.best.scheme.matrix());
+    counts.centralized_scheme_hash =
+        dist::chromosome_hash(central.best.scheme.matrix());
+    counts.decentralized_evaluations = perfect.merged.evaluations;
+    counts.centralized_evaluations = central.evaluations;
+    note(out, "dgra/perfect", audit::check_dist_convergence(counts));
+    note(out, "dgra/perfect", audit::check_envelope_log(perfect.envelope_log));
+    note(out, "dgra/perfect", audit::check_scheme(perfect.merged.best.scheme));
+    if (dist_rng.next() != central_rng.next())
+      out.push_back({"dgra/perfect: rng_advance",
+                     "caller streams diverged after the runs"});
+
+    // --- seeded faults: graceful degradation within the ceiling ---------
+    options.faults = make_faults(c);
+    util::Rng faulty_rng = rng.fork(2);  // same stream as the perfect run
+    const dist::DgraResult faulty =
+        dist::run_decentralized_gra(problem, options, faulty_rng);
+    counts.perfect_network = false;
+    counts.decentralized_cost = faulty.merged.best.cost;
+    counts.decentralized_scheme_hash =
+        dist::chromosome_hash(faulty.merged.best.scheme.matrix());
+    counts.decentralized_evaluations = faulty.merged.evaluations;
+    note(out, "dgra/faulty", audit::check_dist_convergence(counts));
+    note(out, "dgra/faulty", audit::check_envelope_log(faulty.envelope_log));
+    note(out, "dgra/faulty", audit::check_scheme(faulty.merged.best.scheme));
+
+    // --- decentralized adaptive round over a drifted problem ------------
+    core::Problem drifted = problem;
+    util::Rng drift_rng = rng.fork(3);
+    const auto hot = static_cast<core::SiteId>(drift_rng.index(c.sites));
+    for (core::ObjectId k = 0; k < std::min<std::size_t>(3, c.objects); ++k)
+      drifted.set_reads(hot, k, 10.0 * problem.reads(hot, k) + 50.0);
+
+    dist::DadaptOptions adapt;
+    adapt.agra.population = 6;
+    adapt.agra.generations = 4;
+    adapt.current_scheme = central.best.scheme.matrix();
+    adapt.drift_threshold_percent = 150.0;
+    adapt.change_threshold_percent = 50.0;
+    adapt.seed = c.seed;
+    adapt.trace_seed = c.seed ^ 0xADA57ULL;
+    const dist::DadaptResult round =
+        dist::run_decentralized_adapt(problem, drifted, adapt);
+    note(out, "dagra/perfect", audit::check_scheme(round.result.scheme));
+    for (const auto& log : round.envelope_logs)
+      note(out, "dagra/perfect", audit::check_envelope_log(log));
+
+    dist::DadaptOptions faulty_adapt = adapt;
+    faulty_adapt.faults = make_faults(c);
+    const dist::DadaptResult faulty_round =
+        dist::run_decentralized_adapt(problem, drifted, faulty_adapt);
+    note(out, "dagra/faulty", audit::check_scheme(faulty_round.result.scheme));
+    for (const auto& log : faulty_round.envelope_logs)
+      note(out, "dagra/faulty", audit::check_envelope_log(log));
+  } catch (const audit::AuditFailure& failure) {
+    note(out, "hook", failure.violations());
+  } catch (const std::exception& e) {
+    out.push_back({"decentralized.exception", e.what()});
+  }
+  return out;
+}
+
+/// --decentralized: one conformance case per seed; no shrinking (a repro
+/// is the seed plus the printed shape).
+int run_decentralized_mode(const std::vector<std::uint64_t>& seed_list,
+                           const FuzzCase& pinned) {
+  std::size_t failures = 0;
+  for (const std::uint64_t seed : seed_list) {
+    FuzzCase c = pinned;
+    c.seed = seed;
+    c = resolve(c);
+    const audit::Violations violations = run_decentralized_case(c);
+    if (violations.empty()) {
+      std::printf("seed %llu ok (%zu sites, %zu objects)\n",
+                  static_cast<unsigned long long>(seed), c.sites, c.objects);
+      continue;
+    }
+    ++failures;
+    std::printf("seed %llu FAILED (%zu violation(s))\n",
+                static_cast<unsigned long long>(seed), violations.size());
+    for (const audit::Violation& v : violations)
+      std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+    std::printf(
+        "  repro: tools/fuzz_pipeline --decentralized --seed=%llu"
+        " --sites=%zu --objects=%zu\n",
+        static_cast<unsigned long long>(seed), c.sites, c.objects);
+  }
+  if (failures != 0) {
+    std::printf("fuzz_pipeline: %zu/%zu decentralized case(s) failed\n",
+                failures, seed_list.size());
+    return 1;
+  }
+  std::printf("fuzz_pipeline: all %zu decentralized case(s) clean\n",
+              seed_list.size());
+  return 0;
+}
+
 bool parse_u64(std::string_view text, std::uint64_t& value) {
   if (text.empty()) return false;
   std::uint64_t parsed = 0;
@@ -504,7 +647,10 @@ void usage(const char* argv0) {
       "  --sites/--objects/--epochs   pin a dimension (default: from seed)\n"
       "  --no-shrink   print the original failing case, skip minimization\n"
       "  --topology=tree   oracle differential mode: sweep every solver\n"
-      "                against the exact tree-DP optimum per seed\n",
+      "                against the exact tree-DP optimum per seed\n"
+      "  --decentralized   dist conformance mode: dgra vs centralized gra\n"
+      "                (perfect = bit-equal, faulty = within the ceiling)\n"
+      "                plus a decentralized adaptive round per seed\n",
       argv0);
 }
 
@@ -554,6 +700,7 @@ int main(int argc, char** argv) {
   FuzzCase pinned;
   bool do_shrink = true;
   bool tree_mode = false;
+  bool decentralized_mode = false;
 
   for (int a = 1; a < argc; ++a) {
     const std::string_view arg = argv[a];
@@ -576,6 +723,8 @@ int main(int argc, char** argv) {
       do_shrink = false;
     } else if (arg == "--topology=tree") {
       tree_mode = true;
+    } else if (arg == "--decentralized") {
+      decentralized_mode = true;
     } else {
       usage(argv[0]);
       return 2;
@@ -607,6 +756,7 @@ int main(int argc, char** argv) {
     }
     return run_tree_mode(seed_list);
   }
+  if (decentralized_mode) return run_decentralized_mode(seed_list, pinned);
 
   std::size_t failures = 0;
   for (const std::uint64_t seed : seed_list) {
